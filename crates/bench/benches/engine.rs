@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the GAS engine: full PageRank/WCC/SSSP runs
+//! per cut model, plus the sender-side aggregation ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgp_core::config::{Dataset, Scale};
+use sgp_core::runners::{run_offline_workload, OfflineWorkload};
+use sgp_engine::{EngineOptions, Placement};
+use sgp_graph::StreamOrder;
+use sgp_partition::{partition, Algorithm, PartitionerConfig};
+
+fn bench_engine_workloads(c: &mut Criterion) {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(8);
+    let order = StreamOrder::Random { seed: 3 };
+    let mut group = c.benchmark_group("engine_workloads");
+    group.sample_size(10);
+    for &alg in &[Algorithm::EcrHash, Algorithm::Hdrf, Algorithm::Ginger] {
+        let p = partition(&g, alg, &cfg, order);
+        let placement = Placement::build(&g, &p);
+        for &w in OfflineWorkload::all() {
+            group.bench_with_input(
+                BenchmarkId::new(w.name(), alg.short_name()),
+                &(&placement, w),
+                |b, (placement, w)| {
+                    b.iter(|| run_offline_workload(&g, placement, *w, &EngineOptions::default()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_aggregation_ablation(c: &mut Criterion) {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(8);
+    let p = partition(&g, Algorithm::EcrHash, &cfg, StreamOrder::Natural);
+    let placement = Placement::build(&g, &p);
+    let mut group = c.benchmark_group("sender_side_aggregation");
+    group.sample_size(10);
+    for (label, agg) in [("on", true), ("off", false)] {
+        group.bench_function(label, |b| {
+            let opts = EngineOptions { sender_side_aggregation: agg, ..Default::default() };
+            b.iter(|| {
+                run_offline_workload(&g, &placement, OfflineWorkload::PageRank, &opts)
+                    .total_messages()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement_build(c: &mut Criterion) {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(16);
+    let p = partition(&g, Algorithm::Hdrf, &cfg, StreamOrder::Natural);
+    c.bench_function("placement_build", |b| b.iter(|| Placement::build(&g, &p)));
+}
+
+criterion_group!(benches, bench_engine_workloads, bench_aggregation_ablation, bench_placement_build);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the online substrate: raw query execution
+//! against the partitioned store and the discrete-event cluster
+//! simulation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgp_core::config::{Dataset, Scale};
+use sgp_core::runners::build_store;
+use sgp_db::workload::{run_workload, Skew};
+use sgp_db::{ClusterSim, SimConfig, Workload, WorkloadKind};
+use sgp_partition::Algorithm;
+
+fn bench_query_execution(c: &mut Criterion) {
+    let g = Dataset::LdbcSnb.generate(Scale::Tiny);
+    let store = build_store(&g, Algorithm::Fennel, 8);
+    let mut group = c.benchmark_group("query_execution");
+    group.sample_size(10);
+    for kind in [WorkloadKind::OneHop, WorkloadKind::TwoHop, WorkloadKind::ShortestPath] {
+        let w = Workload::generate(&g, kind, 100, Skew::Zipf { theta: 0.9 }, 1);
+        group.throughput(Throughput::Elements(w.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &w, |b, w| {
+            b.iter(|| run_workload(&store, w, None));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_sim(c: &mut Criterion) {
+    let g = Dataset::LdbcSnb.generate(Scale::Tiny);
+    let store = build_store(&g, Algorithm::EcrHash, 8);
+    let w = Workload::generate(&g, WorkloadKind::OneHop, 200, Skew::Zipf { theta: 0.9 }, 2);
+    let sim = ClusterSim::prepare(&store, &w);
+    let mut group = c.benchmark_group("cluster_sim");
+    group.sample_size(10);
+    for clients in [4usize, 12, 24] {
+        let cfg = SimConfig { clients_per_machine: clients, queries_per_client: 20, ..Default::default() };
+        let total = clients * 8 * 20;
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &cfg, |b, cfg| {
+            b.iter(|| sim.run(cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_execution, bench_cluster_sim);
+criterion_main!(benches);

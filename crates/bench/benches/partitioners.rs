@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks: partitioner throughput (elements/second)
+//! on a fixed Twitter-like graph — the resource-usage comparison of
+//! §4.1.1 ("approximately ten times faster than their offline
+//! counterpart, METIS").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgp_core::config::{Dataset, Scale};
+use sgp_partition::{partition, Algorithm, PartitionerConfig};
+use sgp_graph::StreamOrder;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(16);
+    let order = StreamOrder::Random { seed: 7 };
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    for &alg in Algorithm::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.short_name()), &alg, |b, &alg| {
+            b.iter(|| partition(&g, alg, &cfg, order));
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_vs_offline_speedup(c: &mut Criterion) {
+    // The §4.1.1 claim in isolation: FENNEL vs the multilevel baseline.
+    let g = Dataset::LdbcSnb.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(8);
+    let order = StreamOrder::Random { seed: 9 };
+    let mut group = c.benchmark_group("streaming_vs_offline");
+    group.sample_size(10);
+    group.bench_function("FNL", |b| b.iter(|| partition(&g, Algorithm::Fennel, &cfg, order)));
+    group.bench_function("MTS", |b| b.iter(|| partition(&g, Algorithm::Metis, &cfg, order)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_streaming_vs_offline_speedup);
+criterion_main!(benches);

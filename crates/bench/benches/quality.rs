@@ -1,0 +1,109 @@
+//! Parameter-sweep ablations over the design choices DESIGN.md calls
+//! out: HDRF's λ, FENNEL's γ, Ginger's high-degree threshold, and
+//! stream-order sensitivity. Criterion measures partitioning time; the
+//! resulting *quality* is printed once per configuration so the sweep
+//! doubles as an ablation table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgp_core::config::{Dataset, Scale};
+use sgp_graph::StreamOrder;
+use sgp_partition::metrics::{load_imbalance, replication_factor};
+use sgp_partition::{partition, Algorithm, PartitionerConfig};
+
+fn bench_hdrf_lambda_sweep(c: &mut Criterion) {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let mut group = c.benchmark_group("hdrf_lambda");
+    group.sample_size(10);
+    println!("\nHDRF λ ablation (k=16, Twitter-like):");
+    for lambda in [0.0f64, 0.5, 1.0, 1.1, 2.0, 4.0] {
+        let mut cfg = PartitionerConfig::new(16);
+        cfg.hdrf_lambda = lambda;
+        let p = partition(&g, Algorithm::Hdrf, &cfg, StreamOrder::Bfs);
+        println!(
+            "  λ={lambda:<4}: RF={:.3} edge-imbalance={:.3}",
+            replication_factor(&g, &p),
+            load_imbalance(&p.edges_per_partition())
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &cfg, |b, cfg| {
+            b.iter(|| partition(&g, Algorithm::Hdrf, cfg, StreamOrder::Bfs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fennel_gamma_sweep(c: &mut Criterion) {
+    let g = Dataset::LdbcSnb.generate(Scale::Tiny);
+    let mut group = c.benchmark_group("fennel_gamma");
+    group.sample_size(10);
+    println!("\nFENNEL γ ablation (k=8, SNB-like):");
+    for gamma in [1.1f64, 1.3, 1.5, 1.8, 2.0] {
+        let mut cfg = PartitionerConfig::new(8);
+        cfg.fennel_gamma = gamma;
+        let p = partition(&g, Algorithm::Fennel, &cfg, StreamOrder::Random { seed: 1 });
+        println!(
+            "  γ={gamma:<4}: ECR={:.3} vertex-imbalance={:.3}",
+            sgp_partition::metrics::edge_cut_ratio(&g, &p).unwrap(),
+            p.vertices_per_partition().map(|v| load_imbalance(&v)).unwrap()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &cfg, |b, cfg| {
+            b.iter(|| partition(&g, Algorithm::Fennel, cfg, StreamOrder::Random { seed: 1 }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ginger_threshold_sweep(c: &mut Criterion) {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let mut group = c.benchmark_group("ginger_threshold");
+    group.sample_size(10);
+    println!("\nGinger high-degree-threshold ablation (k=8, Twitter-like):");
+    for factor in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
+        let mut cfg = PartitionerConfig::new(8);
+        cfg.ginger_threshold_factor = factor;
+        let p = partition(&g, Algorithm::Ginger, &cfg, StreamOrder::Random { seed: 2 });
+        println!("  t={factor:<4}: RF={:.3}", replication_factor(&g, &p));
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &cfg, |b, cfg| {
+            b.iter(|| partition(&g, Algorithm::Ginger, cfg, StreamOrder::Random { seed: 2 }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_order_sensitivity(c: &mut Criterion) {
+    // §4.2.2: plain greedy vertex-cut degenerates under BFS order; HDRF
+    // does not.
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(8);
+    let mut group = c.benchmark_group("stream_order");
+    group.sample_size(10);
+    println!("\nStream-order sensitivity (k=8, Twitter-like):");
+    for (label, order) in [
+        ("random", StreamOrder::Random { seed: 4 }),
+        ("bfs", StreamOrder::Bfs),
+        ("dfs", StreamOrder::Dfs),
+        ("natural", StreamOrder::Natural),
+    ] {
+        for alg in [Algorithm::PowerGraphGreedy, Algorithm::Hdrf] {
+            let p = partition(&g, alg, &cfg, order);
+            println!(
+                "  {label:<7} {:<4}: RF={:.3} edge-imbalance={:.3}",
+                alg.short_name(),
+                replication_factor(&g, &p),
+                load_imbalance(&p.edges_per_partition())
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(label), &order, |b, order| {
+            b.iter(|| partition(&g, Algorithm::Hdrf, &cfg, *order));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hdrf_lambda_sweep,
+    bench_fennel_gamma_sweep,
+    bench_ginger_threshold_sweep,
+    bench_stream_order_sensitivity
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates every table and figure of the paper as part of
+//! `cargo bench` (harness = false). This is the per-table/figure bench
+//! target DESIGN.md's experiment index points at; it prints the same
+//! rows/series the paper reports.
+//!
+//! Scale: `SGP_SCALE` if set, otherwise `small` (kept below the
+//! `experiments` binary's default so benching stays minutes, not hours).
+
+use sgp_bench::experiments::{run, Params, ALL_EXPERIMENTS};
+use sgp_core::config::Scale;
+
+fn main() {
+    // Respect `cargo bench -- <filter>` semantics loosely: any extra arg
+    // filters experiment ids by substring.
+    let args: Vec<String> =
+        std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let scale = if std::env::var("SGP_SCALE").is_ok() {
+        Scale::from_env()
+    } else {
+        Scale::Small
+    };
+    let params = Params::for_scale(scale);
+    println!("regenerating the paper's tables and figures (scale: {scale:?})");
+    for &id in ALL_EXPERIMENTS {
+        if !args.is_empty() && !args.iter().any(|a| id.contains(a.as_str())) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        println!("{}", run(id, &params));
+        println!("[{id}: {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!   experiments `<id>`...      run specific experiments (table1..table5, fig1..fig15)
+//!   experiments all            run everything
+//!   experiments --list         list experiment ids
+//!
+//! Scale via SGP_SCALE=tiny|small|default|large (default: default).
+
+use sgp_bench::experiments::{run, Params, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments <id>... | all | --list");
+        eprintln!("ids: {}", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let params = Params::from_env();
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        let mut ids = Vec::new();
+        for a in &args {
+            match ALL_EXPERIMENTS.iter().find(|&&id| id == a) {
+                Some(&id) => ids.push(id),
+                None => {
+                    eprintln!("unknown experiment id: {a}");
+                    eprintln!("known ids: {}", ALL_EXPERIMENTS.join(", "));
+                    std::process::exit(2);
+                }
+            }
+        }
+        ids
+    };
+    println!(
+        "streaming-graph-partitioning experiment harness (scale: {:?})",
+        params.scale
+    );
+    for id in ids {
+        let start = std::time::Instant::now();
+        let report = run(id, &params);
+        println!("{report}");
+        println!("[{id} completed in {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,912 @@
+//! One function per table/figure of the paper. Each returns the rendered
+//! plain-text report (and the harness can also dump the raw rows as
+//! JSON). See DESIGN.md §4 for the experiment index.
+
+use sgp_core::config::{Dataset, Scale};
+use sgp_core::decision::{recommend, OnlineObjective, WorkloadClass};
+use sgp_core::report::{f2, f3, human_bytes, TextTable};
+use sgp_core::runners::{
+    fig1_scatter, offline_suite, online_run, quality_suite, series_slope, workload_aware_suite,
+    OfflineWorkload, OnlineRunConfig,
+};
+use sgp_db::workload::Skew;
+use sgp_db::{LoadLevel, WorkloadKind};
+use sgp_engine::apps::PageRank;
+use sgp_engine::{run_program, EngineOptions, Placement};
+use sgp_graph::{Graph, GraphBuilder};
+use sgp_partition::{Algorithm, Partitioning};
+
+/// Scale-dependent experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Dataset/graph scale.
+    pub scale: Scale,
+    /// Partition counts for the quality sweeps (paper: 8..128).
+    pub ks_quality: Vec<usize>,
+    /// Partition counts for offline execution (paper: 8..128).
+    pub ks_offline: Vec<usize>,
+    /// Partition counts for online execution (paper: 4..32).
+    pub ks_online: Vec<usize>,
+    /// Machines for the Fig. 4 load-distribution panels (paper: 64).
+    pub fig4_k: usize,
+    /// Machines for Table 5 / Fig. 7 (paper: 16).
+    pub online_k: usize,
+    /// Query bindings per workload (paper: 1000).
+    pub bindings: usize,
+    /// Queries per client in the cluster simulation.
+    pub queries_per_client: usize,
+}
+
+impl Params {
+    /// Parameters for a given scale (smaller scales shrink the sweep so
+    /// smoke runs stay fast).
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => Params {
+                scale,
+                ks_quality: vec![4, 8, 16],
+                ks_offline: vec![4, 8],
+                ks_online: vec![4, 8],
+                fig4_k: 16,
+                online_k: 8,
+                bindings: 200,
+                queries_per_client: 15,
+            },
+            Scale::Small => Params {
+                scale,
+                ks_quality: vec![8, 16, 32, 64],
+                ks_offline: vec![8, 16, 32],
+                ks_online: vec![4, 8, 16],
+                fig4_k: 32,
+                online_k: 16,
+                bindings: 500,
+                queries_per_client: 25,
+            },
+            Scale::Default | Scale::Large => Params {
+                scale,
+                ks_quality: vec![8, 16, 32, 64, 128],
+                ks_offline: vec![8, 16, 32, 64, 128],
+                ks_online: vec![4, 8, 16, 32],
+                fig4_k: 64,
+                online_k: 16,
+                bindings: 1000,
+                queries_per_client: 40,
+            },
+        }
+    }
+
+    /// Parameters from `SGP_SCALE`.
+    pub fn from_env() -> Self {
+        Self::for_scale(Scale::from_env())
+    }
+
+    fn online_cfg(&self, level: LoadLevel) -> OnlineRunConfig {
+        OnlineRunConfig {
+            bindings: self.bindings,
+            skew: Skew::Zipf { theta: 0.6 },
+            queries_per_client: self.queries_per_client,
+            clients_per_machine: level.clients_per_machine(),
+            seed: 0x0_1A7,
+        }
+    }
+}
+
+/// All experiment ids, in paper order, plus the Appendix-A extension
+/// showcase.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5",
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "appendixA",
+];
+
+/// Runs one experiment by id; returns the rendered report.
+///
+/// # Panics
+/// Panics on an unknown id (the binary validates first).
+pub fn run(id: &str, params: &Params) -> String {
+    match id {
+        "table1" => table1(),
+        "table2" => table2(params),
+        "table3" => table3(params),
+        "table4" => table4(params),
+        "table5" => table5(params),
+        "fig1" => fig1(params),
+        "fig2" => fig2(params),
+        "fig3" => fig3(params),
+        "fig4" => fig4(params),
+        "fig5" => fig5(params),
+        "fig6" => fig6(params),
+        "fig7" => fig7(params),
+        "fig8" => fig8(params),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig12" => fig12(params),
+        "fig13" => fig13(params),
+        "fig14" => fig14(params),
+        "fig15" => fig15(params),
+        "appendixA" => appendix_a(params),
+        other => panic!("unknown experiment id: {other}"),
+    }
+}
+
+fn header(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+// ---------------------------------------------------------------------------
+
+/// Table 1: characteristics of the streaming graph partitioning
+/// algorithms.
+pub fn table1() -> String {
+    let mut t = TextTable::new(["Algorithm", "Model", "Stream", "Cost Metric", "Parallelization", "Method"]);
+    for alg in Algorithm::all() {
+        let i = alg.info();
+        t.row([
+            i.short_name.to_string(),
+            i.model.to_string(),
+            format!("{:?}", i.stream),
+            i.cost_metric.to_string(),
+            i.parallelization.to_string(),
+            i.method.to_string(),
+        ]);
+    }
+    format!("{}{}", header("Table 1 — Characteristics of SGP algorithms"), t.render())
+}
+
+/// Table 2: the experiment dimensions of the reproduction.
+pub fn table2(params: &Params) -> String {
+    let mut t = TextTable::new(["Workload", "Parameter", "Values"]);
+    t.row([
+        "Offline Analytics".to_string(),
+        "System".to_string(),
+        "sgp-engine (PowerLyra-like GAS simulator)".to_string(),
+    ]);
+    t.row([
+        "".to_string(),
+        "Algorithms".to_string(),
+        Algorithm::offline_suite().iter().map(|a| a.short_name()).collect::<Vec<_>>().join(", "),
+    ]);
+    t.row(["".to_string(), "Workloads".to_string(), "PageRank, WCC, SSSP".to_string()]);
+    t.row(["".to_string(), "Cluster Size".to_string(), format!("{:?}", params.ks_offline)]);
+    t.row(["".to_string(), "Datasets".to_string(), "Twitter, UK2007-05, USA-Road (stand-ins)".to_string()]);
+    t.row([
+        "Online Queries".to_string(),
+        "System".to_string(),
+        "sgp-db (JanusGraph-like store + DES cluster)".to_string(),
+    ]);
+    t.row([
+        "".to_string(),
+        "Algorithms".to_string(),
+        Algorithm::online_suite().iter().map(|a| a.short_name()).collect::<Vec<_>>().join(", "),
+    ]);
+    t.row(["".to_string(), "Workloads".to_string(), "1-hop, 2-hop, SPSP".to_string()]);
+    t.row(["".to_string(), "Cluster Size".to_string(), format!("{:?}", params.ks_online)]);
+    t.row(["".to_string(), "Datasets".to_string(), "all four stand-ins".to_string()]);
+    format!("{}{}", header("Table 2 — Experiment dimensions"), t.render())
+}
+
+/// Table 3: dataset characteristics — paper's originals vs our measured
+/// stand-ins.
+pub fn table3(params: &Params) -> String {
+    let mut t = TextTable::new([
+        "Dataset",
+        "Paper |E|",
+        "Paper |V|",
+        "Paper Avg/Max",
+        "Ours |E|",
+        "Ours |V|",
+        "Ours Avg/Max",
+        "Type (measured)",
+    ]);
+    for &d in Dataset::all() {
+        let paper = d.paper_row();
+        let s = d.stats(params.scale);
+        t.row([
+            d.name().to_string(),
+            paper.edges.to_string(),
+            paper.vertices.to_string(),
+            paper.degrees.to_string(),
+            s.edges.to_string(),
+            s.vertices.to_string(),
+            format!("{:.1} / {}", s.avg_degree, s.max_degree),
+            s.classify().to_string(),
+        ]);
+    }
+    format!("{}{}", header("Table 3 — Graph datasets (paper vs stand-ins)"), t.render())
+}
+
+/// Table 4: edge-cut ratio for the SNB-like graph, ECR/LDG/FNL/MTS.
+pub fn table4(params: &Params) -> String {
+    let g = Dataset::LdbcSnb.generate(params.scale);
+    let mut t = TextTable::new(["Partitions", "ECR", "LDG", "FNL", "MTS"]);
+    for &k in &params.ks_online {
+        let rows = quality_suite(Dataset::LdbcSnb.name(), &g, Algorithm::online_suite(), &[k]);
+        let get = |alg: Algorithm| {
+            rows.iter()
+                .find(|r| r.algorithm == alg)
+                .and_then(|r| r.quality.edge_cut_ratio)
+                .map(f2)
+                .unwrap_or_default()
+        };
+        t.row([
+            k.to_string(),
+            get(Algorithm::EcrHash),
+            get(Algorithm::Ldg),
+            get(Algorithm::Fennel),
+            get(Algorithm::Metis),
+        ]);
+    }
+    format!(
+        "{}{}\n(paper at SF-1000: 4→0.75/0.74/0.47/0.31 ... 32→0.97/0.84/0.66/0.51)\n",
+        header("Table 4 — Edge-cut ratio, LDBC-SNB-like graph"),
+        t.render()
+    )
+}
+
+/// Table 5: mean and p99 1-hop latencies under medium and high load.
+pub fn table5(params: &Params) -> String {
+    let g = Dataset::LdbcSnb.generate(params.scale);
+    let mut t = TextTable::new([
+        "Algorithm",
+        "Medium Mean (ms)",
+        "Medium 99th (ms)",
+        "High Mean (ms)",
+        "High 99th (ms)",
+    ]);
+    for &alg in Algorithm::online_suite() {
+        let med = online_run(
+            Dataset::LdbcSnb.name(),
+            &g,
+            alg,
+            WorkloadKind::OneHop,
+            params.online_k,
+            &params.online_cfg(LoadLevel::Medium),
+        );
+        let high = online_run(
+            Dataset::LdbcSnb.name(),
+            &g,
+            alg,
+            WorkloadKind::OneHop,
+            params.online_k,
+            &params.online_cfg(LoadLevel::High),
+        );
+        t.row([
+            alg.short_name().to_string(),
+            f2(med.mean_latency_ms),
+            f2(med.p99_latency_ms),
+            f2(high.mean_latency_ms),
+            f2(high.p99_latency_ms),
+        ]);
+    }
+    format!(
+        "{}{}\n(paper, 16 machines: locality-seeking SGP inflates the high-load tail — FNL's p99 up to 3.5x ECR's)\n",
+        header(format!("Table 5 — 1-hop latency, {} machines", params.online_k).as_str()),
+        t.render()
+    )
+}
+
+/// Fig. 1: replication factor vs total network I/O per workload, per cut
+/// model, on the Twitter-like graph.
+pub fn fig1(params: &Params) -> String {
+    let g = Dataset::Twitter.generate(params.scale);
+    let algs = [
+        Algorithm::EcrHash,
+        Algorithm::Ldg,
+        Algorithm::Fennel,
+        Algorithm::VcrHash,
+        Algorithm::Dbh,
+        Algorithm::Hdrf,
+        Algorithm::HybridRandom,
+        Algorithm::Ginger,
+    ];
+    let mut out = header("Fig. 1 — Replication factor vs total network I/O (Twitter-like)");
+    for workload in OfflineWorkload::all() {
+        let points = fig1_scatter(&g, *workload, &params.ks_offline, &algs);
+        let mut t = TextTable::new(["Series", "Alg", "k", "RF", "Network I/O"]);
+        for p in &points {
+            t.row([
+                p.series.clone(),
+                p.algorithm.short_name().to_string(),
+                p.k.to_string(),
+                f2(p.x),
+                human_bytes(p.y_bytes),
+            ]);
+        }
+        let slope = |series: &str| {
+            let pts: Vec<_> = points.iter().filter(|p| p.series == series).cloned().collect();
+            series_slope(&pts)
+        };
+        out.push_str(&format!("\n--- {workload} ---\n{}", t.render()));
+        out.push_str(&format!(
+            "slopes (bytes per mirror): edge-cut {:.0}, vertex-cut {:.0}, hybrid-cut {:.0}\n",
+            slope("edge-cut"),
+            slope("vertex-cut"),
+            slope("hybrid-cut"),
+        ));
+    }
+    out.push_str(
+        "\n(paper: linear in RF for every workload; edge-cut's slope lowest for PageRank's \
+         uni-directional communication; PageRank moves the most data)\n",
+    );
+    out
+}
+
+/// Fig. 2: replication factors of all algorithms over all graphs and
+/// partition counts.
+pub fn fig2(params: &Params) -> String {
+    let mut out = header("Fig. 2 — Replication factors (all algorithms x datasets x k)");
+    for &dataset in Dataset::offline_set() {
+        let g = dataset.generate(params.scale);
+        let rows = quality_suite(dataset.name(), &g, Algorithm::offline_suite(), &params.ks_quality);
+        let mut t = TextTable::new({
+            let mut h = vec!["k".to_string()];
+            h.extend(Algorithm::offline_suite().iter().map(|a| a.short_name().to_string()));
+            h
+        });
+        for &k in &params.ks_quality {
+            let mut row = vec![k.to_string()];
+            for &alg in Algorithm::offline_suite() {
+                let rf = rows
+                    .iter()
+                    .find(|r| r.k == k && r.algorithm == alg)
+                    .map(|r| f2(r.quality.replication_factor))
+                    .unwrap_or_default();
+                row.push(rf);
+            }
+            t.row(row);
+        }
+        out.push_str(&format!("\n--- {dataset} ---\n{}", t.render()));
+    }
+    out.push_str(
+        "\n(paper: no single winner — FNL/LDG lowest on USA-Road, HDRF/DBH/HG lowest on \
+         Twitter, HDRF lowest vertex-cut on UK2007-05)\n",
+    );
+    out
+}
+
+/// Fig. 3: execution time of the offline workloads on the Twitter-like
+/// graph across cluster sizes.
+pub fn fig3(params: &Params) -> String {
+    let g = Dataset::Twitter.generate(params.scale);
+    let rows = offline_suite(
+        Dataset::Twitter.name(),
+        &g,
+        Algorithm::offline_suite(),
+        OfflineWorkload::all(),
+        &params.ks_offline,
+    );
+    let mut out = header("Fig. 3 — Offline workload execution time (Twitter-like, ms)");
+    for workload in OfflineWorkload::all() {
+        let mut t = TextTable::new({
+            let mut h = vec!["k".to_string()];
+            h.extend(Algorithm::offline_suite().iter().map(|a| a.short_name().to_string()));
+            h
+        });
+        for &k in &params.ks_offline {
+            let mut row = vec![k.to_string()];
+            for &alg in Algorithm::offline_suite() {
+                let v = rows
+                    .iter()
+                    .find(|r| r.k == k && r.algorithm == alg && r.workload == *workload)
+                    .map(|r| f3(r.exec_seconds * 1e3))
+                    .unwrap_or_default();
+                row.push(v);
+            }
+            t.row(row);
+        }
+        out.push_str(&format!("\n--- {workload} ---\n{}", t.render()));
+    }
+    out.push_str(
+        "\n(paper: edge-cut SGP slow on Twitter; vertex/hybrid-cut fastest, HDRF best; \
+         differences shrink for WCC/SSSP; scaling flattens at high k)\n",
+    );
+    out
+}
+
+/// Fig. 4: distribution of per-worker computation time during PageRank.
+pub fn fig4(params: &Params) -> String {
+    let k = params.fig4_k;
+    let mut out = header(
+        format!("Fig. 4 — Per-worker PageRank compute time, {k} machines (min/p25/med/p75/max, ms)")
+            .as_str(),
+    );
+    for &dataset in Dataset::offline_set() {
+        let g = dataset.generate(params.scale);
+        let rows = offline_suite(
+            dataset.name(),
+            &g,
+            Algorithm::offline_suite(),
+            &[OfflineWorkload::PageRank],
+            &[k],
+        );
+        let mut t = TextTable::new(["Alg", "min", "p25", "median", "p75", "max", "max/med"]);
+        for r in &rows {
+            let d = r.compute_dist;
+            t.row([
+                r.algorithm.short_name().to_string(),
+                f3(d[0] * 1e3),
+                f3(d[1] * 1e3),
+                f3(d[2] * 1e3),
+                f3(d[3] * 1e3),
+                f3(d[4] * 1e3),
+                f2(d[4] / d[2].max(1e-12)),
+            ]);
+        }
+        out.push_str(&format!("\n--- {dataset} ---\n{}", t.render()));
+    }
+    out.push_str(
+        "\n(paper: balanced partition sizes do not imply balanced computation — edge-cut \
+         spreads widest on the skewed graphs, tightest on USA-Road)\n",
+    );
+    out
+}
+
+/// Fig. 5: edge-cut ratio vs network I/O for the 1-hop workload on the
+/// SNB-like graph.
+pub fn fig5(params: &Params) -> String {
+    let g = Dataset::LdbcSnb.generate(params.scale);
+    let mut t = TextTable::new(["Alg", "k", "Edge-cut ratio", "Network I/O"]);
+    let mut points: Vec<(f64, u64)> = Vec::new();
+    for &k in &params.ks_online {
+        for &alg in Algorithm::online_suite() {
+            let row = online_run(
+                Dataset::LdbcSnb.name(),
+                &g,
+                alg,
+                WorkloadKind::OneHop,
+                k,
+                &params.online_cfg(LoadLevel::Medium),
+            );
+            points.push((row.edge_cut_ratio, row.network_bytes));
+            t.row([
+                alg.short_name().to_string(),
+                k.to_string(),
+                f3(row.edge_cut_ratio),
+                human_bytes(row.network_bytes),
+            ]);
+        }
+    }
+    // Pearson correlation of (ecr, bytes) — the paper's "linear function".
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1 as f64).sum::<f64>() / n;
+    let cov: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 as f64 - my)).sum();
+    let vx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    let vy: f64 = points.iter().map(|p| (p.1 as f64 - my).powi(2)).sum();
+    let r = cov / (vx.sqrt() * vy.sqrt()).max(1e-12);
+    format!(
+        "{}{}\ncorrelation(edge-cut ratio, network I/O) = {:.3}   (paper: linear, all \
+         algorithms on one trend)\n",
+        header("Fig. 5 — Edge-cut ratio vs network I/O, 1-hop on SNB-like"),
+        t.render(),
+        r
+    )
+}
+
+/// Fig. 6: aggregate throughput for 1-hop and 2-hop workloads under
+/// medium and high load across cluster sizes.
+pub fn fig6(params: &Params) -> String {
+    let g = Dataset::LdbcSnb.generate(params.scale);
+    let mut out = header("Fig. 6 — Aggregate throughput (queries/s), SNB-like");
+    for kind in [WorkloadKind::OneHop, WorkloadKind::TwoHop] {
+        for level in [LoadLevel::Medium, LoadLevel::High] {
+            let mut t = TextTable::new({
+                let mut h = vec!["k".to_string()];
+                h.extend(Algorithm::online_suite().iter().map(|a| a.short_name().to_string()));
+                h
+            });
+            for &k in &params.ks_online {
+                let mut row = vec![k.to_string()];
+                for &alg in Algorithm::online_suite() {
+                    let r = online_run(
+                        Dataset::LdbcSnb.name(),
+                        &g,
+                        alg,
+                        kind,
+                        k,
+                        &params.online_cfg(level),
+                    );
+                    row.push(format!("{:.0}", r.throughput_qps));
+                }
+                t.row(row);
+            }
+            out.push_str(&format!("\n--- {kind}, {level} load ---\n{}", t.render()));
+        }
+    }
+    out.push_str(
+        "\n(paper: partitioning matters less than offline — MTS best, ~25%/18% over hash for \
+         1-hop/2-hop; SGP gains evaporate under high load)\n",
+    );
+    out
+}
+
+/// Fig. 7: per-worker vertex-read distribution for the 1-hop workload.
+pub fn fig7(params: &Params) -> String {
+    fig_reads_distribution(
+        params,
+        &[Dataset::LdbcSnb],
+        format!("Fig. 7 — Per-worker vertex reads, 1-hop, {} machines (SNB-like)", params.online_k),
+    )
+}
+
+fn fig_reads_distribution(params: &Params, datasets: &[Dataset], title: String) -> String {
+    let mut out = header(&title);
+    for &dataset in datasets {
+        let g = dataset.generate(params.scale);
+        let mut t = TextTable::new(["Alg", "min", "p25", "median", "p75", "max", "RSD"]);
+        for &alg in Algorithm::online_suite() {
+            let row = online_run(
+                dataset.name(),
+                &g,
+                alg,
+                WorkloadKind::OneHop,
+                params.online_k,
+                &params.online_cfg(LoadLevel::Medium),
+            );
+            let d = row.reads_dist;
+            t.row([
+                alg.short_name().to_string(),
+                format!("{:.0}", d[0]),
+                format!("{:.0}", d[1]),
+                format!("{:.0}", d[2]),
+                format!("{:.0}", d[3]),
+                format!("{:.0}", d[4]),
+                f3(row.load_rsd),
+            ]);
+        }
+        out.push_str(&format!("\n--- {dataset} ---\n{}", t.render()));
+    }
+    out.push_str(
+        "\n(paper: unlike offline analytics, FNL and LDG suffer read imbalance on every \
+         dataset once the workload is skewed)\n",
+    );
+    out
+}
+
+/// Fig. 8: workload-aware weighted repartitioning.
+pub fn fig8(params: &Params) -> String {
+    let g = Dataset::LdbcSnb.generate(params.scale);
+    let run_cfg = OnlineRunConfig {
+        skew: Skew::Zipf { theta: 1.1 },
+        ..params.online_cfg(LoadLevel::High)
+    };
+    let rows = workload_aware_suite(&g, params.online_k, &run_cfg);
+    let mut t = TextTable::new(["Config", "Throughput (q/s)", "Load RSD"]);
+    for r in &rows {
+        t.row([r.label.clone(), format!("{:.0}", r.throughput_qps), f3(r.load_rsd)]);
+    }
+    format!(
+        "{}{}\n(paper: complete workload information gives 13%–35% more throughput and a \
+         balanced read distribution — 'MTS (W)' is the weighted configuration; \
+         'aLDG (W)' is this reproduction's streaming extension, Appendix A)\n",
+        header("Fig. 8 — Workload-aware repartitioning, 1-hop on SNB-like"),
+        t.render()
+    )
+}
+
+/// Fig. 9: the decision tree, exercised over every input combination.
+pub fn fig9() -> String {
+    use sgp_graph::stats::GraphClass;
+    let mut t = TextTable::new(["Workload", "Graph / objective", "Recommendation"]);
+    for class in [GraphClass::LowDegree, GraphClass::PowerLaw, GraphClass::HeavyTailed] {
+        let r = recommend(WorkloadClass::OfflineAnalytics, Some(class), None);
+        t.row(["Analytics".to_string(), class.to_string(), r.algorithm.to_string()]);
+    }
+    for obj in [OnlineObjective::TailLatency, OnlineObjective::Throughput] {
+        let r = recommend(WorkloadClass::OnlineQueries, None, Some(obj));
+        t.row(["Online Queries".to_string(), format!("{obj:?}"), r.algorithm.to_string()]);
+    }
+    format!("{}{}", header("Fig. 9 — Decision tree for picking an SGP algorithm"), t.render())
+}
+
+/// Fig. 10 (Appendix B): message counts on the worked 6-vertex example
+/// under the three placement schemes.
+pub fn fig10() -> String {
+    // The example of Fig. 10: five edges into vertex 5, one chain edge.
+    let g: Graph = GraphBuilder::new()
+        .add_edge(0, 5)
+        .add_edge(1, 5)
+        .add_edge(2, 5)
+        .add_edge(3, 5)
+        .add_edge(4, 5)
+        .add_edge(0, 1)
+        .build();
+    let owner = vec![0u32, 0, 1, 1, 2, 2];
+    let edge_cut = Partitioning::from_vertex_owners(&g, 3, owner);
+    let vertex_cut = Partitioning::from_edge_parts(&g, 3, vec![0, 1, 0, 1, 1, 2]);
+    let pr = PageRank::new(1);
+    let mut t = TextTable::new(["Placement", "Gather msgs", "Update msgs", "Total"]);
+    for (label, p, aggregation) in [
+        ("edge-cut, no aggregation (10a)", &edge_cut, false),
+        ("edge-cut, sender-side agg (10b)", &edge_cut, true),
+        ("vertex-cut, src-grouped (10c)", &vertex_cut, true),
+    ] {
+        let placement = Placement::build(&g, p);
+        let opts = EngineOptions { sender_side_aggregation: aggregation, ..Default::default() };
+        let (_, report) = run_program(&g, &placement, &pr, &opts);
+        let gather: u64 = report.iterations.iter().map(|i| i.gather_messages).sum();
+        let update: u64 = report.iterations.iter().map(|i| i.update_messages).sum();
+        t.row([
+            label.to_string(),
+            gather.to_string(),
+            update.to_string(),
+            (gather + update).to_string(),
+        ]);
+    }
+    format!(
+        "{}{}\n(Appendix B: aggregation collapses per-edge messages to per-mirror ones; the \
+         edge-cut placement never sends vertex updates for PageRank)\n",
+        header("Fig. 10 — Cut models and inter-machine communication (worked example)"),
+        t.render()
+    )
+}
+
+/// Fig. 11 (Appendix C): the architecture this reproduction simulates.
+pub fn fig11() -> String {
+    format!(
+        "{}\
+         clients → partitioning-aware query router → worker machines\n\
+         each worker = query-execution instance (sgp-db::query) co-located with its\n\
+         storage shard (sgp-db::store); shards are an adjacency list cut by a\n\
+         vertex-ownership map; the working set is memory-resident; closed-loop\n\
+         clients drive the discrete-event simulation (sgp-db::sim).\n",
+        header("Fig. 11 — JanusGraph-like architecture of the online substrate")
+    )
+}
+
+/// Fig. 12: aggregate throughput with a *fixed* client population as the
+/// cluster grows (the paper's 192 clients over 4..32 machines).
+pub fn fig12(params: &Params) -> String {
+    let g = Dataset::LdbcSnb.generate(params.scale);
+    let total_clients = 24 * params.ks_online.iter().min().copied().unwrap_or(4);
+    let mut t = TextTable::new({
+        let mut h = vec!["k".to_string()];
+        h.extend(Algorithm::online_suite().iter().map(|a| a.short_name().to_string()));
+        h
+    });
+    for &k in &params.ks_online {
+        let mut row = vec![k.to_string()];
+        for &alg in Algorithm::online_suite() {
+            let cfg = OnlineRunConfig {
+                clients_per_machine: (total_clients / k).max(1),
+                ..params.online_cfg(LoadLevel::Medium)
+            };
+            let r = online_run(Dataset::LdbcSnb.name(), &g, alg, WorkloadKind::OneHop, k, &cfg);
+            row.push(format!("{:.0}", r.throughput_qps));
+        }
+        t.row(row);
+    }
+    format!(
+        "{}{}\n({} fixed clients; paper: throughput degrades beyond 16 workers as \
+         communication overhead dominates. Our simulator reproduces the diminishing \
+         returns — throughput per added machine falls steadily — but not the outright \
+         decline, which stems from Cassandra cluster-coordination costs outside the \
+         model; see EXPERIMENTS.md)\n",
+        header("Fig. 12 — Throughput vs cluster size, fixed client population"),
+        t.render(),
+        total_clients
+    )
+}
+
+/// Fig. 13: the full offline grid — all workloads x datasets x k.
+pub fn fig13(params: &Params) -> String {
+    let mut out = header("Fig. 13 — Full offline grid (execution ms)");
+    for &dataset in Dataset::offline_set() {
+        let g = dataset.generate(params.scale);
+        let rows = offline_suite(
+            dataset.name(),
+            &g,
+            Algorithm::offline_suite(),
+            OfflineWorkload::all(),
+            &params.ks_offline,
+        );
+        for workload in OfflineWorkload::all() {
+            let mut t = TextTable::new({
+                let mut h = vec!["k".to_string()];
+                h.extend(Algorithm::offline_suite().iter().map(|a| a.short_name().to_string()));
+                h
+            });
+            for &k in &params.ks_offline {
+                let mut row = vec![k.to_string()];
+                for &alg in Algorithm::offline_suite() {
+                    let v = rows
+                        .iter()
+                        .find(|r| r.k == k && r.algorithm == alg && r.workload == *workload)
+                        .map(|r| f3(r.exec_seconds * 1e3))
+                        .unwrap_or_default();
+                    row.push(v);
+                }
+                t.row(row);
+            }
+            out.push_str(&format!("\n--- {dataset} / {workload} ---\n{}", t.render()));
+        }
+    }
+    out
+}
+
+/// Fig. 14: 1-hop throughput on the real-world-like graphs.
+pub fn fig14(params: &Params) -> String {
+    let mut out = header(format!(
+        "Fig. 14 — 1-hop throughput on real-world-like graphs, {} machines",
+        params.online_k
+    )
+    .as_str());
+    for &dataset in Dataset::offline_set() {
+        let g = dataset.generate(params.scale);
+        let mut t = TextTable::new(["Alg", "Medium (q/s)", "High (q/s)"]);
+        for &alg in Algorithm::online_suite() {
+            let med = online_run(
+                dataset.name(),
+                &g,
+                alg,
+                WorkloadKind::OneHop,
+                params.online_k,
+                &params.online_cfg(LoadLevel::Medium),
+            );
+            let high = online_run(
+                dataset.name(),
+                &g,
+                alg,
+                WorkloadKind::OneHop,
+                params.online_k,
+                &params.online_cfg(LoadLevel::High),
+            );
+            t.row([
+                alg.short_name().to_string(),
+                format!("{:.0}", med.throughput_qps),
+                format!("{:.0}", high.throughput_qps),
+            ]);
+        }
+        out.push_str(&format!("\n--- {dataset} ---\n{}", t.render()));
+    }
+    out
+}
+
+/// Fig. 15: per-worker read distributions on every dataset.
+pub fn fig15(params: &Params) -> String {
+    fig_reads_distribution(
+        params,
+        Dataset::all(),
+        format!("Fig. 15 — Per-worker vertex reads, 1-hop, {} machines (all datasets)", params.online_k),
+    )
+}
+
+
+/// Appendix A showcase: the generalized-cost-model algorithms the paper
+/// surveys but does not evaluate — heterogeneous capacities
+/// (LeBeane/BMI), attribute balancing (re-streaming on `a(u)`), and
+/// edge-cut on edge streams (IOGP-class).
+pub fn appendix_a(params: &Params) -> String {
+    use sgp_partition::attribute::AttributeLdg;
+    use sgp_partition::edge_cut::run_vertex_stream;
+    use sgp_partition::edge_stream_cut::IogpStyle;
+    use sgp_partition::hetero::{ClusterProfile, HeteroHdrf};
+    use sgp_partition::metrics;
+    use sgp_partition::vertex_cut::run_edge_stream;
+    use sgp_partition::PartitionerConfig;
+    use sgp_core::runners::default_order;
+
+    let mut out = header("Appendix A — generalized cost models (survey algorithms, implemented)");
+
+    // 1. Heterogeneous cluster: one machine with 4x capacity.
+    let g = Dataset::Twitter.generate(params.scale);
+    let k = 4;
+    let cfg = PartitionerConfig::new(k);
+    let profile = ClusterProfile::new(&[4.0, 1.0, 1.0, 1.0]);
+    let mut hdrf = HeteroHdrf::new(&cfg, profile.clone(), g.num_edges());
+    let p = run_edge_stream(&g, &mut hdrf, k, default_order());
+    let counts = p.edges_per_partition();
+    let total: usize = counts.iter().sum();
+    let mut t = TextTable::new(["Machine", "Capacity share", "Edge share"]);
+    for (i, &c) in counts.iter().enumerate() {
+        t.row([
+            i.to_string(),
+            f3(profile.share(i)),
+            f3(c as f64 / total as f64),
+        ]);
+    }
+    out.push_str(&format!(
+        "\n--- heterogeneous HDRF (LeBeane-style), Twitter-like, machine 0 has 4x capacity ---\n{}",
+        t.render()
+    ));
+
+    // 2. Attribute balancing vs plain LDG under skewed access weights.
+    let g = Dataset::LdbcSnb.generate(params.scale);
+    let cfg = PartitionerConfig::new(8);
+    let weights: Vec<u64> =
+        g.vertices().map(|v| 1 + (g.degree(v) as u64).pow(2) / 8).collect();
+    let mut aldg = AttributeLdg::new(&cfg, weights.clone());
+    let aware = run_vertex_stream(&g, &mut aldg, 8, default_order());
+    let plain = sgp_partition::partition(&g, Algorithm::Ldg, &cfg, default_order());
+    let load_imb = |p: &Partitioning| {
+        let mut loads = vec![0u64; 8];
+        for (v, &part) in p.vertex_owner.as_ref().unwrap().iter().enumerate() {
+            loads[part as usize] += weights[v];
+        }
+        let avg = loads.iter().sum::<u64>() as f64 / 8.0;
+        *loads.iter().max().unwrap() as f64 / avg
+    };
+    out.push_str(&format!(
+        "\n--- attribute-balanced LDG (x_i = sum a(u)), SNB-like, degree^2 weights ---\n\
+         plain LDG weight imbalance: {:.2}   attribute LDG: {:.2}   (slack 1.05)\n",
+        load_imb(&plain),
+        load_imb(&aware)
+    ));
+
+    // 3. Edge-cut on edge streams (IOGP-class): the quality gap of §4.1.2.
+    let iogp = IogpStyle::new(&cfg, g.num_vertices()).run(&g, default_order());
+    let ldg = plain;
+    let hash = sgp_partition::partition(&g, Algorithm::EcrHash, &cfg, default_order());
+    out.push_str(&format!(
+        "\n--- edge-cut on edge streams (IOGP-style), SNB-like, k=8 ---\n\
+         edge-cut ratio: hash {:.3}, IOGP-style {:.3}, LDG (vertex stream) {:.3}\n\
+         (§4.1.2 expects vertex-stream < edge-stream < hash; IOGP's periodic\n\
+         reassessment can close the gap to LDG on small community graphs)\n",
+        metrics::edge_cut_ratio(&g, &hash).unwrap(),
+        metrics::edge_cut_ratio(&g, &iogp).unwrap(),
+        metrics::edge_cut_ratio(&g, &ldg).unwrap(),
+    ));
+    out
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params::for_scale(Scale::Tiny)
+    }
+
+    #[test]
+    fn static_experiments_render() {
+        for id in ["table1", "fig9", "fig10", "fig11"] {
+            let out = run(id, &tiny());
+            assert!(out.len() > 100, "{id} output too short");
+        }
+    }
+
+    #[test]
+    fn table3_includes_every_dataset() {
+        let out = table3(&tiny());
+        for d in Dataset::all() {
+            assert!(out.contains(d.name()), "missing {d}");
+        }
+    }
+
+    #[test]
+    fn table4_has_expected_ordering_columns() {
+        let out = table4(&tiny());
+        assert!(out.contains("ECR") && out.contains("MTS"));
+    }
+
+    #[test]
+    fn fig10_shows_aggregation_savings() {
+        let out = fig10();
+        assert!(out.contains("no aggregation"));
+        // Edge-cut with aggregation must show 0 updates.
+        let with_agg_line = out
+            .lines()
+            .find(|l| l.contains("sender-side agg"))
+            .expect("aggregated row present");
+        let cols: Vec<&str> = with_agg_line.split_whitespace().collect();
+        assert_eq!(cols[cols.len() - 2], "0", "update column: {with_agg_line}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        run("fig99", &tiny());
+    }
+
+    #[test]
+    fn all_experiment_ids_listed_once() {
+        let mut ids = ALL_EXPERIMENTS.to_vec();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+        assert_eq!(before, 21);
+    }
+}

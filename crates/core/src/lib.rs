@@ -1,0 +1,37 @@
+//! # sgp-core
+//!
+//! The experiment framework of the SGP reproduction — the layer that
+//! turns the substrate crates ([`sgp_graph`], [`sgp_partition`],
+//! [`sgp_engine`], [`sgp_db`]) into the paper's tables and figures.
+//!
+//! * [`config`] — experiment scale knobs and the dataset registry
+//!   (synthetic stand-ins for Twitter, UK2007-05, USA-Road, LDBC SNB).
+//! * [`runners`] — suite runners producing typed result rows:
+//!   partitioning quality (Fig. 2 / Table 4), offline analytics
+//!   (Fig. 1/3/4/13), online queries (Table 5, Fig. 5/6/7/12/14/15) and
+//!   the workload-aware experiment (Fig. 8).
+//! * [`decision`] — the paper's §6.4 decision tree as an executable
+//!   artifact (Fig. 9).
+//! * [`scaleout`] — the §7 future-work scale-out-factor advisor.
+//! * [`report`] — plain-text table rendering and JSON export.
+//!
+//! The five sub-crates are re-exported so downstream users can depend on
+//! `sgp-core` alone.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod decision;
+pub mod report;
+pub mod runners;
+pub mod scaleout;
+
+pub use config::{Dataset, Scale};
+pub use decision::{recommend, OnlineObjective, Recommendation, WorkloadClass};
+pub use scaleout::{recommend_scale_out, ScaleOutReport};
+
+pub use sgp_db as db;
+pub use sgp_engine as engine;
+pub use sgp_graph as graph;
+pub use sgp_partition as partition;

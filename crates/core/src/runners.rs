@@ -1,0 +1,566 @@
+//! Suite runners: each function regenerates the measurements behind one
+//! family of tables/figures, returning typed rows the `experiments`
+//! binary renders.
+
+use crate::config::{Dataset, Scale};
+use serde::{Deserialize, Serialize};
+use sgp_db::workload::{run_workload, Skew};
+use sgp_db::{ClusterSim, LoadLevel, PartitionedStore, SimConfig, Workload, WorkloadKind};
+use sgp_engine::apps::{PageRank, Sssp, Wcc};
+use sgp_engine::cost::five_number_summary;
+use sgp_engine::{run_program, EngineOptions, Placement, RunReport};
+use sgp_graph::{Graph, StreamOrder};
+use sgp_partition::metis::MultilevelPartitioner;
+use sgp_partition::metrics::QualityReport;
+use sgp_partition::{partition, Algorithm, PartitionerConfig};
+
+/// Default stream order used by every experiment (a fixed seeded random
+/// permutation, the paper's loading protocol).
+pub fn default_order() -> StreamOrder {
+    StreamOrder::Random { seed: 0x51C9_2019 }
+}
+
+/// The paper's offline analytic workloads (§5.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OfflineWorkload {
+    /// PageRank, 20 fixed iterations, all-active.
+    PageRank,
+    /// Weakly connected components, activation-driven.
+    Wcc,
+    /// Single-source shortest path from the max-out-degree vertex.
+    Sssp,
+}
+
+impl OfflineWorkload {
+    /// All three workloads in the paper's order.
+    pub fn all() -> &'static [OfflineWorkload] {
+        &[OfflineWorkload::PageRank, OfflineWorkload::Wcc, OfflineWorkload::Sssp]
+    }
+
+    /// Short name as used in Fig. 3's panels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OfflineWorkload::PageRank => "PageRank",
+            OfflineWorkload::Wcc => "WCC",
+            OfflineWorkload::Sssp => "SSSP",
+        }
+    }
+}
+
+impl std::fmt::Display for OfflineWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+/// Runs one offline workload over a placement, discarding vertex data.
+pub fn run_offline_workload(
+    g: &Graph,
+    placement: &Placement,
+    workload: OfflineWorkload,
+    opts: &EngineOptions,
+) -> RunReport {
+    match workload {
+        OfflineWorkload::PageRank => run_program(g, placement, &PageRank::new(20), opts).1,
+        OfflineWorkload::Wcc => run_program(g, placement, &Wcc::new(), opts).1,
+        OfflineWorkload::Sssp => {
+            let source = g
+                .vertices()
+                .max_by_key(|&v| g.out_degree(v))
+                .expect("non-empty graph");
+            run_program(g, placement, &Sssp::new(source), opts).1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quality suite (Fig. 2, Table 4)
+// ---------------------------------------------------------------------------
+
+/// One partitioning-quality measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualityRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Number of partitions.
+    pub k: usize,
+    /// Structural quality metrics.
+    pub quality: QualityReport,
+    /// Wall-clock partitioning time on the host, seconds (the resource
+    /// comparison of §4.1.1: streaming beats METIS by ~10×).
+    pub partition_seconds: f64,
+}
+
+/// Measures partitioning quality for every (algorithm, k) combination on
+/// one graph.
+pub fn quality_suite(
+    dataset_name: &str,
+    g: &Graph,
+    algorithms: &[Algorithm],
+    ks: &[usize],
+) -> Vec<QualityRow> {
+    let mut rows = Vec::with_capacity(algorithms.len() * ks.len());
+    for &k in ks {
+        let cfg = PartitionerConfig::new(k);
+        for &alg in algorithms {
+            let start = std::time::Instant::now();
+            let p = partition(g, alg, &cfg, default_order());
+            let partition_seconds = start.elapsed().as_secs_f64();
+            rows.push(QualityRow {
+                dataset: dataset_name.to_string(),
+                algorithm: alg,
+                k,
+                quality: QualityReport::measure(g, &p),
+                partition_seconds,
+            });
+        }
+    }
+    rows
+}
+
+/// Convenience: generates the dataset and runs [`quality_suite`].
+pub fn quality_suite_for(
+    dataset: Dataset,
+    scale: Scale,
+    algorithms: &[Algorithm],
+    ks: &[usize],
+) -> Vec<QualityRow> {
+    let g = dataset.generate(scale);
+    quality_suite(dataset.name(), &g, algorithms, ks)
+}
+
+// ---------------------------------------------------------------------------
+// Offline analytics suite (Fig. 1, 3, 4, 13)
+// ---------------------------------------------------------------------------
+
+/// One offline-analytics measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfflineRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Workload.
+    pub workload: OfflineWorkload,
+    /// Number of machines.
+    pub k: usize,
+    /// Replication factor of the placement.
+    pub replication_factor: f64,
+    /// Total network bytes during execution (Fig. 1's y-axis).
+    pub network_bytes: u64,
+    /// Total messages during execution.
+    pub messages: u64,
+    /// Simulated execution time in seconds (Fig. 3's y-axis).
+    pub exec_seconds: f64,
+    /// Supersteps executed.
+    pub iterations: usize,
+    /// Per-machine compute-time five-number summary in seconds
+    /// (min, p25, median, p75, max — Fig. 4's lines).
+    pub compute_dist: [f64; 5],
+}
+
+/// Runs the offline grid: every (algorithm, workload, k) on one graph.
+pub fn offline_suite(
+    dataset_name: &str,
+    g: &Graph,
+    algorithms: &[Algorithm],
+    workloads: &[OfflineWorkload],
+    ks: &[usize],
+) -> Vec<OfflineRow> {
+    let opts = EngineOptions::default();
+    let mut rows = Vec::new();
+    for &k in ks {
+        let cfg = PartitionerConfig::new(k);
+        for &alg in algorithms {
+            let p = partition(g, alg, &cfg, default_order());
+            let placement = Placement::build(g, &p);
+            for &w in workloads {
+                let report = run_offline_workload(g, &placement, w, &opts);
+                rows.push(OfflineRow {
+                    dataset: dataset_name.to_string(),
+                    algorithm: alg,
+                    workload: w,
+                    k,
+                    replication_factor: report.replication_factor,
+                    network_bytes: report.total_network_bytes(),
+                    messages: report.total_messages(),
+                    exec_seconds: report.total_seconds(),
+                    iterations: report.num_iterations(),
+                    compute_dist: report.compute_time_distribution(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Online query suite (Table 4, 5; Fig. 5, 6, 7, 12, 14, 15)
+// ---------------------------------------------------------------------------
+
+/// One online-query measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm (edge-cut only; §5.2.2).
+    pub algorithm: Algorithm,
+    /// Query class.
+    pub workload: WorkloadKind,
+    /// Number of machines.
+    pub k: usize,
+    /// Clients per machine in this run.
+    pub clients_per_machine: usize,
+    /// Store-level edge-cut ratio (Table 4's metric).
+    pub edge_cut_ratio: f64,
+    /// Aggregate throughput, queries/second (Fig. 6/12/14).
+    pub throughput_qps: f64,
+    /// Mean latency, ms (Table 5).
+    pub mean_latency_ms: f64,
+    /// 99th-percentile latency, ms (Table 5).
+    pub p99_latency_ms: f64,
+    /// Total network bytes of one pass over the bindings (Fig. 5).
+    pub network_bytes: u64,
+    /// Per-machine vertex reads during the simulation (Fig. 7/15).
+    pub reads_per_machine: Vec<u64>,
+    /// Five-number summary of `reads_per_machine` (Fig. 7/15's lines).
+    pub reads_dist: [f64; 5],
+    /// Relative std-dev of the read distribution (Fig. 8's metric).
+    pub load_rsd: f64,
+}
+
+/// Parameters of an online run.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineRunConfig {
+    /// Query bindings generated (the paper uses 1000).
+    pub bindings: usize,
+    /// Start-vertex skew.
+    pub skew: Skew,
+    /// Queries per client in the simulation.
+    pub queries_per_client: usize,
+    /// Clients per machine.
+    pub clients_per_machine: usize,
+    /// Binding-generation seed.
+    pub seed: u64,
+}
+
+impl OnlineRunConfig {
+    /// Paper-like defaults at the given load level.
+    pub fn for_load(level: LoadLevel) -> Self {
+        OnlineRunConfig {
+            bindings: 1000,
+            skew: Skew::Zipf { theta: 0.6 },
+            queries_per_client: 40,
+            clients_per_machine: level.clients_per_machine(),
+            seed: 0x0_1A7,
+        }
+    }
+}
+
+/// Builds the store for an online experiment (edge-cut algorithms only).
+pub fn build_store(g: &Graph, alg: Algorithm, k: usize) -> PartitionedStore {
+    let cfg = PartitionerConfig::new(k);
+    let p = partition(g, alg, &cfg, default_order());
+    PartitionedStore::new(g.clone(), &p)
+}
+
+/// Runs one online measurement.
+pub fn online_run(
+    dataset_name: &str,
+    g: &Graph,
+    alg: Algorithm,
+    kind: WorkloadKind,
+    k: usize,
+    run_cfg: &OnlineRunConfig,
+) -> OnlineRow {
+    let store = build_store(g, alg, k);
+    online_run_on_store(dataset_name, &store, alg, kind, run_cfg)
+}
+
+/// Runs one online measurement against a pre-built store (used by the
+/// workload-aware experiment to install custom ownership maps).
+pub fn online_run_on_store(
+    dataset_name: &str,
+    store: &PartitionedStore,
+    alg: Algorithm,
+    kind: WorkloadKind,
+    run_cfg: &OnlineRunConfig,
+) -> OnlineRow {
+    let workload =
+        Workload::generate(store.graph(), kind, run_cfg.bindings, run_cfg.skew, run_cfg.seed);
+    let traces = run_workload(store, &workload, None);
+    let network_bytes: u64 = traces.iter().map(|t| t.network_bytes()).sum();
+    let sim = ClusterSim::from_traces(store.machines(), traces);
+    let sim_cfg = SimConfig {
+        clients_per_machine: run_cfg.clients_per_machine,
+        queries_per_client: run_cfg.queries_per_client,
+        ..Default::default()
+    };
+    let r = sim.run(&sim_cfg);
+    let mut sorted: Vec<f64> = r.reads_per_machine.iter().map(|&x| x as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    OnlineRow {
+        dataset: dataset_name.to_string(),
+        algorithm: alg,
+        workload: kind,
+        k: store.machines(),
+        clients_per_machine: run_cfg.clients_per_machine,
+        edge_cut_ratio: store.edge_cut_ratio(),
+        throughput_qps: r.throughput_qps,
+        mean_latency_ms: r.mean_latency_ms,
+        p99_latency_ms: r.p99_latency_ms,
+        network_bytes,
+        reads_dist: five_number_summary(&sorted),
+        load_rsd: r.load_rsd,
+        reads_per_machine: r.reads_per_machine,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload-aware repartitioning (Fig. 8)
+// ---------------------------------------------------------------------------
+
+/// Result of the Fig. 8 experiment: the named configuration, its
+/// throughput and its load RSD.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadAwareRow {
+    /// Configuration label (`ECR`, `LDG`, `FNL`, `MTS`, `MTS (W)`).
+    pub label: String,
+    /// Aggregate throughput, queries/second.
+    pub throughput_qps: f64,
+    /// Relative std-dev of per-machine reads.
+    pub load_rsd: f64,
+}
+
+/// Reproduces Fig. 8: runs the 1-hop workload over the online suite plus
+/// a weighted MTS partitioning computed from recorded access counts.
+pub fn workload_aware_suite(g: &Graph, k: usize, run_cfg: &OnlineRunConfig) -> Vec<WorkloadAwareRow> {
+    let mut rows = Vec::new();
+    for &alg in Algorithm::online_suite() {
+        let row = online_run("workload-aware", g, alg, WorkloadKind::OneHop, k, run_cfg);
+        rows.push(WorkloadAwareRow {
+            label: alg.short_name().to_string(),
+            throughput_qps: row.throughput_qps,
+            load_rsd: row.load_rsd,
+        });
+    }
+    // Record accesses under the baseline (MTS) partitioning, then
+    // repartition the weighted graph with the same multilevel code.
+    let baseline = build_store(g, Algorithm::Metis, k);
+    let workload =
+        Workload::generate(g, WorkloadKind::OneHop, run_cfg.bindings, run_cfg.skew, run_cfg.seed);
+    let recorder = sgp_db::AccessRecorder::new(g.num_vertices());
+    run_workload(&baseline, &workload, Some(&recorder));
+    let weights = recorder.vertex_weights();
+    let owner = MultilevelPartitioner::default().partition_weighted(g, k, Some(&weights));
+    let weighted_store = PartitionedStore::from_owner(g.clone(), k, owner);
+    let row = online_run_on_store(
+        "workload-aware",
+        &weighted_store,
+        Algorithm::Metis,
+        WorkloadKind::OneHop,
+        run_cfg,
+    );
+    rows.push(WorkloadAwareRow {
+        label: "MTS (W)".to_string(),
+        throughput_qps: row.throughput_qps,
+        load_rsd: row.load_rsd,
+    });
+    // Extension beyond the paper: the *streaming* workload-aware variant
+    // (attribute-balanced LDG, Appendix A) fed with the same recorded
+    // access counts — no offline repartitioning required.
+    let cfg = PartitionerConfig::new(k);
+    let mut aldg = sgp_partition::attribute::AttributeLdg::new(&cfg, weights);
+    let p = sgp_partition::edge_cut::run_vertex_stream(g, &mut aldg, k, default_order());
+    let streaming_store = PartitionedStore::new(g.clone(), &p);
+    let row = online_run_on_store(
+        "workload-aware",
+        &streaming_store,
+        Algorithm::Ldg,
+        WorkloadKind::OneHop,
+        run_cfg,
+    );
+    rows.push(WorkloadAwareRow {
+        label: "aLDG (W)".to_string(),
+        throughput_qps: row.throughput_qps,
+        load_rsd: row.load_rsd,
+    });
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 / Fig. 5 scatter series
+// ---------------------------------------------------------------------------
+
+/// One (cut-size, network I/O) scatter point, grouped by cut model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScatterPoint {
+    /// Cut-model label ("Edge-cut", "Vertex-cut", "Hybrid-cut").
+    pub series: String,
+    /// Algorithm behind the point.
+    pub algorithm: Algorithm,
+    /// Number of machines.
+    pub k: usize,
+    /// X value: replication factor (Fig. 1) or edge-cut ratio (Fig. 5).
+    pub x: f64,
+    /// Y value: total network bytes.
+    pub y_bytes: u64,
+}
+
+/// Fig. 1 data: RF vs total network I/O per workload per cut model.
+pub fn fig1_scatter(
+    g: &Graph,
+    workload: OfflineWorkload,
+    ks: &[usize],
+    algorithms: &[Algorithm],
+) -> Vec<ScatterPoint> {
+    let opts = EngineOptions::default();
+    let mut points = Vec::new();
+    for &k in ks {
+        let cfg = PartitionerConfig::new(k);
+        for &alg in algorithms {
+            let p = partition(g, alg, &cfg, default_order());
+            let placement = Placement::build(g, &p);
+            let report = run_offline_workload(g, &placement, workload, &opts);
+            points.push(ScatterPoint {
+                series: alg.info().model.to_string(),
+                algorithm: alg,
+                k,
+                x: report.replication_factor,
+                y_bytes: report.total_network_bytes(),
+            });
+        }
+    }
+    points
+}
+
+/// Least-squares slope through the origin for a scatter series — used to
+/// compare the per-cut-model slopes of Fig. 1.
+pub fn series_slope(points: &[ScatterPoint]) -> f64 {
+    let (mut num, mut den) = (0.0f64, 0.0f64);
+    for p in points {
+        // Slope vs mirrors (x − 1): a placement with RF = 1 moves nothing.
+        let x = (p.x - 1.0).max(0.0);
+        num += x * p.y_bytes as f64;
+        den += x * x;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Dataset, Scale};
+
+    fn tiny_graph(d: Dataset) -> Graph {
+        d.generate(Scale::Tiny)
+    }
+
+    #[test]
+    fn quality_suite_produces_full_grid() {
+        let g = tiny_graph(Dataset::LdbcSnb);
+        let rows =
+            quality_suite("test", &g, &[Algorithm::EcrHash, Algorithm::Ldg], &[2, 4]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.quality.replication_factor >= 1.0));
+        assert!(rows.iter().all(|r| r.partition_seconds >= 0.0));
+    }
+
+    #[test]
+    fn offline_suite_rows_are_consistent() {
+        let g = tiny_graph(Dataset::Twitter);
+        let rows = offline_suite(
+            "twitter",
+            &g,
+            &[Algorithm::EcrHash, Algorithm::Hdrf],
+            &[OfflineWorkload::PageRank],
+            &[4],
+        );
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.iterations, 20, "{:?}", r.algorithm);
+            assert!(r.exec_seconds > 0.0);
+            assert!(r.compute_dist[0] <= r.compute_dist[4]);
+        }
+    }
+
+    #[test]
+    fn sssp_row_has_fewer_messages_than_pagerank() {
+        // Fig. 1: PageRank is the communication-heaviest workload.
+        let g = tiny_graph(Dataset::Twitter);
+        let rows = offline_suite(
+            "twitter",
+            &g,
+            &[Algorithm::Hdrf],
+            &[OfflineWorkload::PageRank, OfflineWorkload::Sssp],
+            &[4],
+        );
+        let pr = &rows[0];
+        let sssp = &rows[1];
+        assert!(pr.network_bytes > sssp.network_bytes);
+    }
+
+    #[test]
+    fn online_run_produces_sane_row() {
+        let g = tiny_graph(Dataset::LdbcSnb);
+        let cfg = OnlineRunConfig {
+            bindings: 100,
+            queries_per_client: 10,
+            clients_per_machine: 4,
+            ..OnlineRunConfig::for_load(LoadLevel::Medium)
+        };
+        let row = online_run("snb", &g, Algorithm::EcrHash, WorkloadKind::OneHop, 4, &cfg);
+        assert!(row.throughput_qps > 0.0);
+        assert!(row.p99_latency_ms >= row.mean_latency_ms * 0.5);
+        assert_eq!(row.reads_per_machine.len(), 4);
+        assert!(row.edge_cut_ratio > 0.5, "hash ECR should be ~1-1/k");
+    }
+
+    #[test]
+    fn fig1_scatter_slopes_order_edge_cut_below_vertex_cut() {
+        let g = tiny_graph(Dataset::Twitter);
+        let points = fig1_scatter(
+            &g,
+            OfflineWorkload::PageRank,
+            &[4, 8],
+            &[Algorithm::EcrHash, Algorithm::Ldg, Algorithm::VcrHash, Algorithm::Hdrf],
+        );
+        let ec: Vec<ScatterPoint> =
+            points.iter().filter(|p| p.series == "edge-cut").cloned().collect();
+        let vc: Vec<ScatterPoint> =
+            points.iter().filter(|p| p.series == "vertex-cut").cloned().collect();
+        assert!(!ec.is_empty() && !vc.is_empty());
+        assert!(
+            series_slope(&ec) < series_slope(&vc),
+            "edge-cut slope must undercut vertex-cut for PageRank (Fig. 1a)"
+        );
+    }
+
+    #[test]
+    fn workload_aware_weighted_partition_balances_load() {
+        let g = tiny_graph(Dataset::LdbcSnb);
+        let cfg = OnlineRunConfig {
+            bindings: 200,
+            queries_per_client: 8,
+            clients_per_machine: 4,
+            skew: Skew::Zipf { theta: 1.1 },
+            ..OnlineRunConfig::for_load(LoadLevel::Medium)
+        };
+        let rows = workload_aware_suite(&g, 4, &cfg);
+        assert_eq!(rows.len(), 6);
+        let mts = rows.iter().find(|r| r.label == "MTS").expect("MTS row");
+        let weighted = rows.iter().find(|r| r.label == "MTS (W)").expect("weighted row");
+        assert!(
+            weighted.load_rsd <= mts.load_rsd + 0.05,
+            "weighted partitioning should balance load: {} vs {}",
+            weighted.load_rsd,
+            mts.load_rsd
+        );
+    }
+}

@@ -1,0 +1,660 @@
+//! Discrete-event simulation of the JanusGraph cluster serving
+//! closed-loop concurrent clients.
+//!
+//! The paper measures throughput and latency "under two different
+//! scenarios: (i) medium load [...] 12 concurrent clients per worker and
+//! the system is at high utilization, and (ii) high load [...] the
+//! number of concurrent clients is doubled and system is overloaded"
+//! (§6.3.2). This module reproduces that methodology:
+//!
+//! * each query's machine-level work comes from its real execution
+//!   trace ([`crate::query::QueryTrace`]): per communication round, each
+//!   touched machine performs `overhead + reads·read_cost` of service;
+//! * every machine is a multi-core FIFO server; rounds are scatter/gather
+//!   barriers (a round ends when its slowest sub-request finishes);
+//! * clients are closed-loop: each issues its next query the moment the
+//!   previous one completes.
+//!
+//! Load imbalance — the paper's central online finding — emerges
+//! naturally: a machine owning hot vertices accumulates queue, inflating
+//! tail latency (Table 5) and capping aggregate throughput (Fig. 6).
+
+use crate::query::QueryTrace;
+use crate::store::PartitionedStore;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// The paper's two load scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadLevel {
+    /// 12 concurrent clients per worker machine — "high utilization".
+    Medium,
+    /// 24 concurrent clients per worker machine — "overloaded".
+    High,
+}
+
+impl LoadLevel {
+    /// Concurrent closed-loop clients per machine.
+    pub fn clients_per_machine(self) -> usize {
+        match self {
+            LoadLevel::Medium => 12,
+            LoadLevel::High => 24,
+        }
+    }
+}
+
+impl std::fmt::Display for LoadLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(match self {
+            LoadLevel::Medium => "medium",
+            LoadLevel::High => "high",
+        })
+    }
+}
+
+/// Simulation parameters (defaults approximate the paper's 12-core
+/// workers; only relative results matter).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Closed-loop clients per machine.
+    pub clients_per_machine: usize,
+    /// Cores per machine (parallel servers).
+    pub cores_per_machine: usize,
+    /// Service nanoseconds per vertex read.
+    pub read_service_ns: f64,
+    /// Fixed service nanoseconds per sub-request (RPC handling,
+    /// deserialization).
+    pub request_overhead_ns: f64,
+    /// One-way network latency for a remote sub-request, nanoseconds.
+    pub half_rtt_ns: f64,
+    /// Coordinator-side cost per *remote* sub-request in a round
+    /// (request serialization + response merging), nanoseconds. This is
+    /// what makes wide scatter-gather fan-outs expensive and reproduces
+    /// the paper's Fig. 12 degradation past 16 machines.
+    pub fanout_ns: f64,
+    /// Maximum cores a single multi-get sub-request fans out over on its
+    /// machine (storage engines parallelize batch reads; 1 = serial).
+    pub intra_request_parallelism: usize,
+    /// Extra service nanoseconds per *remote* read on top of
+    /// [`SimConfig::read_service_ns`] (wire serialization on both ends,
+    /// kernel crossings) — what makes cut edges expensive.
+    pub remote_read_extra_ns: f64,
+    /// Queries each client completes (simulation length).
+    pub queries_per_client: usize,
+    /// Fraction of completions discarded as warm-up ("measurements after
+    /// caches are warmed up", §5.2.3).
+    pub warmup_fraction: f64,
+}
+
+impl SimConfig {
+    /// Configuration for one of the paper's load levels.
+    pub fn for_load(level: LoadLevel) -> Self {
+        SimConfig { clients_per_machine: level.clients_per_machine(), ..Default::default() }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            clients_per_machine: 12,
+            cores_per_machine: 8,
+            // Vertex reads dominate service time (Cassandra read path:
+            // row lookup + deserialization), as in the paper's clusters.
+            read_service_ns: 120_000.0,    // 120 µs per vertex read
+            request_overhead_ns: 60_000.0, // 60 µs per RPC
+            half_rtt_ns: 250_000.0,        // 0.5 ms round trip
+            fanout_ns: 30_000.0,           // 30 µs per remote sub-request
+            intra_request_parallelism: 8,
+            remote_read_extra_ns: 60_000.0, // 60 µs per remote read
+            queries_per_client: 60,
+            warmup_fraction: 0.2,
+        }
+    }
+}
+
+/// Results of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Aggregate throughput, queries per second (post-warm-up).
+    pub throughput_qps: f64,
+    /// Mean latency, milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median latency, milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile latency, milliseconds (Table 5's tail metric).
+    pub p99_latency_ms: f64,
+    /// Maximum observed latency, milliseconds.
+    pub max_latency_ms: f64,
+    /// Completed queries counted in the stats.
+    pub completed: usize,
+    /// Vertices read per machine (post-warm-up) — Fig. 7/15's quantity.
+    pub reads_per_machine: Vec<u64>,
+    /// Relative standard deviation of `reads_per_machine` — Fig. 8's
+    /// load-balance metric.
+    pub load_rsd: f64,
+    /// Total simulated wall-clock seconds.
+    pub sim_seconds: f64,
+}
+
+/// A prepared simulation: query traces are collected once and replayed
+/// under any [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    machines: usize,
+    traces: Vec<QueryTrace>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A client becomes ready to issue its next query.
+    Issue { client: u32 },
+    /// A sub-request arrives at a machine's queue.
+    SubArrive { query: u32, machine: u32, service_ns: u64 },
+    /// A machine core finishes a sub-request of `query`.
+    SubDone { query: u32, machine: u32 },
+}
+
+struct Machine {
+    cores: usize,
+    busy: usize,
+    fifo: VecDeque<(u32, u64)>, // (query, service_ns)
+}
+
+struct ActiveQuery {
+    trace_idx: u32,
+    client: u32,
+    round: usize,
+    pending: u32,
+    round_has_remote: bool,
+    start_ns: u64,
+}
+
+impl ClusterSim {
+    /// Executes every binding of `workload` once against `store` to
+    /// collect traces (this is also where an
+    /// [`crate::workload::AccessRecorder`] would hook in).
+    pub fn prepare(store: &PartitionedStore, workload: &Workload) -> Self {
+        let traces = crate::workload::run_workload(store, workload, None);
+        ClusterSim { machines: store.machines(), traces }
+    }
+
+    /// Builds a simulation from pre-collected traces.
+    pub fn from_traces(machines: usize, traces: Vec<QueryTrace>) -> Self {
+        assert!(!traces.is_empty(), "need at least one trace");
+        ClusterSim { machines, traces }
+    }
+
+    /// Number of machines in the simulated cluster.
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Runs the discrete-event simulation.
+    pub fn run(&self, cfg: &SimConfig) -> SimReport {
+        assert!(cfg.clients_per_machine > 0 && cfg.queries_per_client > 0);
+        let k = self.machines;
+        let clients = cfg.clients_per_machine * k;
+        let total_queries = clients * cfg.queries_per_client;
+        let warmup = (total_queries as f64 * cfg.warmup_fraction) as usize;
+
+        let mut machines: Vec<Machine> = (0..k)
+            .map(|_| Machine { cores: cfg.cores_per_machine, busy: 0, fifo: VecDeque::new() })
+            .collect();
+        let mut events: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+                        seq: &mut u64,
+                        t: u64,
+                        e: Event| {
+            *seq += 1;
+            events.push(Reverse((t, *seq, e)));
+        };
+
+        // Stagger client starts over one overhead period to avoid a
+        // thundering herd at t=0.
+        for c in 0..clients as u32 {
+            let jitter = (c as u64 * 1_000) % (cfg.request_overhead_ns as u64 + 1);
+            push(&mut events, &mut seq, jitter, Event::Issue { client: c });
+        }
+
+        let mut active: Vec<ActiveQuery> = Vec::new();
+        let mut free_slots: Vec<u32> = Vec::new();
+        let mut next_binding = 0usize; // global cursor over the bindings
+        let mut issued = 0usize;
+        let mut completed = 0usize;
+        let mut latencies_ns: Vec<u64> = Vec::with_capacity(total_queries);
+        let mut reads_per_machine = vec![0u64; k];
+        let mut warmup_end_ns = 0u64;
+        let mut last_completion_ns = 0u64;
+
+        while let Some(Reverse((now, _, event))) = events.pop() {
+            match event {
+                Event::Issue { client } => {
+                    if issued >= total_queries {
+                        continue;
+                    }
+                    issued += 1;
+                    let trace_idx = (next_binding % self.traces.len()) as u32;
+                    next_binding += 1;
+                    let slot = match free_slots.pop() {
+                        Some(s) => s,
+                        None => {
+                            active.push(ActiveQuery {
+                                trace_idx: 0,
+                                client: 0,
+                                round: 0,
+                                pending: 0,
+                                round_has_remote: false,
+                                start_ns: 0,
+                            });
+                            (active.len() - 1) as u32
+                        }
+                    };
+                    let q = &mut active[slot as usize];
+                    q.trace_idx = trace_idx;
+                    q.client = client;
+                    q.round = 0;
+                    q.pending = 0;
+                    q.round_has_remote = false;
+                    q.start_ns = now;
+                    self.dispatch_round(slot, now, cfg, &mut active, &mut events, &mut seq);
+                    // If the query had no rounds at all (degenerate), it
+                    // completes instantly.
+                    if active[slot as usize].pending == 0 {
+                        complete_query(
+                            slot,
+                            now,
+                            cfg,
+                            &mut active,
+                            &mut free_slots,
+                            &mut events,
+                            &mut seq,
+                            &mut completed,
+                            warmup,
+                            &mut warmup_end_ns,
+                            &mut last_completion_ns,
+                            &mut latencies_ns,
+                            &mut reads_per_machine,
+                            &self.traces,
+                            k,
+                        );
+                    }
+                }
+                Event::SubArrive { query, machine, service_ns } => {
+                    let m = &mut machines[machine as usize];
+                    if m.busy < m.cores {
+                        m.busy += 1;
+                        push(&mut events, &mut seq, now + service_ns, Event::SubDone { query, machine });
+                    } else {
+                        m.fifo.push_back((query, service_ns));
+                    }
+                }
+                Event::SubDone { query, machine } => {
+                    // Free the core, admit the next queued sub-request.
+                    let m = &mut machines[machine as usize];
+                    m.busy -= 1;
+                    if let Some((next_q, service)) = m.fifo.pop_front() {
+                        m.busy += 1;
+                        push(&mut events, &mut seq, now + service, Event::SubDone {
+                            query: next_q,
+                            machine,
+                        });
+                    }
+                    // Advance the owning query.
+                    let slot = query;
+                    let q = &mut active[slot as usize];
+                    q.pending -= 1;
+                    if q.pending > 0 {
+                        continue;
+                    }
+                    let reply_delay = if q.round_has_remote { cfg.half_rtt_ns as u64 } else { 0 };
+                    let round_end = now + reply_delay;
+                    q.round += 1;
+                    let trace = &self.traces[q.trace_idx as usize];
+                    if q.round < trace.rounds.len() {
+                        self.dispatch_round(
+                            slot,
+                            round_end,
+                            cfg,
+                            &mut active,
+                            &mut events,
+                            &mut seq,
+                        );
+                        if active[slot as usize].pending == 0 {
+                            // Empty round (all-zero reads): treat as done.
+                            complete_query(
+                                slot, round_end, cfg, &mut active, &mut free_slots,
+                                &mut events, &mut seq, &mut completed, warmup,
+                                &mut warmup_end_ns, &mut last_completion_ns,
+                                &mut latencies_ns, &mut reads_per_machine, &self.traces, k,
+                            );
+                        }
+                    } else {
+                        complete_query(
+                            slot, round_end, cfg, &mut active, &mut free_slots,
+                            &mut events, &mut seq, &mut completed, warmup,
+                            &mut warmup_end_ns, &mut last_completion_ns,
+                            &mut latencies_ns, &mut reads_per_machine, &self.traces, k,
+                        );
+                    }
+                }
+            }
+            if completed >= total_queries {
+                break;
+            }
+        }
+
+        latencies_ns.sort_unstable();
+        let measured = latencies_ns.len().max(1) as f64;
+        let mean_ns = latencies_ns.iter().sum::<u64>() as f64 / measured;
+        let pct = |p: f64| -> f64 {
+            if latencies_ns.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies_ns.len() - 1) as f64 * p).round() as usize;
+            latencies_ns[idx] as f64
+        };
+        let window_ns = last_completion_ns.saturating_sub(warmup_end_ns).max(1);
+        let counted = completed.saturating_sub(warmup);
+        let load_rsd = rsd(&reads_per_machine);
+        SimReport {
+            throughput_qps: counted as f64 / (window_ns as f64 / 1e9),
+            mean_latency_ms: mean_ns / 1e6,
+            p50_latency_ms: pct(0.50) / 1e6,
+            p99_latency_ms: pct(0.99) / 1e6,
+            max_latency_ms: latencies_ns.last().map(|&l| l as f64 / 1e6).unwrap_or(0.0),
+            completed: counted,
+            reads_per_machine,
+            load_rsd,
+            sim_seconds: last_completion_ns as f64 / 1e9,
+        }
+    }
+
+    /// Issues the current round's sub-requests of query slot `slot` at
+    /// time `t`.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_round(
+        &self,
+        slot: u32,
+        t: u64,
+        cfg: &SimConfig,
+        active: &mut [ActiveQuery],
+        events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+        seq: &mut u64,
+    ) {
+        let q = &mut active[slot as usize];
+        let trace = &self.traces[q.trace_idx as usize];
+        let coordinator = trace.coordinator;
+        let mut pending = 0u32;
+        let mut has_remote = false;
+        // Skip over all-empty rounds.
+        while q.round < trace.rounds.len() {
+            let round = &trace.rounds[q.round];
+            let mut remote_fanout = 0u32;
+            for (m, &reads) in round.reads.iter().enumerate() {
+                if reads == 0 {
+                    continue;
+                }
+                let remote = m as u32 != coordinator;
+                has_remote |= remote;
+                if remote {
+                    remote_fanout += 1;
+                }
+                let delay = if remote { cfg.half_rtt_ns as u64 } else { 0 };
+                // A batch read parallelizes over up to
+                // `intra_request_parallelism` cores of the target
+                // machine; the RPC overhead is paid once, on the first
+                // share.
+                let shares = (reads as usize).min(cfg.intra_request_parallelism.max(1)) as u32;
+                let per_share = reads / shares;
+                let mut remainder = reads % shares;
+                for share in 0..shares {
+                    let mut share_reads = per_share;
+                    if remainder > 0 {
+                        share_reads += 1;
+                        remainder -= 1;
+                    }
+                    let per_read = cfg.read_service_ns
+                        + if remote { cfg.remote_read_extra_ns } else { 0.0 };
+                    let mut service = (share_reads as f64 * per_read) as u64;
+                    if share == 0 {
+                        service += cfg.request_overhead_ns as u64;
+                    }
+                    pending += 1;
+                    *seq += 1;
+                    events.push(Reverse((
+                        t + delay,
+                        *seq,
+                        Event::SubArrive { query: slot, machine: m as u32, service_ns: service },
+                    )));
+                }
+            }
+            // Scatter-gather fan-out: the coordinator serializes every
+            // remote request and merges every remote response.
+            if remote_fanout > 0 {
+                pending += 1;
+                let service = (cfg.fanout_ns * remote_fanout as f64) as u64;
+                *seq += 1;
+                events.push(Reverse((
+                    t,
+                    *seq,
+                    Event::SubArrive { query: slot, machine: coordinator, service_ns: service },
+                )));
+            }
+            if pending > 0 {
+                break;
+            }
+            q.round += 1;
+        }
+        q.pending = pending;
+        q.round_has_remote = has_remote;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complete_query(
+    slot: u32,
+    now: u64,
+    _cfg: &SimConfig,
+    active: &mut [ActiveQuery],
+    free_slots: &mut Vec<u32>,
+    events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+    seq: &mut u64,
+    completed: &mut usize,
+    warmup: usize,
+    warmup_end_ns: &mut u64,
+    last_completion_ns: &mut u64,
+    latencies_ns: &mut Vec<u64>,
+    reads_per_machine: &mut [u64],
+    traces: &[QueryTrace],
+    _k: usize,
+) {
+    let q = &active[slot as usize];
+    *completed += 1;
+    *last_completion_ns = now;
+    if *completed == warmup {
+        *warmup_end_ns = now;
+    }
+    if *completed > warmup {
+        latencies_ns.push(now - q.start_ns);
+        let trace = &traces[q.trace_idx as usize];
+        for r in &trace.rounds {
+            for (m, &c) in r.reads.iter().enumerate() {
+                reads_per_machine[m] += c as u64;
+            }
+        }
+    }
+    let client = q.client;
+    free_slots.push(slot);
+    *seq += 1;
+    events.push(Reverse((now, *seq, Event::Issue { client })));
+}
+
+/// Relative standard deviation of per-machine loads.
+fn rsd(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{QueryResult, RoundTrace};
+    use crate::workload::{Skew, Workload, WorkloadKind};
+    use sgp_graph::generators::{snb_social, SnbConfig};
+    use sgp_graph::StreamOrder;
+    use sgp_partition::{partition, Algorithm, PartitionerConfig};
+
+    fn store(k: usize, alg: Algorithm) -> PartitionedStore {
+        let g = snb_social(SnbConfig {
+            persons: 1500,
+            communities: 20,
+            avg_friends: 10.0,
+            ..SnbConfig::default()
+        });
+        let cfg = PartitionerConfig::new(k);
+        let p = partition(&g, alg, &cfg, StreamOrder::Random { seed: 4 });
+        PartitionedStore::new(g, &p)
+    }
+
+    fn quick_cfg(clients: usize) -> SimConfig {
+        SimConfig { clients_per_machine: clients, queries_per_client: 25, ..Default::default() }
+    }
+
+    #[test]
+    fn simulation_completes_all_queries() {
+        let s = store(4, Algorithm::EcrHash);
+        let w = Workload::generate(s.graph(), WorkloadKind::OneHop, 200, Skew::Uniform, 1);
+        let sim = ClusterSim::prepare(&s, &w);
+        let cfg = quick_cfg(4);
+        let r = sim.run(&cfg);
+        let total = cfg.clients_per_machine * 4 * cfg.queries_per_client;
+        let warmup = (total as f64 * cfg.warmup_fraction) as usize;
+        assert_eq!(r.completed, total - warmup);
+        assert!(r.throughput_qps > 0.0);
+        assert!(r.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let s = store(4, Algorithm::EcrHash);
+        let w = Workload::generate(s.graph(), WorkloadKind::OneHop, 200, Skew::Uniform, 2);
+        let sim = ClusterSim::prepare(&s, &w);
+        let r = sim.run(&quick_cfg(8));
+        assert!(r.p50_latency_ms <= r.p99_latency_ms);
+        assert!(r.p99_latency_ms <= r.max_latency_ms);
+        assert!(r.p50_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn higher_load_raises_latency() {
+        let s = store(4, Algorithm::EcrHash);
+        let w = Workload::generate(s.graph(), WorkloadKind::OneHop, 400, Skew::Uniform, 3);
+        let sim = ClusterSim::prepare(&s, &w);
+        let medium = sim.run(&quick_cfg(LoadLevel::Medium.clients_per_machine()));
+        let high = sim.run(&quick_cfg(LoadLevel::High.clients_per_machine()));
+        assert!(
+            high.mean_latency_ms > medium.mean_latency_ms,
+            "overload must raise latency: {} vs {}",
+            high.mean_latency_ms,
+            medium.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let s = store(2, Algorithm::EcrHash);
+        let w = Workload::generate(s.graph(), WorkloadKind::OneHop, 100, Skew::Uniform, 5);
+        let sim = ClusterSim::prepare(&s, &w);
+        let a = sim.run(&quick_cfg(4));
+        let b = sim.run(&quick_cfg(4));
+        assert_eq!(a.completed, b.completed);
+        assert!((a.throughput_qps - b.throughput_qps).abs() < 1e-9);
+        assert!((a.p99_latency_ms - b.p99_latency_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_workload_imbalances_reads() {
+        let s = store(8, Algorithm::Fennel);
+        let uniform = Workload::generate(s.graph(), WorkloadKind::OneHop, 500, Skew::Uniform, 6);
+        let skewed =
+            Workload::generate(s.graph(), WorkloadKind::OneHop, 500, Skew::Zipf { theta: 1.1 }, 6);
+        let ru = ClusterSim::prepare(&s, &uniform).run(&quick_cfg(4));
+        let rs = ClusterSim::prepare(&s, &skewed).run(&quick_cfg(4));
+        assert!(
+            rs.load_rsd > ru.load_rsd,
+            "Zipf workload should imbalance reads: {} vs {}",
+            rs.load_rsd,
+            ru.load_rsd
+        );
+    }
+
+    #[test]
+    fn synthetic_single_round_trace() {
+        // One query, one machine, fixed service: latency must equal
+        // overhead + one read.
+        let trace = QueryTrace {
+            coordinator: 0,
+            rounds: vec![RoundTrace { reads: vec![1] }],
+            result: QueryResult::Vertices(vec![]),
+        };
+        let sim = ClusterSim::from_traces(1, vec![trace]);
+        let cfg = SimConfig {
+            clients_per_machine: 1,
+            cores_per_machine: 1,
+            queries_per_client: 10,
+            warmup_fraction: 0.0,
+            ..Default::default()
+        };
+        let r = sim.run(&cfg);
+        let expected_ms = (cfg.request_overhead_ns + cfg.read_service_ns) / 1e6;
+        assert!(
+            (r.mean_latency_ms - expected_ms).abs() < 1e-6,
+            "latency {} expected {expected_ms}",
+            r.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn queueing_kicks_in_with_one_core() {
+        // Two clients, one single-core machine: second query waits.
+        let trace = QueryTrace {
+            coordinator: 0,
+            rounds: vec![RoundTrace { reads: vec![4] }],
+            result: QueryResult::Vertices(vec![]),
+        };
+        let sim = ClusterSim::from_traces(1, vec![trace]);
+        let base = SimConfig {
+            clients_per_machine: 1,
+            cores_per_machine: 1,
+            queries_per_client: 20,
+            warmup_fraction: 0.1,
+            ..Default::default()
+        };
+        let solo = sim.run(&base);
+        let crowded = sim.run(&SimConfig { clients_per_machine: 4, ..base });
+        assert!(
+            crowded.mean_latency_ms > 1.9 * solo.mean_latency_ms,
+            "4 clients on 1 core must queue: {} vs {}",
+            crowded.mean_latency_ms,
+            solo.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn rsd_of_balanced_loads_is_zero() {
+        assert!(rsd(&[10, 10, 10]) < 1e-12);
+        assert!(rsd(&[20, 0]) > 0.9);
+        assert_eq!(rsd(&[]), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! The sharded adjacency store and partitioning-aware query router.
+
+use serde::{Deserialize, Serialize};
+use sgp_graph::{Graph, VertexId};
+use sgp_partition::{PartitionId, Partitioning};
+
+/// A distributed graph store: the full adjacency structure plus the
+/// vertex-ownership map that shards it over `k` machines.
+///
+/// Mirrors JanusGraph-on-Cassandra as configured in the paper's
+/// Appendix C: "adjacency list representation", one storage shard
+/// co-located with each query-execution instance, placement controlled
+/// by a Byte Ordered Partitioner so arbitrary edge-cut partitionings can
+/// be installed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionedStore {
+    graph: Graph,
+    owner: Vec<PartitionId>,
+    k: usize,
+}
+
+impl PartitionedStore {
+    /// Builds a store from an edge-cut partitioning.
+    ///
+    /// # Panics
+    /// Panics if `p` carries no vertex ownership (vertex-cut placements
+    /// cannot back an adjacency-list store — §5.2.2 of the paper).
+    pub fn new(graph: Graph, p: &Partitioning) -> Self {
+        let owner = p
+            .vertex_owner
+            .clone()
+            .expect("graph database requires a vertex-disjoint (edge-cut) partitioning");
+        assert_eq!(owner.len(), graph.num_vertices());
+        PartitionedStore { graph, owner, k: p.k }
+    }
+
+    /// Builds a store directly from an ownership map (used by the
+    /// workload-aware repartitioning path).
+    pub fn from_owner(graph: Graph, k: usize, owner: Vec<PartitionId>) -> Self {
+        assert_eq!(owner.len(), graph.num_vertices());
+        assert!(owner.iter().all(|&p| (p as usize) < k));
+        PartitionedStore { graph, owner, k }
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.k
+    }
+
+    /// The stored graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The ownership map.
+    pub fn owner_map(&self) -> &[PartitionId] {
+        &self.owner
+    }
+
+    /// The partitioning-aware router (Appendix C): the machine a client
+    /// query for start vertex `v` is forwarded to.
+    #[inline]
+    pub fn route(&self, v: VertexId) -> PartitionId {
+        self.owner[v as usize]
+    }
+
+    /// Undirected neighbourhood of `v` — what a JanusGraph `both()`
+    /// traversal step reads from the adjacency shard.
+    pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut n: Vec<VertexId> = self.graph.undirected_neighbors(v).collect();
+        n.sort_unstable();
+        n.dedup();
+        n
+    }
+
+    /// Vertices stored per machine.
+    pub fn vertices_per_machine(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.k];
+        for &p in &self.owner {
+            counts[p as usize] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of edges whose endpoints live on different machines —
+    /// the store-level edge-cut ratio driving remote reads.
+    pub fn edge_cut_ratio(&self) -> f64 {
+        sgp_partition::metrics::edge_cut_ratio_from_owner(&self.graph, &self.owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgp_graph::GraphBuilder;
+
+    fn store() -> PartitionedStore {
+        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).build();
+        let p = Partitioning::from_vertex_owners(&g, 2, vec![0, 1, 0]);
+        PartitionedStore::new(g, &p)
+    }
+
+    #[test]
+    fn router_follows_ownership() {
+        let s = store();
+        assert_eq!(s.route(0), 0);
+        assert_eq!(s.route(1), 1);
+        assert_eq!(s.route(2), 0);
+    }
+
+    #[test]
+    fn neighbors_are_undirected_and_deduped() {
+        let s = store();
+        assert_eq!(s.neighbors(0), vec![1, 2]);
+        assert_eq!(s.neighbors(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn vertices_per_machine_counts() {
+        let s = store();
+        assert_eq!(s.vertices_per_machine(), vec![2, 1]);
+    }
+
+    #[test]
+    fn edge_cut_ratio_exposed() {
+        let s = store();
+        // Edges: (0,1) cut, (1,2) cut, (2,0) local → 2/3.
+        assert!((s.edge_cut_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex-disjoint")]
+    fn vertex_cut_rejected() {
+        let g = GraphBuilder::new().add_edge(0, 1).build();
+        let p = Partitioning::from_edge_parts(&g, 2, vec![0]);
+        PartitionedStore::new(g, &p);
+    }
+}

@@ -1,0 +1,11 @@
+//! The paper's three offline analytic workloads (§5.1.3) as GAS vertex
+//! programs: PageRank, Weakly Connected Components, and Single-Source
+//! Shortest Path.
+
+mod pagerank;
+mod sssp;
+mod wcc;
+
+pub use pagerank::{PageRank, DAMPING};
+pub use sssp::{Sssp, UNREACHABLE};
+pub use wcc::Wcc;

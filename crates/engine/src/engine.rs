@@ -1,0 +1,427 @@
+//! The synchronous GAS engine.
+//!
+//! Executes a [`VertexProgram`] over a [`Placement`] in supersteps,
+//! producing both the **real computation result** and a full
+//! communication/compute [`RunReport`]. See the crate docs for the
+//! message-accounting semantics; the short version per iteration:
+//!
+//! 1. **Gather** — each machine scans its local edges; edges incident to
+//!    an active vertex in the gather direction contribute to that
+//!    vertex's accumulator. With sender-side aggregation, each machine
+//!    sends *one* partial per (active vertex, machine) pair; without it
+//!    (the ablation of Fig. 10(a) vs 10(b)) one message per remote edge.
+//! 2. **Apply** — the master merges the partials and computes the new
+//!    value; one apply op of compute.
+//! 3. **Update/Scatter** — if the value changed (or it is the seeding
+//!    iteration for the initial frontier), the master pushes the new
+//!    value to every mirror that future gathers will read it from, and
+//!    activates scatter-direction neighbours.
+
+use crate::cost::{CostModel, IterationStats, RunReport};
+use crate::placement::Placement;
+use crate::program::VertexProgram;
+use crate::wire::encoded_len;
+use sgp_graph::Graph;
+
+/// Engine execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Sender-side aggregation (on by default; §2 and Appendix B call it
+    /// "a common optimization technique for reducing network overhead").
+    pub sender_side_aggregation: bool,
+    /// The simulated-hardware cost model.
+    pub cost: CostModel,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { sender_side_aggregation: true, cost: CostModel::default() }
+    }
+}
+
+/// Runs `prog` to completion; returns the final vertex data and the run
+/// report.
+pub fn run_program<P: VertexProgram>(
+    g: &Graph,
+    placement: &Placement,
+    prog: &P,
+    opts: &EngineOptions,
+) -> (Vec<P::VertexData>, RunReport) {
+    let n = g.num_vertices();
+    let k = placement.k;
+    assert_eq!(placement.num_vertices(), n, "placement does not match graph");
+
+    let mut data: Vec<P::VertexData> = g.vertices().map(|v| prog.init(v, g)).collect();
+    let mut active = vec![false; n];
+    let mut seeded = vec![false; n]; // active for the first time this run
+    match prog.initial_frontier(g) {
+        Some(frontier) => {
+            for v in frontier {
+                active[v as usize] = true;
+                seeded[v as usize] = true;
+            }
+        }
+        None => {
+            active.fill(true);
+            seeded.fill(true);
+        }
+    }
+
+    let gather_dir = prog.gather_direction();
+    let scatter_dir = prog.scatter_direction();
+    let (g_in, g_out) = (gather_dir.uses_in(), gather_dir.uses_out());
+
+    let mut iterations: Vec<IterationStats> = Vec::new();
+    let mut machine_total_ns = vec![0.0f64; k];
+    let mut total_wall_ns = 0.0f64;
+    let mut parts_buf: Vec<u32> = Vec::with_capacity(k);
+
+    for iteration in 0..prog.max_iterations() {
+        let active_count = active.iter().filter(|&&a| a).count();
+        if active_count == 0 {
+            break;
+        }
+
+        let mut compute_ns = vec![0.0f64; k];
+        let mut sent_bytes = vec![0u64; k];
+        let mut recv_bytes = vec![0u64; k];
+        let mut gather_messages = 0u64;
+        let mut update_messages = 0u64;
+
+        // ---- Gather phase -------------------------------------------------
+        let mut acc: Vec<Option<P::Gather>> = vec![None; n];
+        for (machine, edges) in placement.local_edges.iter().enumerate() {
+            for e in edges {
+                // Edge (u, v): contributes to v when gathering over IN,
+                // to u when gathering over OUT.
+                if g_in && active[e.dst as usize] {
+                    let contrib = prog.gather_edge(g, e.dst, e.src, &data[e.src as usize]);
+                    merge_into(prog, &mut acc[e.dst as usize], contrib);
+                    compute_ns[machine] += opts.cost.ns_per_edge_op;
+                    if !opts.sender_side_aggregation {
+                        let master = placement.masters[e.dst as usize] as usize;
+                        if master != machine {
+                            gather_messages += 1;
+                            let len = encoded_len(P::GATHER_BYTES) as u64;
+                            sent_bytes[machine] += len;
+                            recv_bytes[master] += len;
+                        }
+                    }
+                }
+                if g_out && active[e.src as usize] {
+                    let contrib = prog.gather_edge(g, e.src, e.dst, &data[e.dst as usize]);
+                    merge_into(prog, &mut acc[e.src as usize], contrib);
+                    compute_ns[machine] += opts.cost.ns_per_edge_op;
+                    if !opts.sender_side_aggregation {
+                        let master = placement.masters[e.src as usize] as usize;
+                        if master != machine {
+                            gather_messages += 1;
+                            let len = encoded_len(P::GATHER_BYTES) as u64;
+                            sent_bytes[machine] += len;
+                            recv_bytes[master] += len;
+                        }
+                    }
+                }
+            }
+        }
+        // Aggregated gather partials: one per (active vertex, mirror
+        // machine holding gather edges).
+        if opts.sender_side_aggregation {
+            for v in 0..n {
+                if !active[v] {
+                    continue;
+                }
+                placement.gather_partial_parts_into(v as u32, g_in, g_out, &mut parts_buf);
+                for &machine in parts_buf.iter() {
+                    gather_messages += 1;
+                    let len = encoded_len(P::GATHER_BYTES) as u64;
+                    sent_bytes[machine as usize] += len;
+                    recv_bytes[placement.masters[v] as usize] += len;
+                }
+            }
+        }
+
+        // ---- Apply phase --------------------------------------------------
+        let mut changed = vec![false; n];
+        for v in 0..n {
+            if !active[v] {
+                continue;
+            }
+            let master = placement.masters[v] as usize;
+            compute_ns[master] += opts.cost.ns_per_apply;
+            let total = acc[v].take().unwrap_or_else(|| prog.gather_identity());
+            let new = prog.apply(g, v as u32, &data[v], total, iteration);
+            if new != data[v] {
+                changed[v] = true;
+                data[v] = new;
+            } else if seeded[v] && iteration == 0 {
+                // Seeding rule: the initial frontier propagates even when
+                // apply leaves the value unchanged (e.g. the SSSP source
+                // keeps distance 0 but must still announce it).
+                changed[v] = true;
+            }
+        }
+
+        // ---- Update / scatter phase ---------------------------------------
+        let mut next_active = vec![false; n];
+        #[allow(clippy::needless_range_loop)] // v indexes four parallel arrays
+        for v in 0..n {
+            if !changed[v] {
+                continue;
+            }
+            // Vertex-data updates to mirrors that future gathers read.
+            placement.update_target_parts_into(v as u32, g_in, g_out, &mut parts_buf);
+            let master = placement.masters[v] as usize;
+            for &machine in parts_buf.iter() {
+                update_messages += 1;
+                let len = encoded_len(P::DATA_BYTES) as u64;
+                sent_bytes[master] += len;
+                recv_bytes[machine as usize] += len;
+            }
+            // Activation along the scatter direction; the scatter edge
+            // work executes on the machine storing each edge.
+            if prog.activates_on_change() {
+                if scatter_dir.uses_out() {
+                    let range = g.out_edge_range(v as u32);
+                    for (idx, &w) in range.clone().zip(g.out_neighbors(v as u32)) {
+                        next_active[w as usize] = true;
+                        compute_ns[placement.edge_parts[idx] as usize] +=
+                            opts.cost.ns_per_edge_op;
+                    }
+                }
+                if scatter_dir.uses_in() {
+                    for &w in g.in_neighbors(v as u32) {
+                        next_active[w as usize] = true;
+                        let idx = g.edge_index(w, v as u32).expect("in-edge exists");
+                        compute_ns[placement.edge_parts[idx] as usize] +=
+                            opts.cost.ns_per_edge_op;
+                    }
+                }
+            }
+        }
+
+        // ---- Barrier: iteration wall time ----------------------------------
+        let mut wall: f64 = 0.0;
+        let mut machine_bytes = vec![0u64; k];
+        for m in 0..k {
+            machine_bytes[m] = sent_bytes[m] + recv_bytes[m];
+            let net_ns = machine_bytes[m] as f64 / opts.cost.bytes_per_second * 1e9;
+            wall = wall.max(compute_ns[m] + net_ns);
+            machine_total_ns[m] += compute_ns[m];
+        }
+        wall += opts.cost.barrier_ns;
+        total_wall_ns += wall;
+
+        iterations.push(IterationStats {
+            active_vertices: active_count,
+            gather_messages,
+            update_messages,
+            network_bytes: sent_bytes.iter().sum::<u64>(),
+            machine_compute_ns: compute_ns,
+            machine_bytes,
+            wall_ns: wall,
+        });
+
+        seeded.fill(false);
+        if prog.all_active() {
+            active.fill(true);
+        } else {
+            active = next_active;
+        }
+    }
+
+    let report = RunReport {
+        program: prog.name(),
+        machines: k,
+        replication_factor: placement.replication_factor(),
+        iterations,
+        machine_compute_ns: machine_total_ns,
+        total_wall_ns,
+    };
+    (data, report)
+}
+
+fn merge_into<P: VertexProgram>(prog: &P, slot: &mut Option<P::Gather>, contrib: P::Gather) {
+    *slot = Some(match slot.take() {
+        Some(existing) => prog.merge(existing, contrib),
+        None => contrib,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{PageRank, Sssp, Wcc};
+    use crate::reference;
+    use sgp_graph::generators::{erdos_renyi, ErdosRenyiConfig};
+    use sgp_graph::{GraphBuilder, StreamOrder};
+    use sgp_partition::{partition, Algorithm, PartitionerConfig, Partitioning};
+
+    fn any_graph() -> Graph {
+        erdos_renyi(ErdosRenyiConfig { vertices: 300, edges: 1800, seed: 21 })
+    }
+
+    fn placement_for(g: &Graph, alg: Algorithm, k: usize) -> Placement {
+        let cfg = PartitionerConfig::new(k);
+        let p = partition(g, alg, &cfg, StreamOrder::Random { seed: 5 });
+        Placement::build(g, &p)
+    }
+
+    #[test]
+    fn pagerank_matches_reference_on_all_cut_models() {
+        let g = any_graph();
+        let reference = reference::pagerank(&g, 20);
+        for alg in [Algorithm::EcrHash, Algorithm::Hdrf, Algorithm::Ginger, Algorithm::Metis] {
+            let pl = placement_for(&g, alg, 4);
+            let (ranks, _) = run_program(&g, &pl, &PageRank::new(20), &EngineOptions::default());
+            for (v, (&a, &b)) in ranks.iter().zip(&reference).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9 * b.abs().max(1.0),
+                    "{alg:?}: rank mismatch at {v}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_matches_reference_on_all_cut_models() {
+        let g = any_graph();
+        let reference = reference::wcc(&g);
+        for alg in [Algorithm::EcrHash, Algorithm::VcrHash, Algorithm::Hdrf, Algorithm::HybridRandom]
+        {
+            let pl = placement_for(&g, alg, 4);
+            let (labels, _) = run_program(&g, &pl, &Wcc::new(), &EngineOptions::default());
+            assert_eq!(labels, reference, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn sssp_matches_reference_on_all_cut_models() {
+        let g = any_graph();
+        let reference = reference::sssp(&g, 0);
+        for alg in [Algorithm::Ldg, Algorithm::Dbh, Algorithm::Grid] {
+            let pl = placement_for(&g, alg, 4);
+            let (dist, _) = run_program(&g, &pl, &Sssp::new(0), &EngineOptions::default());
+            assert_eq!(dist, reference, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn pagerank_runs_exactly_fixed_iterations() {
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::EcrHash, 4);
+        let (_, report) = run_program(&g, &pl, &PageRank::new(7), &EngineOptions::default());
+        assert_eq!(report.num_iterations(), 7);
+        assert!(report.iterations.iter().all(|i| i.active_vertices == g.num_vertices()));
+    }
+
+    #[test]
+    fn edge_cut_pagerank_has_no_update_messages() {
+        // Appendix B: with out-edges grouped at the master, PageRank's
+        // scatter is local — only gather partials cross the network.
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::EcrHash, 4);
+        let (_, report) = run_program(&g, &pl, &PageRank::new(3), &EngineOptions::default());
+        let updates: u64 = report.iterations.iter().map(|i| i.update_messages).sum();
+        assert_eq!(updates, 0, "edge-cut PageRank must not send vertex updates");
+        assert!(report.total_messages() > 0);
+    }
+
+    #[test]
+    fn vertex_cut_pagerank_sends_updates() {
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::VcrHash, 4);
+        let (_, report) = run_program(&g, &pl, &PageRank::new(3), &EngineOptions::default());
+        let updates: u64 = report.iterations.iter().map(|i| i.update_messages).sum();
+        assert!(updates > 0, "vertex-cut PageRank must synchronize mirrors");
+    }
+
+    #[test]
+    fn edge_cut_cheaper_than_vertex_cut_per_rf_for_pagerank() {
+        // The headline of Fig. 1(a): per unit of replication factor,
+        // edge-cut placements move fewer bytes for PageRank.
+        let g = erdos_renyi(ErdosRenyiConfig { vertices: 1000, edges: 8000, seed: 9 });
+        let ec = placement_for(&g, Algorithm::EcrHash, 8);
+        let vc = placement_for(&g, Algorithm::VcrHash, 8);
+        let (_, rec) = run_program(&g, &ec, &PageRank::new(5), &EngineOptions::default());
+        let (_, rvc) = run_program(&g, &vc, &PageRank::new(5), &EngineOptions::default());
+        let slope_ec =
+            rec.total_network_bytes() as f64 / (rec.replication_factor - 1.0).max(1e-9);
+        let slope_vc =
+            rvc.total_network_bytes() as f64 / (rvc.replication_factor - 1.0).max(1e-9);
+        assert!(
+            slope_ec < slope_vc,
+            "edge-cut slope {slope_ec} should undercut vertex-cut slope {slope_vc}"
+        );
+    }
+
+    #[test]
+    fn aggregation_reduces_messages() {
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::EcrHash, 4);
+        let with = run_program(&g, &pl, &PageRank::new(3), &EngineOptions::default()).1;
+        let without = run_program(
+            &g,
+            &pl,
+            &PageRank::new(3),
+            &EngineOptions { sender_side_aggregation: false, ..Default::default() },
+        )
+        .1;
+        assert!(
+            with.total_messages() < without.total_messages(),
+            "aggregation must reduce message count ({} vs {})",
+            with.total_messages(),
+            without.total_messages()
+        );
+    }
+
+    #[test]
+    fn single_machine_run_sends_nothing() {
+        let g = any_graph();
+        let p = Partitioning::from_vertex_owners(&g, 1, vec![0; g.num_vertices()]);
+        let pl = Placement::build(&g, &p);
+        let (_, report) = run_program(&g, &pl, &PageRank::new(5), &EngineOptions::default());
+        assert_eq!(report.total_messages(), 0);
+        assert_eq!(report.total_network_bytes(), 0);
+        assert!(report.total_wall_ns > 0.0);
+    }
+
+    #[test]
+    fn wcc_active_set_shrinks() {
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::EcrHash, 4);
+        let (_, report) = run_program(&g, &pl, &Wcc::new(), &EngineOptions::default());
+        let first = report.iterations.first().expect("at least one iteration").active_vertices;
+        let last = report.iterations.last().expect("at least one iteration").active_vertices;
+        assert_eq!(first, g.num_vertices(), "WCC starts all-active");
+        assert!(last < first, "WCC frontier must shrink");
+    }
+
+    #[test]
+    fn sssp_frontier_grows_then_shrinks() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(1, 3)
+            .add_edge(2, 3)
+            .add_edge(3, 4)
+            .build();
+        let p = Partitioning::from_vertex_owners(&g, 2, vec![0, 1, 0, 1, 0]);
+        let pl = Placement::build(&g, &p);
+        let (dist, report) = run_program(&g, &pl, &Sssp::new(0), &EngineOptions::default());
+        assert_eq!(dist, vec![0, 1, 1, 2, 3]);
+        let actives: Vec<usize> =
+            report.iterations.iter().map(|i| i.active_vertices).collect();
+        assert_eq!(actives[0], 1, "SSSP starts from the source only");
+        assert!(actives.iter().max().unwrap() > &1, "frontier must expand");
+    }
+
+    #[test]
+    fn per_machine_compute_sums_are_positive_everywhere() {
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::VcrHash, 4);
+        let (_, report) = run_program(&g, &pl, &PageRank::new(5), &EngineOptions::default());
+        assert_eq!(report.machine_compute_ns.len(), 4);
+        assert!(report.machine_compute_ns.iter().all(|&t| t > 0.0));
+    }
+}

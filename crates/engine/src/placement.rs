@@ -1,0 +1,374 @@
+//! Master/mirror placement derived from a [`Partitioning`].
+//!
+//! This is the PowerGraph/PowerLyra data-layout layer: every edge lives
+//! on exactly one machine; every vertex is *mastered* on one machine and
+//! *mirrored* on every other machine holding one of its edges. The
+//! per-vertex direction information (which mirrors hold in-edges, which
+//! hold out-edges) is what determines the paper's communication
+//! asymmetry between cut models (Appendix B, Fig. 10).
+
+use serde::{Deserialize, Serialize};
+use sgp_graph::{Edge, Graph, VertexId};
+use sgp_partition::{PartitionId, Partitioning};
+
+/// The physical layout of a partitioned graph over `k` simulated
+/// machines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Placement {
+    /// Number of machines.
+    pub k: usize,
+    /// Master machine of every vertex.
+    pub masters: Vec<PartitionId>,
+    /// Full replica set `A(u)` of every vertex (sorted; includes master).
+    pub replicas: Vec<Vec<PartitionId>>,
+    /// Machines holding at least one *out*-edge of each vertex (sorted).
+    pub out_parts: Vec<Vec<PartitionId>>,
+    /// Machines holding at least one *in*-edge of each vertex (sorted).
+    pub in_parts: Vec<Vec<PartitionId>>,
+    /// Edges stored on each machine.
+    pub local_edges: Vec<Vec<Edge>>,
+    /// Machine of every edge, indexed by [`Graph::edge_index`].
+    pub edge_parts: Vec<PartitionId>,
+}
+
+impl Placement {
+    /// Materializes the layout for `g` under partitioning `p`.
+    pub fn build(g: &Graph, p: &Partitioning) -> Self {
+        let n = g.num_vertices();
+        let k = p.k;
+        let masters = p.masters(g);
+        let replicas = p.replica_sets(g);
+        let mut out_parts: Vec<Vec<PartitionId>> = vec![Vec::new(); n];
+        let mut in_parts: Vec<Vec<PartitionId>> = vec![Vec::new(); n];
+        let mut local_edges: Vec<Vec<Edge>> = vec![Vec::new(); k];
+        let insert_sorted = |set: &mut Vec<PartitionId>, part: PartitionId| {
+            if let Err(pos) = set.binary_search(&part) {
+                set.insert(pos, part);
+            }
+        };
+        for (i, e) in g.edges().enumerate() {
+            let part = p.edge_parts[i];
+            insert_sorted(&mut out_parts[e.src as usize], part);
+            insert_sorted(&mut in_parts[e.dst as usize], part);
+            local_edges[part as usize].push(e);
+        }
+        Placement {
+            k,
+            masters,
+            replicas,
+            out_parts,
+            in_parts,
+            local_edges,
+            edge_parts: p.edge_parts.clone(),
+        }
+    }
+
+    /// Number of vertices covered by the placement.
+    pub fn num_vertices(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Measured replication factor (average replica-set size), identical
+    /// to [`sgp_partition::metrics::replication_factor`].
+    pub fn replication_factor(&self) -> f64 {
+        if self.masters.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.replicas.iter().map(|s| s.len()).sum();
+        total as f64 / self.masters.len() as f64
+    }
+
+    /// Edges stored per machine (the vertex-cut load metric).
+    pub fn edges_per_machine(&self) -> Vec<usize> {
+        self.local_edges.iter().map(|e| e.len()).collect()
+    }
+
+    /// Mirrors of `v`: its replicas minus the master.
+    pub fn mirrors(&self, v: VertexId) -> impl Iterator<Item = PartitionId> + '_ {
+        let master = self.masters[v as usize];
+        self.replicas[v as usize].iter().copied().filter(move |&p| p != master)
+    }
+
+    /// Machines (excluding the master) that must send a gather partial
+    /// for `v` when the gather direction needs in-edges (`use_in`) and/or
+    /// out-edges (`use_out`).
+    pub fn gather_partial_count(&self, v: VertexId, use_in: bool, use_out: bool) -> usize {
+        let master = self.masters[v as usize];
+        count_union_excluding(
+            if use_in { Some(&self.in_parts[v as usize]) } else { None },
+            if use_out { Some(&self.out_parts[v as usize]) } else { None },
+            master,
+        )
+    }
+
+    /// Collects into `buf` the machines counted by
+    /// [`Placement::gather_partial_count`] (sorted, deduplicated).
+    pub fn gather_partial_parts_into(
+        &self,
+        v: VertexId,
+        use_in: bool,
+        use_out: bool,
+        buf: &mut Vec<PartitionId>,
+    ) {
+        let master = self.masters[v as usize];
+        union_excluding_into(
+            if use_in { Some(&self.in_parts[v as usize]) } else { None },
+            if use_out { Some(&self.out_parts[v as usize]) } else { None },
+            master,
+            buf,
+        );
+    }
+
+    /// Machines (excluding the master) that must receive `v`'s updated
+    /// value so that *neighbours'* gathers keep working: mirrors holding
+    /// out-edges when neighbours gather over IN, mirrors holding in-edges
+    /// when neighbours gather over OUT.
+    pub fn update_target_count(&self, v: VertexId, gather_in: bool, gather_out: bool) -> usize {
+        let master = self.masters[v as usize];
+        count_union_excluding(
+            if gather_in { Some(&self.out_parts[v as usize]) } else { None },
+            if gather_out { Some(&self.in_parts[v as usize]) } else { None },
+            master,
+        )
+    }
+
+    /// Collects into `buf` the machines counted by
+    /// [`Placement::update_target_count`] (sorted, deduplicated).
+    pub fn update_target_parts_into(
+        &self,
+        v: VertexId,
+        gather_in: bool,
+        gather_out: bool,
+        buf: &mut Vec<PartitionId>,
+    ) {
+        let master = self.masters[v as usize];
+        union_excluding_into(
+            if gather_in { Some(&self.out_parts[v as usize]) } else { None },
+            if gather_out { Some(&self.in_parts[v as usize]) } else { None },
+            master,
+            buf,
+        );
+    }
+}
+
+/// Merge-union of two sorted slices into `buf`, excluding one id.
+fn union_excluding_into(
+    a: Option<&Vec<PartitionId>>,
+    b: Option<&Vec<PartitionId>>,
+    excluded: PartitionId,
+    buf: &mut Vec<PartitionId>,
+) {
+    buf.clear();
+    let empty: &[PartitionId] = &[];
+    let x = a.map(|v| v.as_slice()).unwrap_or(empty);
+    let y = b.map(|v| v.as_slice()).unwrap_or(empty);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < x.len() || j < y.len() {
+        let next = match (x.get(i), y.get(j)) {
+            (Some(&px), Some(&py)) => {
+                if px <= py {
+                    if px == py {
+                        j += 1;
+                    }
+                    i += 1;
+                    px
+                } else {
+                    j += 1;
+                    py
+                }
+            }
+            (Some(&px), None) => {
+                i += 1;
+                px
+            }
+            (None, Some(&py)) => {
+                j += 1;
+                py
+            }
+            (None, None) => unreachable!(),
+        };
+        if next != excluded {
+            buf.push(next);
+        }
+    }
+}
+
+/// |(a ∪ b) \ {excluded}| for sorted slices.
+fn count_union_excluding(
+    a: Option<&Vec<PartitionId>>,
+    b: Option<&Vec<PartitionId>>,
+    excluded: PartitionId,
+) -> usize {
+    match (a, b) {
+        (None, None) => 0,
+        (Some(x), None) | (None, Some(x)) => {
+            x.iter().filter(|&&p| p != excluded).count()
+        }
+        (Some(x), Some(y)) => {
+            let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+            while i < x.len() || j < y.len() {
+                let next = match (x.get(i), y.get(j)) {
+                    (Some(&px), Some(&py)) => {
+                        if px <= py {
+                            if px == py {
+                                j += 1;
+                            }
+                            i += 1;
+                            px
+                        } else {
+                            j += 1;
+                            py
+                        }
+                    }
+                    (Some(&px), None) => {
+                        i += 1;
+                        px
+                    }
+                    (None, Some(&py)) => {
+                        j += 1;
+                        py
+                    }
+                    (None, None) => unreachable!(),
+                };
+                if next != excluded {
+                    count += 1;
+                }
+            }
+            count
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgp_graph::GraphBuilder;
+    use sgp_partition::Partitioning;
+
+    /// The 6-vertex example of the paper's Fig. 10: vertex 6 (here 5)
+    /// receives edges from 1..=5 (here 0..=4), plus a few chain edges.
+    fn fig10_graph() -> Graph {
+        GraphBuilder::new()
+            .add_edge(0, 5)
+            .add_edge(1, 5)
+            .add_edge(2, 5)
+            .add_edge(3, 5)
+            .add_edge(4, 5)
+            .add_edge(0, 1)
+            .build()
+    }
+
+    #[test]
+    fn edge_cut_placement_keeps_out_edges_at_master() {
+        let g = fig10_graph();
+        // Vertices 0,1 on machine 0; 2,3 on 1; 4,5 on 2.
+        let p = Partitioning::from_vertex_owners(&g, 3, vec![0, 0, 1, 1, 2, 2]);
+        let pl = Placement::build(&g, &p);
+        for v in g.vertices() {
+            // Every out-edge partition must be exactly the master.
+            for &part in &pl.out_parts[v as usize] {
+                assert_eq!(part, pl.masters[v as usize], "vertex {v}");
+            }
+        }
+        // Vertex 5 has in-edges on machines 0, 1, 2 → 2 mirror machines.
+        assert_eq!(pl.in_parts[5], vec![0, 1, 2]);
+        assert_eq!(pl.mirrors(5).count(), 2);
+    }
+
+    #[test]
+    fn gather_partials_match_fig10b() {
+        // Fig. 10(b): edge-cut with sender-side aggregation, PageRank
+        // (gather over IN). Vertex 5 mastered on machine 2 receives one
+        // partial from machine 0 and one from machine 1.
+        let g = fig10_graph();
+        let p = Partitioning::from_vertex_owners(&g, 3, vec![0, 0, 1, 1, 2, 2]);
+        let pl = Placement::build(&g, &p);
+        assert_eq!(pl.gather_partial_count(5, true, false), 2);
+        // And zero update messages: all its out-edges (none) are local.
+        assert_eq!(pl.update_target_count(5, true, false), 0);
+    }
+
+    #[test]
+    fn vertex_cut_pays_updates_fig10c() {
+        // Fig. 10(c): same graph, but edges of vertex 0 scattered across
+        // machines. Give (0,5) to machine 1 and (0,1) to machine 0, with
+        // 0 mastered on machine 0: machine 1 needs 0's data → 1 update.
+        let g = fig10_graph();
+        // Edge order: (0,1) (0,5) (1,5) (2,5) (3,5) (4,5)
+        let p = Partitioning::from_edge_parts(&g, 3, vec![0, 1, 0, 1, 1, 2]);
+        let pl = Placement::build(&g, &p);
+        let v0_master = pl.masters[0];
+        let updates = pl.update_target_count(0, true, false);
+        // Vertex 0 has out-edges on machines {0, 1}; one of them is the
+        // master, the other needs an update.
+        assert_eq!(pl.out_parts[0], vec![0, 1]);
+        assert_eq!(updates, if v0_master == 0 || v0_master == 1 { 1 } else { 2 });
+    }
+
+    #[test]
+    fn replication_factor_matches_partition_metric() {
+        let g = fig10_graph();
+        let p = Partitioning::from_edge_parts(&g, 3, vec![0, 1, 0, 1, 1, 2]);
+        let pl = Placement::build(&g, &p);
+        let rf = sgp_partition::metrics::replication_factor(&g, &p);
+        assert!((pl.replication_factor() - rf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_edges_partition_the_edge_set() {
+        let g = fig10_graph();
+        let p = Partitioning::from_edge_parts(&g, 3, vec![0, 1, 0, 1, 1, 2]);
+        let pl = Placement::build(&g, &p);
+        let total: usize = pl.local_edges.iter().map(|e| e.len()).sum();
+        assert_eq!(total, g.num_edges());
+        assert_eq!(pl.edges_per_machine(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn both_direction_gather_counts_union() {
+        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build();
+        // (0,1) on machine 0, (1,2) on machine 1; master of 1 on machine 2
+        // is impossible (masters come from replicas), so place manually:
+        let p = Partitioning::from_edge_parts(&g, 3, vec![0, 1]);
+        let pl = Placement::build(&g, &p);
+        let m = pl.masters[1];
+        // Vertex 1: in-edges on {0}, out-edges on {1}. Gather BOTH =
+        // union {0,1} minus master.
+        let expected = [0u32, 1u32].iter().filter(|&&x| x != m).count();
+        assert_eq!(pl.gather_partial_count(1, true, true), expected);
+    }
+
+    #[test]
+    fn parts_into_agrees_with_counts() {
+        let g = fig10_graph();
+        let p = Partitioning::from_edge_parts(&g, 3, vec![0, 1, 0, 1, 1, 2]);
+        let pl = Placement::build(&g, &p);
+        let mut buf = Vec::new();
+        for v in g.vertices() {
+            for (use_in, use_out) in [(true, false), (false, true), (true, true)] {
+                pl.gather_partial_parts_into(v, use_in, use_out, &mut buf);
+                assert_eq!(buf.len(), pl.gather_partial_count(v, use_in, use_out));
+                pl.update_target_parts_into(v, use_in, use_out, &mut buf);
+                assert_eq!(buf.len(), pl.update_target_count(v, use_in, use_out));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_parts_preserved() {
+        let g = fig10_graph();
+        let parts = vec![0u32, 1, 0, 1, 1, 2];
+        let p = Partitioning::from_edge_parts(&g, 3, parts.clone());
+        let pl = Placement::build(&g, &p);
+        assert_eq!(pl.edge_parts, parts);
+    }
+
+    #[test]
+    fn union_excluding_helper() {
+        let a = vec![0u32, 1, 3];
+        let b = vec![1u32, 2, 3];
+        assert_eq!(count_union_excluding(Some(&a), Some(&b), 3), 3); // {0,1,2}
+        assert_eq!(count_union_excluding(Some(&a), None, 0), 2);
+        assert_eq!(count_union_excluding(None, None, 0), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Streaming input models (§3 of the paper).
+//!
+//! A streaming partitioner is "sequentially presented a stream
+//! `S = <a1, a2, ...>` of graph G where `ai` is either an edge `(u, v)` or
+//! a vertex `u` and its neighbors `N(u)`". This module replays an
+//! immutable [`Graph`] as either stream, in a configurable arrival order.
+//!
+//! Stream order matters: §4.2.2 notes that PowerGraph's greedy vertex-cut
+//! "is sensitive to stream orders and might result in a single partition
+//! in case of breadth-first traversal order", which HDRF's balance term
+//! avoids. The [`StreamOrder`] options let the reproduction's ablation
+//! benches exercise exactly that.
+
+use crate::csr::Graph;
+use crate::sampling::{seeded_rng, shuffle};
+use crate::types::{Edge, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Arrival order of stream elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamOrder {
+    /// The natural order of the dataset (vertex id / CSR order).
+    Natural,
+    /// Uniformly random permutation, seeded.
+    Random {
+        /// RNG seed for the permutation.
+        seed: u64,
+    },
+    /// Breadth-first traversal from vertex 0 (unreached vertices appended
+    /// in natural order afterwards, as in the original LDG evaluation).
+    Bfs,
+    /// Depth-first traversal from vertex 0 (unreached vertices appended).
+    Dfs,
+}
+
+impl Default for StreamOrder {
+    fn default() -> Self {
+        StreamOrder::Random { seed: 0x5347_5021 }
+    }
+}
+
+/// Computes a vertex visit order over the undirected structure of `g`.
+fn vertex_order(g: &Graph, order: StreamOrder) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    match order {
+        StreamOrder::Natural => (0..n as VertexId).collect(),
+        StreamOrder::Random { seed } => {
+            let mut v: Vec<VertexId> = (0..n as VertexId).collect();
+            shuffle(&mut v, &mut seeded_rng(seed));
+            v
+        }
+        StreamOrder::Bfs => traversal_order(g, true),
+        StreamOrder::Dfs => traversal_order(g, false),
+    }
+}
+
+fn traversal_order(g: &Graph, bfs: bool) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut out = Vec::with_capacity(n);
+    let mut frontier: std::collections::VecDeque<VertexId> = std::collections::VecDeque::new();
+    for root in 0..n as VertexId {
+        if seen[root as usize] {
+            continue;
+        }
+        seen[root as usize] = true;
+        frontier.push_back(root);
+        while let Some(v) = if bfs { frontier.pop_front() } else { frontier.pop_back() } {
+            out.push(v);
+            for w in g.undirected_neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    frontier.push_back(w);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A single vertex-stream element: a vertex with its full (undirected)
+/// neighbourhood, the input model of LDG/FENNEL (§4.1.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexRecord {
+    /// The arriving vertex.
+    pub vertex: VertexId,
+    /// Its complete neighbourhood `N(u)` over the undirected structure
+    /// (out- and in-neighbours, deduplicated, sorted).
+    pub neighbors: Vec<VertexId>,
+    /// Out-neighbours only — needed when deriving the Appendix-B
+    /// edge-disjoint placement (all out-edges follow the source).
+    pub out_neighbors: Vec<VertexId>,
+}
+
+/// Replays a [`Graph`] as a vertex stream (adjacency-list loading model).
+#[derive(Debug, Clone)]
+pub struct VertexStream<'g> {
+    graph: &'g Graph,
+    order: Vec<VertexId>,
+    pos: usize,
+}
+
+impl<'g> VertexStream<'g> {
+    /// Creates a vertex stream over `g` in the given arrival order.
+    pub fn new(g: &'g Graph, order: StreamOrder) -> Self {
+        VertexStream { graph: g, order: vertex_order(g, order), pos: 0 }
+    }
+
+    /// Total number of elements in the stream (`|V|`).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the stream has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Restarts the stream from the beginning with the same order — the
+    /// primitive behind the re-streaming variants (re-LDG / re-FENNEL).
+    pub fn restart(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl<'g> Iterator for VertexStream<'g> {
+    type Item = VertexRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let v = *self.order.get(self.pos)?;
+        self.pos += 1;
+        let mut neighbors: Vec<VertexId> = self.graph.undirected_neighbors(v).collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        Some(VertexRecord {
+            vertex: v,
+            neighbors,
+            out_neighbors: self.graph.out_neighbors(v).to_vec(),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.order.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+/// Replays a [`Graph`] as an edge stream (the vertex-cut input model).
+///
+/// For `StreamOrder::Bfs`/`Dfs` the edges arrive grouped by the traversal
+/// order of their source vertex, which is the adversarial order for
+/// PowerGraph-style greedy placement.
+#[derive(Debug, Clone)]
+pub struct EdgeStream {
+    edges: Vec<Edge>,
+    pos: usize,
+}
+
+impl EdgeStream {
+    /// Creates an edge stream over `g` in the given arrival order.
+    pub fn new(g: &Graph, order: StreamOrder) -> Self {
+        let mut edges: Vec<Edge> = match order {
+            StreamOrder::Natural => g.edges().collect(),
+            StreamOrder::Random { seed } => {
+                let mut e: Vec<Edge> = g.edges().collect();
+                shuffle(&mut e, &mut seeded_rng(seed ^ 0x9E37_79B9));
+                e
+            }
+            StreamOrder::Bfs | StreamOrder::Dfs => {
+                let vo = vertex_order(g, order);
+                let mut e = Vec::with_capacity(g.num_edges());
+                for v in vo {
+                    e.extend(g.out_neighbors(v).iter().map(|&w| Edge::new(v, w)));
+                }
+                e
+            }
+        };
+        edges.shrink_to_fit();
+        EdgeStream { edges, pos: 0 }
+    }
+
+    /// Number of elements in the stream (`|E|`).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the stream has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Restarts the stream from the beginning with the same order.
+    pub fn restart(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Borrow the underlying edge order (used by parallel-ingest tests).
+    pub fn as_slice(&self) -> &[Edge] {
+        &self.edges
+    }
+}
+
+impl Iterator for EdgeStream {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let e = *self.edges.get(self.pos)?;
+        self.pos += 1;
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.edges.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph() -> Graph {
+        GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).build()
+    }
+
+    #[test]
+    fn vertex_stream_visits_every_vertex_once() {
+        let g = path_graph();
+        let mut seen: Vec<VertexId> =
+            VertexStream::new(&g, StreamOrder::Random { seed: 11 }).map(|r| r.vertex).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn vertex_stream_neighborhoods_are_undirected() {
+        let g = path_graph();
+        let rec = VertexStream::new(&g, StreamOrder::Natural)
+            .find(|r| r.vertex == 1)
+            .expect("vertex 1 in stream");
+        assert_eq!(rec.neighbors, vec![0, 2]);
+        assert_eq!(rec.out_neighbors, vec![2]);
+    }
+
+    #[test]
+    fn edge_stream_covers_all_edges() {
+        let g = path_graph();
+        let mut edges: Vec<Edge> = EdgeStream::new(&g, StreamOrder::Random { seed: 5 }).collect();
+        edges.sort_unstable();
+        assert_eq!(edges, g.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bfs_order_starts_at_root_and_respects_layers() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(1, 3)
+            .add_edge(2, 4)
+            .build();
+        let order = vertex_order(&g, StreamOrder::Bfs);
+        assert_eq!(order[0], 0);
+        let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(4));
+    }
+
+    #[test]
+    fn dfs_order_differs_from_bfs_on_tree() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(1, 3)
+            .add_edge(1, 4)
+            .add_edge(2, 5)
+            .add_edge(2, 6)
+            .build();
+        let bfs = vertex_order(&g, StreamOrder::Bfs);
+        let dfs = vertex_order(&g, StreamOrder::Dfs);
+        assert_ne!(bfs, dfs);
+        assert_eq!(bfs.len(), dfs.len());
+    }
+
+    #[test]
+    fn traversal_covers_disconnected_components() {
+        let g = GraphBuilder::new().add_edge(0, 1).add_edge(2, 3).build();
+        let order = vertex_order(&g, StreamOrder::Bfs);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn random_order_is_seed_deterministic() {
+        let g = path_graph();
+        let a = vertex_order(&g, StreamOrder::Random { seed: 1 });
+        let b = vertex_order(&g, StreamOrder::Random { seed: 1 });
+        let c = vertex_order(&g, StreamOrder::Random { seed: 2 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn restart_replays_identical_stream() {
+        let g = path_graph();
+        let mut s = VertexStream::new(&g, StreamOrder::Random { seed: 4 });
+        let first: Vec<VertexId> = s.by_ref().map(|r| r.vertex).collect();
+        s.restart();
+        let second: Vec<VertexId> = s.map(|r| r.vertex).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn edge_stream_size_hint_tracks_position() {
+        let g = path_graph();
+        let mut s = EdgeStream::new(&g, StreamOrder::Natural);
+        assert_eq!(s.size_hint(), (3, Some(3)));
+        s.next();
+        assert_eq!(s.size_hint(), (2, Some(2)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Hybrid-cut SGP (§4.3 of the paper): PowerLyra's hybrid random (`HCR`)
+//! and Ginger (`HG`).
+//!
+//! PowerLyra "differentiates between high-degree and low-degree vertices;
+//! it uses edge-cut partitioning for low-degree vertices while in-edges
+//! of high-degree vertices are partitioned via vertex-cut". Concretely,
+//! the *in-edges* of a low-degree vertex `v` are grouped on `v`'s own
+//! partition (making its gather local), while the in-edges of a
+//! high-degree vertex are scattered by hashing their *source* endpoint.
+
+use crate::assignment::{hash_to_partition, CutModel, PartitionId, Partitioning};
+use crate::config::PartitionerConfig;
+use sgp_graph::{Graph, StreamOrder, VertexStream};
+
+/// Degree threshold separating low- from high-degree vertices. PowerLyra
+/// exposes this as a user knob; the reproduction derives it from the
+/// average degree by [`PartitionerConfig::ginger_threshold_factor`].
+fn high_degree_threshold(g: &Graph, cfg: &PartitionerConfig) -> usize {
+    ((g.avg_degree() * cfg.ginger_threshold_factor).ceil() as usize).max(1)
+}
+
+/// Hybrid random (`HCR`): vertices are hashed to an owner partition;
+/// in-edges of low-degree vertices follow the *target*'s owner, in-edges
+/// of high-degree vertices follow the *source*'s owner. Embarrassingly
+/// parallel, like plain hash.
+pub fn hybrid_random(g: &Graph, cfg: &PartitionerConfig) -> Partitioning {
+    let k = cfg.k;
+    let threshold = high_degree_threshold(g, cfg);
+    let owner: Vec<PartitionId> =
+        g.vertices().map(|v| hash_to_partition(v, k, cfg.seed)).collect();
+    let edge_parts = place_hybrid_edges(g, k, &owner, threshold);
+    Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }
+}
+
+/// Ginger (`HG`), Eq. (8) of the paper: a FENNEL-like greedy that places
+/// each vertex `v` (and its in-edges) on the partition maximizing
+///
+/// `|N(v) ∩ P_i| − ½(|V_i| + (|V|/|E|)·|E_i|)`
+///
+/// balancing both vertex and edge counts; afterwards, the in-edges of
+/// high-degree vertices are re-assigned by hashing their source — the
+/// two-phase behaviour the paper notes is "difficult for streaming data".
+pub fn ginger(g: &Graph, cfg: &PartitionerConfig, order: StreamOrder) -> Partitioning {
+    let k = cfg.k;
+    let n = g.num_vertices();
+    let m = g.num_edges().max(1);
+    let threshold = high_degree_threshold(g, cfg);
+    let nm_ratio = n as f64 / m as f64;
+
+    // Phase 1: greedy vertex placement over the vertex stream.
+    let mut owner = vec![0 as PartitionId; n];
+    let mut placed = vec![false; n];
+    let mut vertex_counts = vec![0usize; k];
+    let mut edge_counts = vec![0usize; k];
+    let vertex_cap = cfg.vertex_capacity(n).max(1.0) * 1.5; // soft guard only
+    for rec in VertexStream::new(g, order) {
+        let v = rec.vertex;
+        let mut hist = vec![0usize; k];
+        for &w in &rec.neighbors {
+            if placed[w as usize] {
+                hist[owner[w as usize] as usize] += 1;
+            }
+        }
+        let in_deg = g.in_degree(v);
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for i in 0..k {
+            if vertex_counts[i] as f64 >= vertex_cap {
+                continue;
+            }
+            let balance = 0.5 * (vertex_counts[i] as f64 + nm_ratio * edge_counts[i] as f64);
+            let score = hist[i] as f64 - balance;
+            if score > best.0 {
+                best = (score, i);
+            }
+        }
+        let p = best.1 as PartitionId;
+        owner[v as usize] = p;
+        placed[v as usize] = true;
+        vertex_counts[p as usize] += 1;
+        edge_counts[p as usize] += in_deg; // in-edges travel with v
+    }
+
+    // Phase 2: re-assign in-edges of high-degree vertices by source hash.
+    let edge_parts = place_hybrid_edges(g, k, &owner, threshold);
+    Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }
+}
+
+/// Shared hybrid edge placement: edge `(u, v)` goes to `owner[v]` when
+/// `v` is low-degree (in-degree ≤ threshold), else to `owner[u]`
+/// (PowerLyra hashes high-degree in-edges by source).
+fn place_hybrid_edges(
+    g: &Graph,
+    k: usize,
+    owner: &[PartitionId],
+    threshold: usize,
+) -> Vec<PartitionId> {
+    debug_assert!(owner.iter().all(|&p| (p as usize) < k));
+    let mut edge_parts = Vec::with_capacity(g.num_edges());
+    for e in g.edges() {
+        let p = if g.in_degree(e.dst) <= threshold {
+            owner[e.dst as usize]
+        } else {
+            owner[e.src as usize]
+        };
+        edge_parts.push(p);
+    }
+    edge_parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::vertex_cut::{run_edge_stream, HashEdge};
+    use sgp_graph::generators::{rmat, road_grid, RmatConfig, RoadConfig};
+    use sgp_graph::GraphBuilder;
+
+    fn cfg(k: usize) -> PartitionerConfig {
+        PartitionerConfig::new(k)
+    }
+
+    fn twitter_like() -> Graph {
+        rmat(RmatConfig { scale: 11, edge_factor: 12, ..RmatConfig::default() })
+    }
+
+    #[test]
+    fn hybrid_random_low_degree_edges_follow_target() {
+        // Star pointing *into* vertex 0 (high in-degree) plus a chain of
+        // low-degree vertices.
+        let mut b = GraphBuilder::new();
+        for i in 1..=30u32 {
+            b.push_edge(i, 0); // 0 is high in-degree
+        }
+        b.push_edge(31, 32);
+        let g = b.build();
+        let c = cfg(4);
+        let p = hybrid_random(&g, &c);
+        let owner = p.vertex_owner.as_ref().unwrap();
+        // Low-degree target: edge (31,32) must sit on owner of 32.
+        assert_eq!(p.edge_partition(&g, 31, 32).unwrap(), owner[32]);
+        // High-degree target: edge (5,0) must sit on owner of 5 (source).
+        assert_eq!(p.edge_partition(&g, 5, 0).unwrap(), owner[5]);
+    }
+
+    #[test]
+    fn hybrid_random_is_deterministic() {
+        let g = twitter_like();
+        let c = cfg(8);
+        assert_eq!(hybrid_random(&g, &c).edge_parts, hybrid_random(&g, &c).edge_parts);
+    }
+
+    #[test]
+    fn ginger_beats_hybrid_random_on_replication() {
+        let g = twitter_like();
+        let c = cfg(8);
+        let hcr = hybrid_random(&g, &c);
+        let hg = ginger(&g, &c, StreamOrder::Random { seed: 3 });
+        let (r_hcr, r_hg) =
+            (metrics::replication_factor(&g, &hcr), metrics::replication_factor(&g, &hg));
+        assert!(r_hg < r_hcr, "Ginger RF {r_hg} should beat hybrid random {r_hcr}");
+    }
+
+    #[test]
+    fn ginger_beats_vcr_on_skewed_graph() {
+        let g = twitter_like();
+        let c = cfg(8);
+        let vcr = run_edge_stream(&g, &mut HashEdge::new(&c), 8, StreamOrder::Random { seed: 1 });
+        let hg = ginger(&g, &c, StreamOrder::Random { seed: 1 });
+        assert!(
+            metrics::replication_factor(&g, &hg) < metrics::replication_factor(&g, &vcr),
+            "hybrid should beat random vertex-cut on power-law graphs (§4.3)"
+        );
+    }
+
+    #[test]
+    fn ginger_edges_reasonably_balanced() {
+        let g = twitter_like();
+        let c = cfg(8);
+        let p = ginger(&g, &c, StreamOrder::Random { seed: 5 });
+        let imb = metrics::load_imbalance(&p.edges_per_partition());
+        assert!(imb < 2.0, "Ginger edge imbalance {imb}");
+    }
+
+    #[test]
+    fn hybrid_on_low_degree_graph_degenerates_to_edge_cut_grouping() {
+        // Road networks have no high-degree vertices, so every edge
+        // follows its target's owner — pure target-grouped edge-cut.
+        let g = road_grid(RoadConfig { width: 20, height: 20, ..RoadConfig::default() });
+        let c = cfg(4);
+        let p = hybrid_random(&g, &c);
+        let owner = p.vertex_owner.as_ref().unwrap();
+        for (i, e) in g.edges().enumerate() {
+            assert_eq!(p.edge_parts[i], owner[e.dst as usize]);
+        }
+    }
+
+    #[test]
+    fn ginger_assigns_every_vertex() {
+        let g = twitter_like();
+        let c = cfg(16);
+        let p = ginger(&g, &c, StreamOrder::Bfs);
+        let owner = p.vertex_owner.unwrap();
+        assert_eq!(owner.len(), g.num_vertices());
+        assert!(owner.iter().all(|&x| x < 16));
+    }
+}

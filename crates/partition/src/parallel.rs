@@ -1,0 +1,141 @@
+//! Parallel execution of independent partitioning jobs.
+//!
+//! The paper's Table 1 "Parallelization" column is about parallelizing a
+//! *single* stream across loaders; this module is the complementary,
+//! embarrassingly-parallel case the experiment harness needs: running
+//! many independent `(algorithm, k)` jobs over the same immutable graph
+//! on all cores. Work is distributed over a crossbeam scope with a
+//! shared atomic cursor (simple work stealing), and results come back in
+//! job order — bit-identical to a sequential run, since every algorithm
+//! in the workspace is deterministic.
+
+use crate::assignment::Partitioning;
+use crate::config::PartitionerConfig;
+use crate::registry::{partition, Algorithm};
+use sgp_graph::{Graph, StreamOrder};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One partitioning job.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Shared configuration (contains `k`).
+    pub config: PartitionerConfig,
+    /// Stream order.
+    pub order: StreamOrder,
+}
+
+/// Runs all jobs over `g` in parallel, returning results in job order.
+///
+/// `threads = 0` (or 1) degenerates to sequential execution.
+pub fn partition_batch(g: &Graph, jobs: &[Job], threads: usize) -> Vec<Option<Partitioning>> {
+    let mut results: Vec<Option<Partitioning>> = (0..jobs.len()).map(|_| None).collect();
+    if jobs.is_empty() {
+        return results;
+    }
+    let workers = threads
+        .max(1)
+        .min(jobs.len())
+        .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    if workers <= 1 {
+        for (slot, job) in results.iter_mut().zip(jobs) {
+            *slot = Some(partition(g, job.algorithm, &job.config, job.order));
+        }
+        return results;
+    }
+    let cursor = AtomicUsize::new(0);
+    // Hand each worker a disjoint set of result slots through a mutex-free
+    // channel: collect (index, result) pairs per worker, then scatter.
+    let collected: Vec<Vec<(usize, Partitioning)>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move |_| {
+                let mut mine = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let job = jobs[i];
+                    mine.push((i, partition(g, job.algorithm, &job.config, job.order)));
+                }
+                mine
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+    })
+    .expect("crossbeam scope");
+    for (i, p) in collected.into_iter().flatten() {
+        results[i] = Some(p);
+    }
+    results
+}
+
+/// Convenience: run every algorithm of a suite at one `k`, in parallel.
+pub fn partition_suite(
+    g: &Graph,
+    algorithms: &[Algorithm],
+    config: &PartitionerConfig,
+    order: StreamOrder,
+) -> Vec<(Algorithm, Partitioning)> {
+    let jobs: Vec<Job> = algorithms
+        .iter()
+        .map(|&algorithm| Job { algorithm, config: *config, order })
+        .collect();
+    let results = partition_batch(g, &jobs, algorithms.len());
+    algorithms
+        .iter()
+        .copied()
+        .zip(results.into_iter().map(|r| r.expect("every job completed")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgp_graph::generators::{erdos_renyi, ErdosRenyiConfig};
+
+    fn graph() -> Graph {
+        erdos_renyi(ErdosRenyiConfig { vertices: 500, edges: 3000, seed: 17 })
+    }
+
+    fn jobs() -> Vec<Job> {
+        let order = StreamOrder::Random { seed: 5 };
+        Algorithm::all()
+            .iter()
+            .map(|&algorithm| Job { algorithm, config: PartitionerConfig::new(4), order })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = graph();
+        let jobs = jobs();
+        let seq = partition_batch(&g, &jobs, 1);
+        let par = partition_batch(&g, &jobs, 8);
+        for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.edge_parts, p.edge_parts, "job {i} ({})", jobs[i].algorithm);
+            assert_eq!(s.vertex_owner, p.vertex_owner, "job {i}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let g = graph();
+        assert!(partition_batch(&g, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn suite_returns_in_algorithm_order() {
+        let g = graph();
+        let cfg = PartitionerConfig::new(4);
+        let suite =
+            partition_suite(&g, Algorithm::online_suite(), &cfg, StreamOrder::Natural);
+        let names: Vec<_> = suite.iter().map(|(a, _)| a.short_name()).collect();
+        assert_eq!(names, vec!["ECR", "LDG", "FNL", "MTS"]);
+        assert!(suite.iter().all(|(_, p)| p.edge_parts.len() == g.num_edges()));
+    }
+}

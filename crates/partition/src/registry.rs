@@ -1,0 +1,355 @@
+//! Algorithm registry: the paper's Table 1/Table 2 taxonomy as code,
+//! plus a uniform driver for running any algorithm by name.
+
+use crate::assignment::{CutModel, Partitioning};
+use crate::config::PartitionerConfig;
+use crate::edge_cut::{run_vertex_stream, Fennel, HashVertex, Ldg, Restream};
+use crate::hybrid::{ginger, hybrid_random};
+use crate::metis::MultilevelPartitioner;
+use crate::vertex_cut::{run_edge_stream, Dbh, GridConstrained, Hdrf, HashEdge, PowerGraphGreedy};
+use serde::{Deserialize, Serialize};
+use sgp_graph::{Graph, StreamOrder};
+
+/// Every partitioning algorithm in the study (Table 2 names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Edge-cut hash-based random vertex placement.
+    EcrHash,
+    /// Linear Deterministic Greedy (Stanton & Kliot).
+    Ldg,
+    /// FENNEL (Tsourakakis et al.).
+    Fennel,
+    /// Re-streaming LDG (Nishimura & Ugander), 5 passes.
+    RestreamLdg,
+    /// Re-streaming FENNEL, 5 passes.
+    RestreamFennel,
+    /// Vertex-cut hash-based random edge placement.
+    VcrHash,
+    /// Degree-Based Hashing (Xie et al.).
+    Dbh,
+    /// Constrained 2-D grid placement (Jain et al.).
+    Grid,
+    /// PowerGraph oblivious greedy.
+    PowerGraphGreedy,
+    /// HDRF (Petroni et al.).
+    Hdrf,
+    /// PowerLyra hybrid random.
+    HybridRandom,
+    /// Ginger (PowerLyra hybrid greedy).
+    Ginger,
+    /// Offline multilevel baseline (METIS-like).
+    Metis,
+}
+
+/// Input stream model of an algorithm (Table 1's "Stream" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// Vertex + full adjacency list.
+    Vertex,
+    /// Individual edges in arbitrary order.
+    Edge,
+    /// Ginger processes both (two-phase).
+    Hybrid,
+    /// Offline: the whole graph at once.
+    Offline,
+}
+
+/// Static description of an algorithm: the row it occupies in Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgorithmInfo {
+    /// Short Table 2 abbreviation.
+    pub short_name: &'static str,
+    /// Long human name with citation.
+    pub long_name: &'static str,
+    /// The cut model the algorithm produces.
+    pub model: CutModel,
+    /// Input stream model.
+    pub stream: StreamKind,
+    /// Structural cost metric the algorithm optimizes (Table 1).
+    pub cost_metric: &'static str,
+    /// Parallelization requirement (Table 1): "yes" means
+    /// embarrassingly parallel, otherwise the synchronization needed.
+    pub parallelization: &'static str,
+    /// Placement method family (Table 1's "Method" column).
+    pub method: &'static str,
+}
+
+impl Algorithm {
+    /// Every algorithm, in the column order used by the paper's Table 2.
+    pub fn all() -> &'static [Algorithm] {
+        &[
+            Algorithm::VcrHash,
+            Algorithm::Grid,
+            Algorithm::Dbh,
+            Algorithm::PowerGraphGreedy,
+            Algorithm::Hdrf,
+            Algorithm::HybridRandom,
+            Algorithm::Ginger,
+            Algorithm::EcrHash,
+            Algorithm::Ldg,
+            Algorithm::Fennel,
+            Algorithm::RestreamLdg,
+            Algorithm::RestreamFennel,
+            Algorithm::Metis,
+        ]
+    }
+
+    /// The algorithm set used in the offline-analytics experiments
+    /// (Table 2, "Offline Analytics" row: VCR, Grid, DBH, HDRF, HCR, HG,
+    /// ECR, LDG, FNL, MTS).
+    pub fn offline_suite() -> &'static [Algorithm] {
+        &[
+            Algorithm::VcrHash,
+            Algorithm::Grid,
+            Algorithm::Dbh,
+            Algorithm::Hdrf,
+            Algorithm::HybridRandom,
+            Algorithm::Ginger,
+            Algorithm::EcrHash,
+            Algorithm::Ldg,
+            Algorithm::Fennel,
+            Algorithm::Metis,
+        ]
+    }
+
+    /// The edge-cut-only set used in the online-query experiments
+    /// (Table 2, "Online Queries" row: ECR, LDG, FNL, MTS — JanusGraph
+    /// "does not provide support for vertex-cut partitioning").
+    pub fn online_suite() -> &'static [Algorithm] {
+        &[Algorithm::EcrHash, Algorithm::Ldg, Algorithm::Fennel, Algorithm::Metis]
+    }
+
+    /// Static Table 1 row for this algorithm.
+    pub fn info(&self) -> AlgorithmInfo {
+        use Algorithm::*;
+        use CutModel::*;
+        use StreamKind::*;
+        match self {
+            EcrHash => AlgorithmInfo {
+                short_name: "ECR",
+                long_name: "Hash-based random vertex placement",
+                model: EdgeCut,
+                stream: Vertex,
+                cost_metric: "Edge-cut Ratio",
+                parallelization: "Yes (hash, no communication)",
+                method: "Hash",
+            },
+            Ldg => AlgorithmInfo {
+                short_name: "LDG",
+                long_name: "Linear Deterministic Greedy [Stanton & Kliot 2012]",
+                model: EdgeCut,
+                stream: Vertex,
+                cost_metric: "Edge-cut Ratio",
+                parallelization: "Inter-Stream Comm.",
+                method: "Greedy",
+            },
+            Fennel => AlgorithmInfo {
+                short_name: "FNL",
+                long_name: "FENNEL [Tsourakakis et al. 2014]",
+                model: EdgeCut,
+                stream: Vertex,
+                cost_metric: "Edge-cut Ratio",
+                parallelization: "Inter-Stream Comm.",
+                method: "Greedy",
+            },
+            RestreamLdg => AlgorithmInfo {
+                short_name: "reLDG",
+                long_name: "Restreaming LDG [Nishimura & Ugander 2013]",
+                model: EdgeCut,
+                stream: Vertex,
+                cost_metric: "Edge-cut Ratio",
+                parallelization: "Intra-Stream Comm.",
+                method: "Greedy",
+            },
+            RestreamFennel => AlgorithmInfo {
+                short_name: "reFNL",
+                long_name: "Re-FENNEL [Nishimura & Ugander 2013]",
+                model: EdgeCut,
+                stream: Vertex,
+                cost_metric: "Edge-cut Ratio",
+                parallelization: "Intra-Stream Comm.",
+                method: "Greedy",
+            },
+            VcrHash => AlgorithmInfo {
+                short_name: "VCR",
+                long_name: "Hash-based random edge placement",
+                model: VertexCut,
+                stream: Edge,
+                cost_metric: "Replication Factor",
+                parallelization: "Yes (hash, no communication)",
+                method: "Hash",
+            },
+            Dbh => AlgorithmInfo {
+                short_name: "DBH",
+                long_name: "Degree-Based Hashing [Xie et al. 2014]",
+                model: VertexCut,
+                stream: Edge,
+                cost_metric: "Replication Factor",
+                parallelization: "Yes",
+                method: "Hash",
+            },
+            Grid => AlgorithmInfo {
+                short_name: "Grid",
+                long_name: "Constrained grid placement [Jain et al. 2013]",
+                model: VertexCut,
+                stream: Edge,
+                cost_metric: "Replication Factor",
+                parallelization: "Yes",
+                method: "Constrained",
+            },
+            PowerGraphGreedy => AlgorithmInfo {
+                short_name: "PGG",
+                long_name: "PowerGraph oblivious greedy [Gonzalez et al. 2012]",
+                model: VertexCut,
+                stream: Edge,
+                cost_metric: "Replication Factor",
+                parallelization: "Inter-Stream Comm.",
+                method: "Greedy",
+            },
+            Hdrf => AlgorithmInfo {
+                short_name: "HDRF",
+                long_name: "High-Degree Replicated First [Petroni et al. 2015]",
+                model: VertexCut,
+                stream: Edge,
+                cost_metric: "Replication Factor",
+                parallelization: "Inter-Stream Comm.",
+                method: "Greedy",
+            },
+            HybridRandom => AlgorithmInfo {
+                short_name: "HCR",
+                long_name: "PowerLyra hybrid random [Chen et al. 2015]",
+                model: HybridCut,
+                stream: Edge,
+                cost_metric: "Replication Factor",
+                parallelization: "Yes",
+                method: "Hash",
+            },
+            Ginger => AlgorithmInfo {
+                short_name: "HG",
+                long_name: "Ginger [Chen et al. 2015]",
+                model: HybridCut,
+                stream: Hybrid,
+                cost_metric: "Replication Factor",
+                parallelization: "Inter-Stream Comm.",
+                method: "Greedy",
+            },
+            Metis => AlgorithmInfo {
+                short_name: "MTS",
+                long_name: "Multilevel offline partitioner (METIS-like)",
+                model: EdgeCut,
+                stream: Offline,
+                cost_metric: "Edge-cut Ratio",
+                parallelization: "No (offline pre-processing)",
+                method: "Multilevel",
+            },
+        }
+    }
+
+    /// Short Table 2 abbreviation.
+    pub fn short_name(&self) -> &'static str {
+        self.info().short_name
+    }
+
+    /// Parses a Table 2 abbreviation (case-insensitive).
+    pub fn from_short_name(name: &str) -> Option<Algorithm> {
+        Algorithm::all()
+            .iter()
+            .copied()
+            .find(|a| a.short_name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.short_name())
+    }
+}
+
+/// Runs `algorithm` on `g` with the shared config and stream order; the
+/// single entry point the experiment harness uses.
+pub fn partition(
+    g: &Graph,
+    algorithm: Algorithm,
+    cfg: &PartitionerConfig,
+    order: StreamOrder,
+) -> Partitioning {
+    let k = cfg.k;
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    match algorithm {
+        Algorithm::EcrHash => run_vertex_stream(g, &mut HashVertex::new(cfg), k, order),
+        Algorithm::Ldg => run_vertex_stream(g, &mut Ldg::new(cfg, n), k, order),
+        Algorithm::Fennel => run_vertex_stream(g, &mut Fennel::new(cfg, n, m), k, order),
+        Algorithm::RestreamLdg => {
+            run_vertex_stream(g, &mut Restream::new(Ldg::new(cfg, n), 5), k, order)
+        }
+        Algorithm::RestreamFennel => {
+            run_vertex_stream(g, &mut Restream::new(Fennel::new(cfg, n, m), 5), k, order)
+        }
+        Algorithm::VcrHash => run_edge_stream(g, &mut HashEdge::new(cfg), k, order),
+        Algorithm::Dbh => run_edge_stream(g, &mut Dbh::with_exact_degrees(cfg, g), k, order),
+        Algorithm::Grid => run_edge_stream(g, &mut GridConstrained::new(cfg), k, order),
+        Algorithm::PowerGraphGreedy => {
+            run_edge_stream(g, &mut PowerGraphGreedy::new(cfg), k, order)
+        }
+        Algorithm::Hdrf => run_edge_stream(g, &mut Hdrf::new(cfg, m), k, order),
+        Algorithm::HybridRandom => hybrid_random(g, cfg),
+        Algorithm::Ginger => ginger(g, cfg, order),
+        Algorithm::Metis => MultilevelPartitioner::default().partitioning(g, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::QualityReport;
+    use sgp_graph::generators::{erdos_renyi, ErdosRenyiConfig};
+
+    #[test]
+    fn every_algorithm_runs_end_to_end() {
+        let g = erdos_renyi(ErdosRenyiConfig { vertices: 400, edges: 2400, seed: 1 });
+        let cfg = PartitionerConfig::new(4);
+        for &alg in Algorithm::all() {
+            let p = partition(&g, alg, &cfg, StreamOrder::Random { seed: 2 });
+            assert_eq!(p.k, 4, "{alg}");
+            assert_eq!(p.edge_parts.len(), g.num_edges(), "{alg}");
+            let q = QualityReport::measure(&g, &p);
+            assert!(q.replication_factor >= 1.0, "{alg}: rf {}", q.replication_factor);
+            assert!(q.replication_factor <= 4.0, "{alg}: rf exceeds k");
+        }
+    }
+
+    #[test]
+    fn short_names_are_unique() {
+        let mut names: Vec<&str> = Algorithm::all().iter().map(|a| a.short_name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn short_name_roundtrip() {
+        for &a in Algorithm::all() {
+            assert_eq!(Algorithm::from_short_name(a.short_name()), Some(a));
+        }
+        assert_eq!(Algorithm::from_short_name("hdrf"), Some(Algorithm::Hdrf));
+        assert_eq!(Algorithm::from_short_name("nope"), None);
+    }
+
+    #[test]
+    fn suites_match_table2() {
+        assert_eq!(Algorithm::offline_suite().len(), 10);
+        assert_eq!(Algorithm::online_suite().len(), 4);
+        assert!(Algorithm::online_suite()
+            .iter()
+            .all(|a| a.info().model == CutModel::EdgeCut));
+    }
+
+    #[test]
+    fn cut_models_match_taxonomy() {
+        assert_eq!(Algorithm::Hdrf.info().model, CutModel::VertexCut);
+        assert_eq!(Algorithm::Ldg.info().model, CutModel::EdgeCut);
+        assert_eq!(Algorithm::Ginger.info().model, CutModel::HybridCut);
+    }
+}

@@ -1,0 +1,539 @@
+//! Vertex-cut SGP on edge streams (§4.2.2 of the paper): hash, DBH,
+//! constrained Grid, PowerGraph's oblivious greedy, and HDRF.
+//!
+//! These algorithms "distribute edges across the cluster and produce
+//! edge-disjoint partitioning", replicating vertices whose incident edges
+//! land on multiple partitions. The shared mutable state (replica table
+//! `A(u)`, partial degrees, partition edge counts) is the "distributed
+//! table" the paper says greedy methods must synchronize.
+
+use crate::assignment::{fxhash64, hash_to_partition, PartitionId, Partitioning};
+use crate::config::PartitionerConfig;
+use sgp_graph::{Edge, EdgeStream, Graph, StreamOrder};
+
+/// Replica-set table `A(u)` plus partial degree counters and per-partition
+/// edge counts — the state greedy vertex-cut heuristics consult.
+#[derive(Debug, Clone)]
+pub struct EdgeStreamState {
+    k: usize,
+    /// `A(u)`: sorted small vec of partitions vertex `u` currently spans.
+    replicas: Vec<Vec<PartitionId>>,
+    /// Partial degree d(u): number of stream edges seen incident to `u`.
+    partial_degree: Vec<u64>,
+    /// Edges placed in each partition.
+    pub edge_counts: Vec<usize>,
+}
+
+impl EdgeStreamState {
+    /// Fresh state for `n` vertices and `k` partitions.
+    pub fn new(n: usize, k: usize) -> Self {
+        EdgeStreamState {
+            k,
+            replicas: vec![Vec::new(); n],
+            partial_degree: vec![0; n],
+            edge_counts: vec![0; k],
+        }
+    }
+
+    /// The replica set `A(u)`.
+    #[inline]
+    pub fn replicas(&self, u: u32) -> &[PartitionId] {
+        &self.replicas[u as usize]
+    }
+
+    /// Partial degree of `u` (edges seen so far).
+    #[inline]
+    pub fn partial_degree(&self, u: u32) -> u64 {
+        self.partial_degree[u as usize]
+    }
+
+    /// True if `u` already has a replica on partition `p`.
+    #[inline]
+    pub fn has_replica(&self, u: u32, p: PartitionId) -> bool {
+        self.replicas[u as usize].binary_search(&p).is_ok()
+    }
+
+    /// Records edge `e` placed on `p`: updates replica sets, partial
+    /// degrees and edge counts.
+    pub fn record(&mut self, e: Edge, p: PartitionId) {
+        for v in [e.src, e.dst] {
+            let set = &mut self.replicas[v as usize];
+            if let Err(pos) = set.binary_search(&p) {
+                set.insert(pos, p);
+            }
+            self.partial_degree[v as usize] += 1;
+        }
+        self.edge_counts[p as usize] += 1;
+    }
+
+    /// Least-loaded partition among `candidates` (ties → lower id); falls
+    /// back to the global least-loaded when `candidates` is empty.
+    pub fn least_loaded(&self, candidates: &[PartitionId]) -> PartitionId {
+        let pick = |iter: &mut dyn Iterator<Item = PartitionId>| {
+            iter.min_by_key(|&p| (self.edge_counts[p as usize], p)).expect("k >= 1")
+        };
+        if candidates.is_empty() {
+            pick(&mut (0..self.k as PartitionId))
+        } else {
+            pick(&mut candidates.iter().copied())
+        }
+    }
+}
+
+/// A streaming partitioner over edge streams.
+pub trait EdgeStreamPartitioner {
+    /// Chooses a partition for the arriving edge given the shared state.
+    fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId;
+
+    /// Short display name (Table 2 abbreviation).
+    fn name(&self) -> &'static str;
+}
+
+/// Hash-based random edge placement (`VCR`): hashes the concatenation of
+/// the endpoint ids. "Produces perfectly balanced partitions \[but\] is
+/// known to have high communication cost."
+#[derive(Debug, Clone)]
+pub struct HashEdge {
+    k: usize,
+    seed: u64,
+}
+
+impl HashEdge {
+    /// Creates the hash edge partitioner.
+    pub fn new(cfg: &PartitionerConfig) -> Self {
+        HashEdge { k: cfg.k, seed: cfg.seed }
+    }
+}
+
+impl EdgeStreamPartitioner for HashEdge {
+    fn place(&mut self, e: Edge, _state: &EdgeStreamState) -> PartitionId {
+        let key = ((e.src as u64) << 32) | e.dst as u64;
+        (fxhash64(key ^ self.seed) % self.k as u64) as PartitionId
+    }
+
+    fn name(&self) -> &'static str {
+        "VCR"
+    }
+}
+
+/// Degree source for [`Dbh`]: the paper notes DBH "relies on a priori
+/// knowledge of degree information"; the reproduction supports both the
+/// faithful oracle and a streaming-friendly partial-degree approximation.
+#[derive(Debug, Clone)]
+pub enum DegreeSource {
+    /// Exact degrees precomputed from the full graph (the paper's model).
+    Exact(Vec<u64>),
+    /// Partial degrees observed so far in the stream.
+    Partial,
+}
+
+/// Degree-Based Hashing (Xie et al.): "assigns an edge to a partition by
+/// hashing the vertex of smaller degree to preserve the locality of
+/// vertices of lower degree". Embarrassingly parallel.
+#[derive(Debug, Clone)]
+pub struct Dbh {
+    k: usize,
+    seed: u64,
+    degrees: DegreeSource,
+}
+
+impl Dbh {
+    /// DBH with exact degrees computed from `g` (total degree, matching
+    /// the undirected treatment in the DBH paper).
+    pub fn with_exact_degrees(cfg: &PartitionerConfig, g: &Graph) -> Self {
+        let degrees = g.vertices().map(|v| g.degree(v) as u64).collect();
+        Dbh { k: cfg.k, seed: cfg.seed, degrees: DegreeSource::Exact(degrees) }
+    }
+
+    /// DBH with streaming partial degrees.
+    pub fn with_partial_degrees(cfg: &PartitionerConfig) -> Self {
+        Dbh { k: cfg.k, seed: cfg.seed, degrees: DegreeSource::Partial }
+    }
+
+    fn degree_of(&self, v: u32, state: &EdgeStreamState) -> u64 {
+        match &self.degrees {
+            DegreeSource::Exact(d) => d[v as usize],
+            DegreeSource::Partial => state.partial_degree(v),
+        }
+    }
+}
+
+impl EdgeStreamPartitioner for Dbh {
+    fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId {
+        let (du, dv) = (self.degree_of(e.src, state), self.degree_of(e.dst, state));
+        // Hash the endpoint of smaller degree (ties → source, which keeps
+        // the rule deterministic).
+        let anchor = if du <= dv { e.src } else { e.dst };
+        hash_to_partition(anchor, self.k, self.seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "DBH"
+    }
+}
+
+/// Grid-constrained placement (Jain et al., GraphBuilder): partitions are
+/// arranged on an `r × c` grid; each partition's *constrained set* is its
+/// row plus its column. An edge may only go to the intersection of its
+/// endpoints' constrained sets, upper-bounding the replication factor by
+/// `2√k − 1`. Embarrassingly parallel.
+#[derive(Debug, Clone)]
+pub struct GridConstrained {
+    k: usize,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+}
+
+impl GridConstrained {
+    /// Creates the grid partitioner; `k` is factored into the most square
+    /// `r × c ≤ k` grid (excess ids fold onto the grid by modulo).
+    pub fn new(cfg: &PartitionerConfig) -> Self {
+        let (rows, cols) = squarest_factorization(cfg.k);
+        GridConstrained { k: cfg.k, rows, cols, seed: cfg.seed }
+    }
+
+    /// The constrained set (row ∪ column) of partition `p`.
+    fn constrained_set(&self, p: PartitionId) -> Vec<PartitionId> {
+        let (r, c) = (p as usize / self.cols, p as usize % self.cols);
+        let mut set = Vec::with_capacity(self.rows + self.cols - 1);
+        for j in 0..self.cols {
+            set.push((r * self.cols + j) as PartitionId);
+        }
+        for i in 0..self.rows {
+            if i != r {
+                set.push((i * self.cols + c) as PartitionId);
+            }
+        }
+        set.retain(|&x| (x as usize) < self.k);
+        set.sort_unstable();
+        set
+    }
+
+    fn shard(&self, v: u32) -> PartitionId {
+        hash_to_partition(v, self.rows * self.cols, self.seed) % self.k as PartitionId
+    }
+}
+
+impl EdgeStreamPartitioner for GridConstrained {
+    fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId {
+        let (pu, pv) = (self.shard(e.src), self.shard(e.dst));
+        let (su, sv) = (self.constrained_set(pu), self.constrained_set(pv));
+        let mut common: Vec<PartitionId> =
+            su.iter().copied().filter(|p| sv.binary_search(p).is_ok()).collect();
+        if common.is_empty() {
+            // Can only happen when k is not a perfect grid and folding
+            // clipped the sets; fall back to the union.
+            common = su;
+            common.extend(sv);
+            common.sort_unstable();
+            common.dedup();
+        }
+        state.least_loaded(&common)
+    }
+
+    fn name(&self) -> &'static str {
+        "Grid"
+    }
+}
+
+/// The most square `r × c = k` factorization (r ≤ c). For prime `k` this
+/// degenerates to `1 × k`, whose constrained set is the full row — the
+/// same behaviour as the GraphBuilder implementation.
+fn squarest_factorization(k: usize) -> (usize, usize) {
+    let mut r = (k as f64).sqrt() as usize;
+    while r > 1 && !k.is_multiple_of(r) {
+        r -= 1;
+    }
+    (r.max(1), k / r.max(1))
+}
+
+/// PowerGraph's oblivious greedy heuristic (§4.2.2 discusses its
+/// sensitivity to stream order). Placement rules from the PowerGraph
+/// paper:
+///
+/// 1. both endpoints share a partition → least-loaded common one;
+/// 2. both have replicas but disjoint → choose from the replica set of
+///    the endpoint with more remaining edges (approximated by partial
+///    degree, the oblivious variant);
+/// 3. one endpoint has replicas → least-loaded among them;
+/// 4. neither → globally least-loaded.
+#[derive(Debug, Clone)]
+pub struct PowerGraphGreedy;
+
+impl PowerGraphGreedy {
+    /// Creates the greedy partitioner (stateless besides shared state).
+    pub fn new(_cfg: &PartitionerConfig) -> Self {
+        PowerGraphGreedy
+    }
+}
+
+impl EdgeStreamPartitioner for PowerGraphGreedy {
+    fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId {
+        let (au, av) = (state.replicas(e.src), state.replicas(e.dst));
+        match (au.is_empty(), av.is_empty()) {
+            (false, false) => {
+                let common: Vec<PartitionId> =
+                    au.iter().copied().filter(|p| av.binary_search(p).is_ok()).collect();
+                if !common.is_empty() {
+                    state.least_loaded(&common)
+                } else {
+                    // Rule 2: richer endpoint (more unseen edges ≈ higher
+                    // partial degree) keeps its locality.
+                    let pick =
+                        if state.partial_degree(e.src) >= state.partial_degree(e.dst) { au } else { av };
+                    state.least_loaded(pick)
+                }
+            }
+            (false, true) => state.least_loaded(au),
+            (true, false) => state.least_loaded(av),
+            (true, true) => state.least_loaded(&[]),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "PGG"
+    }
+}
+
+/// HDRF — High-Degree (are) Replicated First (Petroni et al.), Eq. (7):
+///
+/// `argmax_i g(v,P_i) + g(u,P_i) + λ(1 − |e(P_i)|/C)` with
+/// `g(v,P_i) = (1 + (1 − θ(v)))·1_{A(v)∋P_i}` and
+/// `θ(u) = d(u)/(d(u)+d(v))` over *partial* degrees —
+/// "avoiding a pre-processing step to calculate the exact vertex
+/// degrees". λ > 1 escapes the degenerate single-partition behaviour of
+/// plain greedy on BFS-ordered streams.
+#[derive(Debug, Clone)]
+pub struct Hdrf {
+    k: usize,
+    lambda: f64,
+    capacity: f64,
+}
+
+impl Hdrf {
+    /// Creates HDRF for a graph with `m` edges.
+    pub fn new(cfg: &PartitionerConfig, m: usize) -> Self {
+        Hdrf { k: cfg.k, lambda: cfg.hdrf_lambda, capacity: cfg.edge_capacity(m).max(1.0) }
+    }
+}
+
+impl EdgeStreamPartitioner for Hdrf {
+    fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId {
+        // Partial degrees +1 so the very first edge of a vertex does not
+        // divide by zero (the HDRF reference implementation does the same).
+        let du = state.partial_degree(e.src) as f64 + 1.0;
+        let dv = state.partial_degree(e.dst) as f64 + 1.0;
+        let theta_u = du / (du + dv);
+        let theta_v = 1.0 - theta_u;
+        let mut best = (f64::NEG_INFINITY, 0 as PartitionId);
+        for i in 0..self.k as PartitionId {
+            let mut score = self.lambda * (1.0 - state.edge_counts[i as usize] as f64 / self.capacity);
+            if state.has_replica(e.src, i) {
+                score += 1.0 + (1.0 - theta_u);
+            }
+            if state.has_replica(e.dst, i) {
+                score += 1.0 + (1.0 - theta_v);
+            }
+            if score > best.0 + 1e-12
+                || ((score - best.0).abs() <= 1e-12
+                    && state.edge_counts[i as usize] < state.edge_counts[best.1 as usize])
+            {
+                best = (score, i);
+            }
+        }
+        best.1
+    }
+
+    fn name(&self) -> &'static str {
+        "HDRF"
+    }
+}
+
+/// Runs an edge-stream partitioner over `g` and returns the resulting
+/// vertex-cut [`Partitioning`].
+pub fn run_edge_stream<P: EdgeStreamPartitioner>(
+    g: &Graph,
+    partitioner: &mut P,
+    k: usize,
+    order: StreamOrder,
+) -> Partitioning {
+    let mut state = EdgeStreamState::new(g.num_vertices(), k);
+    let mut edge_parts = vec![0 as PartitionId; g.num_edges()];
+    for e in EdgeStream::new(g, order) {
+        let p = partitioner.place(e, &state);
+        debug_assert!((p as usize) < k, "partitioner returned out-of-range id");
+        state.record(e, p);
+        let idx = g.edge_index(e.src, e.dst).expect("stream edge exists in graph");
+        edge_parts[idx] = p;
+    }
+    Partitioning::from_edge_parts(g, k, edge_parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use sgp_graph::generators::{erdos_renyi, rmat, ErdosRenyiConfig, RmatConfig};
+
+    fn cfg(k: usize) -> PartitionerConfig {
+        PartitionerConfig::new(k)
+    }
+
+    fn twitter_like() -> Graph {
+        rmat(RmatConfig { scale: 11, edge_factor: 12, ..RmatConfig::default() })
+    }
+
+    #[test]
+    fn hash_edge_balanced_and_order_independent() {
+        let g = erdos_renyi(ErdosRenyiConfig { vertices: 2000, edges: 20_000, seed: 3 });
+        let c = cfg(8);
+        let a = run_edge_stream(&g, &mut HashEdge::new(&c), 8, StreamOrder::Natural);
+        let b = run_edge_stream(&g, &mut HashEdge::new(&c), 8, StreamOrder::Random { seed: 1 });
+        assert_eq!(a.edge_parts, b.edge_parts);
+        assert!(metrics::load_imbalance(&a.edges_per_partition()) < 1.1);
+    }
+
+    #[test]
+    fn dbh_beats_hash_on_skewed_graph() {
+        let g = twitter_like();
+        let c = cfg(16);
+        let hash = run_edge_stream(&g, &mut HashEdge::new(&c), 16, StreamOrder::Random { seed: 2 });
+        let dbh = run_edge_stream(
+            &g,
+            &mut Dbh::with_exact_degrees(&c, &g),
+            16,
+            StreamOrder::Random { seed: 2 },
+        );
+        let rf_hash = metrics::replication_factor(&g, &hash);
+        let rf_dbh = metrics::replication_factor(&g, &dbh);
+        assert!(rf_dbh < rf_hash, "DBH RF {rf_dbh} should beat hash RF {rf_hash}");
+    }
+
+    #[test]
+    fn dbh_partial_close_to_exact() {
+        let g = twitter_like();
+        let c = cfg(8);
+        let exact = run_edge_stream(
+            &g,
+            &mut Dbh::with_exact_degrees(&c, &g),
+            8,
+            StreamOrder::Random { seed: 4 },
+        );
+        let partial = run_edge_stream(
+            &g,
+            &mut Dbh::with_partial_degrees(&c),
+            8,
+            StreamOrder::Random { seed: 4 },
+        );
+        let (re, rp) =
+            (metrics::replication_factor(&g, &exact), metrics::replication_factor(&g, &partial));
+        assert!((re - rp).abs() / re < 0.35, "partial DBH ({rp}) far from exact ({re})");
+    }
+
+    #[test]
+    fn grid_respects_replication_bound() {
+        let g = twitter_like();
+        let k = 16; // 4x4 grid: bound = 2*sqrt(16) - 1 = 7
+        let c = cfg(k);
+        let p = run_edge_stream(&g, &mut GridConstrained::new(&c), k, StreamOrder::Random { seed: 5 });
+        let sets = p.replica_sets(&g);
+        let bound = 2 * (k as f64).sqrt() as usize - 1;
+        for (v, set) in sets.iter().enumerate() {
+            assert!(set.len() <= bound, "vertex {v} spans {} > {bound} partitions", set.len());
+        }
+    }
+
+    #[test]
+    fn grid_constrained_sets_intersect() {
+        let c = cfg(16);
+        let grid = GridConstrained::new(&c);
+        for a in 0..16 {
+            for b in 0..16 {
+                let sa = grid.constrained_set(a);
+                let sb = grid.constrained_set(b);
+                assert!(
+                    sa.iter().any(|p| sb.binary_search(p).is_ok()),
+                    "constrained sets of {a} and {b} must intersect"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn squarest_factorization_cases() {
+        assert_eq!(squarest_factorization(16), (4, 4));
+        assert_eq!(squarest_factorization(8), (2, 4));
+        assert_eq!(squarest_factorization(7), (1, 7));
+        assert_eq!(squarest_factorization(12), (3, 4));
+        assert_eq!(squarest_factorization(1), (1, 1));
+    }
+
+    #[test]
+    fn hdrf_beats_greedy_on_bfs_order() {
+        // §4.2.2: plain greedy degenerates on BFS streams; HDRF's λ > 1
+        // keeps balance.
+        let g = twitter_like();
+        let c = cfg(8);
+        let greedy = run_edge_stream(&g, &mut PowerGraphGreedy::new(&c), 8, StreamOrder::Bfs);
+        let hdrf = run_edge_stream(&g, &mut Hdrf::new(&c, g.num_edges()), 8, StreamOrder::Bfs);
+        let imb_greedy = metrics::load_imbalance(&greedy.edges_per_partition());
+        let imb_hdrf = metrics::load_imbalance(&hdrf.edges_per_partition());
+        assert!(
+            imb_hdrf < imb_greedy || imb_hdrf < 1.2,
+            "HDRF balance {imb_hdrf} should beat greedy {imb_greedy} on BFS order"
+        );
+    }
+
+    #[test]
+    fn hdrf_produces_balanced_edges() {
+        let g = twitter_like();
+        let c = cfg(16);
+        let p = run_edge_stream(&g, &mut Hdrf::new(&c, g.num_edges()), 16, StreamOrder::Random { seed: 6 });
+        let imb = metrics::load_imbalance(&p.edges_per_partition());
+        assert!(imb < 1.25, "HDRF edge imbalance {imb}");
+    }
+
+    #[test]
+    fn hdrf_beats_hash_on_replication() {
+        let g = twitter_like();
+        let c = cfg(16);
+        let hash = run_edge_stream(&g, &mut HashEdge::new(&c), 16, StreamOrder::Random { seed: 7 });
+        let hdrf = run_edge_stream(&g, &mut Hdrf::new(&c, g.num_edges()), 16, StreamOrder::Random { seed: 7 });
+        let (rh, rd) =
+            (metrics::replication_factor(&g, &hash), metrics::replication_factor(&g, &hdrf));
+        assert!(rd < 0.8 * rh, "HDRF RF {rd} should clearly beat hash {rh}");
+    }
+
+    #[test]
+    fn all_edges_assigned_in_range() {
+        let g = erdos_renyi(ErdosRenyiConfig { vertices: 300, edges: 1500, seed: 8 });
+        let c = cfg(5);
+        for p in [
+            run_edge_stream(&g, &mut HashEdge::new(&c), 5, StreamOrder::Bfs),
+            run_edge_stream(&g, &mut Dbh::with_partial_degrees(&c), 5, StreamOrder::Dfs),
+            run_edge_stream(&g, &mut GridConstrained::new(&c), 5, StreamOrder::Natural),
+            run_edge_stream(&g, &mut PowerGraphGreedy::new(&c), 5, StreamOrder::Natural),
+            run_edge_stream(&g, &mut Hdrf::new(&c, g.num_edges()), 5, StreamOrder::Natural),
+        ] {
+            assert_eq!(p.edge_parts.len(), g.num_edges());
+            assert!(p.edge_parts.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn greedy_keeps_star_local() {
+        // A star's edges all share the hub; greedy should co-locate most
+        // of them until balance forces spill.
+        let mut b = sgp_graph::GraphBuilder::new();
+        for i in 1..=40u32 {
+            b.push_edge(0, i);
+        }
+        let g = b.build();
+        let c = cfg(4);
+        let p = run_edge_stream(&g, &mut PowerGraphGreedy::new(&c), 4, StreamOrder::Natural);
+        let rf = metrics::replication_factor(&g, &p);
+        // Leaves have one edge each (RF 1); hub replicates on at most k.
+        assert!(rf < 1.2, "greedy star RF {rf}");
+    }
+}

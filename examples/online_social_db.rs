@@ -1,0 +1,52 @@
+//! Online graph-query scenario (the paper's §6.3): serve a skewed 1-hop
+//! workload on a JanusGraph-like cluster and compare hash partitioning
+//! against LDG/FENNEL/METIS under medium and high load.
+//!
+//! Run with: `cargo run --release --example online_social_db`
+
+use streaming_graph_partitioning::prelude::*;
+
+fn main() {
+    let graph = Dataset::LdbcSnb.generate(Scale::Small);
+    let k = 8;
+    println!(
+        "1-hop workload on an LDBC-SNB-like graph ({} persons, {} friendships), {k} machines\n",
+        graph.num_vertices(),
+        graph.num_edges() / 2,
+    );
+
+    println!(
+        "{:<6} {:>10} | {:>12} {:>10} {:>10} | {:>12} {:>10} {:>10}",
+        "alg", "edge-cut", "thr (med)", "mean ms", "p99 ms", "thr (high)", "mean ms", "p99 ms"
+    );
+    for alg in [Algorithm::EcrHash, Algorithm::Ldg, Algorithm::Fennel, Algorithm::Metis] {
+        let store = runners::build_store(&graph, alg, k);
+        let workload = Workload::generate(
+            &graph,
+            WorkloadKind::OneHop,
+            1000,
+            Skew::Zipf { theta: 0.9 },
+            42,
+        );
+        let sim = ClusterSim::prepare(&store, &workload);
+        let medium = sim.run(&SimConfig::for_load(LoadLevel::Medium));
+        let high = sim.run(&SimConfig::for_load(LoadLevel::High));
+        println!(
+            "{:<6} {:>10.3} | {:>12.0} {:>10.2} {:>10.2} | {:>12.0} {:>10.2} {:>10.2}",
+            alg,
+            store.edge_cut_ratio(),
+            medium.throughput_qps,
+            medium.mean_latency_ms,
+            medium.p99_latency_ms,
+            high.throughput_qps,
+            high.mean_latency_ms,
+            high.p99_latency_ms,
+        );
+    }
+
+    println!(
+        "\nThe paper's Table 5 shape: better edge-cut ratios help under medium load,\n\
+         but workload skew turns locality into hotspots — hash keeps the best tail\n\
+         latency once the system is overloaded."
+    );
+}

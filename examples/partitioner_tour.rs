@@ -1,0 +1,55 @@
+//! A tour of every partitioning algorithm in the study (Table 1) across
+//! all four dataset stand-ins, ending with the decision-tree
+//! recommendation for each graph.
+//!
+//! Run with: `cargo run --release --example partitioner_tour`
+
+use streaming_graph_partitioning::prelude::*;
+
+fn main() {
+    let k = 8;
+    let config = PartitionerConfig::new(k);
+
+    println!("Table 1 — algorithm taxonomy:");
+    println!(
+        "{:<7} {:<11} {:<8} {:<20} {:<30}",
+        "name", "model", "stream", "cost metric", "parallelization"
+    );
+    for alg in Algorithm::all() {
+        let info = alg.info();
+        println!(
+            "{:<7} {:<11} {:<8} {:<20} {:<30}",
+            info.short_name,
+            info.model.to_string(),
+            format!("{:?}", info.stream),
+            info.cost_metric,
+            info.parallelization
+        );
+    }
+
+    for dataset in Dataset::all() {
+        let graph = dataset.generate(Scale::Tiny);
+        let stats = sgp_graph::GraphStats::of(&graph);
+        println!("\n=== {dataset} ({stats}) ===");
+        println!("{:<7} {:>8} {:>10} {:>10}", "alg", "RF", "edge-cut", "edge-imb");
+        for alg in Algorithm::all() {
+            let p = partition(&graph, *alg, &config, StreamOrder::default());
+            let q = sgp_partition::metrics::QualityReport::measure(&graph, &p);
+            println!(
+                "{:<7} {:>8.3} {:>10} {:>10.3}",
+                alg.short_name(),
+                q.replication_factor,
+                q.edge_cut_ratio.map(|e| format!("{e:.3}")).unwrap_or_else(|| "-".into()),
+                q.edge_imbalance,
+            );
+        }
+        let rec =
+            sgp_core::decision::recommend_for_graph(&graph, WorkloadClass::OfflineAnalytics);
+        println!("decision tree (analytics): {}", rec.algorithm);
+    }
+
+    println!("\nonline queries, latency-critical: {}",
+        recommend(WorkloadClass::OnlineQueries, None, Some(OnlineObjective::TailLatency)).algorithm);
+    println!("online queries, throughput-oriented: {}",
+        recommend(WorkloadClass::OnlineQueries, None, Some(OnlineObjective::Throughput)).algorithm);
+}

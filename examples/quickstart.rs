@@ -1,0 +1,48 @@
+//! Quickstart: partition a synthetic social graph with several streaming
+//! algorithms and compare their structural quality.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use streaming_graph_partitioning::prelude::*;
+
+fn main() {
+    // 1. Generate a Twitter-like graph (an R-MAT stand-in for the
+    //    paper's 1.46B-edge crawl, at laptop scale).
+    let graph = Dataset::Twitter.generate(Scale::Small);
+    println!(
+        "graph: {} vertices, {} edges, max degree {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // 2. Partition it 8 ways with a few representative algorithms.
+    let k = 8;
+    let config = PartitionerConfig::new(k);
+    println!("\n{:<6} {:>6} {:>9} {:>10} {:>12}", "alg", "k", "RF", "edge-cut", "imbalance");
+    for alg in [
+        Algorithm::EcrHash,
+        Algorithm::Ldg,
+        Algorithm::Fennel,
+        Algorithm::VcrHash,
+        Algorithm::Dbh,
+        Algorithm::Hdrf,
+        Algorithm::Ginger,
+        Algorithm::Metis,
+    ] {
+        let p = partition(&graph, alg, &config, StreamOrder::default());
+        let rf = replication_factor(&graph, &p);
+        let ecr = edge_cut_ratio(&graph, &p)
+            .map(|e| format!("{e:.3}"))
+            .unwrap_or_else(|| "-".to_string());
+        let imbalance = load_imbalance(&p.edges_per_partition());
+        println!("{:<6} {:>6} {:>9.3} {:>10} {:>12.3}", alg, k, rf, ecr, imbalance);
+    }
+
+    // 3. Ask the paper's decision tree (Fig. 9) what to use here.
+    let rec = sgp_core::decision::recommend_for_graph(&graph, WorkloadClass::OfflineAnalytics);
+    println!("\ndecision tree recommends: {}", rec.algorithm);
+    for step in &rec.reasoning {
+        println!("  - {step}");
+    }
+}

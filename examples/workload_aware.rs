@@ -1,0 +1,40 @@
+//! The paper's Fig. 8 scenario: record which vertices a skewed 1-hop
+//! workload actually touches, repartition the *access-weighted* graph
+//! with the multilevel partitioner, and compare throughput and load
+//! balance against the structural-only partitionings.
+//!
+//! Run with: `cargo run --release --example workload_aware`
+
+use sgp_core::runners::{workload_aware_suite, OnlineRunConfig};
+use streaming_graph_partitioning::prelude::*;
+
+fn main() {
+    let graph = Dataset::LdbcSnb.generate(Scale::Small);
+    let k = 8;
+    let run_cfg = OnlineRunConfig {
+        skew: Skew::Zipf { theta: 1.1 },
+        ..OnlineRunConfig::for_load(LoadLevel::High)
+    };
+
+    println!(
+        "workload-aware repartitioning on an SNB-like graph, {k} machines, Zipf(1.1) 1-hop workload\n"
+    );
+    println!("{:<8} {:>14} {:>12}", "config", "throughput", "load RSD");
+    let rows = workload_aware_suite(&graph, k, &run_cfg);
+    for row in &rows {
+        println!("{:<8} {:>14.0} {:>12.3}", row.label, row.throughput_qps, row.load_rsd);
+    }
+
+    let mts = rows.iter().find(|r| r.label == "MTS").expect("MTS row");
+    let weighted = rows.iter().find(|r| r.label == "MTS (W)").expect("MTS (W) row");
+    println!(
+        "\nweighted vs structural METIS: {:+.1}% throughput, load RSD {:.3} → {:.3}",
+        (weighted.throughput_qps / mts.throughput_qps - 1.0) * 100.0,
+        mts.load_rsd,
+        weighted.load_rsd,
+    );
+    println!(
+        "(the paper reports 13%–35% throughput improvement and a balanced load\n\
+         distribution from partitioning with complete workload information)"
+    );
+}

@@ -1,0 +1,216 @@
+//! `sgp` — command-line front end for the streaming-graph-partitioning
+//! library.
+//!
+//! ```text
+//! sgp stats <input>
+//! sgp partition --alg HDRF --k 8 [--order natural|random|bfs|dfs] [--out FILE] <input>
+//! sgp recommend [--online] <input>
+//! sgp scaleout [--workload pagerank|wcc|sssp] [--candidates 4,8,16,...] <input>
+//! ```
+//!
+//! `<input>` is either a whitespace edge-list file or a named synthetic
+//! dataset: `dataset:twitter`, `dataset:ukweb`, `dataset:usaroad`,
+//! `dataset:ldbcsnb` (scale via `SGP_SCALE`).
+
+use std::io::Write;
+use streaming_graph_partitioning::core::runners::OfflineWorkload;
+use streaming_graph_partitioning::core::scaleout::recommend_scale_out;
+use streaming_graph_partitioning::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  sgp stats <input>\n  sgp partition --alg <NAME> --k <K> [--order natural|random|bfs|dfs] [--out FILE] <input>\n  sgp recommend [--online] <input>\n  sgp scaleout [--workload pagerank|wcc|sssp] [--candidates 4,8,16] <input>\n\ninputs: an edge-list file, or dataset:twitter|ukweb|usaroad|ldbcsnb"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn load_graph(input: &str) -> Graph {
+    if let Some(name) = input.strip_prefix("dataset:") {
+        let dataset = match name.to_ascii_lowercase().as_str() {
+            "twitter" => Dataset::Twitter,
+            "ukweb" | "uk2007" | "uk2007-05" => Dataset::UkWeb,
+            "usaroad" | "usa-road" | "road" => Dataset::UsaRoad,
+            "ldbcsnb" | "snb" | "ldbc-snb" => Dataset::LdbcSnb,
+            other => fail(&format!("unknown dataset '{other}'")),
+        };
+        dataset.generate(Scale::from_env())
+    } else {
+        match streaming_graph_partitioning::graph::io::read_edge_list_file(input) {
+            Ok(g) => g,
+            Err(e) => fail(&format!("cannot read {input}: {e}")),
+        }
+    }
+}
+
+fn parse_order(s: &str) -> StreamOrder {
+    match s.to_ascii_lowercase().as_str() {
+        "natural" => StreamOrder::Natural,
+        "random" => StreamOrder::default(),
+        "bfs" => StreamOrder::Bfs,
+        "dfs" => StreamOrder::Dfs,
+        other => fail(&format!("unknown stream order '{other}'")),
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut switches = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // Value-taking flags; everything else is a switch.
+            if ["alg", "k", "order", "out", "workload", "candidates"].contains(&name) {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => {
+                        flags.insert(name.to_string(), v.clone());
+                    }
+                    None => fail(&format!("--{name} needs a value")),
+                }
+            } else {
+                switches.push(name.to_string());
+            }
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Args { positional, flags, switches }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let command = argv[0].as_str();
+    let args = parse_args(&argv[1..]);
+    let input = args.positional.first().cloned().unwrap_or_else(|| usage());
+
+    match command {
+        "stats" => {
+            let g = load_graph(&input);
+            let s = streaming_graph_partitioning::graph::GraphStats::of(&g);
+            println!("vertices        {}", s.vertices);
+            println!("edges           {}", s.edges);
+            println!("avg degree      {:.2}", s.avg_degree);
+            println!("max degree      {}", s.max_degree);
+            println!("degree gini     {:.3}", s.degree_gini);
+            println!("power-law R^2   {:.3}", s.powerlaw_fit_r2);
+            println!("class           {}", s.classify());
+        }
+        "partition" => {
+            let g = load_graph(&input);
+            let alg_name = args.flags.get("alg").map(String::as_str).unwrap_or("HDRF");
+            let alg = Algorithm::from_short_name(alg_name)
+                .unwrap_or_else(|| fail(&format!("unknown algorithm '{alg_name}'")));
+            let k: usize = args
+                .flags
+                .get("k")
+                .map(|v| v.parse().unwrap_or_else(|_| fail("--k must be an integer")))
+                .unwrap_or(8);
+            let order =
+                args.flags.get("order").map(|s| parse_order(s)).unwrap_or_default();
+            let cfg = PartitionerConfig::new(k);
+            let start = std::time::Instant::now();
+            let p = partition(&g, alg, &cfg, order);
+            let elapsed = start.elapsed();
+            let q = streaming_graph_partitioning::partition::metrics::QualityReport::measure(&g, &p);
+            eprintln!(
+                "{alg} k={k}: RF={:.3}{} edge-imbalance={:.3} in {:.2?}",
+                q.replication_factor,
+                q.edge_cut_ratio.map(|e| format!(" ECR={e:.3}")).unwrap_or_default(),
+                q.edge_imbalance,
+                elapsed
+            );
+            let mut out: Box<dyn Write> = match args.flags.get("out") {
+                Some(path) => Box::new(
+                    std::fs::File::create(path)
+                        .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}"))),
+                ),
+                None => Box::new(std::io::stdout().lock()),
+            };
+            match &p.vertex_owner {
+                Some(owner) => {
+                    writeln!(out, "# vertex partition ({} vertices, k={k})", owner.len()).unwrap();
+                    for (v, part) in owner.iter().enumerate() {
+                        writeln!(out, "{v} {part}").unwrap();
+                    }
+                }
+                None => {
+                    writeln!(out, "# edge partition ({} edges, k={k})", p.edge_parts.len())
+                        .unwrap();
+                    for (e, part) in g.edges().zip(&p.edge_parts) {
+                        writeln!(out, "{} {} {part}", e.src, e.dst).unwrap();
+                    }
+                }
+            }
+        }
+        "recommend" => {
+            let g = load_graph(&input);
+            let rec = if args.switches.iter().any(|s| s == "online") {
+                recommend(WorkloadClass::OnlineQueries, None, Some(OnlineObjective::TailLatency))
+            } else {
+                streaming_graph_partitioning::core::decision::recommend_for_graph(
+                    &g,
+                    WorkloadClass::OfflineAnalytics,
+                )
+            };
+            println!("recommended algorithm: {}", rec.algorithm);
+            for step in &rec.reasoning {
+                println!("  - {step}");
+            }
+        }
+        "scaleout" => {
+            let g = load_graph(&input);
+            let workload = match args
+                .flags
+                .get("workload")
+                .map(String::as_str)
+                .unwrap_or("pagerank")
+                .to_ascii_lowercase()
+                .as_str()
+            {
+                "pagerank" | "pr" => OfflineWorkload::PageRank,
+                "wcc" => OfflineWorkload::Wcc,
+                "sssp" => OfflineWorkload::Sssp,
+                other => fail(&format!("unknown workload '{other}'")),
+            };
+            let candidates: Vec<usize> = args
+                .flags
+                .get("candidates")
+                .map(String::as_str)
+                .unwrap_or("4,8,16,32")
+                .split(',')
+                .map(|s| s.trim().parse().unwrap_or_else(|_| fail("bad --candidates list")))
+                .collect();
+            let report = recommend_scale_out(&g, workload, &candidates, 0.1);
+            println!("partitioner: {} (decision tree)", report.algorithm);
+            println!("{:<6} {:>12} {:>14} {:>12}", "k", "exec (s)", "network", "comm/comp");
+            for p in &report.points {
+                println!(
+                    "{:<6} {:>12.4} {:>14} {:>12.3}",
+                    p.k,
+                    p.exec_seconds,
+                    streaming_graph_partitioning::core::report::human_bytes(p.network_bytes),
+                    p.comm_to_comp
+                );
+            }
+            println!("recommended scale-out factor: k = {}", report.recommended_k);
+        }
+        _ => usage(),
+    }
+}

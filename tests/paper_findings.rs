@@ -1,0 +1,226 @@
+//! Integration tests asserting the *shape* of the paper's key findings
+//! (§6.1) on the synthetic stand-ins. Absolute numbers differ from the
+//! paper's EC2 clusters; orderings and trends are what we reproduce.
+
+use sgp_core::runners::{self, OfflineWorkload};
+use sgp_partition::metrics;
+use streaming_graph_partitioning::prelude::*;
+
+fn twitter() -> Graph {
+    Dataset::Twitter.generate(Scale::Tiny)
+}
+
+fn road() -> Graph {
+    Dataset::UsaRoad.generate(Scale::Tiny)
+}
+
+/// Fig. 2 (USA-Road panel): "Edge-cut SGP algorithms FNL and LDG
+/// outperform their vertex-cut counterparts on USA-Road network [...]
+/// vertex-cut SGP algorithms unnecessarily replicate these low degree
+/// vertices." The counterparts here are the hash/constrained family
+/// (VCR, DBH, Grid); the sequential greedy vertex-cuts (HDRF) stay
+/// competitive in our idealized single-loader simulation — see
+/// EXPERIMENTS.md for that documented deviation. Under the paper's
+/// natural (spatially coherent) disk order, FNL/LDG drop well below 1.6.
+#[test]
+fn finding_edge_cut_wins_on_road_networks() {
+    let g = road();
+    let cfg = PartitionerConfig::new(8);
+    let order = runners::default_order();
+    let rf = |alg| {
+        let p = partition(&g, alg, &cfg, order);
+        metrics::replication_factor(&g, &p)
+    };
+    let (fnl, ldg) = (rf(Algorithm::Fennel), rf(Algorithm::Ldg));
+    for counterpart in [Algorithm::VcrHash, Algorithm::Dbh, Algorithm::Grid] {
+        let c = rf(counterpart);
+        assert!(fnl < c, "FNL {fnl} vs {counterpart:?} {c}");
+        assert!(ldg < c, "LDG {ldg} vs {counterpart:?} {c}");
+    }
+    // With the natural (row-major) order real DIMACS files ship in,
+    // edge-cut exploits the spatial locality directly.
+    let p_nat = partition(&g, Algorithm::Fennel, &cfg, StreamOrder::Natural);
+    assert!(metrics::replication_factor(&g, &p_nat) < 1.7);
+}
+
+/// Fig. 2 (Twitter panel): "Vertex-cut and hybrid-cut SGP algorithms are
+/// more effective on the Twitter graph [...] HG, HDRF and DBH deliver a
+/// lower replication factor than that of MTS."
+#[test]
+fn finding_degree_aware_beats_mts_on_twitter() {
+    let g = twitter();
+    let cfg = PartitionerConfig::new(16);
+    let order = runners::default_order();
+    let rf = |alg| {
+        let p = partition(&g, alg, &cfg, order);
+        metrics::replication_factor(&g, &p)
+    };
+    let mts = rf(Algorithm::Metis);
+    for alg in [Algorithm::Hdrf, Algorithm::Dbh, Algorithm::Ginger] {
+        let r = rf(alg);
+        assert!(r < mts, "{alg:?} RF {r} should beat MTS {mts} on a heavy-tailed graph");
+    }
+}
+
+/// §6.1: "edge-cut SGP methods incur less network communication than
+/// vertex-cut methods for the same cut size for offline graph analytics
+/// with uni-directional communication" (PageRank).
+#[test]
+fn finding_edge_cut_cheaper_per_cut_for_pagerank() {
+    let g = twitter();
+    let points = runners::fig1_scatter(
+        &g,
+        OfflineWorkload::PageRank,
+        &[4, 8, 16],
+        &[Algorithm::EcrHash, Algorithm::Ldg, Algorithm::Fennel, Algorithm::VcrHash, Algorithm::Hdrf],
+    );
+    let slope = |series: &str| {
+        let pts: Vec<_> = points.iter().filter(|p| p.series == series).cloned().collect();
+        runners::series_slope(&pts)
+    };
+    assert!(
+        slope("edge-cut") < slope("vertex-cut"),
+        "edge-cut {} vs vertex-cut {}",
+        slope("edge-cut"),
+        slope("vertex-cut")
+    );
+}
+
+/// Fig. 1(b)(c): for WCC (bi-directional communication) the cut models
+/// behave similarly — the edge-cut advantage shrinks drastically.
+#[test]
+fn finding_wcc_slopes_converge() {
+    let g = twitter();
+    let algs =
+        [Algorithm::EcrHash, Algorithm::Ldg, Algorithm::VcrHash, Algorithm::Hdrf];
+    let slope = |workload| {
+        let points = runners::fig1_scatter(&g, workload, &[4, 8], &algs);
+        let ec: Vec<_> = points.iter().filter(|p| p.series == "edge-cut").cloned().collect();
+        let vc: Vec<_> = points.iter().filter(|p| p.series == "vertex-cut").cloned().collect();
+        runners::series_slope(&vc) / runners::series_slope(&ec).max(1e-12)
+    };
+    let pr_gap = slope(OfflineWorkload::PageRank);
+    let wcc_gap = slope(OfflineWorkload::Wcc);
+    assert!(
+        wcc_gap < pr_gap,
+        "WCC slope gap ({wcc_gap:.2}x) must be smaller than PageRank's ({pr_gap:.2}x)"
+    );
+}
+
+/// Fig. 4(b): "edge-cut methods perform poorly in skewed graphs as all
+/// edges of high-degree vertices are grouped together, causing a subset
+/// of machines to be overloaded" — while vertex-cut stays balanced.
+#[test]
+fn finding_edge_cut_imbalanced_on_skewed_graphs() {
+    let g = twitter();
+    let cfg = PartitionerConfig::new(16);
+    let order = runners::default_order();
+    let spread = |alg| {
+        let p = partition(&g, alg, &cfg, order);
+        let placement = Placement::build(&g, &p);
+        let report = runners::run_offline_workload(
+            &g,
+            &placement,
+            OfflineWorkload::PageRank,
+            &EngineOptions::default(),
+        );
+        let d = report.compute_time_distribution();
+        d[4] / d[2].max(1e-12) // max / median
+    };
+    let ec = spread(Algorithm::Ldg);
+    let vc = spread(Algorithm::Hdrf);
+    assert!(ec > vc, "edge-cut max/median spread {ec:.2} should exceed vertex-cut {vc:.2}");
+}
+
+/// Fig. 4(a): on low-degree road networks, edge-cut achieves balanced
+/// load "even better than vertex-cut methods" — at worst comparable.
+#[test]
+fn finding_edge_cut_balanced_on_road() {
+    let g = road();
+    let cfg = PartitionerConfig::new(8);
+    let order = runners::default_order();
+    let spread = |alg| {
+        let p = partition(&g, alg, &cfg, order);
+        let placement = Placement::build(&g, &p);
+        let report = runners::run_offline_workload(
+            &g,
+            &placement,
+            OfflineWorkload::PageRank,
+            &EngineOptions::default(),
+        );
+        let d = report.compute_time_distribution();
+        d[4] / d[2].max(1e-12)
+    };
+    let fnl = spread(Algorithm::Fennel);
+    assert!(fnl < 2.0, "FENNEL on a lattice must be balanced (max/median {fnl:.2})");
+}
+
+/// Table 4: FNL approaches MTS's edge-cut ratio; both clearly beat hash.
+#[test]
+fn finding_table4_ordering() {
+    let g = Dataset::LdbcSnb.generate(Scale::Tiny);
+    for k in [4usize, 8] {
+        let cfg = PartitionerConfig::new(k);
+        let order = runners::default_order();
+        let ecr = |alg| {
+            let p = partition(&g, alg, &cfg, order);
+            metrics::edge_cut_ratio(&g, &p).expect("edge-cut algorithms")
+        };
+        let (hash, ldg, fnl, mts) = (
+            ecr(Algorithm::EcrHash),
+            ecr(Algorithm::Ldg),
+            ecr(Algorithm::Fennel),
+            ecr(Algorithm::Metis),
+        );
+        assert!(mts < fnl, "k={k}: MTS {mts} < FNL {fnl}");
+        assert!(fnl < hash, "k={k}: FNL {fnl} < ECR {hash}");
+        assert!(ldg <= hash, "k={k}: LDG {ldg} <= ECR {hash}");
+        // Hash's expected cut is 1 - 1/k.
+        assert!((hash - (1.0 - 1.0 / k as f64)).abs() < 0.08, "k={k}: hash ECR {hash}");
+    }
+}
+
+/// Fig. 2: replication factor grows with the number of partitions for
+/// every algorithm.
+#[test]
+fn finding_rf_monotone_in_k() {
+    let g = twitter();
+    let order = runners::default_order();
+    for &alg in &[Algorithm::VcrHash, Algorithm::Hdrf, Algorithm::Ldg, Algorithm::Ginger] {
+        let mut last = 0.0;
+        for k in [2usize, 4, 8, 16] {
+            let cfg = PartitionerConfig::new(k);
+            let p = partition(&g, alg, &cfg, order);
+            let rf = metrics::replication_factor(&g, &p);
+            assert!(
+                rf >= last - 0.05,
+                "{alg:?}: RF should not shrink with k ({last} -> {rf} at k={k})"
+            );
+            last = rf;
+        }
+    }
+}
+
+/// §6.3.3 / Fig. 8: partitioning the access-weighted graph balances the
+/// load distribution relative to structural-only METIS.
+#[test]
+fn finding_workload_aware_balances_load() {
+    let g = Dataset::LdbcSnb.generate(Scale::Tiny);
+    let run_cfg = runners::OnlineRunConfig {
+        bindings: 300,
+        queries_per_client: 10,
+        clients_per_machine: 8,
+        skew: Skew::Zipf { theta: 1.1 },
+        seed: 77,
+    };
+    let rows = runners::workload_aware_suite(&g, 4, &run_cfg);
+    let get = |label: &str| rows.iter().find(|r| r.label == label).expect("row");
+    let mts = get("MTS");
+    let weighted = get("MTS (W)");
+    assert!(
+        weighted.load_rsd <= mts.load_rsd + 1e-9,
+        "weighted RSD {} must not exceed structural RSD {}",
+        weighted.load_rsd,
+        mts.load_rsd
+    );
+}

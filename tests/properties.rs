@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! partitioners, metrics, and engine, on arbitrary random graphs.
+
+use proptest::prelude::*;
+use sgp_engine::reference;
+use sgp_partition::metrics;
+use streaming_graph_partitioning::prelude::*;
+
+/// Strategy: a random simple directed graph with 2..=60 vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..60).prop_flat_map(|n| {
+        let max_edges = (n * (n - 1)).min(300);
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges).prop_map(
+            move |pairs| {
+                let mut b = GraphBuilder::new().ensure_vertices(n);
+                for (s, d) in pairs {
+                    b.push_edge(s, d);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+fn arb_k() -> impl Strategy<Value = usize> {
+    1usize..=8
+}
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    proptest::sample::select(Algorithm::all().to_vec())
+}
+
+fn arb_order() -> impl Strategy<Value = StreamOrder> {
+    prop_oneof![
+        Just(StreamOrder::Natural),
+        any::<u64>().prop_map(|seed| StreamOrder::Random { seed }),
+        Just(StreamOrder::Bfs),
+        Just(StreamOrder::Dfs),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every algorithm must produce a complete, in-range placement, with
+    /// RF between 1 and min(k, max degree+1), on any graph, any k, any
+    /// stream order.
+    #[test]
+    fn any_partitioning_is_well_formed(
+        g in arb_graph(),
+        k in arb_k(),
+        alg in arb_algorithm(),
+        order in arb_order(),
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        let p = partition(&g, alg, &cfg, order);
+        prop_assert_eq!(p.k, k);
+        prop_assert_eq!(p.edge_parts.len(), g.num_edges());
+        prop_assert!(p.edge_parts.iter().all(|&x| (x as usize) < k));
+        if let Some(owner) = &p.vertex_owner {
+            prop_assert_eq!(owner.len(), g.num_vertices());
+            prop_assert!(owner.iter().all(|&x| (x as usize) < k));
+        }
+        let rf = metrics::replication_factor(&g, &p);
+        prop_assert!(rf >= 1.0 - 1e-9, "rf {} < 1", rf);
+        prop_assert!(rf <= k as f64 + 1e-9, "rf {} > k {}", rf, k);
+    }
+
+    /// Replica sets must contain the master and every partition holding
+    /// an incident edge.
+    #[test]
+    fn replica_sets_cover_edges_and_master(
+        g in arb_graph(),
+        k in 1usize..=6,
+        alg in arb_algorithm(),
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        let p = partition(&g, alg, &cfg, StreamOrder::Natural);
+        let sets = p.replica_sets(&g);
+        let masters = p.masters(&g);
+        for (v, set) in sets.iter().enumerate() {
+            prop_assert!(set.contains(&masters[v]), "master missing at vertex {}", v);
+        }
+        for (i, e) in g.edges().enumerate() {
+            let part = p.edge_parts[i];
+            prop_assert!(sets[e.src as usize].contains(&part));
+            prop_assert!(sets[e.dst as usize].contains(&part));
+        }
+    }
+
+    /// Edge-cut ratio of any vertex-disjoint placement lies in [0, 1],
+    /// and k = 1 always yields 0.
+    #[test]
+    fn edge_cut_ratio_bounds(g in arb_graph(), alg in proptest::sample::select(
+        Algorithm::online_suite().to_vec())) {
+        let cfg = PartitionerConfig::new(4);
+        let p = partition(&g, alg, &cfg, StreamOrder::Natural);
+        let ecr = metrics::edge_cut_ratio(&g, &p).expect("edge-cut algorithm");
+        prop_assert!((0.0..=1.0).contains(&ecr));
+        let cfg1 = PartitionerConfig::new(1);
+        let p1 = partition(&g, alg, &cfg1, StreamOrder::Natural);
+        prop_assert_eq!(metrics::edge_cut_ratio(&g, &p1), Some(0.0));
+    }
+
+    /// The engine computes WCC and SSSP exactly, for any graph, any
+    /// algorithm, any order (determinism + correctness of the whole
+    /// distributed pipeline).
+    #[test]
+    fn engine_exact_for_discrete_programs(
+        g in arb_graph(),
+        k in 1usize..=5,
+        alg in arb_algorithm(),
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        let p = partition(&g, alg, &cfg, StreamOrder::Natural);
+        let placement = Placement::build(&g, &p);
+        let opts = EngineOptions::default();
+        let (wcc, _) = run_program(&g, &placement, &Wcc::new(), &opts);
+        prop_assert_eq!(wcc, reference::wcc(&g));
+        let (dist, _) = run_program(&g, &placement, &Sssp::new(0), &opts);
+        prop_assert_eq!(dist, reference::sssp(&g, 0));
+    }
+
+    /// PageRank mass conservation: when every vertex has an out-edge,
+    /// total rank stays ≈ n under the engine, for any placement.
+    #[test]
+    fn engine_pagerank_conserves_mass(seed in any::<u64>(), k in 1usize..=5) {
+        // Build a graph where every vertex has out-degree >= 1: a ring
+        // plus random chords.
+        let n = 30usize;
+        let mut b = GraphBuilder::new();
+        for v in 0..n as u32 {
+            b.push_edge(v, (v + 1) % n as u32);
+        }
+        let mut s = seed;
+        for _ in 0..40 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (s >> 33) as u32 % n as u32;
+            let c = (s >> 13) as u32 % n as u32;
+            if a != c {
+                b.push_edge(a, c);
+            }
+        }
+        let g = b.build();
+        let cfg = PartitionerConfig::new(k);
+        let p = partition(&g, Algorithm::Hdrf, &cfg, StreamOrder::Natural);
+        let placement = Placement::build(&g, &p);
+        let (ranks, _) =
+            run_program(&g, &placement, &PageRank::new(10), &EngineOptions::default());
+        let total: f64 = ranks.iter().sum();
+        prop_assert!((total - n as f64).abs() < 1e-6, "mass {} != {}", total, n);
+    }
+
+    /// Partitioning the same input twice is bit-identical (everything in
+    /// the workspace is seeded).
+    #[test]
+    fn partitioning_is_deterministic(
+        g in arb_graph(),
+        alg in arb_algorithm(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = PartitionerConfig::new(4);
+        let order = StreamOrder::Random { seed };
+        let p1 = partition(&g, alg, &cfg, order);
+        let p2 = partition(&g, alg, &cfg, order);
+        prop_assert_eq!(p1.edge_parts, p2.edge_parts);
+        prop_assert_eq!(p1.vertex_owner, p2.vertex_owner);
+    }
+
+    /// Hash-based algorithms are stream-order independent ("can be
+    /// parallelized without communication", Table 1).
+    #[test]
+    fn hash_algorithms_order_independent(
+        g in arb_graph(),
+        o1 in arb_order(),
+        o2 in arb_order(),
+    ) {
+        let cfg = PartitionerConfig::new(4);
+        for alg in [Algorithm::EcrHash, Algorithm::VcrHash, Algorithm::HybridRandom] {
+            let p1 = partition(&g, alg, &cfg, o1);
+            let p2 = partition(&g, alg, &cfg, o2);
+            prop_assert_eq!(p1.edge_parts, p2.edge_parts, "{:?}", alg);
+        }
+    }
+
+    /// Load-imbalance metric is scale-invariant and >= 1 on non-empty
+    /// loads.
+    #[test]
+    fn imbalance_properties(counts in proptest::collection::vec(1usize..1000, 1..20)) {
+        let imb = metrics::load_imbalance(&counts);
+        prop_assert!(imb >= 1.0 - 1e-12);
+        let doubled: Vec<usize> = counts.iter().map(|&c| c * 2).collect();
+        prop_assert!((metrics::load_imbalance(&doubled) - imb).abs() < 1e-9);
+    }
+}
