@@ -56,5 +56,10 @@ fn bench_placement_build(c: &mut Criterion) {
     c.bench_function("placement_build", |b| b.iter(|| Placement::build(&g, &p)));
 }
 
-criterion_group!(benches, bench_engine_workloads, bench_aggregation_ablation, bench_placement_build);
+criterion_group!(
+    benches,
+    bench_engine_workloads,
+    bench_aggregation_ablation,
+    bench_placement_build
+);
 criterion_main!(benches);

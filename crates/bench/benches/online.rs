@@ -32,7 +32,11 @@ fn bench_cluster_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_sim");
     group.sample_size(10);
     for clients in [4usize, 12, 24] {
-        let cfg = SimConfig { clients_per_machine: clients, queries_per_client: 20, ..Default::default() };
+        let cfg = SimConfig {
+            clients_per_machine: clients,
+            queries_per_client: 20,
+            ..Default::default()
+        };
         let total = clients * 8 * 20;
         group.throughput(Throughput::Elements(total as u64));
         group.bench_with_input(BenchmarkId::from_parameter(clients), &cfg, |b, cfg| {

@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sgp_core::config::{Dataset, Scale};
-use sgp_partition::{partition, Algorithm, PartitionerConfig};
 use sgp_graph::StreamOrder;
+use sgp_partition::{partition, Algorithm, PartitionerConfig};
 
 fn bench_partitioners(c: &mut Criterion) {
     let g = Dataset::Twitter.generate(Scale::Tiny);

@@ -12,13 +12,8 @@ use sgp_core::config::Scale;
 fn main() {
     // Respect `cargo bench -- <filter>` semantics loosely: any extra arg
     // filters experiment ids by substring.
-    let args: Vec<String> =
-        std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
-    let scale = if std::env::var("SGP_SCALE").is_ok() {
-        Scale::from_env()
-    } else {
-        Scale::Small
-    };
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let scale = if std::env::var("SGP_SCALE").is_ok() { Scale::from_env() } else { Scale::Small };
     let params = Params::for_scale(scale);
     println!("regenerating the paper's tables and figures (scale: {scale:?})");
     for &id in ALL_EXPERIMENTS {

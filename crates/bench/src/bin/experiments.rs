@@ -22,7 +22,13 @@ fn main() {
         }
         return;
     }
-    let params = Params::from_env();
+    let params = match Params::from_env() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
@@ -39,10 +45,7 @@ fn main() {
         }
         ids
     };
-    println!(
-        "streaming-graph-partitioning experiment harness (scale: {:?})",
-        params.scale
-    );
+    println!("streaming-graph-partitioning experiment harness (scale: {:?})", params.scale);
     for id in ids {
         let start = std::time::Instant::now();
         let report = run(id, &params);

@@ -4,6 +4,7 @@
 
 use sgp_core::config::{Dataset, Scale};
 use sgp_core::decision::{recommend, OnlineObjective, WorkloadClass};
+use sgp_core::error::SgpError;
 use sgp_core::report::{f2, f3, human_bytes, TextTable};
 use sgp_core::runners::{
     fig1_scatter, offline_suite, online_run, quality_suite, series_slope, workload_aware_suite,
@@ -75,9 +76,11 @@ impl Params {
         }
     }
 
-    /// Parameters from `SGP_SCALE`.
-    pub fn from_env() -> Self {
-        Self::for_scale(Scale::from_env())
+    /// Parameters from `SGP_SCALE`. A set-but-unknown value is an error
+    /// so a typo (`SGP_SCALE=smal`) aborts instead of silently running
+    /// the default scale.
+    pub fn from_env() -> Result<Self, SgpError> {
+        Ok(Self::for_scale(Scale::try_from_env()?))
     }
 
     fn online_cfg(&self, level: LoadLevel) -> OnlineRunConfig {
@@ -94,8 +97,26 @@ impl Params {
 /// All experiment ids, in paper order, plus the Appendix-A extension
 /// showcase.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5",
-    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
     "appendixA",
 ];
 
@@ -139,7 +160,14 @@ fn header(title: &str) -> String {
 /// Table 1: characteristics of the streaming graph partitioning
 /// algorithms.
 pub fn table1() -> String {
-    let mut t = TextTable::new(["Algorithm", "Model", "Stream", "Cost Metric", "Parallelization", "Method"]);
+    let mut t = TextTable::new([
+        "Algorithm",
+        "Model",
+        "Stream",
+        "Cost Metric",
+        "Parallelization",
+        "Method",
+    ]);
     for alg in Algorithm::all() {
         let i = alg.info();
         t.row([
@@ -169,7 +197,11 @@ pub fn table2(params: &Params) -> String {
     ]);
     t.row(["".to_string(), "Workloads".to_string(), "PageRank, WCC, SSSP".to_string()]);
     t.row(["".to_string(), "Cluster Size".to_string(), format!("{:?}", params.ks_offline)]);
-    t.row(["".to_string(), "Datasets".to_string(), "Twitter, UK2007-05, USA-Road (stand-ins)".to_string()]);
+    t.row([
+        "".to_string(),
+        "Datasets".to_string(),
+        "Twitter, UK2007-05, USA-Road (stand-ins)".to_string(),
+    ]);
     t.row([
         "Online Queries".to_string(),
         "System".to_string(),
@@ -338,7 +370,8 @@ pub fn fig2(params: &Params) -> String {
     let mut out = header("Fig. 2 — Replication factors (all algorithms x datasets x k)");
     for &dataset in Dataset::offline_set() {
         let g = dataset.generate(params.scale);
-        let rows = quality_suite(dataset.name(), &g, Algorithm::offline_suite(), &params.ks_quality);
+        let rows =
+            quality_suite(dataset.name(), &g, Algorithm::offline_suite(), &params.ks_quality);
         let mut t = TextTable::new({
             let mut h = vec!["k".to_string()];
             h.extend(Algorithm::offline_suite().iter().map(|a| a.short_name().to_string()));
@@ -408,8 +441,10 @@ pub fn fig3(params: &Params) -> String {
 pub fn fig4(params: &Params) -> String {
     let k = params.fig4_k;
     let mut out = header(
-        format!("Fig. 4 — Per-worker PageRank compute time, {k} machines (min/p25/med/p75/max, ms)")
-            .as_str(),
+        format!(
+            "Fig. 4 — Per-worker PageRank compute time, {k} machines (min/p25/med/p75/max, ms)"
+        )
+        .as_str(),
     );
     for &dataset in Dataset::offline_set() {
         let g = dataset.generate(params.scale);
@@ -567,10 +602,8 @@ fn fig_reads_distribution(params: &Params, datasets: &[Dataset], title: String) 
 /// Fig. 8: workload-aware weighted repartitioning.
 pub fn fig8(params: &Params) -> String {
     let g = Dataset::LdbcSnb.generate(params.scale);
-    let run_cfg = OnlineRunConfig {
-        skew: Skew::Zipf { theta: 1.1 },
-        ..params.online_cfg(LoadLevel::High)
-    };
+    let run_cfg =
+        OnlineRunConfig { skew: Skew::Zipf { theta: 1.1 }, ..params.online_cfg(LoadLevel::High) };
     let rows = workload_aware_suite(&g, params.online_k, &run_cfg);
     let mut t = TextTable::new(["Config", "Throughput (q/s)", "Load RSD"]);
     for r in &rows {
@@ -727,11 +760,13 @@ pub fn fig13(params: &Params) -> String {
 
 /// Fig. 14: 1-hop throughput on the real-world-like graphs.
 pub fn fig14(params: &Params) -> String {
-    let mut out = header(format!(
-        "Fig. 14 — 1-hop throughput on real-world-like graphs, {} machines",
-        params.online_k
-    )
-    .as_str());
+    let mut out = header(
+        format!(
+            "Fig. 14 — 1-hop throughput on real-world-like graphs, {} machines",
+            params.online_k
+        )
+        .as_str(),
+    );
     for &dataset in Dataset::offline_set() {
         let g = dataset.generate(params.scale);
         let mut t = TextTable::new(["Alg", "Medium (q/s)", "High (q/s)"]);
@@ -768,16 +803,19 @@ pub fn fig15(params: &Params) -> String {
     fig_reads_distribution(
         params,
         Dataset::all(),
-        format!("Fig. 15 — Per-worker vertex reads, 1-hop, {} machines (all datasets)", params.online_k),
+        format!(
+            "Fig. 15 — Per-worker vertex reads, 1-hop, {} machines (all datasets)",
+            params.online_k
+        ),
     )
 }
-
 
 /// Appendix A showcase: the generalized-cost-model algorithms the paper
 /// surveys but does not evaluate — heterogeneous capacities
 /// (LeBeane/BMI), attribute balancing (re-streaming on `a(u)`), and
 /// edge-cut on edge streams (IOGP-class).
 pub fn appendix_a(params: &Params) -> String {
+    use sgp_core::runners::default_order;
     use sgp_partition::attribute::AttributeLdg;
     use sgp_partition::edge_cut::run_vertex_stream;
     use sgp_partition::edge_stream_cut::IogpStyle;
@@ -785,7 +823,6 @@ pub fn appendix_a(params: &Params) -> String {
     use sgp_partition::metrics;
     use sgp_partition::vertex_cut::run_edge_stream;
     use sgp_partition::PartitionerConfig;
-    use sgp_core::runners::default_order;
 
     let mut out = header("Appendix A — generalized cost models (survey algorithms, implemented)");
 
@@ -800,11 +837,7 @@ pub fn appendix_a(params: &Params) -> String {
     let total: usize = counts.iter().sum();
     let mut t = TextTable::new(["Machine", "Capacity share", "Edge share"]);
     for (i, &c) in counts.iter().enumerate() {
-        t.row([
-            i.to_string(),
-            f3(profile.share(i)),
-            f3(c as f64 / total as f64),
-        ]);
+        t.row([i.to_string(), f3(profile.share(i)), f3(c as f64 / total as f64)]);
     }
     out.push_str(&format!(
         "\n--- heterogeneous HDRF (LeBeane-style), Twitter-like, machine 0 has 4x capacity ---\n{}",
@@ -814,8 +847,7 @@ pub fn appendix_a(params: &Params) -> String {
     // 2. Attribute balancing vs plain LDG under skewed access weights.
     let g = Dataset::LdbcSnb.generate(params.scale);
     let cfg = PartitionerConfig::new(8);
-    let weights: Vec<u64> =
-        g.vertices().map(|v| 1 + (g.degree(v) as u64).pow(2) / 8).collect();
+    let weights: Vec<u64> = g.vertices().map(|v| 1 + (g.degree(v) as u64).pow(2) / 8).collect();
     let mut aldg = AttributeLdg::new(&cfg, weights.clone());
     let aware = run_vertex_stream(&g, &mut aldg, 8, default_order());
     let plain = sgp_partition::partition(&g, Algorithm::Ldg, &cfg, default_order());
@@ -849,7 +881,6 @@ pub fn appendix_a(params: &Params) -> String {
     ));
     out
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -886,10 +917,8 @@ mod tests {
         let out = fig10();
         assert!(out.contains("no aggregation"));
         // Edge-cut with aggregation must show 0 updates.
-        let with_agg_line = out
-            .lines()
-            .find(|l| l.contains("sender-side agg"))
-            .expect("aggregated row present");
+        let with_agg_line =
+            out.lines().find(|l| l.contains("sender-side agg")).expect("aggregated row present");
         let cols: Vec<&str> = with_agg_line.split_whitespace().collect();
         assert_eq!(cols[cols.len() - 2], "0", "update column: {with_agg_line}");
     }

@@ -14,4 +14,7 @@
 //! Experiment scale is controlled by the `SGP_SCALE` environment
 //! variable (`tiny` | `small` | `default` | `large`).
 
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
 pub mod experiments;

@@ -4,6 +4,7 @@
 //! generates structural stand-ins at a configurable scale. `SGP_SCALE`
 //! (`tiny` | `small` | `default` | `large`) selects how big.
 
+use crate::error::SgpError;
 use serde::{Deserialize, Serialize};
 use sgp_graph::generators::{
     powerlaw_cm, rmat, road_grid, snb_social, PowerLawConfig, RmatConfig, RoadConfig, SnbConfig,
@@ -24,16 +25,38 @@ pub enum Scale {
     Large,
 }
 
+impl std::str::FromStr for Scale {
+    type Err = SgpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Ok(Scale::Tiny),
+            "small" => Ok(Scale::Small),
+            "default" | "" => Ok(Scale::Default),
+            "large" => Ok(Scale::Large),
+            other => Err(SgpError::Config {
+                what: "SGP_SCALE",
+                value: other.to_string(),
+                expected: "tiny|small|default|large",
+            }),
+        }
+    }
+}
+
 impl Scale {
     /// Reads the scale from the `SGP_SCALE` environment variable,
-    /// defaulting to [`Scale::Default`].
+    /// silently defaulting to [`Scale::Default`] on unset *or unknown*
+    /// values. Prefer [`Scale::try_from_env`] in binaries so typos in
+    /// `SGP_SCALE` fail loudly instead of running the wrong scale.
     pub fn from_env() -> Self {
-        match std::env::var("SGP_SCALE").unwrap_or_default().to_ascii_lowercase().as_str() {
-            "tiny" => Scale::Tiny,
-            "small" => Scale::Small,
-            "large" => Scale::Large,
-            _ => Scale::Default,
-        }
+        Self::try_from_env().unwrap_or(Scale::Default)
+    }
+
+    /// Reads the scale from the `SGP_SCALE` environment variable.
+    /// Unset means [`Scale::Default`]; a set-but-unknown value is a
+    /// [`SgpError::Config`].
+    pub fn try_from_env() -> Result<Self, SgpError> {
+        std::env::var("SGP_SCALE").unwrap_or_default().parse()
     }
 
     /// A scale-dependent multiplier with `Default` = 1.0.
@@ -222,6 +245,17 @@ mod tests {
         if std::env::var("SGP_SCALE").is_err() {
             assert_eq!(Scale::from_env(), Scale::Default);
         }
+    }
+
+    #[test]
+    fn scale_parses_known_and_rejects_unknown() {
+        assert_eq!("tiny".parse::<Scale>().ok(), Some(Scale::Tiny));
+        assert_eq!("SMALL".parse::<Scale>().ok(), Some(Scale::Small));
+        assert_eq!("default".parse::<Scale>().ok(), Some(Scale::Default));
+        assert_eq!("".parse::<Scale>().ok(), Some(Scale::Default));
+        assert_eq!("large".parse::<Scale>().ok(), Some(Scale::Large));
+        let err = "huge".parse::<Scale>().unwrap_err().to_string();
+        assert!(err.contains("SGP_SCALE") && err.contains("huge"), "{err}");
     }
 
     #[test]

@@ -81,8 +81,9 @@ pub fn recommend(
                     Recommendation { algorithm: Algorithm::Hdrf, reasoning }
                 }
                 GraphClass::HeavyTailed => {
-                    reasoning
-                        .push("heavy-tailed graph (social network) → hybrid-cut (Ginger)".to_string());
+                    reasoning.push(
+                        "heavy-tailed graph (social network) → hybrid-cut (Ginger)".to_string(),
+                    );
                     Recommendation { algorithm: Algorithm::Ginger, reasoning }
                 }
             }

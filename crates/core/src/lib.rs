@@ -14,6 +14,8 @@
 //!   artifact (Fig. 9).
 //! * [`scaleout`] — the §7 future-work scale-out-factor advisor.
 //! * [`report`] — plain-text table rendering and JSON export.
+//! * [`error`] — the shared [`SgpError`] type for fallible framework
+//!   paths (config parsing, serialization, I/O).
 //!
 //! The five sub-crates are re-exported so downstream users can depend on
 //! `sgp-core` alone.
@@ -23,12 +25,14 @@
 
 pub mod config;
 pub mod decision;
+pub mod error;
 pub mod report;
 pub mod runners;
 pub mod scaleout;
 
 pub use config::{Dataset, Scale};
 pub use decision::{recommend, OnlineObjective, Recommendation, WorkloadClass};
+pub use error::SgpError;
 pub use scaleout::{recommend_scale_out, ScaleOutReport};
 
 pub use sgp_db as db;

@@ -67,6 +67,7 @@ pub fn run_offline_workload(
             let source = g
                 .vertices()
                 .max_by_key(|&v| g.out_degree(v))
+                // sgp-lint: allow(no-panic-in-lib): every Dataset::generate graph is non-empty (asserted by config tests), so vertices() yields at least one item
                 .expect("non-empty graph");
             run_program(g, placement, &Sssp::new(source), opts).1
         }
@@ -105,6 +106,7 @@ pub fn quality_suite(
     for &k in ks {
         let cfg = PartitionerConfig::new(k);
         for &alg in algorithms {
+            // sgp-lint: allow(no-wallclock-in-sim): partition_seconds is an explicitly host-dependent resource measurement (§4.1.1); it is never rendered into the bit-for-bit results files
             let start = std::time::Instant::now();
             let p = partition(g, alg, &cfg, default_order());
             let partition_seconds = start.elapsed().as_secs_f64();
@@ -300,6 +302,7 @@ pub fn online_run_on_store(
     };
     let r = sim.run(&sim_cfg);
     let mut sorted: Vec<f64> = r.reads_per_machine.iter().map(|&x| x as f64).collect();
+    // sgp-lint: allow(no-panic-in-lib): operands are u64 counts cast to f64 on the line above, so partial_cmp is total here
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     OnlineRow {
         dataset: dataset_name.to_string(),
@@ -336,7 +339,11 @@ pub struct WorkloadAwareRow {
 
 /// Reproduces Fig. 8: runs the 1-hop workload over the online suite plus
 /// a weighted MTS partitioning computed from recorded access counts.
-pub fn workload_aware_suite(g: &Graph, k: usize, run_cfg: &OnlineRunConfig) -> Vec<WorkloadAwareRow> {
+pub fn workload_aware_suite(
+    g: &Graph,
+    k: usize,
+    run_cfg: &OnlineRunConfig,
+) -> Vec<WorkloadAwareRow> {
     let mut rows = Vec::new();
     for &alg in Algorithm::online_suite() {
         let row = online_run("workload-aware", g, alg, WorkloadKind::OneHop, k, run_cfg);
@@ -465,8 +472,7 @@ mod tests {
     #[test]
     fn quality_suite_produces_full_grid() {
         let g = tiny_graph(Dataset::LdbcSnb);
-        let rows =
-            quality_suite("test", &g, &[Algorithm::EcrHash, Algorithm::Ldg], &[2, 4]);
+        let rows = quality_suite("test", &g, &[Algorithm::EcrHash, Algorithm::Ldg], &[2, 4]);
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.quality.replication_factor >= 1.0));
         assert!(rows.iter().all(|r| r.partition_seconds >= 0.0));

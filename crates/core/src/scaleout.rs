@@ -98,8 +98,7 @@ mod tests {
     #[test]
     fn advisor_returns_candidate_k() {
         let g = Dataset::Twitter.generate(Scale::Tiny);
-        let report =
-            recommend_scale_out(&g, OfflineWorkload::PageRank, &[2, 4, 8, 16], 0.1);
+        let report = recommend_scale_out(&g, OfflineWorkload::PageRank, &[2, 4, 8, 16], 0.1);
         assert!([2usize, 4, 8, 16].contains(&report.recommended_k));
         assert_eq!(report.points.len(), 4);
     }
@@ -117,8 +116,7 @@ mod tests {
         // The paper's motivation: the communication-to-computation ratio
         // grows as partitions shrink.
         let g = Dataset::Twitter.generate(Scale::Tiny);
-        let report =
-            recommend_scale_out(&g, OfflineWorkload::PageRank, &[2, 16], 0.1);
+        let report = recommend_scale_out(&g, OfflineWorkload::PageRank, &[2, 16], 0.1);
         let at = |k: usize| {
             report.points.iter().find(|p| p.k == k).expect("candidate present").comm_to_comp
         };

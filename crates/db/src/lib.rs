@@ -33,5 +33,5 @@ pub mod workload;
 
 pub use query::{Query, QueryResult, QueryTrace};
 pub use sim::{ClusterSim, LoadLevel, SimConfig, SimReport};
-pub use store::PartitionedStore;
+pub use store::{PartitionedStore, StoreError};
 pub use workload::{AccessRecorder, Workload, WorkloadKind};

@@ -207,11 +207,7 @@ fn two_hop(store: &PartitionedStore, start: VertexId) -> QueryTrace {
     }
     QueryTrace {
         coordinator,
-        rounds: vec![
-            RoundTrace { reads: r1 },
-            RoundTrace { reads: r2 },
-            RoundTrace { reads: r3 },
-        ],
+        rounds: vec![RoundTrace { reads: r1 }, RoundTrace { reads: r2 }, RoundTrace { reads: r3 }],
         result: QueryResult::Vertices(second_hop),
     }
 }

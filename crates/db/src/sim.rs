@@ -205,9 +205,9 @@ impl ClusterSim {
         let mut events: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
         let mut seq = 0u64;
         let push = |events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
-                        seq: &mut u64,
-                        t: u64,
-                        e: Event| {
+                    seq: &mut u64,
+                    t: u64,
+                    e: Event| {
             *seq += 1;
             events.push(Reverse((t, *seq, e)));
         };
@@ -286,7 +286,12 @@ impl ClusterSim {
                     let m = &mut machines[machine as usize];
                     if m.busy < m.cores {
                         m.busy += 1;
-                        push(&mut events, &mut seq, now + service_ns, Event::SubDone { query, machine });
+                        push(
+                            &mut events,
+                            &mut seq,
+                            now + service_ns,
+                            Event::SubDone { query, machine },
+                        );
                     } else {
                         m.fifo.push_back((query, service_ns));
                     }
@@ -297,10 +302,12 @@ impl ClusterSim {
                     m.busy -= 1;
                     if let Some((next_q, service)) = m.fifo.pop_front() {
                         m.busy += 1;
-                        push(&mut events, &mut seq, now + service, Event::SubDone {
-                            query: next_q,
-                            machine,
-                        });
+                        push(
+                            &mut events,
+                            &mut seq,
+                            now + service,
+                            Event::SubDone { query: next_q, machine },
+                        );
                     }
                     // Advance the owning query.
                     let slot = query;
@@ -325,18 +332,40 @@ impl ClusterSim {
                         if active[slot as usize].pending == 0 {
                             // Empty round (all-zero reads): treat as done.
                             complete_query(
-                                slot, round_end, cfg, &mut active, &mut free_slots,
-                                &mut events, &mut seq, &mut completed, warmup,
-                                &mut warmup_end_ns, &mut last_completion_ns,
-                                &mut latencies_ns, &mut reads_per_machine, &self.traces, k,
+                                slot,
+                                round_end,
+                                cfg,
+                                &mut active,
+                                &mut free_slots,
+                                &mut events,
+                                &mut seq,
+                                &mut completed,
+                                warmup,
+                                &mut warmup_end_ns,
+                                &mut last_completion_ns,
+                                &mut latencies_ns,
+                                &mut reads_per_machine,
+                                &self.traces,
+                                k,
                             );
                         }
                     } else {
                         complete_query(
-                            slot, round_end, cfg, &mut active, &mut free_slots,
-                            &mut events, &mut seq, &mut completed, warmup,
-                            &mut warmup_end_ns, &mut last_completion_ns,
-                            &mut latencies_ns, &mut reads_per_machine, &self.traces, k,
+                            slot,
+                            round_end,
+                            cfg,
+                            &mut active,
+                            &mut free_slots,
+                            &mut events,
+                            &mut seq,
+                            &mut completed,
+                            warmup,
+                            &mut warmup_end_ns,
+                            &mut last_completion_ns,
+                            &mut latencies_ns,
+                            &mut reads_per_machine,
+                            &self.traces,
+                            k,
                         );
                     }
                 }
@@ -416,8 +445,8 @@ impl ClusterSim {
                         share_reads += 1;
                         remainder -= 1;
                     }
-                    let per_read = cfg.read_service_ns
-                        + if remote { cfg.remote_read_extra_ns } else { 0.0 };
+                    let per_read =
+                        cfg.read_service_ns + if remote { cfg.remote_read_extra_ns } else { 0.0 };
                     let mut service = (share_reads as f64 * per_read) as u64;
                     if share == 0 {
                         service += cfg.request_overhead_ns as u64;

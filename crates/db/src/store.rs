@@ -3,6 +3,49 @@
 use serde::{Deserialize, Serialize};
 use sgp_graph::{Graph, VertexId};
 use sgp_partition::{PartitionId, Partitioning};
+use std::fmt;
+
+/// Why a [`PartitionedStore`] could not be built from a partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The partitioning carries no vertex-ownership map (a vertex-cut
+    /// placement — §5.2.2: adjacency-list stores need edge-cut).
+    NotVertexDisjoint,
+    /// The ownership map does not cover the graph's vertices.
+    OwnerLengthMismatch {
+        /// Vertices in the graph.
+        expected: usize,
+        /// Entries in the ownership map.
+        got: usize,
+    },
+    /// An owner id is outside `0..k`.
+    OwnerOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Its out-of-range owner.
+        owner: PartitionId,
+        /// The machine count.
+        k: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotVertexDisjoint => {
+                write!(f, "graph database requires a vertex-disjoint (edge-cut) partitioning")
+            }
+            StoreError::OwnerLengthMismatch { expected, got } => {
+                write!(f, "ownership map covers {got} vertices but the graph has {expected}")
+            }
+            StoreError::OwnerOutOfRange { vertex, owner, k } => {
+                write!(f, "vertex {vertex} owned by machine {owner}, but k = {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// A distributed graph store: the full adjacency structure plus the
 /// vertex-ownership map that shards it over `k` machines.
@@ -25,21 +68,46 @@ impl PartitionedStore {
     /// # Panics
     /// Panics if `p` carries no vertex ownership (vertex-cut placements
     /// cannot back an adjacency-list store — §5.2.2 of the paper).
+    /// [`PartitionedStore::try_new`] is the non-panicking equivalent.
     pub fn new(graph: Graph, p: &Partitioning) -> Self {
-        let owner = p
-            .vertex_owner
-            .clone()
-            .expect("graph database requires a vertex-disjoint (edge-cut) partitioning");
-        assert_eq!(owner.len(), graph.num_vertices());
-        PartitionedStore { graph, owner, k: p.k }
+        // sgp-lint: allow(no-panic-in-lib): documented panic; callers that cannot prove edge-cut use try_new
+        Self::try_new(graph, p).expect("graph database requires a vertex-disjoint partitioning")
+    }
+
+    /// Builds a store from an edge-cut partitioning, reporting *why* an
+    /// incompatible partitioning was rejected instead of panicking.
+    pub fn try_new(graph: Graph, p: &Partitioning) -> Result<Self, StoreError> {
+        let owner = p.vertex_owner.clone().ok_or(StoreError::NotVertexDisjoint)?;
+        Self::try_from_owner(graph, p.k, owner)
     }
 
     /// Builds a store directly from an ownership map (used by the
     /// workload-aware repartitioning path).
+    ///
+    /// # Panics
+    /// Panics when the map does not cover the graph or names a machine
+    /// `>= k`; [`PartitionedStore::try_from_owner`] reports instead.
     pub fn from_owner(graph: Graph, k: usize, owner: Vec<PartitionId>) -> Self {
-        assert_eq!(owner.len(), graph.num_vertices());
-        assert!(owner.iter().all(|&p| (p as usize) < k));
-        PartitionedStore { graph, owner, k }
+        // sgp-lint: allow(no-panic-in-lib): documented panic; callers that cannot prove coverage use try_from_owner
+        Self::try_from_owner(graph, k, owner).expect("ownership map must cover the graph")
+    }
+
+    /// Validating constructor behind [`PartitionedStore::from_owner`].
+    pub fn try_from_owner(
+        graph: Graph,
+        k: usize,
+        owner: Vec<PartitionId>,
+    ) -> Result<Self, StoreError> {
+        if owner.len() != graph.num_vertices() {
+            return Err(StoreError::OwnerLengthMismatch {
+                expected: graph.num_vertices(),
+                got: owner.len(),
+            });
+        }
+        if let Some((v, &p)) = owner.iter().enumerate().find(|&(_, &p)| (p as usize) >= k) {
+            return Err(StoreError::OwnerOutOfRange { vertex: v as VertexId, owner: p, k });
+        }
+        Ok(PartitionedStore { graph, owner, k })
     }
 
     /// Number of machines.
@@ -134,5 +202,22 @@ mod tests {
         let g = GraphBuilder::new().add_edge(0, 1).build();
         let p = Partitioning::from_edge_parts(&g, 2, vec![0]);
         PartitionedStore::new(g, &p);
+    }
+
+    #[test]
+    fn try_new_reports_vertex_cut() {
+        let g = GraphBuilder::new().add_edge(0, 1).build();
+        let p = Partitioning::from_edge_parts(&g, 2, vec![0]);
+        assert_eq!(PartitionedStore::try_new(g, &p).err(), Some(StoreError::NotVertexDisjoint));
+    }
+
+    #[test]
+    fn try_from_owner_validates_coverage_and_range() {
+        let g = GraphBuilder::new().add_edge(0, 1).add_edge(1, 2).build();
+        let short = PartitionedStore::try_from_owner(g.clone(), 2, vec![0, 1]);
+        assert_eq!(short.err(), Some(StoreError::OwnerLengthMismatch { expected: 3, got: 2 }));
+        let oob = PartitionedStore::try_from_owner(g.clone(), 2, vec![0, 1, 2]);
+        assert_eq!(oob.err(), Some(StoreError::OwnerOutOfRange { vertex: 2, owner: 2, k: 2 }));
+        assert!(PartitionedStore::try_from_owner(g, 2, vec![0, 1, 1]).is_ok());
     }
 }

@@ -12,10 +12,10 @@
 use crate::query::{execute, Query, QueryTrace};
 use crate::store::PartitionedStore;
 use parking_lot::Mutex;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sgp_graph::sampling::{seeded_rng, Zipf};
 use sgp_graph::{Graph, VertexId};
-use rand::Rng;
 
 /// Which query class a workload issues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,13 +104,7 @@ impl Workload {
     ///
     /// # Panics
     /// Panics if all weights are zero.
-    pub fn generate_mixed(
-        g: &Graph,
-        mix: [u32; 3],
-        count: usize,
-        skew: Skew,
-        seed: u64,
-    ) -> Self {
+    pub fn generate_mixed(g: &Graph, mix: [u32; 3], count: usize, skew: Skew, seed: u64) -> Self {
         let total: u32 = mix.iter().sum();
         assert!(total > 0, "at least one query class must have weight");
         let kinds = [WorkloadKind::OneHop, WorkloadKind::TwoHop, WorkloadKind::ShortestPath];
@@ -132,6 +126,7 @@ impl Workload {
                 credit[i] += mix[i] as i64;
             }
             // Emit from the class with the most accumulated credit.
+            // sgp-lint: allow(no-panic-in-lib): max_by_key over the literal non-empty range 0..3
             let i = (0..3).max_by_key(|&i| credit[i]).expect("three classes");
             credit[i] -= total as i64;
             let pool = &pools[i];
@@ -224,11 +219,16 @@ mod tests {
     use super::*;
     use sgp_graph::generators::{snb_social, SnbConfig};
     use sgp_graph::GraphBuilder;
-    use sgp_partition::{partition, Algorithm, PartitionerConfig};
     use sgp_graph::StreamOrder;
+    use sgp_partition::{partition, Algorithm, PartitionerConfig};
 
     fn small_store() -> PartitionedStore {
-        let g = snb_social(SnbConfig { persons: 500, communities: 10, avg_friends: 6.0, ..SnbConfig::default() });
+        let g = snb_social(SnbConfig {
+            persons: 500,
+            communities: 10,
+            avg_friends: 6.0,
+            ..SnbConfig::default()
+        });
         let cfg = PartitionerConfig::new(4);
         let p = partition(&g, Algorithm::EcrHash, &cfg, StreamOrder::Natural);
         PartitionedStore::new(g, &p)
@@ -244,8 +244,9 @@ mod tests {
     #[test]
     fn zipf_workload_is_skewed() {
         let s = small_store();
-        let w = Workload::generate(s.graph(), WorkloadKind::OneHop, 2000, Skew::Zipf { theta: 1.0 }, 2);
-        let mut counts = std::collections::HashMap::new();
+        let w =
+            Workload::generate(s.graph(), WorkloadKind::OneHop, 2000, Skew::Zipf { theta: 1.0 }, 2);
+        let mut counts = std::collections::BTreeMap::new();
         for q in &w.queries {
             *counts.entry(q.start_vertex()).or_insert(0usize) += 1;
         }
@@ -257,7 +258,7 @@ mod tests {
     fn uniform_workload_covers_many_vertices() {
         let s = small_store();
         let w = Workload::generate(s.graph(), WorkloadKind::OneHop, 2000, Skew::Uniform, 3);
-        let distinct: std::collections::HashSet<_> =
+        let distinct: std::collections::BTreeSet<_> =
             w.queries.iter().map(|q| q.start_vertex()).collect();
         assert!(distinct.len() > 300, "uniform should spread: {}", distinct.len());
     }
@@ -347,8 +348,10 @@ mod tests {
     #[test]
     fn workload_generation_is_deterministic() {
         let s = small_store();
-        let a = Workload::generate(s.graph(), WorkloadKind::TwoHop, 50, Skew::Zipf { theta: 0.8 }, 7);
-        let b = Workload::generate(s.graph(), WorkloadKind::TwoHop, 50, Skew::Zipf { theta: 0.8 }, 7);
+        let a =
+            Workload::generate(s.graph(), WorkloadKind::TwoHop, 50, Skew::Zipf { theta: 0.8 }, 7);
+        let b =
+            Workload::generate(s.graph(), WorkloadKind::TwoHop, 50, Skew::Zipf { theta: 0.8 }, 7);
         assert_eq!(a.queries, b.queries);
     }
 }

@@ -9,7 +9,12 @@ use sgp_graph::{Graph, StreamOrder};
 use sgp_partition::{partition, Algorithm, PartitionerConfig};
 
 fn graph() -> Graph {
-    snb_social(SnbConfig { persons: 800, communities: 10, avg_friends: 8.0, ..SnbConfig::default() })
+    snb_social(SnbConfig {
+        persons: 800,
+        communities: 10,
+        avg_friends: 8.0,
+        ..SnbConfig::default()
+    })
 }
 
 fn store(g: &Graph, alg: Algorithm, k: usize) -> PartitionedStore {
@@ -32,8 +37,7 @@ fn results_are_placement_invariant() {
         Query::ShortestPath { src: 3, dst: 90 },
     ];
     for q in queries {
-        let results: Vec<QueryResult> =
-            stores.iter().map(|s| execute(s, q).result).collect();
+        let results: Vec<QueryResult> = stores.iter().map(|s| execute(s, q).result).collect();
         assert_eq!(results[0], results[1], "{q:?}");
         assert_eq!(results[1], results[2], "{q:?}");
     }

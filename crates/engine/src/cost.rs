@@ -117,6 +117,7 @@ impl RunReport {
     /// compute time in seconds — exactly the box lines of Fig. 4.
     pub fn compute_time_distribution(&self) -> [f64; 5] {
         let mut times: Vec<f64> = self.machine_compute_ns.iter().map(|&t| t / 1e9).collect();
+        // sgp-lint: allow(no-panic-in-lib): machine_compute_ns accumulates finite per-op costs, so partial_cmp is total here
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         five_number_summary(&times)
     }

@@ -185,16 +185,15 @@ pub fn run_program<P: VertexProgram>(
                     let range = g.out_edge_range(v as u32);
                     for (idx, &w) in range.clone().zip(g.out_neighbors(v as u32)) {
                         next_active[w as usize] = true;
-                        compute_ns[placement.edge_parts[idx] as usize] +=
-                            opts.cost.ns_per_edge_op;
+                        compute_ns[placement.edge_parts[idx] as usize] += opts.cost.ns_per_edge_op;
                     }
                 }
                 if scatter_dir.uses_in() {
                     for &w in g.in_neighbors(v as u32) {
                         next_active[w as usize] = true;
+                        // sgp-lint: allow(no-panic-in-lib): w came from g.in_neighbors(v), so the CSR edge (w, v) exists by construction
                         let idx = g.edge_index(w, v as u32).expect("in-edge exists");
-                        compute_ns[placement.edge_parts[idx] as usize] +=
-                            opts.cost.ns_per_edge_op;
+                        compute_ns[placement.edge_parts[idx] as usize] += opts.cost.ns_per_edge_op;
                     }
                 }
             }
@@ -287,7 +286,8 @@ mod tests {
     fn wcc_matches_reference_on_all_cut_models() {
         let g = any_graph();
         let reference = reference::wcc(&g);
-        for alg in [Algorithm::EcrHash, Algorithm::VcrHash, Algorithm::Hdrf, Algorithm::HybridRandom]
+        for alg in
+            [Algorithm::EcrHash, Algorithm::VcrHash, Algorithm::Hdrf, Algorithm::HybridRandom]
         {
             let pl = placement_for(&g, alg, 4);
             let (labels, _) = run_program(&g, &pl, &Wcc::new(), &EngineOptions::default());
@@ -345,10 +345,8 @@ mod tests {
         let vc = placement_for(&g, Algorithm::VcrHash, 8);
         let (_, rec) = run_program(&g, &ec, &PageRank::new(5), &EngineOptions::default());
         let (_, rvc) = run_program(&g, &vc, &PageRank::new(5), &EngineOptions::default());
-        let slope_ec =
-            rec.total_network_bytes() as f64 / (rec.replication_factor - 1.0).max(1e-9);
-        let slope_vc =
-            rvc.total_network_bytes() as f64 / (rvc.replication_factor - 1.0).max(1e-9);
+        let slope_ec = rec.total_network_bytes() as f64 / (rec.replication_factor - 1.0).max(1e-9);
+        let slope_vc = rvc.total_network_bytes() as f64 / (rvc.replication_factor - 1.0).max(1e-9);
         assert!(
             slope_ec < slope_vc,
             "edge-cut slope {slope_ec} should undercut vertex-cut slope {slope_vc}"
@@ -410,8 +408,7 @@ mod tests {
         let pl = Placement::build(&g, &p);
         let (dist, report) = run_program(&g, &pl, &Sssp::new(0), &EngineOptions::default());
         assert_eq!(dist, vec![0, 1, 1, 2, 3]);
-        let actives: Vec<usize> =
-            report.iterations.iter().map(|i| i.active_vertices).collect();
+        let actives: Vec<usize> = report.iterations.iter().map(|i| i.active_vertices).collect();
         assert_eq!(actives[0], 1, "SSSP starts from the source only");
         assert!(actives.iter().max().unwrap() > &1, "frontier must expand");
     }

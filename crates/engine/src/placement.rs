@@ -201,9 +201,7 @@ fn count_union_excluding(
 ) -> usize {
     match (a, b) {
         (None, None) => 0,
-        (Some(x), None) | (None, Some(x)) => {
-            x.iter().filter(|&&p| p != excluded).count()
-        }
+        (Some(x), None) | (None, Some(x)) => x.iter().filter(|&&p| p != excluded).count(),
         (Some(x), Some(y)) => {
             let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
             while i < x.len() || j < y.len() {

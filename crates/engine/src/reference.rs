@@ -12,11 +12,8 @@ pub fn pagerank(g: &Graph, iterations: usize) -> Vec<f64> {
     for _ in 0..iterations {
         let mut next = vec![0.0f64; n];
         for v in g.vertices() {
-            let sum: f64 = g
-                .in_neighbors(v)
-                .iter()
-                .map(|&u| ranks[u as usize] / g.out_degree(u) as f64)
-                .sum();
+            let sum: f64 =
+                g.in_neighbors(v).iter().map(|&u| ranks[u as usize] / g.out_degree(u) as f64).sum();
             next[v as usize] = (1.0 - crate::apps::DAMPING) + crate::apps::DAMPING * sum;
         }
         ranks = next;
@@ -110,12 +107,8 @@ mod tests {
 
     #[test]
     fn reference_pagerank_ranks_hub_highest() {
-        let g = GraphBuilder::new()
-            .add_edge(1, 0)
-            .add_edge(2, 0)
-            .add_edge(3, 0)
-            .add_edge(0, 1)
-            .build();
+        let g =
+            GraphBuilder::new().add_edge(1, 0).add_edge(2, 0).add_edge(3, 0).add_edge(0, 1).build();
         let pr = pagerank(&g, 30);
         assert!(pr[0] > pr[1] && pr[0] > pr[2] && pr[0] > pr[3]);
     }

@@ -38,9 +38,7 @@ fn pagerank_message_count_is_iteration_invariant() {
 fn edge_cut_gather_messages_equal_mirror_count() {
     let g = graph();
     let pl = placement(&g, Algorithm::Ldg, 8);
-    let total_mirrors: usize = (0..g.num_vertices())
-        .map(|v| pl.replicas[v].len() - 1)
-        .sum();
+    let total_mirrors: usize = (0..g.num_vertices()).map(|v| pl.replicas[v].len() - 1).sum();
     let (_, report) = run_program(&g, &pl, &PageRank::new(2), &EngineOptions::default());
     assert_eq!(report.iterations[0].gather_messages as usize, total_mirrors);
     assert_eq!(report.iterations[0].update_messages, 0);
@@ -54,8 +52,7 @@ fn unaggregated_messages_equal_cut_edges() {
     let cfg = PartitionerConfig::new(8);
     let p = partition(&g, Algorithm::Ldg, &cfg, StreamOrder::Random { seed: 3 });
     let owner = p.vertex_owner.clone().unwrap();
-    let cut_edges =
-        g.edges().filter(|e| owner[e.src as usize] != owner[e.dst as usize]).count();
+    let cut_edges = g.edges().filter(|e| owner[e.src as usize] != owner[e.dst as usize]).count();
     let pl = Placement::build(&g, &p);
     let opts = EngineOptions { sender_side_aggregation: false, ..Default::default() };
     let (_, report) = run_program(&g, &pl, &PageRank::new(1), &opts);

@@ -95,14 +95,16 @@ impl Graph {
     /// Out-neighbours of `v`, sorted ascending.
     #[inline]
     pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
-        let (s, t) = (self.out_offsets[v as usize] as usize, self.out_offsets[v as usize + 1] as usize);
+        let (s, t) =
+            (self.out_offsets[v as usize] as usize, self.out_offsets[v as usize + 1] as usize);
         &self.out_targets[s..t]
     }
 
     /// In-neighbours of `v`, sorted ascending.
     #[inline]
     pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
-        let (s, t) = (self.in_offsets[v as usize] as usize, self.in_offsets[v as usize + 1] as usize);
+        let (s, t) =
+            (self.in_offsets[v as usize] as usize, self.in_offsets[v as usize + 1] as usize);
         &self.in_sources[s..t]
     }
 
@@ -143,9 +145,8 @@ impl Graph {
 
     /// Iterates all directed edges in `(src, dst)` order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.vertices().flat_map(move |v| {
-            self.out_neighbors(v).iter().map(move |&w| Edge::new(v, w))
-        })
+        self.vertices()
+            .flat_map(move |v| self.out_neighbors(v).iter().map(move |&w| Edge::new(v, w)))
     }
 
     /// The maximum out-degree over all vertices (0 for an empty graph).
@@ -199,12 +200,7 @@ mod tests {
 
     fn diamond() -> Graph {
         // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
-        GraphBuilder::new()
-            .add_edge(0, 1)
-            .add_edge(0, 2)
-            .add_edge(1, 3)
-            .add_edge(2, 3)
-            .build()
+        GraphBuilder::new().add_edge(0, 1).add_edge(0, 2).add_edge(1, 3).add_edge(2, 3).build()
     }
 
     #[test]
@@ -247,10 +243,7 @@ mod tests {
     fn csr_edges_roundtrip() {
         let g = diamond();
         let edges: Vec<Edge> = g.edges().collect();
-        assert_eq!(
-            edges,
-            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 3), Edge::new(2, 3)]
-        );
+        assert_eq!(edges, vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 3), Edge::new(2, 3)]);
     }
 
     #[test]

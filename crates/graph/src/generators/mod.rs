@@ -160,20 +160,32 @@ mod tests {
 
     #[test]
     fn powerlaw_has_heavy_tail() {
-        let g = powerlaw_cm(PowerLawConfig { vertices: 2000, avg_degree: 8.0, exponent: 0.85, seed: 2 });
+        let g = powerlaw_cm(PowerLawConfig {
+            vertices: 2000,
+            avg_degree: 8.0,
+            exponent: 0.85,
+            seed: 2,
+        });
         // Max degree should far exceed the average for a power-law graph.
-        assert!(g.max_degree() as f64 > 10.0 * g.avg_degree(), "max {} avg {}", g.max_degree(), g.avg_degree());
+        assert!(
+            g.max_degree() as f64 > 10.0 * g.avg_degree(),
+            "max {} avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
     }
 
     #[test]
     fn powerlaw_vertex_count_respected() {
-        let g = powerlaw_cm(PowerLawConfig { vertices: 333, avg_degree: 3.0, exponent: 0.7, seed: 3 });
+        let g =
+            powerlaw_cm(PowerLawConfig { vertices: 333, avg_degree: 3.0, exponent: 0.7, seed: 3 });
         assert_eq!(g.num_vertices(), 333);
     }
 
     #[test]
     fn start_vertex_sampling_uniform_in_range() {
-        let g = powerlaw_cm(PowerLawConfig { vertices: 100, avg_degree: 3.0, exponent: 0.5, seed: 4 });
+        let g =
+            powerlaw_cm(PowerLawConfig { vertices: 100, avg_degree: 3.0, exponent: 0.5, seed: 4 });
         let picks = sample_start_vertices(&g, 50, false, 9);
         assert_eq!(picks.len(), 50);
         assert!(picks.iter().all(|&v| (v as usize) < 100));
@@ -181,12 +193,20 @@ mod tests {
 
     #[test]
     fn start_vertex_sampling_degree_biased_prefers_hubs() {
-        let g = powerlaw_cm(PowerLawConfig { vertices: 1000, avg_degree: 10.0, exponent: 0.9, seed: 5 });
+        let g = powerlaw_cm(PowerLawConfig {
+            vertices: 1000,
+            avg_degree: 10.0,
+            exponent: 0.9,
+            seed: 5,
+        });
         let picks = sample_start_vertices(&g, 2000, true, 10);
         let avg_deg_of_picks: f64 =
             picks.iter().map(|&v| g.degree(v) as f64).sum::<f64>() / picks.len() as f64;
         let avg_deg: f64 =
             g.vertices().map(|v| g.degree(v) as f64).sum::<f64>() / g.num_vertices() as f64;
-        assert!(avg_deg_of_picks > avg_deg, "biased picks should hit hubs: {avg_deg_of_picks} vs {avg_deg}");
+        assert!(
+            avg_deg_of_picks > avg_deg,
+            "biased picks should hit hubs: {avg_deg_of_picks} vs {avg_deg}"
+        );
     }
 }

@@ -112,7 +112,13 @@ mod tests {
     fn road_has_long_diameter_shape() {
         // Sanity: a lattice keeps most vertices far from vertex 0; check
         // BFS from corner reaches depth >= width/2 on an intact-ish grid.
-        let g = road_grid(RoadConfig { removal_rate: 0.0, diagonal_rate: 0.0, width: 16, height: 16, seed: 1 });
+        let g = road_grid(RoadConfig {
+            removal_rate: 0.0,
+            diagonal_rate: 0.0,
+            width: 16,
+            height: 16,
+            seed: 1,
+        });
         let mut dist = vec![usize::MAX; g.num_vertices()];
         let mut q = std::collections::VecDeque::new();
         dist[0] = 0;

@@ -64,6 +64,7 @@ impl Zipf {
     /// Samples a rank in `0..n` (0 = most popular).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
+        // sgp-lint: allow(no-panic-in-lib): cdf entries are partial sums of positive finite weights and u is in [0, 1), so partial_cmp is total here
         match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),

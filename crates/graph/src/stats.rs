@@ -154,7 +154,9 @@ impl std::fmt::Display for GraphStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{powerlaw_cm, road_grid, snb_social, PowerLawConfig, RoadConfig, SnbConfig};
+    use crate::generators::{
+        powerlaw_cm, road_grid, snb_social, PowerLawConfig, RoadConfig, SnbConfig,
+    };
     use crate::GraphBuilder;
 
     #[test]
@@ -192,7 +194,12 @@ mod tests {
 
     #[test]
     fn powerlaw_classifies_skewed() {
-        let g = powerlaw_cm(PowerLawConfig { vertices: 3000, avg_degree: 10.0, exponent: 0.8, seed: 7 });
+        let g = powerlaw_cm(PowerLawConfig {
+            vertices: 3000,
+            avg_degree: 10.0,
+            exponent: 0.8,
+            seed: 7,
+        });
         let c = GraphStats::of(&g).classify();
         assert_ne!(c, GraphClass::LowDegree, "power-law graph must not classify as low-degree");
     }

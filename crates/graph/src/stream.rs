@@ -253,12 +253,8 @@ mod tests {
 
     #[test]
     fn bfs_order_starts_at_root_and_respects_layers() {
-        let g = GraphBuilder::new()
-            .add_edge(0, 1)
-            .add_edge(0, 2)
-            .add_edge(1, 3)
-            .add_edge(2, 4)
-            .build();
+        let g =
+            GraphBuilder::new().add_edge(0, 1).add_edge(0, 2).add_edge(1, 3).add_edge(2, 4).build();
         let order = vertex_order(&g, StreamOrder::Bfs);
         assert_eq!(order[0], 0);
         let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();

@@ -6,12 +6,8 @@ use sgp_graph::generators::{erdos_renyi, ErdosRenyiConfig};
 use sgp_graph::{Edge, Graph, GraphBuilder, GraphStats, StreamOrder, VertexStream};
 
 fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..50).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n as u32, 0..n as u32), 0..200),
-        )
-    })
+    (2usize..50)
+        .prop_flat_map(|n| (Just(n), proptest::collection::vec((0..n as u32, 0..n as u32), 0..200)))
 }
 
 fn build(n: usize, pairs: &[(u32, u32)]) -> Graph {

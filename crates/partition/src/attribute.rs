@@ -78,6 +78,7 @@ impl VertexStreamPartitioner for AttributeLdg {
         }
         let target = best.map(|(_, _, i)| i).unwrap_or_else(|| {
             // Heavy vertex that fits nowhere within slack: least loaded.
+            // sgp-lint: allow(no-panic-in-lib): 0..self.k is non-empty because PartitionerConfig::new asserts k >= 1
             (0..self.k).min_by_key(|&i| self.loads[i]).expect("k >= 1")
         });
         // Re-streaming support: undo the previous pass's placement.
@@ -165,6 +166,7 @@ impl VertexStreamPartitioner for AttributeFennel {
             });
         }
         let target = best.map(|(_, _, i)| i).unwrap_or_else(|| {
+            // sgp-lint: allow(no-panic-in-lib): 0..self.k is non-empty because PartitionerConfig::new asserts k >= 1
             (0..self.k).min_by_key(|&i| self.loads[i]).expect("k >= 1")
         });
         let old = self.assigned[rec.vertex as usize];
@@ -190,13 +192,18 @@ mod tests {
     use super::*;
     use crate::edge_cut::{run_vertex_stream, Ldg};
     use crate::metrics;
+    use rand::Rng;
     use sgp_graph::generators::{snb_social, SnbConfig};
     use sgp_graph::sampling::{seeded_rng, Zipf};
     use sgp_graph::{Graph, StreamOrder};
-    use rand::Rng;
 
     fn graph() -> Graph {
-        snb_social(SnbConfig { persons: 2000, communities: 25, avg_friends: 10.0, ..SnbConfig::default() })
+        snb_social(SnbConfig {
+            persons: 2000,
+            communities: 25,
+            avg_friends: 10.0,
+            ..SnbConfig::default()
+        })
     }
 
     /// Zipf-skewed access weights over a random permutation.
@@ -319,12 +326,7 @@ mod tests {
         let cfg = PartitionerConfig::new(4);
         let mut w = vec![1u64; g.num_vertices()];
         w[0] = 10 * g.num_vertices() as u64;
-        let p = run_vertex_stream(
-            &g,
-            &mut AttributeLdg::new(&cfg, w),
-            4,
-            StreamOrder::Natural,
-        );
+        let p = run_vertex_stream(&g, &mut AttributeLdg::new(&cfg, w), 4, StreamOrder::Natural);
         assert!(p.vertex_owner.unwrap().iter().all(|&x| x < 4));
     }
 }

@@ -262,6 +262,7 @@ fn argmin_size(sizes: &[usize]) -> PartitionId {
         .enumerate()
         .min_by_key(|&(_, &s)| s)
         .map(|(i, _)| i as PartitionId)
+        // sgp-lint: allow(no-panic-in-lib): sizes has length k and PartitionerConfig::new asserts k >= 1
         .expect("at least one partition")
 }
 
@@ -318,7 +319,8 @@ mod tests {
         let g = erdos_renyi(ErdosRenyiConfig { vertices: 4000, edges: 12_000, seed: 1 });
         let c = cfg(8);
         let p1 = run_vertex_stream(&g, &mut HashVertex::new(&c), 8, StreamOrder::Natural);
-        let p2 = run_vertex_stream(&g, &mut HashVertex::new(&c), 8, StreamOrder::Random { seed: 3 });
+        let p2 =
+            run_vertex_stream(&g, &mut HashVertex::new(&c), 8, StreamOrder::Random { seed: 3 });
         // Hash placement ignores stream order entirely.
         assert_eq!(p1.vertex_owner, p2.vertex_owner);
         let sizes = p1.vertices_per_partition().unwrap();
@@ -349,9 +351,15 @@ mod tests {
 
     #[test]
     fn fennel_beats_hash_on_community_graph() {
-        let g = snb_social(SnbConfig { persons: 3000, communities: 30, avg_friends: 12.0, ..SnbConfig::default() });
+        let g = snb_social(SnbConfig {
+            persons: 3000,
+            communities: 30,
+            avg_friends: 12.0,
+            ..SnbConfig::default()
+        });
         let c = cfg(4);
-        let hash = run_vertex_stream(&g, &mut HashVertex::new(&c), 4, StreamOrder::Random { seed: 1 });
+        let hash =
+            run_vertex_stream(&g, &mut HashVertex::new(&c), 4, StreamOrder::Random { seed: 1 });
         let fnl = run_vertex_stream(
             &g,
             &mut Fennel::new(&c, g.num_vertices(), g.num_edges()),
@@ -384,7 +392,12 @@ mod tests {
 
     #[test]
     fn restreaming_improves_or_matches_single_pass() {
-        let g = snb_social(SnbConfig { persons: 2000, communities: 25, avg_friends: 10.0, ..SnbConfig::default() });
+        let g = snb_social(SnbConfig {
+            persons: 2000,
+            communities: 25,
+            avg_friends: 10.0,
+            ..SnbConfig::default()
+        });
         let c = cfg(4);
         let single = run_vertex_stream(
             &g,

@@ -61,6 +61,7 @@ impl IogpStyle {
         let mut dirty: Vec<u32> = Vec::new();
 
         let least_loaded = |sizes: &[usize]| -> usize {
+            // sgp-lint: allow(no-panic-in-lib): sizes has length self.k and PartitionerConfig::new asserts k >= 1
             (0..sizes.len()).min_by_key(|&i| sizes[i]).expect("k >= 1")
         };
 
@@ -142,6 +143,7 @@ impl IogpStyle {
             }
             let best = (0..self.k)
                 .max_by_key(|&i| (conn[i], usize::MAX - sizes[i]))
+                // sgp-lint: allow(no-panic-in-lib): 0..self.k is non-empty because PartitionerConfig::new asserts k >= 1
                 .expect("k >= 1");
             if best != cur as usize
                 && conn[best] > conn[cur as usize]
@@ -164,7 +166,12 @@ mod tests {
     use sgp_graph::generators::{snb_social, SnbConfig};
 
     fn graph() -> Graph {
-        snb_social(SnbConfig { persons: 2000, communities: 25, avg_friends: 10.0, ..SnbConfig::default() })
+        snb_social(SnbConfig {
+            persons: 2000,
+            communities: 25,
+            avg_friends: 10.0,
+            ..SnbConfig::default()
+        })
     }
 
     #[test]

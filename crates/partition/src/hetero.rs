@@ -77,8 +77,7 @@ impl HeteroLdg {
     /// Panics if the profile size differs from `cfg.k`.
     pub fn new(cfg: &PartitionerConfig, profile: ClusterProfile, n: usize) -> Self {
         assert_eq!(profile.k(), cfg.k, "profile must cover every partition");
-        let capacities =
-            (0..cfg.k).map(|i| profile.capacity(i, n, cfg.balance_slack)).collect();
+        let capacities = (0..cfg.k).map(|i| profile.capacity(i, n, cfg.balance_slack)).collect();
         HeteroLdg { profile, capacities }
     }
 }
@@ -112,8 +111,10 @@ impl VertexStreamPartitioner for HeteroLdg {
                 .min_by(|&a, &b| {
                     let fa = state.sizes[a] as f64 / self.capacities[a];
                     let fb = state.sizes[b] as f64 / self.capacities[b];
+                    // sgp-lint: allow(no-panic-in-lib): capacities are validated positive at construction, so the fill ratios are finite
                     fa.partial_cmp(&fb).expect("finite fill")
                 })
+                // sgp-lint: allow(no-panic-in-lib): 0..k is non-empty because PartitionerConfig::new asserts k >= 1
                 .expect("k >= 1") as PartitionId
         })
     }
@@ -139,8 +140,7 @@ impl HeteroHdrf {
     /// Panics if the profile size differs from `cfg.k`.
     pub fn new(cfg: &PartitionerConfig, profile: ClusterProfile, m: usize) -> Self {
         assert_eq!(profile.k(), cfg.k, "profile must cover every partition");
-        let capacities =
-            (0..cfg.k).map(|i| profile.capacity(i, m, cfg.balance_slack)).collect();
+        let capacities = (0..cfg.k).map(|i| profile.capacity(i, m, cfg.balance_slack)).collect();
         HeteroHdrf { profile, lambda: cfg.hdrf_lambda, capacities }
     }
 }

@@ -26,8 +26,7 @@ fn high_degree_threshold(g: &Graph, cfg: &PartitionerConfig) -> usize {
 pub fn hybrid_random(g: &Graph, cfg: &PartitionerConfig) -> Partitioning {
     let k = cfg.k;
     let threshold = high_degree_threshold(g, cfg);
-    let owner: Vec<PartitionId> =
-        g.vertices().map(|v| hash_to_partition(v, k, cfg.seed)).collect();
+    let owner: Vec<PartitionId> = g.vertices().map(|v| hash_to_partition(v, k, cfg.seed)).collect();
     let edge_parts = place_hybrid_edges(g, k, &owner, threshold);
     Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }
 }

@@ -33,7 +33,12 @@ pub struct MultilevelConfig {
 
 impl Default for MultilevelConfig {
     fn default() -> Self {
-        MultilevelConfig { balance_slack: 1.05, coarsest_factor: 8, refinement_passes: 8, seed: 0x3417 }
+        MultilevelConfig {
+            balance_slack: 1.05,
+            coarsest_factor: 8,
+            refinement_passes: 8,
+            seed: 0x3417,
+        }
     }
 }
 
@@ -135,7 +140,7 @@ impl MultilevelPartitioner {
             return vec![0; n];
         }
         let wg = WGraph::from_graph(g, vertex_weights);
-        
+
         self.multilevel(&wg, k)
     }
 
@@ -195,10 +200,9 @@ fn coarsen(wg: &WGraph, rng: &mut impl rand::Rng) -> (WGraph, Vec<u32>) {
         }
         let mut best: Option<(u64, u32)> = None;
         for (w, weight) in wg.neighbors(v) {
-            if w != v && mate[w as usize] == UNMATCHED
-                && best.is_none_or(|(bw, _)| weight > bw) {
-                    best = Some((weight, w));
-                }
+            if w != v && mate[w as usize] == UNMATCHED && best.is_none_or(|(bw, _)| weight > bw) {
+                best = Some((weight, w));
+            }
         }
         match best {
             Some((_, w)) => {
@@ -295,6 +299,7 @@ fn initial_partition(
         }
         let p = best.map(|(_, _, i)| i).unwrap_or_else(|| {
             // All at capacity: least loaded (slack rounding can cause this).
+            // sgp-lint: allow(no-panic-in-lib): 0..k is non-empty because PartitionerConfig::new asserts k >= 1
             (0..k).min_by_key(|&i| loads[i]).expect("k >= 1")
         });
         assign[v as usize] = p as PartitionId;
@@ -448,7 +453,12 @@ mod tests {
 
     #[test]
     fn metis_beats_streaming_on_community_graph() {
-        let g = snb_social(SnbConfig { persons: 2000, communities: 25, avg_friends: 10.0, ..SnbConfig::default() });
+        let g = snb_social(SnbConfig {
+            persons: 2000,
+            communities: 25,
+            avg_friends: 10.0,
+            ..SnbConfig::default()
+        });
         let cfg = PartitionerConfig::new(8);
         let mts = MultilevelPartitioner::default().partitioning(&g, 8);
         let fnl = run_vertex_stream(
@@ -522,7 +532,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let g = snb_social(SnbConfig { persons: 800, communities: 10, avg_friends: 8.0, ..SnbConfig::default() });
+        let g = snb_social(SnbConfig {
+            persons: 800,
+            communities: 10,
+            avg_friends: 8.0,
+            ..SnbConfig::default()
+        });
         let p = MultilevelPartitioner::default();
         assert_eq!(p.partition(&g, 4), p.partition(&g, 4));
     }

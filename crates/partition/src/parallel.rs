@@ -64,8 +64,10 @@ pub fn partition_batch(g: &Graph, jobs: &[Job], threads: usize) -> Vec<Option<Pa
                 mine
             }));
         }
+        // sgp-lint: allow(no-panic-in-lib): join() only fails when a worker panicked, and re-raising that panic on the coordinator is the intended behaviour
         handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
     })
+    // sgp-lint: allow(no-panic-in-lib): crossbeam::scope errs only when a child panicked; same propagation as above
     .expect("crossbeam scope");
     for (i, p) in collected.into_iter().flatten() {
         results[i] = Some(p);
@@ -80,14 +82,13 @@ pub fn partition_suite(
     config: &PartitionerConfig,
     order: StreamOrder,
 ) -> Vec<(Algorithm, Partitioning)> {
-    let jobs: Vec<Job> = algorithms
-        .iter()
-        .map(|&algorithm| Job { algorithm, config: *config, order })
-        .collect();
+    let jobs: Vec<Job> =
+        algorithms.iter().map(|&algorithm| Job { algorithm, config: *config, order }).collect();
     let results = partition_batch(g, &jobs, algorithms.len());
     algorithms
         .iter()
         .copied()
+        // sgp-lint: allow(no-panic-in-lib): partition_batch's worker loop claims every index of jobs via the shared cursor, so every slot is Some
         .zip(results.into_iter().map(|r| r.expect("every job completed")))
         .collect()
 }
@@ -132,8 +133,7 @@ mod tests {
     fn suite_returns_in_algorithm_order() {
         let g = graph();
         let cfg = PartitionerConfig::new(4);
-        let suite =
-            partition_suite(&g, Algorithm::online_suite(), &cfg, StreamOrder::Natural);
+        let suite = partition_suite(&g, Algorithm::online_suite(), &cfg, StreamOrder::Natural);
         let names: Vec<_> = suite.iter().map(|(a, _)| a.short_name()).collect();
         assert_eq!(names, vec!["ECR", "LDG", "FNL", "MTS"]);
         assert!(suite.iter().all(|(_, p)| p.edge_parts.len() == g.num_edges()));

@@ -6,7 +6,7 @@ use crate::config::PartitionerConfig;
 use crate::edge_cut::{run_vertex_stream, Fennel, HashVertex, Ldg, Restream};
 use crate::hybrid::{ginger, hybrid_random};
 use crate::metis::MultilevelPartitioner;
-use crate::vertex_cut::{run_edge_stream, Dbh, GridConstrained, Hdrf, HashEdge, PowerGraphGreedy};
+use crate::vertex_cut::{run_edge_stream, Dbh, GridConstrained, HashEdge, Hdrf, PowerGraphGreedy};
 use serde::{Deserialize, Serialize};
 use sgp_graph::{Graph, StreamOrder};
 
@@ -252,10 +252,7 @@ impl Algorithm {
 
     /// Parses a Table 2 abbreviation (case-insensitive).
     pub fn from_short_name(name: &str) -> Option<Algorithm> {
-        Algorithm::all()
-            .iter()
-            .copied()
-            .find(|a| a.short_name().eq_ignore_ascii_case(name))
+        Algorithm::all().iter().copied().find(|a| a.short_name().eq_ignore_ascii_case(name))
     }
 }
 
@@ -341,9 +338,7 @@ mod tests {
     fn suites_match_table2() {
         assert_eq!(Algorithm::offline_suite().len(), 10);
         assert_eq!(Algorithm::online_suite().len(), 4);
-        assert!(Algorithm::online_suite()
-            .iter()
-            .all(|a| a.info().model == CutModel::EdgeCut));
+        assert!(Algorithm::online_suite().iter().all(|a| a.info().model == CutModel::EdgeCut));
     }
 
     #[test]

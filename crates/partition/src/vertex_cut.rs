@@ -70,6 +70,7 @@ impl EdgeStreamState {
     /// back to the global least-loaded when `candidates` is empty.
     pub fn least_loaded(&self, candidates: &[PartitionId]) -> PartitionId {
         let pick = |iter: &mut dyn Iterator<Item = PartitionId>| {
+            // sgp-lint: allow(no-panic-in-lib): called with 0..k (non-empty, k >= 1 asserted at construction) or a non-empty candidate set
             iter.min_by_key(|&p| (self.edge_counts[p as usize], p)).expect("k >= 1")
         };
         if candidates.is_empty() {
@@ -280,8 +281,11 @@ impl EdgeStreamPartitioner for PowerGraphGreedy {
                 } else {
                     // Rule 2: richer endpoint (more unseen edges ≈ higher
                     // partial degree) keeps its locality.
-                    let pick =
-                        if state.partial_degree(e.src) >= state.partial_degree(e.dst) { au } else { av };
+                    let pick = if state.partial_degree(e.src) >= state.partial_degree(e.dst) {
+                        au
+                    } else {
+                        av
+                    };
                     state.least_loaded(pick)
                 }
             }
@@ -328,7 +332,8 @@ impl EdgeStreamPartitioner for Hdrf {
         let theta_v = 1.0 - theta_u;
         let mut best = (f64::NEG_INFINITY, 0 as PartitionId);
         for i in 0..self.k as PartitionId {
-            let mut score = self.lambda * (1.0 - state.edge_counts[i as usize] as f64 / self.capacity);
+            let mut score =
+                self.lambda * (1.0 - state.edge_counts[i as usize] as f64 / self.capacity);
             if state.has_replica(e.src, i) {
                 score += 1.0 + (1.0 - theta_u);
             }
@@ -364,6 +369,7 @@ pub fn run_edge_stream<P: EdgeStreamPartitioner>(
         let p = partitioner.place(e, &state);
         debug_assert!((p as usize) < k, "partitioner returned out-of-range id");
         state.record(e, p);
+        // sgp-lint: allow(no-panic-in-lib): e was just produced by EdgeStream over g, so the CSR lookup cannot miss
         let idx = g.edge_index(e.src, e.dst).expect("stream edge exists in graph");
         edge_parts[idx] = p;
     }
@@ -436,7 +442,8 @@ mod tests {
         let g = twitter_like();
         let k = 16; // 4x4 grid: bound = 2*sqrt(16) - 1 = 7
         let c = cfg(k);
-        let p = run_edge_stream(&g, &mut GridConstrained::new(&c), k, StreamOrder::Random { seed: 5 });
+        let p =
+            run_edge_stream(&g, &mut GridConstrained::new(&c), k, StreamOrder::Random { seed: 5 });
         let sets = p.replica_sets(&g);
         let bound = 2 * (k as f64).sqrt() as usize - 1;
         for (v, set) in sets.iter().enumerate() {
@@ -489,7 +496,12 @@ mod tests {
     fn hdrf_produces_balanced_edges() {
         let g = twitter_like();
         let c = cfg(16);
-        let p = run_edge_stream(&g, &mut Hdrf::new(&c, g.num_edges()), 16, StreamOrder::Random { seed: 6 });
+        let p = run_edge_stream(
+            &g,
+            &mut Hdrf::new(&c, g.num_edges()),
+            16,
+            StreamOrder::Random { seed: 6 },
+        );
         let imb = metrics::load_imbalance(&p.edges_per_partition());
         assert!(imb < 1.25, "HDRF edge imbalance {imb}");
     }
@@ -499,7 +511,12 @@ mod tests {
         let g = twitter_like();
         let c = cfg(16);
         let hash = run_edge_stream(&g, &mut HashEdge::new(&c), 16, StreamOrder::Random { seed: 7 });
-        let hdrf = run_edge_stream(&g, &mut Hdrf::new(&c, g.num_edges()), 16, StreamOrder::Random { seed: 7 });
+        let hdrf = run_edge_stream(
+            &g,
+            &mut Hdrf::new(&c, g.num_edges()),
+            16,
+            StreamOrder::Random { seed: 7 },
+        );
         let (rh, rd) =
             (metrics::replication_factor(&g, &hash), metrics::replication_factor(&g, &hdrf));
         assert!(rd < 0.8 * rh, "HDRF RF {rd} should clearly beat hash {rh}");

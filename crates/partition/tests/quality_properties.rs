@@ -25,7 +25,15 @@ fn every_greedy_vertex_cut_beats_random_on_every_generator() {
     let graphs: Vec<(&str, Graph)> = vec![
         ("rmat", rmat(RmatConfig { scale: 10, edge_factor: 8, ..RmatConfig::default() })),
         ("road", road_grid(RoadConfig { width: 30, height: 30, ..RoadConfig::default() })),
-        ("snb", snb_social(SnbConfig { persons: 1500, communities: 15, avg_friends: 8.0, ..SnbConfig::default() })),
+        (
+            "snb",
+            snb_social(SnbConfig {
+                persons: 1500,
+                communities: 15,
+                avg_friends: 8.0,
+                ..SnbConfig::default()
+            }),
+        ),
     ];
     for (name, g) in &graphs {
         let random = rf(g, Algorithm::VcrHash, 8);
@@ -41,13 +49,20 @@ fn every_greedy_edge_cut_beats_random_on_every_generator() {
     let graphs: Vec<(&str, Graph)> = vec![
         ("rmat", rmat(RmatConfig { scale: 10, edge_factor: 8, ..RmatConfig::default() })),
         ("road", road_grid(RoadConfig { width: 30, height: 30, ..RoadConfig::default() })),
-        ("snb", snb_social(SnbConfig { persons: 1500, communities: 15, avg_friends: 8.0, ..SnbConfig::default() })),
+        (
+            "snb",
+            snb_social(SnbConfig {
+                persons: 1500,
+                communities: 15,
+                avg_friends: 8.0,
+                ..SnbConfig::default()
+            }),
+        ),
     ];
     for (name, g) in &graphs {
         let cfg = PartitionerConfig::new(8);
         let random = partition(g, Algorithm::EcrHash, &cfg, order());
-        let random_ecr =
-            sgp_partition::metrics::edge_cut_ratio(g, &random).unwrap();
+        let random_ecr = sgp_partition::metrics::edge_cut_ratio(g, &random).unwrap();
         for alg in [Algorithm::Ldg, Algorithm::Fennel, Algorithm::Metis] {
             let p = partition(g, alg, &cfg, order());
             let ecr = sgp_partition::metrics::edge_cut_ratio(g, &p).unwrap();
@@ -66,10 +81,7 @@ fn hash_matches_its_closed_forms_on_every_generator() {
             let cfg = PartitionerConfig::new(k);
             let ec = partition(&g, Algorithm::EcrHash, &cfg, order());
             let measured = sgp_partition::metrics::edge_cut_ratio(&g, &ec).unwrap();
-            assert!(
-                (measured - expected_hash_edge_cut(k)).abs() < 0.05,
-                "k={k}: ECR {measured}"
-            );
+            assert!((measured - expected_hash_edge_cut(k)).abs() < 0.05, "k={k}: ECR {measured}");
             let vc = partition(&g, Algorithm::VcrHash, &cfg, order());
             let rf_measured = replication_factor(&g, &vc);
             let rf_expected = expected_rf_random_vertex_cut(&g, k);
@@ -83,12 +95,16 @@ fn hash_matches_its_closed_forms_on_every_generator() {
 
 #[test]
 fn restreaming_never_hurts_quality() {
-    let g = snb_social(SnbConfig { persons: 2000, communities: 20, avg_friends: 10.0, ..SnbConfig::default() });
+    let g = snb_social(SnbConfig {
+        persons: 2000,
+        communities: 20,
+        avg_friends: 10.0,
+        ..SnbConfig::default()
+    });
     let cfg = PartitionerConfig::new(8);
-    for (single, multi) in [
-        (Algorithm::Ldg, Algorithm::RestreamLdg),
-        (Algorithm::Fennel, Algorithm::RestreamFennel),
-    ] {
+    for (single, multi) in
+        [(Algorithm::Ldg, Algorithm::RestreamLdg), (Algorithm::Fennel, Algorithm::RestreamFennel)]
+    {
         let e1 = sgp_partition::metrics::edge_cut_ratio(&g, &partition(&g, single, &cfg, order()))
             .unwrap();
         let e2 = sgp_partition::metrics::edge_cut_ratio(&g, &partition(&g, multi, &cfg, order()))

@@ -1,0 +1,110 @@
+//! # sgp-xtask
+//!
+//! The workspace's in-tree static-analysis pass. The headline claim of
+//! this repository (EXPERIMENTS.md) is that every table and figure is
+//! reproduced **bit-for-bit** from one deterministic run; `sgp-xtask
+//! lint` is the tool that statically enforces the invariants behind that
+//! claim instead of trusting convention:
+//!
+//! * [`rules`] — the rule catalogue:
+//!   * `no-hash-iteration` — `HashMap`/`HashSet` (nondeterministic
+//!     iteration order) are banned in the determinism-scoped crates
+//!     (`sgp-engine`, `sgp-db`, `sgp-core`, `sgp-partition`); use
+//!     `BTreeMap`/`BTreeSet` or sort before iterating.
+//!   * `no-panic-in-lib` — `unwrap()`/`expect()`/`panic!`/`todo!`/
+//!     `unimplemented!`/`dbg!` in non-test library code must be
+//!     rewritten as `Result` or carry a justified allow directive.
+//!   * `crate-attr-policy` — every crate root must carry
+//!     `#![deny(unsafe_code)]` and `#![warn(missing_docs)]`.
+//!   * `no-wallclock-in-sim` — `std::time::Instant`, `SystemTime` and
+//!     `thread_rng` are forbidden inside the deterministic simulators;
+//!     only the bench harness's wall-clock footers are exempt (the
+//!     `sgp-bench` crate and binaries are out of scope).
+//!   * `workspace-dep-hygiene` — member `Cargo.toml`s must inherit
+//!     dependencies (`workspace = true`, no inline versions) and opt
+//!     into the shared `[workspace.lints]` table.
+//! * [`scan`] — a lightweight Rust scanner that masks string literals
+//!   and comments (so rule patterns never false-positive on docs) and
+//!   tracks `#[cfg(test)]` spans.
+//! * [`manifest`] — a minimal TOML section reader for the hygiene rule.
+//! * [`report`] — findings, text diagnostics with `file:line` spans, and
+//!   stable machine-readable JSON.
+//!
+//! ## Allow directives
+//!
+//! A violation is suppressed by a justified directive in a line comment:
+//!
+//! ```text
+//! // sgp-lint: allow(<rule>): <justification>       (this or the next line)
+//! // sgp-lint: allow-file(<rule>): <justification>  (the whole file)
+//! ```
+//!
+//! The justification is mandatory; a directive without one is itself a
+//! `bad-allow-directive` error and does **not** suppress the finding.
+//! Directives that never fire are reported as `unused-allow` warnings.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+pub use report::{render_json, render_text, Finding, LintReport, Severity};
+
+use std::path::PathBuf;
+
+/// Options for one lint run.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root (the directory holding the root `Cargo.toml`).
+    pub root: PathBuf,
+    /// Treat warnings as errors for the exit code.
+    pub strict: bool,
+}
+
+impl LintConfig {
+    /// A config rooted at `root` with default settings.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        LintConfig { root: root.into(), strict: false }
+    }
+}
+
+/// Runs the full rule catalogue over the workspace at `cfg.root`.
+///
+/// Returns an error string only for environmental failures (unreadable
+/// root, missing root manifest); findings — including broken fixture
+/// code — are data, not errors.
+pub fn run_lint(cfg: &LintConfig) -> Result<LintReport, String> {
+    let ws = workspace::discover(&cfg.root)?;
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut manifests_scanned = 0usize;
+
+    rules::check_root_manifest(&ws, &mut findings);
+    manifests_scanned += 1;
+
+    for member in &ws.members {
+        rules::check_member_manifest(member, &mut findings);
+        manifests_scanned += 1;
+        rules::check_crate_root_attrs(member, &mut findings);
+        for file in &member.files {
+            let scanned = match scan::scan_file(&file.path, &file.rel) {
+                Ok(s) => s,
+                Err(e) => {
+                    findings.push(Finding::io_error(&file.rel, &e));
+                    continue;
+                }
+            };
+            files_scanned += 1;
+            rules::check_source_file(member, file, &scanned, &mut findings);
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    Ok(LintReport { findings, files_scanned, manifests_scanned, strict: cfg.strict })
+}

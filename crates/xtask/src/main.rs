@@ -1,0 +1,135 @@
+//! `sgp-xtask` — workspace automation for the streaming graph
+//! partitioning repo.
+//!
+//! ```text
+//! cargo run -p sgp-xtask -- lint [--root DIR] [--format text|json] [--strict]
+//! cargo run -p sgp-xtask -- rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (warnings count only under
+//! `--strict`), `2` usage or environment error.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use sgp_xtask::{render_json, render_text, rules, run_lint, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sgp-xtask — in-tree workspace automation
+
+USAGE:
+    sgp-xtask lint [--root DIR] [--format text|json] [--strict]
+    sgp-xtask rules
+    sgp-xtask help
+
+COMMANDS:
+    lint     Run the static-analysis rule catalogue over the workspace
+    rules    List the rules with one-line descriptions
+    help     Show this message
+
+LINT OPTIONS:
+    --root DIR          Workspace root (default: ascend from cwd to the
+                        nearest Cargo.toml with a [workspace] section)
+    --format text|json  Output format (default: text)
+    --strict            Warnings also fail the run
+
+EXIT CODES:
+    0  no findings (warnings allowed unless --strict)
+    1  findings reported
+    2  usage or environment error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("rules") => cmd_rules(),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown command `{other}`")),
+        None => usage_error("missing command"),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut strict = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (text|json)"))
+                }
+                None => return usage_error("--format requires text|json"),
+            },
+            "--strict" => strict = true,
+            other => return usage_error(&format!("unknown lint option `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match sgp_xtask::workspace::find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let mut cfg = LintConfig::new(root);
+    cfg.strict = strict;
+    let report = match run_lint(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Text => print!("{}", render_text(&report)),
+        Format::Json => print!("{}", render_json(&report)),
+    }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+}
+
+fn cmd_rules() -> ExitCode {
+    for rule in rules::ALL_RULES {
+        println!("{rule}\n    {}", rules::describe(rule));
+    }
+    ExitCode::SUCCESS
+}

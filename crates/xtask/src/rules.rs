@@ -1,0 +1,485 @@
+//! The rule catalogue and its enforcement.
+//!
+//! Rules are scoped by *package name*, not path, so the same engine
+//! lints the real workspace and the fixture corpus identically:
+//!
+//! | rule | scope |
+//! |------|-------|
+//! | `no-hash-iteration`   | `sgp-engine`, `sgp-db`, `sgp-core`, `sgp-partition` — all targets incl. tests |
+//! | `no-panic-in-lib`     | the above + `sgp-graph` — library sources only, test spans skipped |
+//! | `no-wallclock-in-sim` | the above + `sgp-graph` — all targets |
+//! | `crate-attr-policy`   | every member |
+//! | `workspace-dep-hygiene` | every member manifest + the root manifest |
+//!
+//! The bench harness (`sgp-bench`) and binary targets are outside the
+//! determinism scopes: wall-clock footers and CLI conveniences live
+//! there by design.
+
+use crate::manifest::Manifest;
+use crate::report::{Finding, Severity};
+use crate::scan::{DirectiveScope, ScannedFile};
+use crate::workspace::{FileKind, Member, SourceFile, Workspace};
+
+/// Rule: hash-container iteration order is nondeterministic.
+pub const NO_HASH_ITERATION: &str = "no-hash-iteration";
+/// Rule: panicking constructs in library code.
+pub const NO_PANIC_IN_LIB: &str = "no-panic-in-lib";
+/// Rule: crate roots must carry the policy attributes.
+pub const CRATE_ATTR_POLICY: &str = "crate-attr-policy";
+/// Rule: wall-clock and ambient randomness in deterministic simulators.
+pub const NO_WALLCLOCK_IN_SIM: &str = "no-wallclock-in-sim";
+/// Rule: manifests must inherit workspace dependencies and lints.
+pub const WORKSPACE_DEP_HYGIENE: &str = "workspace-dep-hygiene";
+/// Meta rule: malformed or unjustified allow directives.
+pub const BAD_ALLOW_DIRECTIVE: &str = "bad-allow-directive";
+/// Meta rule: allow directives that never suppressed anything.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// All enforceable rule ids (the two meta rules included, so directives
+/// can be validated against this list).
+pub const ALL_RULES: &[&str] = &[
+    NO_HASH_ITERATION,
+    NO_PANIC_IN_LIB,
+    CRATE_ATTR_POLICY,
+    NO_WALLCLOCK_IN_SIM,
+    WORKSPACE_DEP_HYGIENE,
+    BAD_ALLOW_DIRECTIVE,
+    UNUSED_ALLOW,
+];
+
+/// One-line description per rule, for `sgp-xtask rules`.
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        NO_HASH_ITERATION => {
+            "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or sort \
+             before iterating (determinism-scoped crates)"
+        }
+        NO_PANIC_IN_LIB => {
+            "unwrap()/expect()/panic!/todo!/unimplemented!/dbg! in non-test library code must be \
+             rewritten as Result or carry a justified allow directive"
+        }
+        CRATE_ATTR_POLICY => {
+            "every crate root must carry #![deny(unsafe_code)] and #![warn(missing_docs)]"
+        }
+        NO_WALLCLOCK_IN_SIM => {
+            "std::time::Instant/SystemTime and thread_rng are forbidden in the deterministic \
+             simulators; wall-clock belongs to the bench harness only"
+        }
+        WORKSPACE_DEP_HYGIENE => {
+            "crate manifests must inherit dependencies (workspace = true, no inline versions) and \
+             opt into [workspace.lints]"
+        }
+        BAD_ALLOW_DIRECTIVE => "sgp-lint allow directives must name a known rule and justify it",
+        UNUSED_ALLOW => "allow directives that suppress nothing should be removed",
+        _ => "unknown rule",
+    }
+}
+
+/// Crates whose hash-container use breaks replay determinism.
+const HASH_SCOPE: &[&str] = &["sgp-engine", "sgp-db", "sgp-core", "sgp-partition"];
+/// Crates whose library code must be panic-free.
+const PANIC_SCOPE: &[&str] = &["sgp-graph", "sgp-engine", "sgp-db", "sgp-core", "sgp-partition"];
+/// Crates forbidden to read wall-clock or ambient randomness.
+const WALLCLOCK_SCOPE: &[&str] =
+    &["sgp-graph", "sgp-engine", "sgp-db", "sgp-core", "sgp-partition"];
+
+fn in_scope(member: &Member, scope: &[&str]) -> bool {
+    scope.contains(&member.name.as_str())
+}
+
+// ---------------------------------------------------------------------------
+// Source-file rules
+// ---------------------------------------------------------------------------
+
+/// Tracks which findings a directive suppressed, to report unused ones.
+struct AllowTable<'a> {
+    scanned: &'a ScannedFile,
+    used: Vec<bool>,
+}
+
+impl<'a> AllowTable<'a> {
+    fn new(scanned: &'a ScannedFile) -> Self {
+        AllowTable { scanned, used: vec![false; scanned.directives.len()] }
+    }
+
+    /// Is `(rule, line)` suppressed by a well-formed directive? Marks the
+    /// directive used. Malformed directives (unknown rule, missing
+    /// justification) never suppress.
+    fn allows(&mut self, rule: &str, line: usize) -> bool {
+        let mut hit = false;
+        for (i, d) in self.scanned.directives.iter().enumerate() {
+            if d.rule != rule || d.justification.is_empty() {
+                continue;
+            }
+            let applies = match d.scope {
+                DirectiveScope::File => true,
+                DirectiveScope::Line => d.line == line || d.line + 1 == line,
+            };
+            if applies {
+                self.used[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Emits `bad-allow-directive` and `unused-allow` findings.
+    fn finish(self, findings: &mut Vec<Finding>) {
+        for (i, d) in self.scanned.directives.iter().enumerate() {
+            if d.rule.is_empty() || !ALL_RULES.contains(&d.rule.as_str()) {
+                findings.push(Finding::new(
+                    BAD_ALLOW_DIRECTIVE,
+                    Severity::Error,
+                    &self.scanned.rel,
+                    d.line,
+                    format!(
+                        "malformed sgp-lint directive (unknown or missing rule name): `{}`",
+                        d.raw.trim()
+                    ),
+                ));
+            } else if d.justification.is_empty() {
+                findings.push(Finding::new(
+                    BAD_ALLOW_DIRECTIVE,
+                    Severity::Error,
+                    &self.scanned.rel,
+                    d.line,
+                    format!(
+                        "allow({}) directive is missing its mandatory justification — write \
+                         `// sgp-lint: allow({}): <why this is sound>`",
+                        d.rule, d.rule
+                    ),
+                ));
+            } else if !self.used[i] {
+                findings.push(Finding::new(
+                    UNUSED_ALLOW,
+                    Severity::Warn,
+                    &self.scanned.rel,
+                    d.line,
+                    format!("allow({}) directive suppresses nothing; remove it", d.rule),
+                ));
+            }
+        }
+    }
+}
+
+/// Runs every source-level rule over one scanned file.
+pub fn check_source_file(
+    member: &Member,
+    file: &SourceFile,
+    scanned: &ScannedFile,
+    findings: &mut Vec<Finding>,
+) {
+    let mut allows = AllowTable::new(scanned);
+
+    let hash_applies = in_scope(member, HASH_SCOPE);
+    let wallclock_applies = in_scope(member, WALLCLOCK_SCOPE);
+    let panic_applies = in_scope(member, PANIC_SCOPE) && file.kind == FileKind::LibSrc;
+
+    for (idx, masked) in scanned.masked.iter().enumerate() {
+        let line = idx + 1;
+        if hash_applies {
+            for ident in ["HashMap", "HashSet"] {
+                if has_ident(masked, ident) && !allows.allows(NO_HASH_ITERATION, line) {
+                    findings.push(Finding::new(
+                        NO_HASH_ITERATION,
+                        Severity::Error,
+                        &scanned.rel,
+                        line,
+                        format!(
+                            "`{ident}` has nondeterministic iteration order — use \
+                             `BTreeMap`/`BTreeSet` or collect+sort (bit-for-bit reproduction \
+                             scope)"
+                        ),
+                    ));
+                    break; // one finding per line per rule
+                }
+            }
+        }
+        if wallclock_applies {
+            for ident in ["Instant", "SystemTime", "thread_rng"] {
+                if has_ident(masked, ident) && !allows.allows(NO_WALLCLOCK_IN_SIM, line) {
+                    findings.push(Finding::new(
+                        NO_WALLCLOCK_IN_SIM,
+                        Severity::Error,
+                        &scanned.rel,
+                        line,
+                        format!(
+                            "`{ident}` reads ambient machine state; deterministic simulators \
+                             must take seeds/counters as inputs (wall-clock belongs to \
+                             sgp-bench footers)"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+        if panic_applies && !scanned.is_test[idx] {
+            let method = ["unwrap", "expect", "unwrap_err", "expect_err"]
+                .iter()
+                .find(|m| has_method_call(masked, m));
+            let mac =
+                ["panic", "todo", "unimplemented", "dbg"].iter().find(|m| has_macro(masked, m));
+            if let Some(found) = method.or(mac) {
+                if !allows.allows(NO_PANIC_IN_LIB, line) {
+                    let what = if method.is_some() {
+                        format!("`.{found}()`")
+                    } else {
+                        format!("`{found}!`")
+                    };
+                    findings.push(Finding::new(
+                        NO_PANIC_IN_LIB,
+                        Severity::Error,
+                        &scanned.rel,
+                        line,
+                        format!(
+                            "{what} can panic mid-experiment — return a `Result` (see \
+                             sgp_core::SgpError) or justify with an allow directive"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    allows.finish(findings);
+}
+
+/// Checks the crate-root attribute policy for one member.
+pub fn check_crate_root_attrs(member: &Member, findings: &mut Vec<Finding>) {
+    let root_rel = format!("{}/src/lib.rs", dir_rel(member));
+    let root = member
+        .files
+        .iter()
+        .find(|f| f.rel.ends_with("src/lib.rs"))
+        .or_else(|| member.files.iter().find(|f| f.rel.ends_with("src/main.rs")));
+    let Some(root) = root else {
+        findings.push(Finding::new(
+            CRATE_ATTR_POLICY,
+            Severity::Error,
+            &root_rel,
+            0,
+            "crate has neither src/lib.rs nor src/main.rs to carry the policy attributes",
+        ));
+        return;
+    };
+    let Ok(text) = std::fs::read_to_string(&root.path) else {
+        findings.push(Finding::io_error(&root.rel, "unreadable crate root"));
+        return;
+    };
+    // Check the masked source so an attribute mentioned in a comment or
+    // string does not satisfy the policy.
+    let scanned = crate::scan::scan_source(&text, &root.rel);
+    let normalized: String =
+        scanned.masked.join("\n").chars().filter(|c| !c.is_whitespace()).collect();
+    for (attr, needle, alt) in [
+        ("#![deny(unsafe_code)]", "#![deny(unsafe_code)]", "#![forbid(unsafe_code)]"),
+        ("#![warn(missing_docs)]", "#![warn(missing_docs)]", "#![deny(missing_docs)]"),
+    ] {
+        let needle: String = needle.chars().filter(|c| !c.is_whitespace()).collect();
+        let alt: String = alt.chars().filter(|c| !c.is_whitespace()).collect();
+        if !normalized.contains(&needle) && !normalized.contains(&alt) {
+            findings.push(Finding::new(
+                CRATE_ATTR_POLICY,
+                Severity::Error,
+                &root.rel,
+                1,
+                format!("crate root is missing `{attr}` (or a stricter equivalent)"),
+            ));
+        }
+    }
+}
+
+fn dir_rel(member: &Member) -> String {
+    member.manifest_rel.trim_end_matches("Cargo.toml").trim_end_matches('/').to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Manifest rules
+// ---------------------------------------------------------------------------
+
+const DEP_SECTIONS: &[&str] = &["dependencies", "dev-dependencies", "build-dependencies"];
+
+/// Checks the root manifest: `[workspace.lints]` must exist so member
+/// `[lints] workspace = true` tables have something to inherit.
+pub fn check_root_manifest(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let m = &ws.root_manifest;
+    let has_lints = m
+        .sections
+        .iter()
+        .any(|s| s.name == "workspace.lints" || s.name.starts_with("workspace.lints."));
+    if !has_lints {
+        findings.push(Finding::new(
+            WORKSPACE_DEP_HYGIENE,
+            Severity::Error,
+            &m.rel,
+            0,
+            "root manifest has no [workspace.lints] table for members to inherit",
+        ));
+    }
+}
+
+/// Checks one member manifest: workspace-inherited deps, no inline
+/// versions, and a `[lints] workspace = true` opt-in.
+pub fn check_member_manifest(member: &Member, findings: &mut Vec<Finding>) {
+    let m = &member.manifest;
+    check_dep_sections(m, findings);
+    let lints_ok = m
+        .section("lints")
+        .map(|s| s.entries.iter().any(|e| e.key == "workspace" && e.value == "true"))
+        .unwrap_or(false);
+    if !lints_ok {
+        findings.push(Finding::new(
+            WORKSPACE_DEP_HYGIENE,
+            Severity::Error,
+            &m.rel,
+            0,
+            "manifest must opt into the shared lint policy with `[lints]\\nworkspace = true`",
+        ));
+    }
+}
+
+fn check_dep_sections(m: &Manifest, findings: &mut Vec<Finding>) {
+    for section in &m.sections {
+        if !DEP_SECTIONS.contains(&section.name.as_str()) {
+            continue;
+        }
+        for entry in &section.entries {
+            let inherited = entry.key.ends_with(".workspace")
+                || entry.value.contains("workspace = true")
+                || entry.value.contains("workspace=true");
+            if inherited {
+                if entry.value.contains("version") {
+                    findings.push(Finding::new(
+                        WORKSPACE_DEP_HYGIENE,
+                        Severity::Error,
+                        &m.rel,
+                        entry.line,
+                        format!(
+                            "dependency `{}` mixes `workspace = true` with an inline version",
+                            entry.key
+                        ),
+                    ));
+                }
+                continue;
+            }
+            findings.push(Finding::new(
+                WORKSPACE_DEP_HYGIENE,
+                Severity::Error,
+                &m.rel,
+                entry.line,
+                format!(
+                    "dependency `{}` must be workspace-inherited (`{}.workspace = true` with the \
+                     version pinned once in [workspace.dependencies])",
+                    entry.key, entry.key
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Masked-line matchers
+// ---------------------------------------------------------------------------
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Word-boundary identifier search over a masked line.
+pub fn has_ident(masked: &str, ident: &str) -> bool {
+    find_ident_positions(masked, ident).next().is_some()
+}
+
+fn find_ident_positions<'a>(masked: &'a str, ident: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = masked.as_bytes();
+    masked.match_indices(ident).filter_map(move |(pos, _)| {
+        let before_ok = pos == 0 || !is_ident_char(bytes[pos - 1] as char);
+        let after = pos + ident.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after] as char);
+        (before_ok && after_ok).then_some(pos)
+    })
+}
+
+/// Matches `.name(` — a method call — allowing whitespace around the dot
+/// and before the parenthesis.
+pub fn has_method_call(masked: &str, name: &str) -> bool {
+    let bytes = masked.as_bytes();
+    for pos in find_ident_positions(masked, name) {
+        // Walk back over whitespace to find the receiver dot.
+        let mut i = pos;
+        let mut saw_dot = false;
+        while i > 0 {
+            i -= 1;
+            let c = bytes[i] as char;
+            if c.is_whitespace() {
+                continue;
+            }
+            saw_dot = c == '.';
+            break;
+        }
+        if !saw_dot {
+            continue;
+        }
+        // Walk forward over whitespace to require the call parenthesis.
+        let mut j = pos + name.len();
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'(' {
+            return true;
+        }
+    }
+    false
+}
+
+/// Matches `name!` — a macro invocation.
+pub fn has_macro(masked: &str, name: &str) -> bool {
+    let bytes = masked.as_bytes();
+    for pos in find_ident_positions(masked, name) {
+        let mut j = pos + name.len();
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'!' {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_respects_word_boundaries() {
+        assert!(has_ident("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_ident("type MyHashMapLike = ();", "HashMap"));
+        assert!(!has_ident("let hashmap = 1;", "HashMap"));
+        assert!(has_ident("HashSet::new()", "HashSet"));
+    }
+
+    #[test]
+    fn method_call_matcher() {
+        assert!(has_method_call("let x = y.unwrap();", "unwrap"));
+        assert!(has_method_call("y . unwrap ()", "unwrap"));
+        assert!(has_method_call("opt.expect(\"msg\")", "expect"));
+        assert!(!has_method_call("let x = y.unwrap_or(0);", "unwrap"));
+        assert!(!has_method_call("fn unwrap() {}", "unwrap"));
+        assert!(!has_method_call("let unwrap = 3;", "unwrap"));
+    }
+
+    #[test]
+    fn macro_matcher() {
+        assert!(has_macro("panic!(\"boom\")", "panic"));
+        assert!(has_macro("todo! ()", "todo"));
+        assert!(!has_macro("should_panic(expected = x)", "panic"));
+        assert!(!has_macro("let panic = 1;", "panic"));
+    }
+
+    #[test]
+    fn rule_catalogue_is_documented() {
+        for rule in ALL_RULES {
+            assert_ne!(describe(rule), "unknown rule", "{rule} lacks a description");
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! A lightweight Rust source scanner.
+//!
+//! The scanner does not parse Rust; it lexes just enough to answer the
+//! three questions the rules need:
+//!
+//! 1. *What does each line look like with string literals and comments
+//!    blanked out?* — so `"HashMap"` in a doc comment or an error string
+//!    never trips the determinism rule. Masking preserves character
+//!    positions (each masked character becomes a space).
+//! 2. *Which lines are test code?* — `#[cfg(test)]` / `#[test]` items
+//!    are tracked by brace matching so `no-panic-in-lib` skips unit
+//!    tests embedded in library files.
+//! 3. *Which allow directives does the file carry?* — `// sgp-lint:
+//!    allow(rule): justification` comments, with their line numbers.
+//!
+//! The lexer understands line comments, nested block comments, string
+//! literals with escapes, raw strings (`r#"…"#`, any number of hashes),
+//! byte and raw byte strings, char literals, and the char-vs-lifetime
+//! ambiguity of `'`.
+
+use std::path::Path;
+
+/// The scope of an allow directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveScope {
+    /// Applies to the directive's own line and the line after it.
+    Line,
+    /// Applies to the whole file.
+    File,
+}
+
+/// A parsed `sgp-lint:` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the directive appears on.
+    pub line: usize,
+    /// `allow(...)` or `allow-file(...)`.
+    pub scope: DirectiveScope,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Trailing justification text (may be empty — that is an error the
+    /// rules layer reports).
+    pub justification: String,
+    /// Raw directive text for diagnostics.
+    pub raw: String,
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Per-line source with strings and comments blanked.
+    pub masked: Vec<String>,
+    /// Per-line flag: true when the line is inside a `#[cfg(test)]` /
+    /// `#[test]` item.
+    pub is_test: Vec<bool>,
+    /// All `sgp-lint:` directives in the file.
+    pub directives: Vec<Directive>,
+}
+
+impl ScannedFile {
+    /// Number of lines.
+    pub fn num_lines(&self) -> usize {
+        self.masked.len()
+    }
+}
+
+/// Reads and scans one file.
+pub fn scan_file(path: &Path, rel: &str) -> Result<ScannedFile, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Ok(scan_source(&source, rel))
+}
+
+/// Scans in-memory source (entry point for unit tests).
+pub fn scan_source(source: &str, rel: &str) -> ScannedFile {
+    let (masked, comments) = mask(source);
+    let is_test = test_spans(&masked);
+    let mut directives = Vec::new();
+    for (line, text) in &comments {
+        if let Some(d) = parse_directive(*line, text) {
+            directives.push(d);
+        }
+    }
+    ScannedFile { rel: rel.to_string(), masked, is_test, directives }
+}
+
+// ---------------------------------------------------------------------------
+// Masking lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comment with nesting depth.
+    BlockComment(u32),
+    /// String literal (also byte strings — identical escaping).
+    Str,
+    /// Raw string terminated by `"` + `hashes` `#`s.
+    RawStr(u32),
+    /// Char or byte-char literal.
+    CharLit,
+}
+
+/// Returns (masked lines, line-comment texts by 1-based line).
+fn mask(source: &str) -> (Vec<String>, Vec<(usize, String)>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut state = State::Code;
+    let mut masked_all = String::with_capacity(source.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+    let mut current_comment = String::new();
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                comments.push((line, std::mem::take(&mut current_comment)));
+                state = State::Code;
+            }
+            masked_all.push('\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    current_comment.clear();
+                    current_comment.push_str("//");
+                    masked_all.push_str("  ");
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    masked_all.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    masked_all.push(' ');
+                    i += 1;
+                } else if c == 'r'
+                    && matches!(chars.get(i + 1), Some('"') | Some('#'))
+                    && raw_string_hashes(&chars, i + 1).is_some()
+                {
+                    let hashes = raw_string_hashes(&chars, i + 1).unwrap_or(0);
+                    state = State::RawStr(hashes);
+                    // mask 'r', the hashes, and the opening quote
+                    for _ in 0..(2 + hashes as usize) {
+                        masked_all.push(' ');
+                    }
+                    i += 2 + hashes as usize;
+                } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                    state = State::Str;
+                    masked_all.push_str("  ");
+                    i += 2;
+                } else if c == 'b'
+                    && chars.get(i + 1) == Some(&'r')
+                    && raw_string_hashes(&chars, i + 2).is_some()
+                {
+                    let hashes = raw_string_hashes(&chars, i + 2).unwrap_or(0);
+                    state = State::RawStr(hashes);
+                    for _ in 0..(3 + hashes as usize) {
+                        masked_all.push(' ');
+                    }
+                    i += 3 + hashes as usize;
+                } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                    state = State::CharLit;
+                    masked_all.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    // Disambiguate char literal vs lifetime: 'x' is a char
+                    // literal only when a closing quote follows within the
+                    // literal; '\… is always a char literal.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        state = State::CharLit;
+                        masked_all.push(' ');
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                        state = State::CharLit;
+                        masked_all.push(' ');
+                        i += 1;
+                    } else {
+                        // A lifetime: keep the tick, the identifier stays
+                        // visible code (harmless to the rules).
+                        masked_all.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    // Identifier characters that could prefix a string
+                    // (e.g. the `r` in `parser"…"` is impossible; `r` only
+                    // starts a raw string when not part of an identifier).
+                    masked_all.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                current_comment.push(c);
+                masked_all.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    masked_all.push_str("  ");
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    masked_all.push_str("  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    masked_all.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    masked_all.push(' ');
+                    if chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
+                        masked_all.push(' ');
+                        i += 1;
+                    }
+                    i += 1;
+                } else if c == '"' {
+                    masked_all.push(' ');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    masked_all.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i + 1, hashes) {
+                    for _ in 0..(1 + hashes as usize) {
+                        masked_all.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    masked_all.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    masked_all.push(' ');
+                    if chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
+                        masked_all.push(' ');
+                        i += 1;
+                    }
+                    i += 1;
+                } else if c == '\'' {
+                    masked_all.push(' ');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    masked_all.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment && !current_comment.is_empty() {
+        comments.push((line, current_comment));
+    }
+    let masked: Vec<String> = masked_all.split('\n').map(str::to_string).collect();
+    (masked, comments)
+}
+
+/// If position `at` starts `#*"` (zero or more hashes then a quote),
+/// returns the hash count; otherwise `None`.
+fn raw_string_hashes(chars: &[char], at: usize) -> Option<u32> {
+    let mut j = at;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// True when `hashes` `#` characters follow position `at`.
+fn closes_raw_string(chars: &[char], at: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|n| chars.get(at + n) == Some(&'#'))
+}
+
+// ---------------------------------------------------------------------------
+// Test-span detection
+// ---------------------------------------------------------------------------
+
+/// Marks lines belonging to `#[cfg(test)]` / `#[test]` items by brace
+/// matching over the masked source. Attributes are assumed to fit on one
+/// line (true throughout this workspace; multi-line test attributes
+/// would simply not be skipped, which fails safe — extra findings, not
+/// missed ones).
+fn test_spans(masked: &[String]) -> Vec<bool> {
+    let mut is_test = vec![false; masked.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut in_test = false;
+    let mut test_depth: i64 = 0;
+
+    for (li, line) in masked.iter().enumerate() {
+        let normalized: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+        if !in_test && (normalized.contains("#[cfg(test)") || normalized.contains("#[test]")) {
+            pending = true;
+            is_test[li] = true;
+        }
+        if pending || in_test {
+            is_test[li] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        pending = false;
+                        in_test = true;
+                        test_depth = depth;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if in_test && depth == test_depth {
+                        in_test = false;
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] use …;` — attribute over a braceless
+                    // item; nothing to span. (No statement can legally sit
+                    // between an attribute and its item, so any `;` while
+                    // pending belongs to a braceless item.)
+                    if pending {
+                        pending = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    is_test
+}
+
+// ---------------------------------------------------------------------------
+// Directive parsing
+// ---------------------------------------------------------------------------
+
+/// Parses one line comment into a directive, if it contains `sgp-lint:`.
+///
+/// Doc comments (`///`, `//!`) never carry directives — they are
+/// documentation *about* the syntax, not uses of it.
+fn parse_directive(line: usize, comment: &str) -> Option<Directive> {
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return None;
+    }
+    let idx = comment.find("sgp-lint:")?;
+    let rest = comment[idx + "sgp-lint:".len()..].trim_start();
+    let (scope, after_kw) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (DirectiveScope::File, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (DirectiveScope::Line, r)
+    } else {
+        // Unknown directive verb — surface it with an empty rule; the
+        // rules layer reports it as malformed.
+        return Some(Directive {
+            line,
+            scope: DirectiveScope::Line,
+            rule: String::new(),
+            justification: String::new(),
+            raw: rest.to_string(),
+        });
+    };
+    let after_kw = after_kw.trim_start();
+    let (rule, tail) = match after_kw.strip_prefix('(').and_then(|r| r.split_once(')')) {
+        Some((rule, tail)) => (rule.trim().to_string(), tail),
+        None => (String::new(), after_kw),
+    };
+    let justification = tail.trim_start().trim_start_matches([':', '-', '—']).trim().to_string();
+    Some(Directive { line, scope, rule, justification, raw: rest.to_string() })
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked_join(src: &str) -> String {
+        scan_source(src, "t.rs").masked.join("\n")
+    }
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = masked_join("let a = 1; // HashMap here\n/* panic! */ let b = 2;");
+        assert!(!m.contains("HashMap"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let a = 1;"));
+        assert!(m.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let m = masked_join("/* outer /* inner unwrap() */ still comment */ let x = 3;");
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let x = 3;"));
+    }
+
+    #[test]
+    fn masks_strings_and_raw_strings() {
+        let m = masked_join(r##"let s = "HashMap"; let r = r#"thread_rng "quoted""#; let t = 1;"##);
+        assert!(!m.contains("HashMap"));
+        assert!(!m.contains("thread_rng"));
+        assert!(m.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn masks_byte_and_escaped_strings() {
+        let m = masked_join(r#"let b = b"unwrap()"; let e = "esc \" unwrap()"; done();"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("done();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let m = masked_join("fn f<'a>(x: &'a str, c: char) -> &'a str { let _q = '\"'; x }");
+        // The quote char literal must be masked; the trailing code kept.
+        assert!(m.contains("fn f<'a>"));
+        assert!(m.ends_with("x }"));
+    }
+
+    #[test]
+    fn char_literal_with_escape() {
+        let m = masked_join(r"let c = '\n'; let d = '\''; after();");
+        assert!(m.contains("after();"));
+    }
+
+    #[test]
+    fn comment_preserves_column_positions() {
+        let src = "abc // xyz";
+        let m = masked_join(src);
+        assert_eq!(m.chars().count(), src.chars().count());
+        assert!(m.starts_with("abc"));
+    }
+
+    #[test]
+    fn cfg_test_block_is_marked() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn after() {}\n";
+        let s = scan_source(src, "t.rs");
+        assert!(!s.is_test[0], "lib line");
+        assert!(s.is_test[1] && s.is_test[2] && s.is_test[3] && s.is_test[4]);
+        assert!(!s.is_test[5], "code after test mod");
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_swallow_next_block() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\npub fn real() { body(); }\n";
+        let s = scan_source(src, "t.rs");
+        assert!(!s.is_test[2], "fn after braceless cfg(test) item is not test code");
+    }
+
+    #[test]
+    fn test_attr_in_string_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\";\nfn f() { g(); }\n";
+        let s = scan_source(src, "t.rs");
+        assert!(!s.is_test[1]);
+    }
+
+    #[test]
+    fn parses_line_directive_with_justification() {
+        let s = scan_source(
+            "// sgp-lint: allow(no-panic-in-lib): value constructed two lines up\nx.unwrap();\n",
+            "t.rs",
+        );
+        assert_eq!(s.directives.len(), 1);
+        let d = &s.directives[0];
+        assert_eq!(d.scope, DirectiveScope::Line);
+        assert_eq!(d.rule, "no-panic-in-lib");
+        assert!(d.justification.contains("constructed"));
+        assert_eq!(d.line, 1);
+    }
+
+    #[test]
+    fn parses_file_directive_and_missing_justification() {
+        let s = scan_source(
+            "// sgp-lint: allow-file(no-wallclock-in-sim): bench-only harness\n// sgp-lint: allow(no-panic-in-lib)\n",
+            "t.rs",
+        );
+        assert_eq!(s.directives.len(), 2);
+        assert_eq!(s.directives[0].scope, DirectiveScope::File);
+        assert!(s.directives[1].justification.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_directives() {
+        let s = scan_source(
+            "//! Write `// sgp-lint: allow(x): y` to suppress.\n/// e.g. // sgp-lint: allow(z): w\n",
+            "t.rs",
+        );
+        assert!(s.directives.is_empty());
+    }
+
+    #[test]
+    fn directive_inside_string_is_not_parsed() {
+        let s = scan_source("let s = \"// sgp-lint: allow(x): y\";\n", "t.rs");
+        assert!(s.directives.is_empty());
+    }
+
+    #[test]
+    fn trailing_comment_without_newline_is_captured() {
+        let s = scan_source("x.unwrap(); // sgp-lint: allow(no-panic-in-lib): provable", "t.rs");
+        assert_eq!(s.directives.len(), 1);
+        assert_eq!(s.directives[0].line, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Runs the linter over the seeded fixture workspace and asserts the
+//! exact (rule, file, line) set of findings — no more, no less.
+//!
+//! Line numbers are located by MARK tokens in the fixture sources, so
+//! the assertions survive fixture edits.
+
+use sgp_xtask::{run_lint, LintConfig, Severity};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini")
+}
+
+/// 1-based line of the first line containing `mark` in `rel` (relative
+/// to the fixture root).
+fn mark_line(rel: &str, mark: &str) -> usize {
+    let path = fixture_root().join(rel);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    text.lines()
+        .position(|l| l.contains(mark))
+        .unwrap_or_else(|| panic!("no line contains {mark} in {rel}"))
+        + 1
+}
+
+const ENGINE_LIB: &str = "crates/engine/src/lib.rs";
+const ENGINE_TOML: &str = "crates/engine/Cargo.toml";
+const ENGINE_SMOKE: &str = "crates/engine/tests/smoke.rs";
+
+#[test]
+fn fixture_findings_match_exactly() {
+    let report = run_lint(&LintConfig::new(fixture_root())).expect("fixture lints");
+
+    let mut expected: Vec<(String, String, usize)> = vec![
+        // Manifest hygiene.
+        (
+            "workspace-dep-hygiene".into(),
+            ENGINE_TOML.into(),
+            mark_line(ENGINE_TOML, "MARK-inline-version"),
+        ),
+        ("workspace-dep-hygiene".into(), ENGINE_TOML.into(), 0),
+        // Crate-root attribute policy (reported at line 1).
+        ("crate-attr-policy".into(), ENGINE_LIB.into(), 1),
+        // Hash containers, including use-declarations and test files.
+        ("no-hash-iteration".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-hash-use")),
+        ("no-hash-iteration".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-hashset-use")),
+        ("no-hash-iteration".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-hash-local")),
+        (
+            "no-hash-iteration".into(),
+            ENGINE_LIB.into(),
+            mark_line(ENGINE_LIB, "MARK-hashset-local"),
+        ),
+        (
+            "no-hash-iteration".into(),
+            ENGINE_SMOKE.into(),
+            mark_line(ENGINE_SMOKE, "MARK-test-hashset"),
+        ),
+        // Wall-clock and ambient randomness.
+        ("no-wallclock-in-sim".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-instant")),
+        ("no-wallclock-in-sim".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-rng")),
+        // Panic-capable constructs in library code.
+        ("no-panic-in-lib".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-unwrap")),
+        ("no-panic-in-lib".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-panic")),
+        // An unjustified allow both fires itself and fails to suppress.
+        ("bad-allow-directive".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-bad-allow")),
+        ("no-panic-in-lib".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-unsuppressed")),
+        // A justified allow that matches nothing is a warning.
+        ("unused-allow".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-unused-allow")),
+    ];
+    expected.sort();
+
+    let mut actual: Vec<(String, String, usize)> =
+        report.findings.iter().map(|f| (f.rule.clone(), f.file.clone(), f.line)).collect();
+    actual.sort();
+
+    assert_eq!(
+        actual, expected,
+        "finding set mismatch\nactual:\n{:#?}\nexpected:\n{:#?}",
+        actual, expected
+    );
+    assert_eq!(report.errors(), 14);
+    assert_eq!(report.warnings(), 1);
+    assert_eq!(report.exit_code(), 1, "seeded fixture must fail the lint");
+}
+
+#[test]
+fn fixture_warn_counts_only_under_strict() {
+    let mut cfg = LintConfig::new(fixture_root());
+    let lenient = run_lint(&cfg).expect("fixture lints");
+    cfg.strict = true;
+    let strict = run_lint(&cfg).expect("fixture lints");
+    // Both fail here (errors exist), but strict counts the warning too.
+    assert_eq!(lenient.errors(), strict.errors());
+    assert_eq!(strict.warnings(), 1);
+    assert_eq!(strict.exit_code(), 1);
+}
+
+#[test]
+fn out_of_scope_fixture_crate_is_clean() {
+    let report = run_lint(&LintConfig::new(fixture_root())).expect("fixture lints");
+    assert!(
+        report.findings.iter().all(|f| !f.file.starts_with("crates/util/")),
+        "mini-util is outside every scope and satisfies the policies: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn severities_are_as_catalogued() {
+    let report = run_lint(&LintConfig::new(fixture_root())).expect("fixture lints");
+    for f in &report.findings {
+        let want = if f.rule == "unused-allow" { Severity::Warn } else { Severity::Error };
+        assert_eq!(f.severity, want, "{}: {}", f.rule, f.file);
+    }
+}
+
+#[test]
+fn json_output_is_stable_and_wellformed() {
+    let report = run_lint(&LintConfig::new(fixture_root())).expect("fixture lints");
+    let a = sgp_xtask::render_json(&report);
+    let b = sgp_xtask::render_json(&report);
+    assert_eq!(a, b, "rendering is deterministic");
+    assert!(a.starts_with("{\n  \"version\": 1,\n"));
+    assert!(a.contains("\"errors\": 14"));
+    assert!(a.contains("\"warnings\": 1"));
+    assert!(a.contains("\"rule\": \"no-hash-iteration\""));
+    // Findings arrive sorted by (file, line, rule): the manifest file
+    // sorts before src/lib.rs, which sorts before tests/smoke.rs.
+    let toml_pos = a.find("crates/engine/Cargo.toml").expect("manifest finding present");
+    let lib_pos = a.find("crates/engine/src/lib.rs").expect("lib finding present");
+    let smoke_pos = a.find("crates/engine/tests/smoke.rs").expect("test finding present");
+    assert!(toml_pos < lib_pos && lib_pos < smoke_pos, "sorted by file");
+}

@@ -1,0 +1,11 @@
+//! Fixture integration test: hash containers are banned even in test
+//! code (seed-order replay), but unwrap in tests is fine.
+
+use std::collections::HashSet; // MARK-test-hashset
+
+#[test]
+fn integration_tests_may_unwrap_but_not_hash() {
+    let mut s: Vec<u32> = vec![3, 1, 2];
+    s.sort_unstable();
+    assert_eq!(s.first().copied().unwrap(), 1);
+}

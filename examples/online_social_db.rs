@@ -21,13 +21,8 @@ fn main() {
     );
     for alg in [Algorithm::EcrHash, Algorithm::Ldg, Algorithm::Fennel, Algorithm::Metis] {
         let store = runners::build_store(&graph, alg, k);
-        let workload = Workload::generate(
-            &graph,
-            WorkloadKind::OneHop,
-            1000,
-            Skew::Zipf { theta: 0.9 },
-            42,
-        );
+        let workload =
+            Workload::generate(&graph, WorkloadKind::OneHop, 1000, Skew::Zipf { theta: 0.9 }, 42);
         let sim = ClusterSim::prepare(&store, &workload);
         let medium = sim.run(&SimConfig::for_load(LoadLevel::Medium));
         let high = sim.run(&SimConfig::for_load(LoadLevel::High));

@@ -43,13 +43,16 @@ fn main() {
                 q.edge_imbalance,
             );
         }
-        let rec =
-            sgp_core::decision::recommend_for_graph(&graph, WorkloadClass::OfflineAnalytics);
+        let rec = sgp_core::decision::recommend_for_graph(&graph, WorkloadClass::OfflineAnalytics);
         println!("decision tree (analytics): {}", rec.algorithm);
     }
 
-    println!("\nonline queries, latency-critical: {}",
-        recommend(WorkloadClass::OnlineQueries, None, Some(OnlineObjective::TailLatency)).algorithm);
-    println!("online queries, throughput-oriented: {}",
-        recommend(WorkloadClass::OnlineQueries, None, Some(OnlineObjective::Throughput)).algorithm);
+    println!(
+        "\nonline queries, latency-critical: {}",
+        recommend(WorkloadClass::OnlineQueries, None, Some(OnlineObjective::TailLatency)).algorithm
+    );
+    println!(
+        "online queries, throughput-oriented: {}",
+        recommend(WorkloadClass::OnlineQueries, None, Some(OnlineObjective::Throughput)).algorithm
+    );
 }

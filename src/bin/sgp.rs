@@ -59,13 +59,14 @@ fn parse_order(s: &str) -> StreamOrder {
 
 struct Args {
     positional: Vec<String>,
-    flags: std::collections::HashMap<String, String>,
+    // BTreeMap keeps diagnostics that iterate flags deterministic.
+    flags: std::collections::BTreeMap<String, String>,
     switches: Vec<String>,
 }
 
 fn parse_args(args: &[String]) -> Args {
     let mut positional = Vec::new();
-    let mut flags = std::collections::HashMap::new();
+    let mut flags = std::collections::BTreeMap::new();
     let mut switches = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -89,6 +90,29 @@ fn parse_args(args: &[String]) -> Args {
         i += 1;
     }
     Args { positional, flags, switches }
+}
+
+fn write_partition(
+    out: &mut dyn Write,
+    g: &Graph,
+    p: &streaming_graph_partitioning::partition::Partitioning,
+    k: usize,
+) -> std::io::Result<()> {
+    match &p.vertex_owner {
+        Some(owner) => {
+            writeln!(out, "# vertex partition ({} vertices, k={k})", owner.len())?;
+            for (v, part) in owner.iter().enumerate() {
+                writeln!(out, "{v} {part}")?;
+            }
+        }
+        None => {
+            writeln!(out, "# edge partition ({} edges, k={k})", p.edge_parts.len())?;
+            for (e, part) in g.edges().zip(&p.edge_parts) {
+                writeln!(out, "{} {} {part}", e.src, e.dst)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 fn main() {
@@ -122,13 +146,13 @@ fn main() {
                 .get("k")
                 .map(|v| v.parse().unwrap_or_else(|_| fail("--k must be an integer")))
                 .unwrap_or(8);
-            let order =
-                args.flags.get("order").map(|s| parse_order(s)).unwrap_or_default();
+            let order = args.flags.get("order").map(|s| parse_order(s)).unwrap_or_default();
             let cfg = PartitionerConfig::new(k);
             let start = std::time::Instant::now();
             let p = partition(&g, alg, &cfg, order);
             let elapsed = start.elapsed();
-            let q = streaming_graph_partitioning::partition::metrics::QualityReport::measure(&g, &p);
+            let q =
+                streaming_graph_partitioning::partition::metrics::QualityReport::measure(&g, &p);
             eprintln!(
                 "{alg} k={k}: RF={:.3}{} edge-imbalance={:.3} in {:.2?}",
                 q.replication_factor,
@@ -143,21 +167,9 @@ fn main() {
                 ),
                 None => Box::new(std::io::stdout().lock()),
             };
-            match &p.vertex_owner {
-                Some(owner) => {
-                    writeln!(out, "# vertex partition ({} vertices, k={k})", owner.len()).unwrap();
-                    for (v, part) in owner.iter().enumerate() {
-                        writeln!(out, "{v} {part}").unwrap();
-                    }
-                }
-                None => {
-                    writeln!(out, "# edge partition ({} edges, k={k})", p.edge_parts.len())
-                        .unwrap();
-                    for (e, part) in g.edges().zip(&p.edge_parts) {
-                        writeln!(out, "{} {} {part}", e.src, e.dst).unwrap();
-                    }
-                }
-            }
+            // Surface ENOSPC/EPIPE as a clean error instead of a panic.
+            write_partition(&mut out, &g, &p, k)
+                .unwrap_or_else(|e| fail(&format!("cannot write partition: {e}")));
         }
         "recommend" => {
             let g = load_graph(&input);

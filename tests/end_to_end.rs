@@ -99,8 +99,7 @@ fn decision_tree_recommends_runnable_algorithms() {
 #[test]
 fn workspace_reexports_are_wired() {
     // The facade must expose the sub-crates coherently.
-    let g: streaming_graph_partitioning::graph::Graph =
-        GraphBuilder::new().add_edge(0, 1).build();
+    let g: streaming_graph_partitioning::graph::Graph = GraphBuilder::new().add_edge(0, 1).build();
     let cfg = streaming_graph_partitioning::partition::PartitionerConfig::new(2);
     let p = streaming_graph_partitioning::partition::registry::partition(
         &g,

@@ -10,11 +10,7 @@ fn snb() -> Graph {
 }
 
 fn cfg(level: LoadLevel) -> OnlineRunConfig {
-    OnlineRunConfig {
-        bindings: 300,
-        queries_per_client: 12,
-        ..OnlineRunConfig::for_load(level)
-    }
+    OnlineRunConfig { bindings: 300, queries_per_client: 12, ..OnlineRunConfig::for_load(level) }
 }
 
 /// Fig. 5: "the total network communication is a linear function of the
@@ -25,8 +21,7 @@ fn finding_network_io_linear_in_edge_cut() {
     let mut points: Vec<(f64, f64)> = Vec::new();
     for k in [4usize, 8] {
         for &alg in Algorithm::online_suite() {
-            let row =
-                online_run("snb", &g, alg, WorkloadKind::OneHop, k, &cfg(LoadLevel::Medium));
+            let row = online_run("snb", &g, alg, WorkloadKind::OneHop, k, &cfg(LoadLevel::Medium));
             points.push((row.edge_cut_ratio, row.network_bytes as f64));
         }
     }
@@ -55,8 +50,10 @@ fn finding_hash_has_best_tail_latency() {
         assert!(ecr < fnl, "{level:?}: hash p99 {ecr} must beat FENNEL {fnl}");
     }
     // The ratio grows with load (the paper: up to 3.5x under high load).
-    let gap_med = p99(Algorithm::Fennel, LoadLevel::Medium) / p99(Algorithm::EcrHash, LoadLevel::Medium);
-    let gap_high = p99(Algorithm::Fennel, LoadLevel::High) / p99(Algorithm::EcrHash, LoadLevel::High);
+    let gap_med =
+        p99(Algorithm::Fennel, LoadLevel::Medium) / p99(Algorithm::EcrHash, LoadLevel::Medium);
+    let gap_high =
+        p99(Algorithm::Fennel, LoadLevel::High) / p99(Algorithm::EcrHash, LoadLevel::High);
     assert!(
         gap_high > 0.8 * gap_med,
         "tail gap should not collapse under load: {gap_med:.2} -> {gap_high:.2}"
@@ -68,9 +65,8 @@ fn finding_hash_has_best_tail_latency() {
 #[test]
 fn finding_overload_saturates_throughput() {
     let g = snb();
-    let run = |level| {
-        online_run("snb", &g, Algorithm::EcrHash, WorkloadKind::OneHop, 8, &cfg(level))
-    };
+    let run =
+        |level| online_run("snb", &g, Algorithm::EcrHash, WorkloadKind::OneHop, 8, &cfg(level));
     let medium = run(LoadLevel::Medium);
     let high = run(LoadLevel::High);
     assert!(
@@ -151,8 +147,10 @@ fn store_edge_cut_matches_partitioning_metric() {
 #[test]
 fn two_hop_costs_more_than_one_hop() {
     let g = snb();
-    let one = online_run("snb", &g, Algorithm::EcrHash, WorkloadKind::OneHop, 4, &cfg(LoadLevel::Medium));
-    let two = online_run("snb", &g, Algorithm::EcrHash, WorkloadKind::TwoHop, 4, &cfg(LoadLevel::Medium));
+    let one =
+        online_run("snb", &g, Algorithm::EcrHash, WorkloadKind::OneHop, 4, &cfg(LoadLevel::Medium));
+    let two =
+        online_run("snb", &g, Algorithm::EcrHash, WorkloadKind::TwoHop, 4, &cfg(LoadLevel::Medium));
     assert!(two.network_bytes > one.network_bytes);
     assert!(two.throughput_qps < one.throughput_qps);
 }

@@ -72,7 +72,13 @@ fn finding_edge_cut_cheaper_per_cut_for_pagerank() {
         &g,
         OfflineWorkload::PageRank,
         &[4, 8, 16],
-        &[Algorithm::EcrHash, Algorithm::Ldg, Algorithm::Fennel, Algorithm::VcrHash, Algorithm::Hdrf],
+        &[
+            Algorithm::EcrHash,
+            Algorithm::Ldg,
+            Algorithm::Fennel,
+            Algorithm::VcrHash,
+            Algorithm::Hdrf,
+        ],
     );
     let slope = |series: &str| {
         let pts: Vec<_> = points.iter().filter(|p| p.series == series).cloned().collect();
@@ -91,8 +97,7 @@ fn finding_edge_cut_cheaper_per_cut_for_pagerank() {
 #[test]
 fn finding_wcc_slopes_converge() {
     let g = twitter();
-    let algs =
-        [Algorithm::EcrHash, Algorithm::Ldg, Algorithm::VcrHash, Algorithm::Hdrf];
+    let algs = [Algorithm::EcrHash, Algorithm::Ldg, Algorithm::VcrHash, Algorithm::Hdrf];
     let slope = |workload| {
         let points = runners::fig1_scatter(&g, workload, &[4, 8], &algs);
         let ec: Vec<_> = points.iter().filter(|p| p.series == "edge-cut").cloned().collect();
