@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the fault-injection path: the fault-injected
+//! DES against its healthy baseline, mirror-directory construction, and
+//! the engine's fault-inflated PageRank accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgp_core::config::{Dataset, Scale};
+use sgp_core::runners::{build_store, default_order};
+use sgp_db::workload::Skew;
+use sgp_db::{ClusterSim, FaultSimConfig, MirrorDirectory, SimConfig, Workload, WorkloadKind};
+use sgp_engine::apps::PageRank;
+use sgp_engine::{run_program, run_program_with_faults, EngineOptions, Placement};
+use sgp_fault::FaultPlan;
+use sgp_partition::{partition, Algorithm, PartitionerConfig};
+
+const K: usize = 8;
+
+fn sim_cfg(clients: usize) -> FaultSimConfig {
+    FaultSimConfig {
+        base: SimConfig {
+            clients_per_machine: clients,
+            queries_per_client: 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::healthy(K, 0xBE_EF)
+        .with_crash(K as u32 - 1, 2_000_000)
+        .with_straggler(0, 0, u64::MAX, 2.0)
+        .with_message_loss(0.005)
+}
+
+fn bench_faulted_des(c: &mut Criterion) {
+    let g = Dataset::LdbcSnb.generate(Scale::Tiny);
+    let store = build_store(&g, Algorithm::EcrHash, K);
+    let w = Workload::generate(&g, WorkloadKind::OneHop, 200, Skew::Zipf { theta: 0.9 }, 2);
+    let sim = ClusterSim::prepare(&store, &w);
+    let cfg = sim_cfg(12);
+    let plan = plan();
+    let healthy = FaultPlan::healthy(K, 0xBE_EF);
+    let mirrors = MirrorDirectory::edge_cut(K);
+    let total = (12 * K * 20) as u64;
+    let mut group = c.benchmark_group("faulted_des");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("healthy_baseline", |b| b.iter(|| sim.run(&cfg.base)));
+    group.bench_function("healthy_plan", |b| {
+        b.iter(|| sim.run_faulted(&cfg, &healthy, &mirrors).expect("valid plan"));
+    });
+    group.bench_function("crash_straggler_loss", |b| {
+        b.iter(|| sim.run_faulted(&cfg, &plan, &mirrors).expect("valid plan"));
+    });
+    group.finish();
+}
+
+fn bench_mirror_directory(c: &mut Criterion) {
+    let g = Dataset::LdbcSnb.generate(Scale::Tiny);
+    let mut group = c.benchmark_group("mirror_directory");
+    group.sample_size(10);
+    for alg in [Algorithm::VcrHash, Algorithm::HybridRandom] {
+        let p = partition(&g, alg, &PartitionerConfig::new(K), default_order());
+        group.bench_with_input(BenchmarkId::from_parameter(alg.short_name()), &p, |b, p| {
+            b.iter(|| MirrorDirectory::for_model(&g, p));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_fault_accounting(c: &mut Criterion) {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let p = partition(&g, Algorithm::Hdrf, &PartitionerConfig::new(K), default_order());
+    let placement = Placement::build(&g, &p);
+    let opts = EngineOptions::default();
+    let prog = PageRank::new(20);
+    let plan = plan();
+    let mut group = c.benchmark_group("engine_fault_accounting");
+    group.sample_size(10);
+    group.bench_function("pagerank_healthy", |b| {
+        b.iter(|| run_program(&g, &placement, &prog, &opts));
+    });
+    group.bench_function("pagerank_faulted", |b| {
+        b.iter(|| run_program_with_faults(&g, &placement, &prog, &opts, &plan));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_faulted_des, bench_mirror_directory, bench_engine_fault_accounting);
+criterion_main!(benches);

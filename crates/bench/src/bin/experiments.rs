@@ -2,23 +2,27 @@
 //!
 //! Usage:
 //!   experiments `<id>`...      run specific experiments (table1..table5, fig1..fig15)
-//!   experiments all            run everything
+//!   experiments all            run everything (opt-in extras like `robustness` excluded)
 //!   experiments --list         list experiment ids
 //!
 //! Scale via SGP_SCALE=tiny|small|default|large (default: default).
 
-use sgp_bench::experiments::{run, Params, ALL_EXPERIMENTS};
+use sgp_bench::experiments::{run, Params, ALL_EXPERIMENTS, EXTRA_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: experiments <id>... | all | --list");
         eprintln!("ids: {}", ALL_EXPERIMENTS.join(", "));
+        eprintln!("opt-in (excluded from `all`): {}", EXTRA_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     if args.iter().any(|a| a == "--list") {
         for id in ALL_EXPERIMENTS {
             println!("{id}");
+        }
+        for id in EXTRA_EXPERIMENTS {
+            println!("{id} (opt-in)");
         }
         return;
     }
@@ -34,11 +38,16 @@ fn main() {
     } else {
         let mut ids = Vec::new();
         for a in &args {
-            match ALL_EXPERIMENTS.iter().find(|&&id| id == a) {
+            let known = ALL_EXPERIMENTS.iter().chain(EXTRA_EXPERIMENTS.iter()).find(|&&id| id == a);
+            match known {
                 Some(&id) => ids.push(id),
                 None => {
                     eprintln!("unknown experiment id: {a}");
-                    eprintln!("known ids: {}", ALL_EXPERIMENTS.join(", "));
+                    eprintln!(
+                        "known ids: {} (opt-in: {})",
+                        ALL_EXPERIMENTS.join(", "),
+                        EXTRA_EXPERIMENTS.join(", ")
+                    );
                     std::process::exit(2);
                 }
             }

@@ -7,11 +7,12 @@ use sgp_core::decision::{recommend, OnlineObjective, WorkloadClass};
 use sgp_core::error::SgpError;
 use sgp_core::report::{f2, f3, human_bytes, TextTable};
 use sgp_core::runners::{
-    fig1_scatter, offline_suite, online_run, quality_suite, series_slope, workload_aware_suite,
-    OfflineWorkload, OnlineRunConfig,
+    engine_robustness_suite, fig1_scatter, offline_suite, online_run, quality_suite,
+    robustness_suite, series_slope, workload_aware_suite, OfflineWorkload, OnlineRunConfig,
+    RobustnessConfig,
 };
 use sgp_db::workload::Skew;
-use sgp_db::{LoadLevel, WorkloadKind};
+use sgp_db::{FaultSimConfig, LoadLevel, SimConfig, WorkloadKind};
 use sgp_engine::apps::PageRank;
 use sgp_engine::{run_program, EngineOptions, Placement};
 use sgp_graph::{Graph, GraphBuilder};
@@ -120,6 +121,11 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "appendixA",
 ];
 
+/// Opt-in experiments excluded from `all` (and from the checked-in
+/// results files, which must stay byte-identical release to release):
+/// run them by naming them explicitly.
+pub const EXTRA_EXPERIMENTS: &[&str] = &["robustness"];
+
 /// Runs one experiment by id; returns the rendered report.
 ///
 /// # Panics
@@ -147,6 +153,7 @@ pub fn run(id: &str, params: &Params) -> String {
         "fig14" => fig14(params),
         "fig15" => fig15(params),
         "appendixA" => appendix_a(params),
+        "robustness" => robustness(params),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -882,6 +889,105 @@ pub fn appendix_a(params: &Params) -> String {
     out
 }
 
+/// Robustness suite (opt-in; see [`EXTRA_EXPERIMENTS`]): availability,
+/// goodput and fault-inflated runtime under one shared deterministic
+/// fault plan — a permanent crash of machine `k − 1`, a 2× straggler on
+/// machine 0, and 0.2% message loss. Mirror-bearing cuts (vertex,
+/// hybrid) fail reads over to live mirrors; edge-cut cannot.
+pub fn robustness(params: &Params) -> String {
+    let k = params.online_k;
+    let cfg = RobustnessConfig {
+        bindings: params.bindings,
+        sim: FaultSimConfig {
+            base: SimConfig {
+                clients_per_machine: LoadLevel::Medium.clients_per_machine(),
+                queries_per_client: params.queries_per_client,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let g = Dataset::LdbcSnb.generate(params.scale);
+    let algs = [
+        Algorithm::EcrHash,
+        Algorithm::Ldg,
+        Algorithm::VcrHash,
+        Algorithm::Hdrf,
+        Algorithm::HybridRandom,
+        Algorithm::Ginger,
+    ];
+    let mut out = header(
+        format!("Robustness — fault injection, {k} machines (crash + straggler + message loss)")
+            .as_str(),
+    );
+    match robustness_suite(Dataset::LdbcSnb.name(), &g, &algs, k, &cfg) {
+        Ok(rows) => {
+            let mut t = TextTable::new([
+                "Alg",
+                "Cut",
+                "Avail",
+                "Goodput q/s",
+                "Offered q/s",
+                "Retries",
+                "Drops",
+                "Failovers",
+                "p50 ms",
+                "p99 ms",
+            ]);
+            for r in &rows {
+                t.row([
+                    r.algorithm.short_name().to_string(),
+                    r.cut_model.clone(),
+                    f3(r.availability),
+                    format!("{:.0}", r.goodput_qps),
+                    format!("{:.0}", r.offered_qps),
+                    r.retries.to_string(),
+                    r.dropped_messages.to_string(),
+                    r.failovers.to_string(),
+                    f2(r.p50_latency_ms),
+                    f2(r.p99_latency_ms),
+                ]);
+            }
+            out.push_str(&format!(
+                "\n--- online (DES): availability and goodput under faults ---\n{}",
+                t.render()
+            ));
+        }
+        Err(e) => out.push_str(&format!("\nonline robustness run failed: {e}\n")),
+    }
+    let rows = engine_robustness_suite(Dataset::LdbcSnb.name(), &g, &algs, k, &cfg);
+    let mut t = TextTable::new([
+        "Alg",
+        "Cut",
+        "Healthy ms",
+        "Faulted ms",
+        "Recovered",
+        "Recomputed",
+        "Recovery bytes",
+        "Straggler ms",
+    ]);
+    for r in &rows {
+        t.row([
+            r.algorithm.short_name().to_string(),
+            r.cut_model.clone(),
+            f3(r.healthy_seconds * 1e3),
+            f3(r.faulted_seconds * 1e3),
+            r.recovered_vertices.to_string(),
+            r.recomputed_vertices.to_string(),
+            human_bytes(r.recovery_bytes),
+            f3(r.straggler_extra_seconds * 1e3),
+        ]);
+    }
+    out.push_str(&format!("\n--- engine: PageRank under the same plan ---\n{}", t.render()));
+    out.push_str(
+        "\n(replication pays under faults: vertex/hybrid-cut placements redirect reads to \
+         live mirrors and restore crashed masters from mirror state, while edge-cut \
+         placements lose the dead machine's masters and recompute them from scratch)\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -937,5 +1043,17 @@ mod tests {
         ids.dedup();
         assert_eq!(before, ids.len());
         assert_eq!(before, 21);
+    }
+
+    #[test]
+    fn robustness_is_opt_in_and_renders() {
+        // The fault suite must never join `all` — the checked-in results
+        // files are byte-identical only while `all` is fault-free.
+        assert!(!ALL_EXPERIMENTS.contains(&"robustness"));
+        assert!(EXTRA_EXPERIMENTS.contains(&"robustness"));
+        let out = run("robustness", &tiny());
+        assert!(out.contains("availability and goodput"), "{out}");
+        assert!(out.contains("PageRank under the same plan"), "{out}");
+        assert!(out.contains("edge-cut") && out.contains("vertex-cut"), "{out}");
     }
 }

@@ -5,8 +5,8 @@
 //! * the **`experiments` binary** (`cargo run --release -p sgp-bench --bin
 //!   experiments -- <id>`) regenerates the rows/series of every table
 //!   and figure in the paper (`table1`..`table5`, `fig1`..`fig15`,
-//!   `all`); the set of experiment ids and their implementations live in
-//!   [`experiments`];
+//!   `all`), plus the opt-in `robustness` fault-injection suite; the set
+//!   of experiment ids and their implementations live in [`experiments`];
 //! * the **Criterion benches** (`cargo bench -p sgp-bench`) measure
 //!   partitioner throughput, engine superstep cost, online query
 //!   execution, and parameter-sweep ablations.

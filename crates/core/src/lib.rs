@@ -8,8 +8,9 @@
 //!   (synthetic stand-ins for Twitter, UK2007-05, USA-Road, LDBC SNB).
 //! * [`runners`] — suite runners producing typed result rows:
 //!   partitioning quality (Fig. 2 / Table 4), offline analytics
-//!   (Fig. 1/3/4/13), online queries (Table 5, Fig. 5/6/7/12/14/15) and
-//!   the workload-aware experiment (Fig. 8).
+//!   (Fig. 1/3/4/13), online queries (Table 5, Fig. 5/6/7/12/14/15),
+//!   the workload-aware experiment (Fig. 8), and the fault-injection
+//!   robustness suite (beyond the paper; DESIGN.md §7).
 //! * [`decision`] — the paper's §6.4 decision tree as an executable
 //!   artifact (Fig. 9).
 //! * [`scaleout`] — the §7 future-work scale-out-factor advisor.
@@ -17,7 +18,7 @@
 //! * [`error`] — the shared [`SgpError`] type for fallible framework
 //!   paths (config parsing, serialization, I/O).
 //!
-//! The five sub-crates are re-exported so downstream users can depend on
+//! The six sub-crates are re-exported so downstream users can depend on
 //! `sgp-core` alone.
 
 #![warn(missing_docs)]
@@ -37,5 +38,6 @@ pub use scaleout::{recommend_scale_out, ScaleOutReport};
 
 pub use sgp_db as db;
 pub use sgp_engine as engine;
+pub use sgp_fault as fault;
 pub use sgp_graph as graph;
 pub use sgp_partition as partition;

@@ -5,10 +5,14 @@
 use crate::config::{Dataset, Scale};
 use serde::{Deserialize, Serialize};
 use sgp_db::workload::{run_workload, Skew};
-use sgp_db::{ClusterSim, LoadLevel, PartitionedStore, SimConfig, Workload, WorkloadKind};
+use sgp_db::{
+    ClusterSim, FaultSimConfig, LoadLevel, MirrorDirectory, PartitionedStore, SimConfig, SimError,
+    Workload, WorkloadKind,
+};
 use sgp_engine::apps::{PageRank, Sssp, Wcc};
 use sgp_engine::cost::five_number_summary;
-use sgp_engine::{run_program, EngineOptions, Placement, RunReport};
+use sgp_engine::{run_program, run_program_with_faults, EngineOptions, Placement, RunReport};
+use sgp_fault::FaultPlan;
 use sgp_graph::{Graph, StreamOrder};
 use sgp_partition::metis::MultilevelPartitioner;
 use sgp_partition::metrics::QualityReport;
@@ -460,6 +464,202 @@ pub fn series_slope(points: &[ScatterPoint]) -> f64 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Robustness suite (fault injection; beyond the paper — DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+/// Parameters of a robustness (fault-injection) experiment: one shared
+/// [`FaultPlan`] applied to every algorithm under test, so availability
+/// differences are attributable to the cut model alone.
+#[derive(Debug, Clone)]
+pub struct RobustnessConfig {
+    /// Query bindings generated for the 1-hop workload.
+    pub bindings: usize,
+    /// Start-vertex skew of the workload.
+    pub skew: Skew,
+    /// Binding-generation seed.
+    pub workload_seed: u64,
+    /// DES base parameters plus the retry/backoff policy.
+    pub sim: FaultSimConfig,
+    /// Seed of the fault plan (drives message-loss and failover draws).
+    pub plan_seed: u64,
+    /// Simulated time at which the victim machine (index `k − 1`)
+    /// crashes permanently. Skipped for single-machine clusters.
+    pub crash_at_ns: u64,
+    /// Whole-run straggler slowdown on machine 0; values ≤ 1 disable it.
+    pub straggler_factor: f64,
+    /// Per-message drop probability on cross-machine traffic.
+    pub message_loss: f64,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            bindings: 400,
+            skew: Skew::Zipf { theta: 0.6 },
+            workload_seed: 0x0_1A7,
+            sim: FaultSimConfig::default(),
+            plan_seed: 0xFA_17,
+            crash_at_ns: 2_000_000,
+            straggler_factor: 2.0,
+            message_loss: 0.002,
+        }
+    }
+}
+
+impl RobustnessConfig {
+    /// Builds the fault plan shared by every algorithm in the suite: a
+    /// permanent crash of machine `k − 1`, a whole-run straggler on
+    /// machine 0, and uniform message loss.
+    pub fn build_plan(&self, k: usize) -> FaultPlan {
+        let mut plan = FaultPlan::healthy(k, self.plan_seed).with_message_loss(self.message_loss);
+        if k > 1 {
+            plan = plan.with_crash(k as u32 - 1, self.crash_at_ns);
+        }
+        if self.straggler_factor > 1.0 {
+            plan = plan.with_straggler(0, 0, u64::MAX, self.straggler_factor);
+        }
+        plan
+    }
+}
+
+/// One online (DES) robustness measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RobustnessRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm whose placement defines masters and mirrors.
+    pub algorithm: Algorithm,
+    /// Cut-model label (mirrors exist only for vertex/hybrid cuts).
+    pub cut_model: String,
+    /// Number of machines.
+    pub k: usize,
+    /// Fraction of post-warm-up queries that completed successfully.
+    pub availability: f64,
+    /// Successful queries per second.
+    pub goodput_qps: f64,
+    /// Offered load: all completions (success + failure) per second.
+    pub offered_qps: f64,
+    /// Sub-request re-sends over the whole run.
+    pub retries: u64,
+    /// Cross-machine messages dropped by the plan.
+    pub dropped_messages: u64,
+    /// Sub-requests redirected to a live mirror.
+    pub failovers: u64,
+    /// Failed post-warm-up queries.
+    pub failed: usize,
+    /// Median latency of successful queries, ms.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile latency of successful queries, ms.
+    pub p99_latency_ms: f64,
+}
+
+/// Runs the online robustness suite: every algorithm's placement is
+/// subjected to the *same* fault plan, and availability/goodput are
+/// measured by the fault-injected DES. Edge-cut placements have no
+/// mirrors, so a crashed master is simply unavailable; vertex-cut and
+/// hybrid-cut placements fail reads over to live mirrors.
+pub fn robustness_suite(
+    dataset_name: &str,
+    g: &Graph,
+    algorithms: &[Algorithm],
+    k: usize,
+    cfg: &RobustnessConfig,
+) -> Result<Vec<RobustnessRow>, SimError> {
+    let plan = cfg.build_plan(k);
+    let pcfg = PartitionerConfig::new(k);
+    let mut rows = Vec::with_capacity(algorithms.len());
+    for &alg in algorithms {
+        let p = partition(g, alg, &pcfg, default_order());
+        let store = PartitionedStore::from_owner(g.clone(), k, p.masters(g));
+        let mirrors = MirrorDirectory::for_model(g, &p);
+        let workload =
+            Workload::generate(g, WorkloadKind::OneHop, cfg.bindings, cfg.skew, cfg.workload_seed);
+        let sim = ClusterSim::prepare(&store, &workload);
+        let r = sim.run_faulted(&cfg.sim, &plan, &mirrors)?;
+        rows.push(RobustnessRow {
+            dataset: dataset_name.to_string(),
+            algorithm: alg,
+            cut_model: alg.info().model.to_string(),
+            k,
+            availability: r.availability,
+            goodput_qps: r.goodput_qps,
+            offered_qps: r.offered_qps,
+            retries: r.retries,
+            dropped_messages: r.dropped_messages,
+            failovers: r.failovers,
+            failed: r.failed,
+            p50_latency_ms: r.p50_latency_ms,
+            p99_latency_ms: r.p99_latency_ms,
+        });
+    }
+    Ok(rows)
+}
+
+/// One engine (offline analytics) robustness measurement: the same
+/// PageRank run healthy and under the fault plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineRobustnessRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm behind the placement.
+    pub algorithm: Algorithm,
+    /// Cut-model label.
+    pub cut_model: String,
+    /// Number of machines.
+    pub k: usize,
+    /// Simulated healthy execution time, seconds.
+    pub healthy_seconds: f64,
+    /// Simulated execution time under the fault plan, seconds.
+    pub faulted_seconds: f64,
+    /// Master vertices restored from a live mirror after the crash.
+    pub recovered_vertices: usize,
+    /// Master vertices recomputed from scratch (no mirror).
+    pub recomputed_vertices: usize,
+    /// Bytes shipped to restore mirrored state.
+    pub recovery_bytes: u64,
+    /// Extra seconds attributable to straggler slowdowns.
+    pub straggler_extra_seconds: f64,
+}
+
+/// Runs the engine robustness suite: PageRank over each algorithm's
+/// placement, healthy and fault-inflated, under one shared plan. The
+/// computed ranks are identical in both runs (pause-and-recover model);
+/// only the cost accounting differs.
+pub fn engine_robustness_suite(
+    dataset_name: &str,
+    g: &Graph,
+    algorithms: &[Algorithm],
+    k: usize,
+    cfg: &RobustnessConfig,
+) -> Vec<EngineRobustnessRow> {
+    let opts = EngineOptions::default();
+    let plan = cfg.build_plan(k);
+    let pcfg = PartitionerConfig::new(k);
+    let mut rows = Vec::with_capacity(algorithms.len());
+    for &alg in algorithms {
+        let p = partition(g, alg, &pcfg, default_order());
+        let placement = Placement::build(g, &p);
+        let prog = PageRank::new(20);
+        let healthy = run_program(g, &placement, &prog, &opts).1;
+        let faulted = run_program_with_faults(g, &placement, &prog, &opts, &plan).1;
+        let summary = faulted.fault.clone().unwrap_or_default();
+        rows.push(EngineRobustnessRow {
+            dataset: dataset_name.to_string(),
+            algorithm: alg,
+            cut_model: alg.info().model.to_string(),
+            k,
+            healthy_seconds: healthy.total_seconds(),
+            faulted_seconds: faulted.total_seconds(),
+            recovered_vertices: summary.recovered_vertices,
+            recomputed_vertices: summary.recomputed_vertices,
+            recovery_bytes: summary.recovery_bytes,
+            straggler_extra_seconds: summary.straggler_extra_ns / 1e9,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,6 +746,77 @@ mod tests {
             series_slope(&ec) < series_slope(&vc),
             "edge-cut slope must undercut vertex-cut for PageRank (Fig. 1a)"
         );
+    }
+
+    #[test]
+    fn robustness_replicating_cuts_beat_edge_cut_availability() {
+        // Acceptance: under one shared crash plan, placements that give
+        // the DES mirrors (vertex-cut, hybrid-cut) keep strictly more
+        // queries alive than the mirror-less edge-cut placement.
+        let g = tiny_graph(Dataset::LdbcSnb);
+        let cfg = RobustnessConfig {
+            bindings: 200,
+            sim: FaultSimConfig {
+                base: SimConfig {
+                    clients_per_machine: 4,
+                    queries_per_client: 12,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            crash_at_ns: 0,
+            straggler_factor: 1.0,
+            message_loss: 0.0,
+            ..Default::default()
+        };
+        let algs = [Algorithm::EcrHash, Algorithm::VcrHash, Algorithm::HybridRandom];
+        let rows = robustness_suite("snb", &g, &algs, 4, &cfg).expect("valid plan");
+        assert_eq!(rows.len(), 3);
+        let avail = |a: Algorithm| {
+            rows.iter().find(|r| r.algorithm == a).expect("row for algorithm").availability
+        };
+        assert!(avail(Algorithm::EcrHash) < 1.0, "edge-cut must lose queries to the dead master");
+        assert!(
+            avail(Algorithm::VcrHash) > avail(Algorithm::EcrHash),
+            "vertex-cut mirrors must buy availability: {} vs {}",
+            avail(Algorithm::VcrHash),
+            avail(Algorithm::EcrHash)
+        );
+        assert!(
+            avail(Algorithm::HybridRandom) > avail(Algorithm::EcrHash),
+            "hybrid-cut mirrors must buy availability: {} vs {}",
+            avail(Algorithm::HybridRandom),
+            avail(Algorithm::EcrHash)
+        );
+        let ec = rows.iter().find(|r| r.algorithm == Algorithm::EcrHash).expect("edge-cut row");
+        assert_eq!(ec.failovers, 0, "edge-cut has no mirrors to fail over to");
+    }
+
+    #[test]
+    fn engine_robustness_reports_fault_inflation() {
+        let g = tiny_graph(Dataset::Twitter);
+        let cfg = RobustnessConfig { crash_at_ns: 0, straggler_factor: 3.0, ..Default::default() };
+        let rows = engine_robustness_suite(
+            "twitter",
+            &g,
+            &[Algorithm::EcrHash, Algorithm::VcrHash],
+            4,
+            &cfg,
+        );
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                r.faulted_seconds > r.healthy_seconds,
+                "{:?}: faults must inflate runtime ({} vs {})",
+                r.algorithm,
+                r.faulted_seconds,
+                r.healthy_seconds
+            );
+            assert!(r.straggler_extra_seconds > 0.0, "{:?}", r.algorithm);
+        }
+        let vc = rows.iter().find(|r| r.cut_model == "vertex-cut").expect("vertex-cut row");
+        assert!(vc.recovered_vertices > 0, "vertex-cut masters recover from mirrors");
+        assert!(vc.recovery_bytes > 0);
     }
 
     #[test]

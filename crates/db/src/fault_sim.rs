@@ -1,0 +1,1019 @@
+//! Fault-injected discrete-event simulation: the healthy DES of
+//! [`crate::sim`] extended with a deterministic [`FaultPlan`] — machine
+//! crashes (with optional recovery), straggler slowdowns, and seeded
+//! message loss on cross-machine traffic.
+//!
+//! The coordinator reacts to a lost or unanswered sub-request with a
+//! timeout, then re-sends after an exponentially growing, capped
+//! backoff ([`RetryPolicy`]). A sub-request aimed at a dead machine
+//! fails over to a live **mirror** when the partitioning provides one:
+//! vertex-cut and hybrid-cut placements replicate vertices across the
+//! machines holding their incident edges, so a [`MirrorDirectory`]
+//! built from such a [`Partitioning`] offers high failover coverage;
+//! the edge-cut store (JanusGraph keeps a single copy of each vertex)
+//! offers none, so its queries ride the retry loop until the machine
+//! recovers — or fail. That asymmetry is the availability result this
+//! module exists to measure (DESIGN.md §7).
+//!
+//! Every random decision — message drops, failover draws — is a
+//! counter-keyed function of the plan seed, so a run under a fixed
+//! plan is bit-for-bit reproducible.
+
+use crate::sim::{rsd, ClusterSim, EventQueue, SimConfig};
+use serde::{Deserialize, Serialize};
+use sgp_fault::{FaultEvent, FaultPlan, PlanError, RetryPolicy};
+use sgp_graph::Graph;
+use sgp_partition::{CutModel, Partitioning};
+use std::collections::VecDeque;
+
+/// Why a fault-injected simulation could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cluster has zero machines.
+    NoMachines,
+    /// Every machine is permanently dead from t = 0: the plan leaves
+    /// nothing to serve even one request.
+    NoLiveMachines,
+    /// The plan was written for a different cluster size.
+    ClusterMismatch {
+        /// Machines the plan covers.
+        plan: usize,
+        /// Machines in the simulated cluster.
+        cluster: usize,
+    },
+    /// The plan failed its own validation.
+    InvalidPlan(PlanError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoMachines => write!(f, "cluster has zero machines"),
+            SimError::NoLiveMachines => {
+                write!(f, "every machine is permanently dead from t=0; nothing can serve")
+            }
+            SimError::ClusterMismatch { plan, cluster } => {
+                write!(f, "fault plan covers {plan} machines but the cluster has {cluster}")
+            }
+            SimError::InvalidPlan(e) => write!(f, "invalid fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for SimError {
+    fn from(e: PlanError) -> Self {
+        SimError::InvalidPlan(e)
+    }
+}
+
+/// Where reads of a machine's vertices can fail over when it dies.
+///
+/// Built once per (graph, partitioning). `coverage[m]` is the fraction
+/// of vertices *mastered* on machine `m` that have at least one replica
+/// elsewhere — the probability a random read of `m`'s data can be
+/// served by a mirror. `peers[m]` ranks the machines holding those
+/// replicas (most replicas first, ties by machine id), and failover
+/// picks the first live one.
+#[derive(Debug, Clone)]
+pub struct MirrorDirectory {
+    coverage: Vec<f64>,
+    peers: Vec<Vec<u32>>,
+}
+
+impl MirrorDirectory {
+    /// Directory for an edge-cut store: JanusGraph keeps a single copy
+    /// of every vertex, so no machine's data survives its crash.
+    pub fn edge_cut(machines: usize) -> Self {
+        MirrorDirectory { coverage: vec![0.0; machines], peers: vec![Vec::new(); machines] }
+    }
+
+    /// Directory derived from a replicating (vertex-cut or hybrid-cut)
+    /// partitioning: every machine holding an edge incident to a vertex
+    /// holds a replica of that vertex.
+    pub fn from_partitioning(g: &Graph, p: &Partitioning) -> Self {
+        let k = p.k;
+        let masters = p.masters(g);
+        let sets = p.replica_sets(g);
+        let mut mastered = vec![0u64; k];
+        let mut mirrored = vec![0u64; k];
+        let mut peer_counts = vec![vec![0u64; k]; k];
+        for (v, &m) in masters.iter().enumerate() {
+            let m = m as usize;
+            mastered[m] += 1;
+            let mut has_mirror = false;
+            for &r in &sets[v] {
+                if r as usize != m {
+                    has_mirror = true;
+                    peer_counts[m][r as usize] += 1;
+                }
+            }
+            if has_mirror {
+                mirrored[m] += 1;
+            }
+        }
+        let coverage = (0..k)
+            .map(|m| if mastered[m] == 0 { 0.0 } else { mirrored[m] as f64 / mastered[m] as f64 })
+            .collect();
+        let peers = peer_counts
+            .into_iter()
+            .map(|counts| {
+                let mut ranked: Vec<u32> = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(p, _)| p as u32)
+                    .collect();
+                ranked.sort_by_key(|&p| (std::cmp::Reverse(counts[p as usize]), p));
+                ranked
+            })
+            .collect();
+        MirrorDirectory { coverage, peers }
+    }
+
+    /// Directory matching the partitioning's cut model: replication for
+    /// vertex-cut and hybrid-cut, none for edge-cut.
+    pub fn for_model(g: &Graph, p: &Partitioning) -> Self {
+        match p.model {
+            CutModel::EdgeCut => MirrorDirectory::edge_cut(p.k),
+            CutModel::VertexCut | CutModel::HybridCut => MirrorDirectory::from_partitioning(g, p),
+        }
+    }
+
+    /// Number of machines the directory covers.
+    pub fn machines(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Fraction of `machine`'s mastered vertices that have a mirror.
+    pub fn coverage(&self, machine: u32) -> f64 {
+        self.coverage[machine as usize]
+    }
+
+    /// First live mirror machine for data mastered on `machine`.
+    pub fn failover_target(&self, machine: u32, is_up: impl Fn(u32) -> bool) -> Option<u32> {
+        self.peers[machine as usize].iter().copied().find(|&p| is_up(p))
+    }
+}
+
+/// Configuration of a fault-injected run: the healthy DES parameters
+/// plus the coordinator's retry policy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FaultSimConfig {
+    /// Parameters shared with the healthy simulation.
+    pub base: SimConfig,
+    /// Timeout / retry / backoff behaviour of the coordinator.
+    pub retry: RetryPolicy,
+}
+
+impl Default for FaultSimConfig {
+    fn default() -> Self {
+        FaultSimConfig { base: SimConfig::default(), retry: RetryPolicy::default() }
+    }
+}
+
+/// Results of one fault-injected run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultSimReport {
+    /// Fraction of post-warm-up queries that completed successfully.
+    pub availability: f64,
+    /// Successful queries per second (post-warm-up).
+    pub goodput_qps: f64,
+    /// All query completions (successes + failures) per second — the
+    /// load the clients offered.
+    pub offered_qps: f64,
+    /// Successful post-warm-up completions.
+    pub completed_ok: usize,
+    /// Failed post-warm-up completions.
+    pub failed: usize,
+    /// Sub-request re-sends over the whole run.
+    pub retries: u64,
+    /// Cross-machine messages dropped by the plan over the whole run.
+    pub dropped_messages: u64,
+    /// Sub-requests redirected to a live mirror over the whole run.
+    pub failovers: u64,
+    /// Mean latency of successful queries, milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median latency of successful queries, milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile latency of successful queries, milliseconds.
+    pub p99_latency_ms: f64,
+    /// Maximum latency of successful queries, milliseconds.
+    pub max_latency_ms: f64,
+    /// Vertex reads routed to each machine over the whole run,
+    /// including retried work.
+    pub reads_per_machine: Vec<u64>,
+    /// Relative standard deviation of `reads_per_machine`.
+    pub load_rsd: f64,
+    /// Total simulated wall-clock seconds.
+    pub sim_seconds: f64,
+}
+
+/// Events of the fault-injected DES. `origin` is the machine the trace
+/// *intended* (where the data is mastered): re-sends re-route from it,
+/// so a share that failed over keeps retrying against the original
+/// owner once it recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FEvent {
+    /// A client becomes ready to issue its next query.
+    Issue { client: u32 },
+    /// A sub-request share arrives at (routed) `machine`.
+    SubArrive { query: u32, machine: u32, origin: u32, reads: u32, service_ns: u64, attempt: u32 },
+    /// A core of `machine` finishes a share; stale if `epoch` mismatches.
+    SubDone { query: u32, machine: u32, attempt: u32, epoch: u32 },
+    /// The coordinator declares a share of `query` lost.
+    SubFail { query: u32, origin: u32, reads: u32, service_ns: u64, attempt: u32 },
+    /// `machine` crashes, losing queued and in-flight work.
+    Crash { machine: u32 },
+    /// `machine` rejoins with an empty queue.
+    Recover { machine: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Share {
+    query: u32,
+    origin: u32,
+    reads: u32,
+    service_ns: u64,
+    attempt: u32,
+}
+
+struct FMachine {
+    cores: usize,
+    busy: usize,
+    up: bool,
+    /// Incremented on every crash; `SubDone` events from before the
+    /// crash carry the old epoch and are discarded.
+    epoch: u32,
+    fifo: VecDeque<Share>,
+    in_flight: Vec<Share>,
+}
+
+struct FActive {
+    trace_idx: u32,
+    client: u32,
+    /// Effective coordinator (the trace's, or its mirror when the
+    /// trace's was dead at issue time).
+    coordinator: u32,
+    round: usize,
+    pending: u32,
+    round_has_remote: bool,
+    failed: bool,
+    start_ns: u64,
+}
+
+impl ClusterSim {
+    /// Runs the discrete-event simulation under a fault plan.
+    ///
+    /// Fails with a typed [`SimError`] when the cluster is empty, the
+    /// plan does not match the cluster or fails validation, or the plan
+    /// leaves zero live machines from t = 0.
+    pub fn run_faulted(
+        &self,
+        cfg: &FaultSimConfig,
+        plan: &FaultPlan,
+        mirrors: &MirrorDirectory,
+    ) -> Result<FaultSimReport, SimError> {
+        if self.machines == 0 {
+            return Err(SimError::NoMachines);
+        }
+        if plan.machines != self.machines {
+            return Err(SimError::ClusterMismatch { plan: plan.machines, cluster: self.machines });
+        }
+        plan.validate()?;
+        if plan.all_machines_dead_from_start() {
+            return Err(SimError::NoLiveMachines);
+        }
+        assert_eq!(mirrors.machines(), self.machines, "mirror directory must match the cluster");
+        assert!(cfg.base.clients_per_machine > 0 && cfg.base.queries_per_client > 0);
+        assert!(cfg.retry.max_attempts > 0, "at least one attempt per sub-request");
+        Ok(FaultRun::new(self, cfg, plan, mirrors).execute())
+    }
+}
+
+/// One in-progress fault-injected run; groups the DES state so event
+/// handlers are methods instead of functions with a dozen arguments.
+struct FaultRun<'a> {
+    sim: &'a ClusterSim,
+    cfg: &'a SimConfig,
+    retry: &'a RetryPolicy,
+    plan: &'a FaultPlan,
+    mirrors: &'a MirrorDirectory,
+    machines: Vec<FMachine>,
+    events: EventQueue<FEvent>,
+    active: Vec<FActive>,
+    free_slots: Vec<u32>,
+    next_binding: usize,
+    issued: usize,
+    completed: usize,
+    total_queries: usize,
+    warmup: usize,
+    warmup_end_ns: u64,
+    last_completion_ns: u64,
+    latencies_ns: Vec<u64>,
+    reads_per_machine: Vec<u64>,
+    ok: usize,
+    failed: usize,
+    retries: u64,
+    dropped: u64,
+    failovers: u64,
+    /// Monotonic cross-machine send counter keying drop draws.
+    msg_counter: u64,
+    /// Monotonic counter keying failover draws.
+    draw_counter: u64,
+}
+
+impl<'a> FaultRun<'a> {
+    fn new(
+        sim: &'a ClusterSim,
+        cfg: &'a FaultSimConfig,
+        plan: &'a FaultPlan,
+        mirrors: &'a MirrorDirectory,
+    ) -> Self {
+        let k = sim.machines;
+        let clients = cfg.base.clients_per_machine * k;
+        let total_queries = clients * cfg.base.queries_per_client;
+        let warmup = (total_queries as f64 * cfg.base.warmup_fraction) as usize;
+        let machines = (0..k)
+            .map(|_| FMachine {
+                cores: cfg.base.cores_per_machine,
+                busy: 0,
+                up: true,
+                epoch: 0,
+                fifo: VecDeque::new(),
+                in_flight: Vec::new(),
+            })
+            .collect();
+        FaultRun {
+            sim,
+            cfg: &cfg.base,
+            retry: &cfg.retry,
+            plan,
+            mirrors,
+            machines,
+            events: EventQueue::new(),
+            active: Vec::new(),
+            free_slots: Vec::new(),
+            next_binding: 0,
+            issued: 0,
+            completed: 0,
+            total_queries,
+            warmup,
+            warmup_end_ns: 0,
+            last_completion_ns: 0,
+            latencies_ns: Vec::with_capacity(total_queries),
+            reads_per_machine: vec![0; k],
+            ok: 0,
+            failed: 0,
+            retries: 0,
+            dropped: 0,
+            failovers: 0,
+            msg_counter: 0,
+            draw_counter: 0,
+        }
+    }
+
+    fn execute(mut self) -> FaultSimReport {
+        // Schedule the plan's crash/recovery events first so a crash at
+        // t = 0 lands before any client issue at t = 0. Straggler
+        // windows need no events: the slowdown factor is queried at
+        // every service start.
+        let plan = self.plan;
+        for e in &plan.events {
+            if let FaultEvent::Crash { machine, at_ns, recovery_ns } = *e {
+                self.events.push(at_ns, FEvent::Crash { machine });
+                if let Some(d) = recovery_ns {
+                    self.events.push(at_ns.saturating_add(d), FEvent::Recover { machine });
+                }
+            }
+        }
+        let clients = self.cfg.clients_per_machine * self.sim.machines;
+        for c in 0..clients as u32 {
+            let jitter = (c as u64 * 1_000) % (self.cfg.request_overhead_ns as u64 + 1);
+            self.events.push(jitter, FEvent::Issue { client: c });
+        }
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                FEvent::Issue { client } => self.on_issue(client, now),
+                FEvent::SubArrive { query, machine, origin, reads, service_ns, attempt } => {
+                    let share = Share { query, origin, reads, service_ns, attempt };
+                    self.on_sub_arrive(machine, share, now);
+                }
+                FEvent::SubDone { query, machine, attempt, epoch } => {
+                    self.on_sub_done(query, machine, attempt, epoch, now);
+                }
+                FEvent::SubFail { query, origin, reads, service_ns, attempt } => {
+                    let share = Share { query, origin, reads, service_ns, attempt };
+                    self.on_sub_fail(share, now);
+                }
+                FEvent::Crash { machine } => self.on_crash(machine, now),
+                FEvent::Recover { machine } => self.machines[machine as usize].up = true,
+            }
+            if self.completed >= self.total_queries {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Routes a share aimed at `target`: the target itself when up,
+    /// else a live mirror when the seeded coverage draw finds one, else
+    /// the (dead) target — the send will time out and ride the retry
+    /// loop until recovery or exhaustion.
+    fn route(&mut self, target: u32) -> (u32, bool) {
+        if self.machines[target as usize].up {
+            return (target, false);
+        }
+        self.draw_counter += 1;
+        if self.plan.unit_draw(self.draw_counter) < self.mirrors.coverage(target) {
+            let machines = &self.machines;
+            if let Some(peer) = self.mirrors.failover_target(target, |m| machines[m as usize].up) {
+                return (peer, true);
+            }
+        }
+        (target, false)
+    }
+
+    /// Sends one share of `slot`'s current round at time `t`. Exactly
+    /// one `SubDone` or `SubFail` eventually resolves every send.
+    fn send_share(&mut self, slot: u32, share: Share, t: u64) {
+        let coordinator = self.active[slot as usize].coordinator;
+        let (routed, failed_over) = self.route(share.origin);
+        if failed_over {
+            self.failovers += 1;
+        }
+        self.reads_per_machine[routed as usize] += share.reads as u64;
+        let remote = routed != coordinator;
+        self.active[slot as usize].round_has_remote |= remote;
+        let delay = if remote { self.cfg.half_rtt_ns as u64 } else { 0 };
+        if remote {
+            self.msg_counter += 1;
+            if self.plan.drop_message(self.msg_counter) {
+                self.dropped += 1;
+                self.events.push(
+                    t + self.retry.timeout_ns,
+                    FEvent::SubFail {
+                        query: share.query,
+                        origin: share.origin,
+                        reads: share.reads,
+                        service_ns: share.service_ns,
+                        attempt: share.attempt,
+                    },
+                );
+                return;
+            }
+        }
+        self.events.push(
+            t + delay,
+            FEvent::SubArrive {
+                query: share.query,
+                machine: routed,
+                origin: share.origin,
+                reads: share.reads,
+                service_ns: share.service_ns,
+                attempt: share.attempt,
+            },
+        );
+    }
+
+    fn on_issue(&mut self, client: u32, now: u64) {
+        if self.issued >= self.total_queries {
+            return;
+        }
+        self.issued += 1;
+        let trace_idx = (self.next_binding % self.sim.traces.len()) as u32;
+        self.next_binding += 1;
+        let home = self.sim.traces[trace_idx as usize].coordinator;
+        let (coordinator, failed_over) = self.route(home);
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.active.push(FActive {
+                    trace_idx: 0,
+                    client: 0,
+                    coordinator: 0,
+                    round: 0,
+                    pending: 0,
+                    round_has_remote: false,
+                    failed: false,
+                    start_ns: 0,
+                });
+                (self.active.len() - 1) as u32
+            }
+        };
+        let q = &mut self.active[slot as usize];
+        q.trace_idx = trace_idx;
+        q.client = client;
+        q.coordinator = coordinator;
+        q.round = 0;
+        q.pending = 0;
+        q.round_has_remote = false;
+        q.failed = false;
+        q.start_ns = now;
+        if !self.machines[coordinator as usize].up {
+            // The query's start vertex lives on a dead machine with no
+            // usable mirror: the client times out and moves on.
+            self.complete(slot, now + self.retry.timeout_ns, false);
+            return;
+        }
+        if failed_over {
+            self.failovers += 1;
+        }
+        self.dispatch_round(slot, now);
+        if self.active[slot as usize].pending == 0 {
+            self.complete(slot, now, true);
+        }
+    }
+
+    fn on_sub_arrive(&mut self, machine: u32, share: Share, now: u64) {
+        if !self.machines[machine as usize].up {
+            // Arrived at a corpse; the coordinator notices by timeout.
+            self.events.push(
+                now + self.retry.timeout_ns,
+                FEvent::SubFail {
+                    query: share.query,
+                    origin: share.origin,
+                    reads: share.reads,
+                    service_ns: share.service_ns,
+                    attempt: share.attempt,
+                },
+            );
+            return;
+        }
+        let slow = self.plan.slowdown(machine, now);
+        let m = &mut self.machines[machine as usize];
+        if m.busy < m.cores {
+            m.busy += 1;
+            let effective = (share.service_ns as f64 * slow) as u64;
+            let epoch = m.epoch;
+            m.in_flight.push(share);
+            self.events.push(
+                now + effective,
+                FEvent::SubDone { query: share.query, machine, attempt: share.attempt, epoch },
+            );
+        } else {
+            m.fifo.push_back(share);
+        }
+    }
+
+    fn on_sub_done(&mut self, query: u32, machine: u32, attempt: u32, epoch: u32, now: u64) {
+        let slow = self.plan.slowdown(machine, now);
+        {
+            let m = &mut self.machines[machine as usize];
+            if m.epoch != epoch {
+                // Completion from before a crash: that work is lost and
+                // its failure already scheduled; ignore.
+                return;
+            }
+            m.busy -= 1;
+            if let Some(idx) =
+                m.in_flight.iter().position(|s| s.query == query && s.attempt == attempt)
+            {
+                m.in_flight.remove(idx);
+            }
+            if let Some(next) = m.fifo.pop_front() {
+                m.busy += 1;
+                let effective = (next.service_ns as f64 * slow) as u64;
+                let next_epoch = m.epoch;
+                m.in_flight.push(next);
+                self.events.push(
+                    now + effective,
+                    FEvent::SubDone {
+                        query: next.query,
+                        machine,
+                        attempt: next.attempt,
+                        epoch: next_epoch,
+                    },
+                );
+            }
+        }
+        let q = &mut self.active[query as usize];
+        q.pending -= 1;
+        if q.pending > 0 {
+            return;
+        }
+        if q.failed {
+            self.complete(query, now, false);
+            return;
+        }
+        let reply_delay = if q.round_has_remote { self.cfg.half_rtt_ns as u64 } else { 0 };
+        let round_end = now + reply_delay;
+        q.round += 1;
+        let rounds = self.sim.traces[q.trace_idx as usize].rounds.len();
+        if q.round < rounds {
+            self.dispatch_round(query, round_end);
+            if self.active[query as usize].pending == 0 {
+                self.complete(query, round_end, true);
+            }
+        } else {
+            self.complete(query, round_end, true);
+        }
+    }
+
+    fn on_sub_fail(&mut self, share: Share, now: u64) {
+        let q = &mut self.active[share.query as usize];
+        if q.failed {
+            q.pending -= 1;
+            if q.pending == 0 {
+                self.complete(share.query, now, false);
+            }
+            return;
+        }
+        if share.attempt >= self.retry.max_attempts {
+            q.failed = true;
+            q.pending -= 1;
+            if q.pending == 0 {
+                self.complete(share.query, now, false);
+            }
+            return;
+        }
+        self.retries += 1;
+        let resend_at = now + self.retry.backoff_ns(share.attempt);
+        self.send_share(share.query, Share { attempt: share.attempt + 1, ..share }, resend_at);
+    }
+
+    fn on_crash(&mut self, machine: u32, now: u64) {
+        let lost: Vec<Share> = {
+            let m = &mut self.machines[machine as usize];
+            m.up = false;
+            m.epoch += 1;
+            m.busy = 0;
+            let mut lost: Vec<Share> = m.in_flight.drain(..).collect();
+            lost.extend(m.fifo.drain(..));
+            lost
+        };
+        let fail_at = now + self.retry.timeout_ns;
+        for share in lost {
+            self.events.push(
+                fail_at,
+                FEvent::SubFail {
+                    query: share.query,
+                    origin: share.origin,
+                    reads: share.reads,
+                    service_ns: share.service_ns,
+                    attempt: share.attempt,
+                },
+            );
+        }
+    }
+
+    /// Issues the current round's shares of query `slot` at time `t`
+    /// (same share-splitting as the healthy DES, routed through
+    /// [`FaultRun::send_share`]).
+    fn dispatch_round(&mut self, slot: u32, t: u64) {
+        let sim = self.sim;
+        let (trace_idx, mut round, coordinator) = {
+            let q = &mut self.active[slot as usize];
+            q.round_has_remote = false;
+            (q.trace_idx as usize, q.round, q.coordinator)
+        };
+        let trace = &sim.traces[trace_idx];
+        let mut pending = 0u32;
+        // Skip over all-empty rounds.
+        while round < trace.rounds.len() {
+            let r = &trace.rounds[round];
+            let mut remote_fanout = 0u32;
+            for (m, &reads) in r.reads.iter().enumerate() {
+                if reads == 0 {
+                    continue;
+                }
+                let remote = m as u32 != coordinator;
+                if remote {
+                    remote_fanout += 1;
+                }
+                let shares = (reads as usize).min(self.cfg.intra_request_parallelism.max(1)) as u32;
+                let per_share = reads / shares;
+                let mut remainder = reads % shares;
+                for share in 0..shares {
+                    let mut share_reads = per_share;
+                    if remainder > 0 {
+                        share_reads += 1;
+                        remainder -= 1;
+                    }
+                    let per_read = self.cfg.read_service_ns
+                        + if remote { self.cfg.remote_read_extra_ns } else { 0.0 };
+                    let mut service = (share_reads as f64 * per_read) as u64;
+                    if share == 0 {
+                        service += self.cfg.request_overhead_ns as u64;
+                    }
+                    pending += 1;
+                    self.send_share(
+                        slot,
+                        Share {
+                            query: slot,
+                            origin: m as u32,
+                            reads: share_reads,
+                            service_ns: service,
+                            attempt: 1,
+                        },
+                        t,
+                    );
+                }
+            }
+            // Scatter-gather fan-out on the coordinator.
+            if remote_fanout > 0 {
+                pending += 1;
+                let service = (self.cfg.fanout_ns * remote_fanout as f64) as u64;
+                self.send_share(
+                    slot,
+                    Share {
+                        query: slot,
+                        origin: coordinator,
+                        reads: 0,
+                        service_ns: service,
+                        attempt: 1,
+                    },
+                    t,
+                );
+            }
+            if pending > 0 {
+                break;
+            }
+            round += 1;
+        }
+        let q = &mut self.active[slot as usize];
+        q.round = round;
+        q.pending = pending;
+    }
+
+    /// Completion bookkeeping shared by successful and failed queries:
+    /// failed queries count toward totals and warm-up but contribute no
+    /// latency sample.
+    fn complete(&mut self, slot: u32, now: u64, success: bool) {
+        let (client, start_ns) = {
+            let q = &self.active[slot as usize];
+            (q.client, q.start_ns)
+        };
+        self.completed += 1;
+        self.last_completion_ns = now;
+        if self.completed == self.warmup {
+            self.warmup_end_ns = now;
+        }
+        if self.completed > self.warmup {
+            if success {
+                self.ok += 1;
+                self.latencies_ns.push(now - start_ns);
+            } else {
+                self.failed += 1;
+            }
+        }
+        self.free_slots.push(slot);
+        self.events.push(now, FEvent::Issue { client });
+    }
+
+    fn report(mut self) -> FaultSimReport {
+        self.latencies_ns.sort_unstable();
+        let measured = self.latencies_ns.len().max(1) as f64;
+        let mean_ns = self.latencies_ns.iter().sum::<u64>() as f64 / measured;
+        let pct = |p: f64| -> f64 {
+            if self.latencies_ns.is_empty() {
+                return 0.0;
+            }
+            let idx = ((self.latencies_ns.len() - 1) as f64 * p).round() as usize;
+            self.latencies_ns[idx] as f64
+        };
+        let window_ns = self.last_completion_ns.saturating_sub(self.warmup_end_ns).max(1);
+        let window_s = window_ns as f64 / 1e9;
+        let denom = (self.ok + self.failed).max(1) as f64;
+        FaultSimReport {
+            availability: self.ok as f64 / denom,
+            goodput_qps: self.ok as f64 / window_s,
+            offered_qps: (self.ok + self.failed) as f64 / window_s,
+            completed_ok: self.ok,
+            failed: self.failed,
+            retries: self.retries,
+            dropped_messages: self.dropped,
+            failovers: self.failovers,
+            mean_latency_ms: mean_ns / 1e6,
+            p50_latency_ms: pct(0.50) / 1e6,
+            p99_latency_ms: pct(0.99) / 1e6,
+            max_latency_ms: self.latencies_ns.last().map(|&l| l as f64 / 1e6).unwrap_or(0.0),
+            load_rsd: rsd(&self.reads_per_machine),
+            reads_per_machine: self.reads_per_machine,
+            sim_seconds: self.last_completion_ns as f64 / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{QueryResult, RoundTrace};
+    use crate::store::PartitionedStore;
+    use crate::workload::{Skew, Workload, WorkloadKind};
+    use sgp_graph::generators::{snb_social, SnbConfig};
+    use sgp_graph::StreamOrder;
+    use sgp_partition::{partition, Algorithm, PartitionerConfig};
+
+    fn two_machine_sim() -> ClusterSim {
+        // One query class: coordinator 0 reads 2 local + 2 remote.
+        let trace = QueryTrace {
+            coordinator: 0,
+            rounds: vec![RoundTrace { reads: vec![2, 2] }],
+            result: QueryResult::Vertices(vec![]),
+        };
+        ClusterSim::from_traces(2, vec![trace])
+    }
+
+    fn quick_cfg() -> FaultSimConfig {
+        FaultSimConfig {
+            base: SimConfig {
+                clients_per_machine: 4,
+                queries_per_client: 25,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn full_coverage(machines: usize) -> MirrorDirectory {
+        MirrorDirectory {
+            coverage: vec![1.0; machines],
+            peers: (0..machines)
+                .map(|m| (0..machines as u32).filter(|&p| p as usize != m).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn healthy_plan_matches_healthy_sim_availability() {
+        let sim = two_machine_sim();
+        let cfg = quick_cfg();
+        let plan = FaultPlan::healthy(2, 9);
+        let r = sim.run_faulted(&cfg, &plan, &MirrorDirectory::edge_cut(2)).unwrap();
+        assert_eq!(r.failed, 0);
+        assert!((r.availability - 1.0).abs() < 1e-12);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.dropped_messages, 0);
+        let healthy = sim.run(&cfg.base);
+        assert_eq!(r.completed_ok, healthy.completed);
+        assert!((r.goodput_qps - healthy.throughput_qps).abs() / healthy.throughput_qps < 0.05);
+    }
+
+    #[test]
+    fn fixed_seed_run_is_bit_for_bit_reproducible() {
+        let sim = two_machine_sim();
+        let cfg = quick_cfg();
+        let plan = FaultPlan::healthy(2, 42)
+            .with_recovering_crash(1, 2_000_000, 30_000_000)
+            .with_straggler(0, 0, 50_000_000, 2.0)
+            .with_message_loss(0.02);
+        let mirrors = full_coverage(2);
+        let a = sim.run_faulted(&cfg, &plan, &mirrors).unwrap();
+        let b = sim.run_faulted(&cfg, &plan, &mirrors).unwrap();
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb, "same plan + seed must reproduce the report bit-for-bit");
+    }
+
+    #[test]
+    fn message_loss_triggers_retries_not_failures() {
+        let sim = two_machine_sim();
+        let cfg = quick_cfg();
+        let plan = FaultPlan::healthy(2, 3).with_message_loss(0.05);
+        let r = sim.run_faulted(&cfg, &plan, &MirrorDirectory::edge_cut(2)).unwrap();
+        assert!(r.dropped_messages > 0, "5% loss over thousands of sends must drop some");
+        assert!(r.retries >= r.dropped_messages, "every drop is retried");
+        // 4 attempts at 5% loss: failure odds per share are ~6e-6.
+        assert!(r.availability > 0.99, "retries should mask rare drops: {}", r.availability);
+    }
+
+    #[test]
+    fn permanent_crash_without_mirrors_kills_availability() {
+        let sim = two_machine_sim();
+        let cfg = quick_cfg();
+        let plan = FaultPlan::healthy(2, 5).with_crash(1, 0);
+        let r = sim.run_faulted(&cfg, &plan, &MirrorDirectory::edge_cut(2)).unwrap();
+        assert!(r.failed > 0, "remote reads on the dead machine must fail queries");
+        assert!(r.availability < 1.0);
+        assert_eq!(r.failovers, 0);
+    }
+
+    #[test]
+    fn mirrors_restore_availability_after_crash() {
+        let sim = two_machine_sim();
+        let cfg = quick_cfg();
+        let plan = FaultPlan::healthy(2, 5).with_crash(1, 0);
+        let none = sim.run_faulted(&cfg, &plan, &MirrorDirectory::edge_cut(2)).unwrap();
+        let full = sim.run_faulted(&cfg, &plan, &full_coverage(2)).unwrap();
+        assert!(full.failovers > 0, "dead-machine reads must fail over");
+        assert!(
+            full.availability > none.availability,
+            "mirrors must beat no mirrors: {} vs {}",
+            full.availability,
+            none.availability
+        );
+        assert!((full.availability - 1.0).abs() < 1e-12, "full coverage masks the crash");
+    }
+
+    #[test]
+    fn recovering_crash_heals() {
+        let sim = two_machine_sim();
+        let cfg = quick_cfg();
+        // Dead for 10 ms early in the run, then back.
+        let plan = FaultPlan::healthy(2, 7).with_recovering_crash(1, 1_000_000, 10_000_000);
+        let r = sim.run_faulted(&cfg, &plan, &MirrorDirectory::edge_cut(2)).unwrap();
+        assert!(r.retries > 0, "the outage must trigger retries");
+        assert!(r.availability > 0.5, "most of the run is healthy: {}", r.availability);
+    }
+
+    #[test]
+    fn straggler_inflates_latency() {
+        let sim = two_machine_sim();
+        let cfg = quick_cfg();
+        let healthy = sim
+            .run_faulted(&cfg, &FaultPlan::healthy(2, 1), &MirrorDirectory::edge_cut(2))
+            .unwrap();
+        let slowed = sim
+            .run_faulted(
+                &cfg,
+                &FaultPlan::healthy(2, 1).with_straggler(1, 0, u64::MAX, 4.0),
+                &MirrorDirectory::edge_cut(2),
+            )
+            .unwrap();
+        assert!(
+            slowed.mean_latency_ms > 1.2 * healthy.mean_latency_ms,
+            "a 4x straggler must inflate latency: {} vs {}",
+            slowed.mean_latency_ms,
+            healthy.mean_latency_ms
+        );
+        assert!(slowed.goodput_qps < healthy.goodput_qps);
+    }
+
+    #[test]
+    fn all_dead_cluster_is_a_typed_error() {
+        let sim = two_machine_sim();
+        let plan = FaultPlan::healthy(2, 1).with_crash(0, 0).with_crash(1, 0);
+        let err = sim.run_faulted(&quick_cfg(), &plan, &MirrorDirectory::edge_cut(2)).unwrap_err();
+        assert_eq!(err, SimError::NoLiveMachines);
+    }
+
+    #[test]
+    fn mismatched_plan_is_rejected() {
+        let sim = two_machine_sim();
+        let plan = FaultPlan::healthy(3, 1);
+        let err = sim.run_faulted(&quick_cfg(), &plan, &MirrorDirectory::edge_cut(2)).unwrap_err();
+        assert_eq!(err, SimError::ClusterMismatch { plan: 3, cluster: 2 });
+    }
+
+    #[test]
+    fn replicating_cuts_survive_crashes_edge_cut_does_not() {
+        // The acceptance criterion: under the same crash plan, a
+        // vertex-cut (and hybrid-cut) store fails over to mirrors while
+        // the edge-cut store cannot.
+        let g = snb_social(SnbConfig {
+            persons: 600,
+            communities: 12,
+            avg_friends: 10.0,
+            ..SnbConfig::default()
+        });
+        let k = 4;
+        let pcfg = PartitionerConfig::new(k);
+        let w = Workload::generate(&g, WorkloadKind::OneHop, 300, Skew::Uniform, 11);
+        let plan = FaultPlan::healthy(k, 17).with_crash((k - 1) as u32, 0);
+        let cfg = quick_cfg();
+        let mut avail = Vec::new();
+        for alg in [Algorithm::EcrHash, Algorithm::VcrHash, Algorithm::HybridRandom] {
+            let p = partition(&g, alg, &pcfg, StreamOrder::Random { seed: 4 });
+            let store = PartitionedStore::from_owner(g.clone(), k, p.masters(&g));
+            let sim = ClusterSim::prepare(&store, &w);
+            let mirrors = MirrorDirectory::for_model(&g, &p);
+            let r = sim.run_faulted(&cfg, &plan, &mirrors).unwrap();
+            avail.push(r.availability);
+        }
+        let (ec, vc, hc) = (avail[0], avail[1], avail[2]);
+        assert!(vc > ec, "vertex-cut availability must beat edge-cut: {vc} vs {ec}");
+        assert!(hc > ec, "hybrid-cut availability must beat edge-cut: {hc} vs {ec}");
+        assert!(ec < 1.0, "a quarter of the data is gone; edge-cut must lose queries");
+    }
+
+    #[test]
+    fn mirror_directory_shapes() {
+        let g = snb_social(SnbConfig { persons: 200, communities: 4, ..SnbConfig::default() });
+        let p = partition(
+            &g,
+            Algorithm::VcrHash,
+            &PartitionerConfig::new(3),
+            StreamOrder::Random { seed: 1 },
+        );
+        let d = MirrorDirectory::from_partitioning(&g, &p);
+        assert_eq!(d.machines(), 3);
+        for m in 0..3u32 {
+            assert!((0.0..=1.0).contains(&d.coverage(m)));
+            assert!(d.failover_target(m, |_| true).is_none() || d.coverage(m) > 0.0);
+        }
+        let ec = MirrorDirectory::edge_cut(3);
+        for m in 0..3u32 {
+            assert_eq!(ec.coverage(m), 0.0);
+            assert!(ec.failover_target(m, |_| true).is_none());
+        }
+    }
+}

@@ -22,15 +22,21 @@
 //!   serving closed-loop concurrent clients (12/machine = the paper's
 //!   *medium load*, 24/machine = *high load*), producing throughput,
 //!   mean/p99 latency, and per-machine read distributions.
+//! * [`fault_sim`] — the same DES under a deterministic
+//!   [`sgp_fault::FaultPlan`]: crashes, stragglers, message loss,
+//!   retry/backoff, and mirror failover, producing availability and
+//!   goodput (DESIGN.md §7).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod fault_sim;
 pub mod query;
 pub mod sim;
 pub mod store;
 pub mod workload;
 
+pub use fault_sim::{FaultSimConfig, FaultSimReport, MirrorDirectory, SimError};
 pub use query::{Query, QueryResult, QueryTrace};
 pub use sim::{ClusterSim, LoadLevel, SimConfig, SimReport};
 pub use store::{PartitionedStore, StoreError};

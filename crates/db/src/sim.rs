@@ -142,8 +142,8 @@ pub struct SimReport {
 /// under any [`SimConfig`].
 #[derive(Debug, Clone)]
 pub struct ClusterSim {
-    machines: usize,
-    traces: Vec<QueryTrace>,
+    pub(crate) machines: usize,
+    pub(crate) traces: Vec<QueryTrace>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -154,6 +154,39 @@ enum Event {
     SubArrive { query: u32, machine: u32, service_ns: u64 },
     /// A machine core finishes a sub-request of `query`.
     SubDone { query: u32, machine: u32 },
+}
+
+/// Time-ordered event queue with deterministic tie-breaking: events
+/// scheduled for the same instant pop in insertion (FIFO) order, via a
+/// monotonically increasing sequence number. `BinaryHeap` alone gives
+/// no ordering guarantee between equal keys, so without the sequence
+/// number same-time events would pop in an arbitrary (payload-derived)
+/// order and replays would not be reproducible across refactors.
+///
+/// Shared by the healthy DES ([`ClusterSim::run`]) and the faulted one
+/// ([`ClusterSim::run_faulted`](crate::fault_sim)).
+#[derive(Debug)]
+pub(crate) struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, E)>>,
+    seq: u64,
+}
+
+impl<E: Ord> EventQueue<E> {
+    pub(crate) fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `e` at time `t`, after every event already scheduled
+    /// at `t`.
+    pub(crate) fn push(&mut self, t: u64, e: E) {
+        self.seq += 1;
+        self.heap.push(Reverse((t, self.seq, e)));
+    }
+
+    /// Pops the earliest event; ties resolve in push order.
+    pub(crate) fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e))
+    }
 }
 
 struct Machine {
@@ -202,21 +235,13 @@ impl ClusterSim {
         let mut machines: Vec<Machine> = (0..k)
             .map(|_| Machine { cores: cfg.cores_per_machine, busy: 0, fifo: VecDeque::new() })
             .collect();
-        let mut events: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push = |events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
-                    seq: &mut u64,
-                    t: u64,
-                    e: Event| {
-            *seq += 1;
-            events.push(Reverse((t, *seq, e)));
-        };
+        let mut events: EventQueue<Event> = EventQueue::new();
 
         // Stagger client starts over one overhead period to avoid a
         // thundering herd at t=0.
         for c in 0..clients as u32 {
             let jitter = (c as u64 * 1_000) % (cfg.request_overhead_ns as u64 + 1);
-            push(&mut events, &mut seq, jitter, Event::Issue { client: c });
+            events.push(jitter, Event::Issue { client: c });
         }
 
         let mut active: Vec<ActiveQuery> = Vec::new();
@@ -229,7 +254,7 @@ impl ClusterSim {
         let mut warmup_end_ns = 0u64;
         let mut last_completion_ns = 0u64;
 
-        while let Some(Reverse((now, _, event))) = events.pop() {
+        while let Some((now, event)) = events.pop() {
             match event {
                 Event::Issue { client } => {
                     if issued >= total_queries {
@@ -259,7 +284,7 @@ impl ClusterSim {
                     q.pending = 0;
                     q.round_has_remote = false;
                     q.start_ns = now;
-                    self.dispatch_round(slot, now, cfg, &mut active, &mut events, &mut seq);
+                    self.dispatch_round(slot, now, cfg, &mut active, &mut events);
                     // If the query had no rounds at all (degenerate), it
                     // completes instantly.
                     if active[slot as usize].pending == 0 {
@@ -270,7 +295,6 @@ impl ClusterSim {
                             &mut active,
                             &mut free_slots,
                             &mut events,
-                            &mut seq,
                             &mut completed,
                             warmup,
                             &mut warmup_end_ns,
@@ -286,12 +310,7 @@ impl ClusterSim {
                     let m = &mut machines[machine as usize];
                     if m.busy < m.cores {
                         m.busy += 1;
-                        push(
-                            &mut events,
-                            &mut seq,
-                            now + service_ns,
-                            Event::SubDone { query, machine },
-                        );
+                        events.push(now + service_ns, Event::SubDone { query, machine });
                     } else {
                         m.fifo.push_back((query, service_ns));
                     }
@@ -302,12 +321,7 @@ impl ClusterSim {
                     m.busy -= 1;
                     if let Some((next_q, service)) = m.fifo.pop_front() {
                         m.busy += 1;
-                        push(
-                            &mut events,
-                            &mut seq,
-                            now + service,
-                            Event::SubDone { query: next_q, machine },
-                        );
+                        events.push(now + service, Event::SubDone { query: next_q, machine });
                     }
                     // Advance the owning query.
                     let slot = query;
@@ -321,14 +335,7 @@ impl ClusterSim {
                     q.round += 1;
                     let trace = &self.traces[q.trace_idx as usize];
                     if q.round < trace.rounds.len() {
-                        self.dispatch_round(
-                            slot,
-                            round_end,
-                            cfg,
-                            &mut active,
-                            &mut events,
-                            &mut seq,
-                        );
+                        self.dispatch_round(slot, round_end, cfg, &mut active, &mut events);
                         if active[slot as usize].pending == 0 {
                             // Empty round (all-zero reads): treat as done.
                             complete_query(
@@ -338,7 +345,6 @@ impl ClusterSim {
                                 &mut active,
                                 &mut free_slots,
                                 &mut events,
-                                &mut seq,
                                 &mut completed,
                                 warmup,
                                 &mut warmup_end_ns,
@@ -357,7 +363,6 @@ impl ClusterSim {
                             &mut active,
                             &mut free_slots,
                             &mut events,
-                            &mut seq,
                             &mut completed,
                             warmup,
                             &mut warmup_end_ns,
@@ -403,15 +408,13 @@ impl ClusterSim {
 
     /// Issues the current round's sub-requests of query slot `slot` at
     /// time `t`.
-    #[allow(clippy::too_many_arguments)]
     fn dispatch_round(
         &self,
         slot: u32,
         t: u64,
         cfg: &SimConfig,
         active: &mut [ActiveQuery],
-        events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
-        seq: &mut u64,
+        events: &mut EventQueue<Event>,
     ) {
         let q = &mut active[slot as usize];
         let trace = &self.traces[q.trace_idx as usize];
@@ -452,12 +455,10 @@ impl ClusterSim {
                         service += cfg.request_overhead_ns as u64;
                     }
                     pending += 1;
-                    *seq += 1;
-                    events.push(Reverse((
+                    events.push(
                         t + delay,
-                        *seq,
                         Event::SubArrive { query: slot, machine: m as u32, service_ns: service },
-                    )));
+                    );
                 }
             }
             // Scatter-gather fan-out: the coordinator serializes every
@@ -465,12 +466,10 @@ impl ClusterSim {
             if remote_fanout > 0 {
                 pending += 1;
                 let service = (cfg.fanout_ns * remote_fanout as f64) as u64;
-                *seq += 1;
-                events.push(Reverse((
+                events.push(
                     t,
-                    *seq,
                     Event::SubArrive { query: slot, machine: coordinator, service_ns: service },
-                )));
+                );
             }
             if pending > 0 {
                 break;
@@ -489,8 +488,7 @@ fn complete_query(
     _cfg: &SimConfig,
     active: &mut [ActiveQuery],
     free_slots: &mut Vec<u32>,
-    events: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
-    seq: &mut u64,
+    events: &mut EventQueue<Event>,
     completed: &mut usize,
     warmup: usize,
     warmup_end_ns: &mut u64,
@@ -517,12 +515,11 @@ fn complete_query(
     }
     let client = q.client;
     free_slots.push(slot);
-    *seq += 1;
-    events.push(Reverse((now, *seq, Event::Issue { client })));
+    events.push(now, Event::Issue { client });
 }
 
 /// Relative standard deviation of per-machine loads.
-fn rsd(counts: &[u64]) -> f64 {
+pub(crate) fn rsd(counts: &[u64]) -> f64 {
     if counts.is_empty() {
         return 0.0;
     }
@@ -685,5 +682,25 @@ mod tests {
         assert!(rsd(&[10, 10, 10]) < 1e-12);
         assert!(rsd(&[20, 0]) > 0.9);
         assert_eq!(rsd(&[]), 0.0);
+    }
+
+    #[test]
+    fn event_queue_breaks_time_ties_in_push_order() {
+        // Same-time events must pop exactly in insertion order — the
+        // determinism guarantee every replay in this crate rests on.
+        let mut q: EventQueue<Event> = EventQueue::new();
+        for client in (0..50u32).rev() {
+            q.push(7_777, Event::Issue { client });
+        }
+        q.push(7_776, Event::Issue { client: 99 });
+        let (t0, first) = q.pop().expect("queue is non-empty");
+        assert_eq!((t0, first), (7_776, Event::Issue { client: 99 }));
+        let mut popped = Vec::new();
+        while let Some((t, Event::Issue { client })) = q.pop() {
+            assert_eq!(t, 7_777);
+            popped.push(client);
+        }
+        let expected: Vec<u32> = (0..50u32).rev().collect();
+        assert_eq!(popped, expected, "ties must resolve FIFO, not by payload order");
     }
 }

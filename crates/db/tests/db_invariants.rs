@@ -3,7 +3,11 @@
 
 use sgp_db::query::{execute, Query, QueryResult};
 use sgp_db::workload::{run_workload, Skew};
-use sgp_db::{ClusterSim, PartitionedStore, SimConfig, Workload, WorkloadKind};
+use sgp_db::{
+    ClusterSim, FaultSimConfig, MirrorDirectory, PartitionedStore, SimConfig, SimError, Workload,
+    WorkloadKind,
+};
+use sgp_fault::FaultPlan;
 use sgp_graph::generators::{snb_social, SnbConfig};
 use sgp_graph::{Graph, StreamOrder};
 use sgp_partition::{partition, Algorithm, PartitionerConfig};
@@ -152,6 +156,64 @@ fn more_cores_do_not_hurt() {
         many.mean_latency_ms,
         few.mean_latency_ms
     );
+}
+
+/// Degenerate fault plan: a cluster with every machine permanently dead
+/// from t = 0 is rejected with a typed error, not a hang or a panic.
+#[test]
+fn all_machines_dead_is_a_typed_sim_error() {
+    let g = graph();
+    let s = store(&g, Algorithm::EcrHash, 4);
+    let w = Workload::generate(&g, WorkloadKind::OneHop, 50, Skew::Uniform, 9);
+    let sim = ClusterSim::prepare(&s, &w);
+    let mut plan = FaultPlan::healthy(4, 1);
+    for m in 0..4u32 {
+        plan = plan.with_crash(m, 0);
+    }
+    let err = sim
+        .run_faulted(&FaultSimConfig::default(), &plan, &MirrorDirectory::edge_cut(4))
+        .unwrap_err();
+    assert_eq!(err, SimError::NoLiveMachines);
+    // One survivor is enough to run.
+    let mut plan = FaultPlan::healthy(4, 1);
+    for m in 0..3u32 {
+        plan = plan.with_crash(m, 0);
+    }
+    let cfg = FaultSimConfig {
+        base: SimConfig { clients_per_machine: 2, queries_per_client: 5, ..Default::default() },
+        ..Default::default()
+    };
+    let r = sim.run_faulted(&cfg, &plan, &MirrorDirectory::edge_cut(4)).expect("one machine up");
+    assert!(r.availability <= 1.0);
+}
+
+/// The faulted DES conserves queries too: ok + failed completions equal
+/// issued − warm-up.
+#[test]
+fn faulted_des_conserves_queries() {
+    let g = graph();
+    let s = store(&g, Algorithm::EcrHash, 4);
+    let w = Workload::generate(&g, WorkloadKind::OneHop, 100, Skew::Uniform, 6);
+    let sim = ClusterSim::prepare(&s, &w);
+    let cfg = FaultSimConfig {
+        base: SimConfig {
+            clients_per_machine: 6,
+            queries_per_client: 12,
+            warmup_fraction: 0.25,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let plan = FaultPlan::healthy(4, 21)
+        .with_recovering_crash(2, 1_000_000, 20_000_000)
+        .with_straggler(0, 0, 40_000_000, 2.0)
+        .with_message_loss(0.01);
+    let r = sim.run_faulted(&cfg, &plan, &MirrorDirectory::edge_cut(4)).expect("plan is valid");
+    let total = 6 * 4 * 12;
+    let warmup = (total as f64 * 0.25) as usize;
+    assert_eq!(r.completed_ok + r.failed, total - warmup);
+    assert!(r.sim_seconds > 0.0);
+    assert!(r.goodput_qps.is_finite() && r.offered_qps >= r.goodput_qps);
 }
 
 /// Remote-read pricing: a store with a worse edge-cut ratio moves more

@@ -74,6 +74,28 @@ impl IterationStats {
     }
 }
 
+/// Fault accounting of a run executed under a
+/// [`FaultPlan`](sgp_fault::FaultPlan) (pause-and-recover model: the
+/// computed result is identical to the healthy run; only the cost
+/// accounting changes — see `run_program_with_faults`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Crash events charged to the run.
+    pub crashes: usize,
+    /// Master vertices restored from a live mirror's copy.
+    pub recovered_vertices: usize,
+    /// Master vertices with no mirror, recomputed from scratch.
+    pub recomputed_vertices: usize,
+    /// Bytes shipped to restore mirrored state.
+    pub recovery_bytes: u64,
+    /// Simulated nanoseconds spent on crash recovery (state transfer +
+    /// recomputation), included in `total_wall_ns`.
+    pub recovery_ns: f64,
+    /// Extra simulated nanoseconds caused by straggler slowdowns,
+    /// included in `total_wall_ns`.
+    pub straggler_extra_ns: f64,
+}
+
 /// Full report of one engine run — the raw material for Figures 1, 3, 4.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -89,7 +111,12 @@ pub struct RunReport {
     pub machine_compute_ns: Vec<f64>,
     /// Simulated end-to-end execution time in nanoseconds (Fig. 3's
     /// quantity; excludes partitioning time, as in the paper §5.1.4).
+    /// Includes recovery and straggler time when `fault` is set.
     pub total_wall_ns: f64,
+    /// Fault accounting; `None` for healthy runs (so healthy report
+    /// JSON is unchanged by the robustness subsystem).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fault: Option<FaultSummary>,
 }
 
 impl RunReport {
@@ -163,6 +190,7 @@ mod tests {
             iterations: vec![iter_stats(5, 3, 100), iter_stats(2, 1, 50)],
             machine_compute_ns: vec![300.0, 400.0],
             total_wall_ns: 2000.0,
+            fault: None,
         };
         assert_eq!(r.total_messages(), 11);
         assert_eq!(r.total_network_bytes(), 150);
@@ -187,6 +215,7 @@ mod tests {
             iterations: vec![],
             machine_compute_ns: vec![3e9, 1e9, 2e9],
             total_wall_ns: 0.0,
+            fault: None,
         };
         let d = r.compute_time_distribution();
         assert_eq!(d[0], 1.0);

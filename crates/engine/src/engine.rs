@@ -17,10 +17,11 @@
 //!    value to every mirror that future gathers will read it from, and
 //!    activates scatter-direction neighbours.
 
-use crate::cost::{CostModel, IterationStats, RunReport};
+use crate::cost::{CostModel, FaultSummary, IterationStats, RunReport};
 use crate::placement::Placement;
 use crate::program::VertexProgram;
 use crate::wire::encoded_len;
+use sgp_fault::{FaultEvent, FaultPlan};
 use sgp_graph::Graph;
 
 /// Engine execution options.
@@ -46,6 +47,111 @@ pub fn run_program<P: VertexProgram>(
     placement: &Placement,
     prog: &P,
     opts: &EngineOptions,
+) -> (Vec<P::VertexData>, RunReport) {
+    run_program_impl(g, placement, prog, opts, None)
+}
+
+/// Runs `prog` under a deterministic [`FaultPlan`] (DESIGN.md §7).
+///
+/// The engine models faults as **pause-and-recover**: the synchronous
+/// barrier makes every superstep a global checkpoint, so the computed
+/// result is *identical* to the healthy run — what changes is the cost
+/// accounting. Straggler windows multiply the affected machine's
+/// compute time inside each overlapping superstep; a crash is charged
+/// once, at the start of the first superstep after its crash time:
+/// masters with a live mirror are restored by shipping their vertex
+/// data (bytes on the NIC), masters without one are recomputed
+/// (apply + edge ops), and both costs land in `total_wall_ns` and the
+/// report's [`FaultSummary`]. Message loss does not apply: barrier
+/// delivery is reliable-retransmit, which the recovery model subsumes.
+///
+/// # Panics
+/// Panics if the plan fails validation or covers a different number of
+/// machines than `placement`.
+pub fn run_program_with_faults<P: VertexProgram>(
+    g: &Graph,
+    placement: &Placement,
+    prog: &P,
+    opts: &EngineOptions,
+    plan: &FaultPlan,
+) -> (Vec<P::VertexData>, RunReport) {
+    assert_eq!(plan.machines, placement.k, "fault plan must match the placement");
+    assert!(plan.validate().is_ok(), "fault plan must validate");
+    run_program_impl(g, placement, prog, opts, Some(plan))
+}
+
+/// Tracks which plan events have been charged and accumulates the
+/// fault summary across supersteps.
+struct FaultState<'p> {
+    plan: &'p FaultPlan,
+    fired: Vec<bool>,
+    summary: FaultSummary,
+}
+
+impl FaultState<'_> {
+    /// Returns the fault-inflated wall time of one superstep and
+    /// charges any crash whose time has come.
+    #[allow(clippy::too_many_arguments)]
+    fn charge_iteration(
+        &mut self,
+        g: &Graph,
+        placement: &Placement,
+        cost: &CostModel,
+        compute_ns: &[f64],
+        machine_bytes: &[u64],
+        iter_start_ns: f64,
+        healthy_wall: f64,
+        data_bytes: usize,
+    ) -> f64 {
+        let t = iter_start_ns as u64;
+        let mut wall: f64 = 0.0;
+        for (m, &c) in compute_ns.iter().enumerate() {
+            let net_ns = machine_bytes[m] as f64 / cost.bytes_per_second * 1e9;
+            wall = wall.max(c * self.plan.slowdown(m as u32, t) + net_ns);
+        }
+        wall += cost.barrier_ns;
+        self.summary.straggler_extra_ns += (wall - healthy_wall).max(0.0);
+        for (i, e) in self.plan.events.iter().enumerate() {
+            if self.fired[i] {
+                continue;
+            }
+            if let FaultEvent::Crash { machine, at_ns, .. } = *e {
+                if t < at_ns {
+                    continue;
+                }
+                self.fired[i] = true;
+                self.summary.crashes += 1;
+                let mut bytes = 0u64;
+                let mut recompute_ns = 0.0f64;
+                for (v, &master) in placement.masters.iter().enumerate() {
+                    if master != machine {
+                        continue;
+                    }
+                    if placement.replicas[v].len() >= 2 {
+                        self.summary.recovered_vertices += 1;
+                        bytes += encoded_len(data_bytes) as u64;
+                    } else {
+                        self.summary.recomputed_vertices += 1;
+                        recompute_ns +=
+                            cost.ns_per_apply + cost.ns_per_edge_op * g.degree(v as u32) as f64;
+                    }
+                }
+                let recovery_ns = bytes as f64 / cost.bytes_per_second * 1e9 + recompute_ns;
+                self.summary.recovery_bytes += bytes;
+                self.summary.recovery_ns += recovery_ns;
+                wall += recovery_ns;
+            }
+        }
+        wall
+    }
+}
+
+fn run_program_impl<P: VertexProgram>(
+    g: &Graph,
+    placement: &Placement,
+    prog: &P,
+    opts: &EngineOptions,
+    plan: Option<&FaultPlan>,
 ) -> (Vec<P::VertexData>, RunReport) {
     let n = g.num_vertices();
     let k = placement.k;
@@ -75,6 +181,11 @@ pub fn run_program<P: VertexProgram>(
     let mut machine_total_ns = vec![0.0f64; k];
     let mut total_wall_ns = 0.0f64;
     let mut parts_buf: Vec<u32> = Vec::with_capacity(k);
+    let mut fault_state = plan.map(|p| FaultState {
+        plan: p,
+        fired: vec![false; p.events.len()],
+        summary: FaultSummary::default(),
+    });
 
     for iteration in 0..prog.max_iterations() {
         let active_count = active.iter().filter(|&&a| a).count();
@@ -209,6 +320,18 @@ pub fn run_program<P: VertexProgram>(
             machine_total_ns[m] += compute_ns[m];
         }
         wall += opts.cost.barrier_ns;
+        if let Some(state) = fault_state.as_mut() {
+            wall = state.charge_iteration(
+                g,
+                placement,
+                &opts.cost,
+                &compute_ns,
+                &machine_bytes,
+                total_wall_ns,
+                wall,
+                P::DATA_BYTES,
+            );
+        }
         total_wall_ns += wall;
 
         iterations.push(IterationStats {
@@ -236,6 +359,7 @@ pub fn run_program<P: VertexProgram>(
         iterations,
         machine_compute_ns: machine_total_ns,
         total_wall_ns,
+        fault: fault_state.map(|s| s.summary),
     };
     (data, report)
 }
@@ -420,5 +544,109 @@ mod tests {
         let (_, report) = run_program(&g, &pl, &PageRank::new(5), &EngineOptions::default());
         assert_eq!(report.machine_compute_ns.len(), 4);
         assert!(report.machine_compute_ns.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn healthy_fault_plan_changes_nothing_but_tags_the_report() {
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::Hdrf, 4);
+        let opts = EngineOptions::default();
+        let (data, healthy) = run_program(&g, &pl, &PageRank::new(5), &opts);
+        let plan = FaultPlan::healthy(4, 1);
+        let (fdata, faulted) = run_program_with_faults(&g, &pl, &PageRank::new(5), &opts, &plan);
+        assert_eq!(data, fdata, "pause-and-recover must not change results");
+        assert_eq!(healthy.total_wall_ns, faulted.total_wall_ns);
+        assert!(healthy.fault.is_none());
+        let summary = faulted.fault.expect("faulted run reports a summary");
+        assert_eq!(summary, FaultSummary::default());
+    }
+
+    #[test]
+    fn straggler_inflates_wall_time_only() {
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::EcrHash, 4);
+        let opts = EngineOptions::default();
+        let (data, healthy) = run_program(&g, &pl, &PageRank::new(5), &opts);
+        let plan = FaultPlan::healthy(4, 1).with_straggler(0, 0, u64::MAX, 3.0);
+        let (fdata, faulted) = run_program_with_faults(&g, &pl, &PageRank::new(5), &opts, &plan);
+        assert_eq!(data, fdata);
+        assert!(
+            faulted.total_wall_ns > healthy.total_wall_ns,
+            "a 3x straggler must slow the barrier: {} vs {}",
+            faulted.total_wall_ns,
+            healthy.total_wall_ns
+        );
+        let summary = faulted.fault.expect("summary present");
+        assert!(summary.straggler_extra_ns > 0.0);
+        assert_eq!(summary.crashes, 0);
+        let extra = faulted.total_wall_ns - healthy.total_wall_ns;
+        assert!((summary.straggler_extra_ns - extra).abs() < 1e-6 * extra.max(1.0));
+    }
+
+    #[test]
+    fn crash_recovers_replicated_masters_from_mirrors() {
+        // Vertex-cut placements replicate heavily, so most of a crashed
+        // machine's masters are restored by state transfer; an edge-cut
+        // placement leaves unreplicated masters to recompute.
+        let g = any_graph();
+        let opts = EngineOptions::default();
+        let plan = FaultPlan::healthy(4, 1).with_crash(2, 0);
+        let pl_vc = placement_for(&g, Algorithm::VcrHash, 4);
+        let (data, faulted) = run_program_with_faults(&g, &pl_vc, &PageRank::new(5), &opts, &plan);
+        let (hdata, healthy) = run_program(&g, &pl_vc, &PageRank::new(5), &opts);
+        assert_eq!(data, hdata, "crash recovery must not change results");
+        let s = faulted.fault.expect("summary present");
+        assert_eq!(s.crashes, 1);
+        assert!(s.recovered_vertices > 0, "vertex-cut masters have mirrors");
+        assert!(s.recovery_bytes > 0);
+        assert!(faulted.total_wall_ns > healthy.total_wall_ns);
+        assert!((faulted.total_wall_ns - healthy.total_wall_ns - s.recovery_ns).abs() < 1e-3);
+
+        // Two disconnected triangles, one per machine: every vertex is
+        // internal (no mirrors), so a crash forces pure recomputation.
+        let g2 = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .add_edge(5, 3)
+            .build();
+        let p2 = Partitioning::from_vertex_owners(&g2, 2, vec![0, 0, 0, 1, 1, 1]);
+        let pl2 = Placement::build(&g2, &p2);
+        let plan2 = FaultPlan::healthy(2, 1).with_crash(1, 0);
+        let (_, ec) = run_program_with_faults(&g2, &pl2, &PageRank::new(3), &opts, &plan2);
+        let se = ec.fault.expect("summary present");
+        assert_eq!(se.recomputed_vertices, 3, "machine 1's masters have no mirrors");
+        assert_eq!(se.recovered_vertices, 0);
+        assert_eq!(se.recovery_bytes, 0);
+        assert!(se.recovery_ns > 0.0, "recomputation must cost time");
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::Hdrf, 4);
+        let opts = EngineOptions::default();
+        let plan = FaultPlan::healthy(4, 77).with_recovering_crash(1, 0, 1_000_000).with_straggler(
+            3,
+            0,
+            u64::MAX,
+            2.5,
+        );
+        let (da, ra) = run_program_with_faults(&g, &pl, &PageRank::new(5), &opts, &plan);
+        let (db, rb) = run_program_with_faults(&g, &pl, &PageRank::new(5), &opts, &plan);
+        assert_eq!(da, db);
+        assert_eq!(ra.total_wall_ns, rb.total_wall_ns);
+        assert_eq!(ra.fault, rb.fault);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan must match the placement")]
+    fn mismatched_fault_plan_panics() {
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::EcrHash, 4);
+        let plan = FaultPlan::healthy(8, 1);
+        run_program_with_faults(&g, &pl, &PageRank::new(2), &EngineOptions::default(), &plan);
     }
 }

@@ -23,7 +23,12 @@
 //! * **per-machine work accounting** (gather/scatter edge operations and
 //!   apply vertex operations), from which load-balance distributions
 //!   (Fig. 4) and the simulated execution time (Fig. 3) derive via the
-//!   [`cost::CostModel`].
+//!   [`cost::CostModel`];
+//! * **fault-inflated runs** ([`engine::run_program_with_faults`]):
+//!   the same superstep under a deterministic
+//!   [`sgp_fault::FaultPlan`] — straggler-aware barriers plus
+//!   crash-recovery charges (mirror state transfer or recomputation),
+//!   reported in [`cost::FaultSummary`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -36,7 +41,7 @@ pub mod program;
 pub mod reference;
 pub mod wire;
 
-pub use cost::{CostModel, IterationStats, RunReport};
-pub use engine::{run_program, EngineOptions};
+pub use cost::{CostModel, FaultSummary, IterationStats, RunReport};
+pub use engine::{run_program, run_program_with_faults, EngineOptions};
 pub use placement::Placement;
 pub use program::{Direction, VertexProgram};

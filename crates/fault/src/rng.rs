@@ -1,0 +1,86 @@
+//! Counter-keyed deterministic randomness for fault plans.
+//!
+//! The simulators need per-message and per-draw decisions that are (a)
+//! fully determined by the plan seed and (b) independent of the order
+//! in which other draws happen. A counter-keyed splitmix64 mix gives
+//! both: `mix(seed ^ stream ^ key)` depends only on its inputs, never
+//! on hidden generator state.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit word to a uniform f64 in `[0, 1)` (53 mantissa bits).
+pub(crate) fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A tiny sequential generator for plan *generation* (picking crash
+/// victims and times). Decision-time draws use the keyed form instead.
+pub(crate) struct PlanRng {
+    state: u64,
+}
+
+impl PlanRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        PlanRng { state: splitmix64(seed ^ 0x5067_5BB0_7AFA_11D4) }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform draw in `[lo, hi)`; returns `lo` when the range is empty.
+    pub(crate) fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    pub(crate) fn unit(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_pure() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        for i in 0..1000u64 {
+            let u = unit_f64(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn plan_rng_is_deterministic() {
+        let mut a = PlanRng::new(7);
+        let mut b = PlanRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_handles_degenerate_bounds() {
+        let mut r = PlanRng::new(1);
+        assert_eq!(r.range_u64(5, 5), 5);
+        assert_eq!(r.range_u64(9, 3), 9);
+        let v = r.range_u64(10, 20);
+        assert!((10..20).contains(&v));
+    }
+}

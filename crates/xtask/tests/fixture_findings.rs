@@ -26,6 +26,7 @@ fn mark_line(rel: &str, mark: &str) -> usize {
 const ENGINE_LIB: &str = "crates/engine/src/lib.rs";
 const ENGINE_TOML: &str = "crates/engine/Cargo.toml";
 const ENGINE_SMOKE: &str = "crates/engine/tests/smoke.rs";
+const FAULT_LIB: &str = "crates/fault/src/lib.rs";
 
 #[test]
 fn fixture_findings_match_exactly() {
@@ -66,6 +67,10 @@ fn fixture_findings_match_exactly() {
         ("no-panic-in-lib".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-unsuppressed")),
         // A justified allow that matches nothing is a warning.
         ("unused-allow".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-unused-allow")),
+        // The fault-plan crate is determinism-scoped too: seeded plans
+        // must not read ambient randomness or iterate hash containers.
+        ("no-wallclock-in-sim".into(), FAULT_LIB.into(), mark_line(FAULT_LIB, "MARK-fault-rng")),
+        ("no-hash-iteration".into(), FAULT_LIB.into(), mark_line(FAULT_LIB, "MARK-fault-hash")),
     ];
     expected.sort();
 
@@ -78,7 +83,7 @@ fn fixture_findings_match_exactly() {
         "finding set mismatch\nactual:\n{:#?}\nexpected:\n{:#?}",
         actual, expected
     );
-    assert_eq!(report.errors(), 14);
+    assert_eq!(report.errors(), 16);
     assert_eq!(report.warnings(), 1);
     assert_eq!(report.exit_code(), 1, "seeded fixture must fail the lint");
 }
@@ -121,13 +126,16 @@ fn json_output_is_stable_and_wellformed() {
     let b = sgp_xtask::render_json(&report);
     assert_eq!(a, b, "rendering is deterministic");
     assert!(a.starts_with("{\n  \"version\": 1,\n"));
-    assert!(a.contains("\"errors\": 14"));
+    assert!(a.contains("\"errors\": 16"));
     assert!(a.contains("\"warnings\": 1"));
     assert!(a.contains("\"rule\": \"no-hash-iteration\""));
     // Findings arrive sorted by (file, line, rule): the manifest file
-    // sorts before src/lib.rs, which sorts before tests/smoke.rs.
+    // sorts before src/lib.rs, which sorts before tests/smoke.rs, and
+    // the engine crate sorts before the fault crate.
     let toml_pos = a.find("crates/engine/Cargo.toml").expect("manifest finding present");
     let lib_pos = a.find("crates/engine/src/lib.rs").expect("lib finding present");
     let smoke_pos = a.find("crates/engine/tests/smoke.rs").expect("test finding present");
+    let fault_pos = a.find("crates/fault/src/lib.rs").expect("fault finding present");
     assert!(toml_pos < lib_pos && lib_pos < smoke_pos, "sorted by file");
+    assert!(smoke_pos < fault_pos, "engine files sort before fault files");
 }

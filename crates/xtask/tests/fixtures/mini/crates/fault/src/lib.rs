@@ -1,0 +1,22 @@
+//! Fixture: the fault-plan crate is determinism-scoped — every draw in
+//! a seeded plan must come from the plan's own counters, never from
+//! ambient machine state. This file seeds one wallclock and one
+//! hash-iteration violation inside a fault-plan module; the manifest and
+//! crate attributes are clean, so only those two findings may fire.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A fault plan whose "random" crash times come from the wrong place.
+pub fn ambient_crash_time() -> u64 {
+    let _rng = rand::thread_rng(); // MARK-fault-rng
+    0
+}
+
+/// Iterating a hash container makes fault-event order nondeterministic.
+pub fn unordered_fault_events(machines: &[u32]) -> usize {
+    let mut pending: std::collections::HashMap<u32, u64> = Default::default(); // MARK-fault-hash
+    for &m in machines {
+        pending.insert(m, 0);
+    }
+    pending.len()
+}

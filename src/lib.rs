@@ -23,6 +23,9 @@
 //! * **Experiments** ([`core`]): suite runners and the paper's decision
 //!   tree; the `experiments` binary in `crates/bench` regenerates every
 //!   table and figure.
+//! * **Fault injection** ([`fault`]): seeded, schema-versioned fault
+//!   plans (crashes, stragglers, message loss) that both substrates
+//!   replay deterministically — the robustness suite's foundation.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@
 pub use sgp_core as core;
 pub use sgp_db as db;
 pub use sgp_engine as engine;
+pub use sgp_fault as fault;
 pub use sgp_graph as graph;
 pub use sgp_partition as partition;
 
@@ -61,10 +65,12 @@ pub mod prelude {
     pub use sgp_core::runners::{self, OfflineWorkload};
     pub use sgp_db::workload::Skew;
     pub use sgp_db::{
-        ClusterSim, LoadLevel, PartitionedStore, Query, SimConfig, Workload, WorkloadKind,
+        ClusterSim, FaultSimConfig, LoadLevel, MirrorDirectory, PartitionedStore, Query, SimConfig,
+        SimError, Workload, WorkloadKind,
     };
     pub use sgp_engine::apps::{PageRank, Sssp, Wcc};
-    pub use sgp_engine::{run_program, EngineOptions, Placement};
+    pub use sgp_engine::{run_program, run_program_with_faults, EngineOptions, Placement};
+    pub use sgp_fault::{FaultPlan, FaultPlanConfig, RetryPolicy};
     pub use sgp_graph::{Edge, Graph, GraphBuilder, StreamOrder, VertexId};
     pub use sgp_partition::metrics::{edge_cut_ratio, load_imbalance, replication_factor};
     pub use sgp_partition::{partition, Algorithm, CutModel, PartitionerConfig, Partitioning};
