@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the observability layer (DESIGN.md §9).
+//!
+//! The headline number is **NullSink overhead**: the same engine run and
+//! DES replay through `run_program` (hard-wired `NullSink`) versus the
+//! `_traced` entry points with an explicit `NullSink`, versus a
+//! `CollectingSink`. The first two must be indistinguishable — the
+//! generic sink parameter monomorphizes to empty inlined bodies — and
+//! CI runs this harness in `--test` mode so the comparison is *measured*
+//! on every change, not asserted once and trusted forever.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgp_core::config::{Dataset, Scale};
+use sgp_core::runners::default_order;
+use sgp_core::trace_scenarios::{record_db_scenario, record_engine_scenario};
+use sgp_engine::apps::PageRank;
+use sgp_engine::{run_program, run_program_traced, EngineOptions, Placement};
+use sgp_partition::{partition, Algorithm, PartitionerConfig};
+use sgp_trace::{CollectingSink, NullSink, SummarySink};
+
+const K: usize = 4;
+
+fn bench_nullsink_overhead(c: &mut Criterion) {
+    let g = Dataset::LdbcSnb.generate(Scale::Tiny);
+    let p = partition(&g, Algorithm::Hdrf, &PartitionerConfig::new(K), default_order());
+    let placement = Placement::build(&g, &p);
+    let opts = EngineOptions::default();
+    let prog = PageRank::new(8);
+    let mut group = c.benchmark_group("nullsink_overhead");
+    group.sample_size(20);
+    group.bench_function("engine_untraced", |b| {
+        b.iter(|| run_program(&g, &placement, &prog, &opts));
+    });
+    group.bench_function("engine_nullsink", |b| {
+        b.iter(|| run_program_traced(&g, &placement, &prog, &opts, &mut NullSink));
+    });
+    group.bench_function("engine_collecting", |b| {
+        b.iter(|| {
+            let mut sink = CollectingSink::new();
+            run_program_traced(&g, &placement, &prog, &opts, &mut sink)
+        });
+    });
+    group.finish();
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_scenarios");
+    group.sample_size(10);
+    group.bench_function("engine_scenario_summary", |b| {
+        b.iter(|| {
+            let mut sink = SummarySink::new();
+            record_engine_scenario(Scale::Tiny, &mut sink)
+        });
+    });
+    group.bench_function("db_scenario_collecting_json", |b| {
+        b.iter(|| {
+            let mut sink = CollectingSink::new();
+            record_db_scenario(Scale::Tiny, &mut sink).expect("valid plan");
+            sink.to_json()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nullsink_overhead, bench_scenarios);
+criterion_main!(benches);

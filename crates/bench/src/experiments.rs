@@ -11,12 +11,14 @@ use sgp_core::runners::{
     robustness_suite, series_slope, workload_aware_suite, OfflineWorkload, OnlineRunConfig,
     RobustnessConfig,
 };
+use sgp_core::trace_scenarios::{record_db_scenario, record_engine_scenario, SCENARIO_MACHINES};
 use sgp_db::workload::Skew;
 use sgp_db::{FaultSimConfig, LoadLevel, SimConfig, WorkloadKind};
 use sgp_engine::apps::PageRank;
 use sgp_engine::{run_program, EngineOptions, Placement};
 use sgp_graph::{Graph, GraphBuilder};
 use sgp_partition::{Algorithm, Partitioning};
+use sgp_trace::SummarySink;
 
 /// Scale-dependent experiment parameters.
 #[derive(Debug, Clone)]
@@ -124,7 +126,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 /// Opt-in experiments excluded from `all` (and from the checked-in
 /// results files, which must stay byte-identical release to release):
 /// run them by naming them explicitly.
-pub const EXTRA_EXPERIMENTS: &[&str] = &["robustness"];
+pub const EXTRA_EXPERIMENTS: &[&str] = &["robustness", "trace"];
 
 /// Runs one experiment by id; returns the rendered report.
 ///
@@ -154,6 +156,7 @@ pub fn run(id: &str, params: &Params) -> String {
         "fig15" => fig15(params),
         "appendixA" => appendix_a(params),
         "robustness" => robustness(params),
+        "trace" => trace_demo(params),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -988,6 +991,125 @@ pub fn robustness(params: &Params) -> String {
     out
 }
 
+/// Trace demo (opt-in; see [`EXTRA_EXPERIMENTS`]): runs the canonical
+/// traced scenarios through a streaming [`SummarySink`] and renders the
+/// aggregation — the same event streams `experiments --trace <path>`
+/// dumps as JSON and `sgp-xtask trace-summary` renders from a file.
+pub fn trace_demo(params: &Params) -> String {
+    let k = SCENARIO_MACHINES;
+    let mut sink = SummarySink::new();
+    let engine_report = record_engine_scenario(params.scale, &mut sink);
+    let db_report = record_db_scenario(params.scale, &mut sink);
+    let mut out = header(
+        format!("Trace — observability demo (HDRF→PageRank engine run + {k}-machine faulted DES)")
+            .as_str(),
+    );
+
+    let mut t = TextTable::new(["Span", "Count", "Total", "Self"]);
+    for (name, stat) in sink.spans_by_self_cost().into_iter().take(8) {
+        t.row([
+            name.to_string(),
+            stat.count.to_string(),
+            stat.total.to_string(),
+            stat.self_total.to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "\n--- top spans by self cost (engine/db stamps are simulated ns, partition stamps \
+         are stream elements) ---\n{}",
+        t.render()
+    ));
+
+    let mut t = TextTable::new(["Machine", "Engine bytes", "Engine compute ms", "DB reads"]);
+    for m in 0..k as u64 {
+        t.row([
+            m.to_string(),
+            human_bytes(*sink.counters().get(&("engine.machine_bytes", m)).unwrap_or(&0)),
+            f3(*sink.counters().get(&("engine.machine_compute_ns", m)).unwrap_or(&0) as f64 / 1e6),
+            sink.counters().get(&("db.reads", m)).unwrap_or(&0).to_string(),
+        ]);
+    }
+    out.push_str(&format!("\n--- per-machine load ---\n{}", t.render()));
+
+    let mut t = TextTable::new(["Counter", "Total", "Report field"]);
+    let traced_messages =
+        sink.counter_total("engine.gather_messages") + sink.counter_total("engine.update_messages");
+    t.row([
+        "engine messages".to_string(),
+        traced_messages.to_string(),
+        engine_report.total_messages().to_string(),
+    ]);
+    t.row([
+        "engine.network_bytes".to_string(),
+        sink.counter_total("engine.network_bytes").to_string(),
+        engine_report.total_network_bytes().to_string(),
+    ]);
+    for name in
+        ["partition.balance_tiebreaks", "partition.mirror_creations", "partition.replicas_created"]
+    {
+        t.row([name.to_string(), sink.counter_total(name).to_string(), "—".to_string()]);
+    }
+    match &db_report {
+        Ok(r) => {
+            t.row([
+                "db.queries_ok".to_string(),
+                sink.counter_total("db.queries_ok").to_string(),
+                r.completed_ok.to_string(),
+            ]);
+            t.row([
+                "db.queries_failed".to_string(),
+                sink.counter_total("db.queries_failed").to_string(),
+                r.failed.to_string(),
+            ]);
+            t.row([
+                "db.failovers".to_string(),
+                sink.counter_total("db.failovers").to_string(),
+                r.failovers.to_string(),
+            ]);
+            t.row([
+                "db.retries".to_string(),
+                sink.counter_total("db.retries").to_string(),
+                r.retries.to_string(),
+            ]);
+            t.row([
+                "db.dropped_messages".to_string(),
+                sink.counter_total("db.dropped_messages").to_string(),
+                r.dropped_messages.to_string(),
+            ]);
+        }
+        Err(e) => {
+            t.row(["db scenario".to_string(), format!("failed: {e}"), String::new()]);
+        }
+    }
+    out.push_str(&format!(
+        "\n--- counters vs untraced report fields (must match exactly; the differential \
+         tests enforce this) ---\n{}",
+        t.render()
+    ));
+
+    let mut t = TextTable::new(["Histogram", "Samples", "p50", "p99", "max"]);
+    for name in ["engine.barrier_wait_ns", "db.query_latency_ns", "db.queue_depth"] {
+        if let Some(h) = sink.histograms().get(name) {
+            t.row([
+                name.to_string(),
+                h.count().to_string(),
+                h.p50().to_string(),
+                h.p99().to_string(),
+                h.max().to_string(),
+            ]);
+        }
+    }
+    out.push_str(&format!(
+        "\n--- histograms (log2 buckets; quantiles are bucket-resolution) ---\n{}",
+        t.render()
+    ));
+    out.push_str(
+        "\n(every stamp above is simulated time or a logical sequence number — rerunning \
+         this experiment at the same scale reproduces it byte for byte)\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1055,5 +1177,19 @@ mod tests {
         assert!(out.contains("availability and goodput"), "{out}");
         assert!(out.contains("PageRank under the same plan"), "{out}");
         assert!(out.contains("edge-cut") && out.contains("vertex-cut"), "{out}");
+    }
+
+    #[test]
+    fn trace_demo_is_opt_in_and_renders_all_layers() {
+        assert!(!ALL_EXPERIMENTS.contains(&"trace"));
+        assert!(EXTRA_EXPERIMENTS.contains(&"trace"));
+        let out = run("trace", &tiny());
+        assert!(out.contains("top spans by self cost"), "{out}");
+        for span in ["partition.run", "engine.superstep", "db.run"] {
+            assert!(out.contains(span), "missing span {span} in {out}");
+        }
+        assert!(out.contains("per-machine load"), "{out}");
+        assert!(out.contains("db.queries_ok"), "{out}");
+        assert!(out.contains("engine.barrier_wait_ns"), "{out}");
     }
 }

@@ -14,6 +14,9 @@
 //! * [`decision`] — the paper's §6.4 decision tree as an executable
 //!   artifact (Fig. 9).
 //! * [`scaleout`] — the §7 future-work scale-out-factor advisor.
+//! * [`trace_scenarios`] — the canonical traced workloads behind the
+//!   `trace` experiment, the `--trace` flag, and the golden-snapshot
+//!   tests (DESIGN.md §9).
 //! * [`report`] — plain-text table rendering and JSON export.
 //! * [`error`] — the shared [`SgpError`] type for fallible framework
 //!   paths (config parsing, serialization, I/O).
@@ -30,6 +33,7 @@ pub mod error;
 pub mod report;
 pub mod runners;
 pub mod scaleout;
+pub mod trace_scenarios;
 
 pub use config::{Dataset, Scale};
 pub use decision::{recommend, OnlineObjective, Recommendation, WorkloadClass};

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use sgp_fault::{FaultEvent, FaultPlan, PlanError, RetryPolicy};
 use sgp_graph::Graph;
 use sgp_partition::{CutModel, Partitioning};
+use sgp_trace::{latency_summary_ms, NullSink, TraceSink};
 use std::collections::VecDeque;
 
 /// Why a fault-injected simulation could not run.
@@ -282,6 +283,20 @@ impl ClusterSim {
         plan: &FaultPlan,
         mirrors: &MirrorDirectory,
     ) -> Result<FaultSimReport, SimError> {
+        self.run_faulted_traced(cfg, plan, mirrors, &mut NullSink)
+    }
+
+    /// [`ClusterSim::run_faulted`] with trace events recorded into
+    /// `sink` (DESIGN.md §9): the healthy instrumentation of
+    /// [`ClusterSim::run_traced`](crate::sim) plus retry, drop,
+    /// failover, crash and recovery counters.
+    pub fn run_faulted_traced<S: TraceSink>(
+        &self,
+        cfg: &FaultSimConfig,
+        plan: &FaultPlan,
+        mirrors: &MirrorDirectory,
+        sink: &mut S,
+    ) -> Result<FaultSimReport, SimError> {
         if self.machines == 0 {
             return Err(SimError::NoMachines);
         }
@@ -295,14 +310,15 @@ impl ClusterSim {
         assert_eq!(mirrors.machines(), self.machines, "mirror directory must match the cluster");
         assert!(cfg.base.clients_per_machine > 0 && cfg.base.queries_per_client > 0);
         assert!(cfg.retry.max_attempts > 0, "at least one attempt per sub-request");
-        Ok(FaultRun::new(self, cfg, plan, mirrors).execute())
+        Ok(FaultRun::new(self, cfg, plan, mirrors, sink).execute())
     }
 }
 
 /// One in-progress fault-injected run; groups the DES state so event
 /// handlers are methods instead of functions with a dozen arguments.
-struct FaultRun<'a> {
+struct FaultRun<'a, S: TraceSink> {
     sim: &'a ClusterSim,
+    sink: &'a mut S,
     cfg: &'a SimConfig,
     retry: &'a RetryPolicy,
     plan: &'a FaultPlan,
@@ -331,12 +347,13 @@ struct FaultRun<'a> {
     draw_counter: u64,
 }
 
-impl<'a> FaultRun<'a> {
+impl<'a, S: TraceSink> FaultRun<'a, S> {
     fn new(
         sim: &'a ClusterSim,
         cfg: &'a FaultSimConfig,
         plan: &'a FaultPlan,
         mirrors: &'a MirrorDirectory,
+        sink: &'a mut S,
     ) -> Self {
         let k = sim.machines;
         let clients = cfg.base.clients_per_machine * k;
@@ -354,6 +371,7 @@ impl<'a> FaultRun<'a> {
             .collect();
         FaultRun {
             sim,
+            sink,
             cfg: &cfg.base,
             retry: &cfg.retry,
             plan,
@@ -400,6 +418,7 @@ impl<'a> FaultRun<'a> {
             let jitter = (c as u64 * 1_000) % (self.cfg.request_overhead_ns as u64 + 1);
             self.events.push(jitter, FEvent::Issue { client: c });
         }
+        self.sink.span_enter("db.run", 0, 0);
         while let Some((now, ev)) = self.events.pop() {
             match ev {
                 FEvent::Issue { client } => self.on_issue(client, now),
@@ -415,12 +434,21 @@ impl<'a> FaultRun<'a> {
                     self.on_sub_fail(share, now);
                 }
                 FEvent::Crash { machine } => self.on_crash(machine, now),
-                FEvent::Recover { machine } => self.machines[machine as usize].up = true,
+                FEvent::Recover { machine } => {
+                    self.machines[machine as usize].up = true;
+                    self.sink.counter_add("db.recoveries", machine as u64, 1);
+                }
             }
             if self.completed >= self.total_queries {
                 break;
             }
         }
+        if self.sink.enabled() {
+            for (m, &r) in self.reads_per_machine.iter().enumerate() {
+                self.sink.counter_add("db.reads", m as u64, r);
+            }
+        }
+        self.sink.span_exit("db.run", 0, self.last_completion_ns);
         self.report()
     }
 
@@ -449,6 +477,7 @@ impl<'a> FaultRun<'a> {
         let (routed, failed_over) = self.route(share.origin);
         if failed_over {
             self.failovers += 1;
+            self.sink.counter_add("db.failovers", share.origin as u64, 1);
         }
         self.reads_per_machine[routed as usize] += share.reads as u64;
         let remote = routed != coordinator;
@@ -458,6 +487,7 @@ impl<'a> FaultRun<'a> {
             self.msg_counter += 1;
             if self.plan.drop_message(self.msg_counter) {
                 self.dropped += 1;
+                self.sink.counter_add("db.dropped_messages", routed as u64, 1);
                 self.events.push(
                     t + self.retry.timeout_ns,
                     FEvent::SubFail {
@@ -526,6 +556,7 @@ impl<'a> FaultRun<'a> {
         }
         if failed_over {
             self.failovers += 1;
+            self.sink.counter_add("db.failovers", home as u64, 1);
         }
         self.dispatch_round(slot, now);
         if self.active[slot as usize].pending == 0 {
@@ -561,6 +592,11 @@ impl<'a> FaultRun<'a> {
             );
         } else {
             m.fifo.push_back(share);
+            if self.sink.enabled() {
+                let depth = m.fifo.len() as u64;
+                self.sink.counter_add("db.queue_enqueued", machine as u64, 1);
+                self.sink.histogram_record("db.queue_depth", machine as u64, depth);
+            }
         }
     }
 
@@ -636,11 +672,13 @@ impl<'a> FaultRun<'a> {
             return;
         }
         self.retries += 1;
+        self.sink.counter_add("db.retries", share.origin as u64, 1);
         let resend_at = now + self.retry.backoff_ns(share.attempt);
         self.send_share(share.query, Share { attempt: share.attempt + 1, ..share }, resend_at);
     }
 
     fn on_crash(&mut self, machine: u32, now: u64) {
+        self.sink.counter_add("db.crashes", machine as u64, 1);
         let lost: Vec<Share> = {
             let m = &mut self.machines[machine as usize];
             m.up = false;
@@ -748,9 +786,9 @@ impl<'a> FaultRun<'a> {
     /// failed queries count toward totals and warm-up but contribute no
     /// latency sample.
     fn complete(&mut self, slot: u32, now: u64, success: bool) {
-        let (client, start_ns) = {
+        let (client, start_ns, trace_idx) = {
             let q = &self.active[slot as usize];
-            (q.client, q.start_ns)
+            (q.client, q.start_ns, q.trace_idx)
         };
         self.completed += 1;
         self.last_completion_ns = now;
@@ -761,8 +799,15 @@ impl<'a> FaultRun<'a> {
             if success {
                 self.ok += 1;
                 self.latencies_ns.push(now - start_ns);
+                if self.sink.enabled() {
+                    self.sink.span_enter("db.query", trace_idx as u64, start_ns);
+                    self.sink.span_exit("db.query", trace_idx as u64, now);
+                    self.sink.counter_add("db.queries_ok", 0, 1);
+                    self.sink.histogram_record("db.query_latency_ns", 0, now - start_ns);
+                }
             } else {
                 self.failed += 1;
+                self.sink.counter_add("db.queries_failed", 0, 1);
             }
         }
         self.free_slots.push(slot);
@@ -770,16 +815,7 @@ impl<'a> FaultRun<'a> {
     }
 
     fn report(mut self) -> FaultSimReport {
-        self.latencies_ns.sort_unstable();
-        let measured = self.latencies_ns.len().max(1) as f64;
-        let mean_ns = self.latencies_ns.iter().sum::<u64>() as f64 / measured;
-        let pct = |p: f64| -> f64 {
-            if self.latencies_ns.is_empty() {
-                return 0.0;
-            }
-            let idx = ((self.latencies_ns.len() - 1) as f64 * p).round() as usize;
-            self.latencies_ns[idx] as f64
-        };
+        let lat = latency_summary_ms(&mut self.latencies_ns);
         let window_ns = self.last_completion_ns.saturating_sub(self.warmup_end_ns).max(1);
         let window_s = window_ns as f64 / 1e9;
         let denom = (self.ok + self.failed).max(1) as f64;
@@ -792,10 +828,10 @@ impl<'a> FaultRun<'a> {
             retries: self.retries,
             dropped_messages: self.dropped,
             failovers: self.failovers,
-            mean_latency_ms: mean_ns / 1e6,
-            p50_latency_ms: pct(0.50) / 1e6,
-            p99_latency_ms: pct(0.99) / 1e6,
-            max_latency_ms: self.latencies_ns.last().map(|&l| l as f64 / 1e6).unwrap_or(0.0),
+            mean_latency_ms: lat.mean_ms,
+            p50_latency_ms: lat.p50_ms,
+            p99_latency_ms: lat.p99_ms,
+            max_latency_ms: lat.max_ms,
             load_rsd: rsd(&self.reads_per_machine),
             reads_per_machine: self.reads_per_machine,
             sim_seconds: self.last_completion_ns as f64 / 1e9,

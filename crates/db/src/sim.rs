@@ -23,6 +23,7 @@ use crate::query::QueryTrace;
 use crate::store::PartitionedStore;
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use sgp_trace::{latency_summary_ms, NullSink, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -226,6 +227,19 @@ impl ClusterSim {
 
     /// Runs the discrete-event simulation.
     pub fn run(&self, cfg: &SimConfig) -> SimReport {
+        self.run_traced(cfg, &mut NullSink)
+    }
+
+    /// [`ClusterSim::run`] with trace events recorded into `sink`
+    /// (DESIGN.md §9).
+    ///
+    /// Stamps are simulated nanoseconds from the event clock, so the
+    /// trace is a pure function of the traces and config. Query
+    /// lifecycle spans (`db.query`) are emitted at completion time as
+    /// adjacent enter/exit pairs — concurrent queries overlap in sim
+    /// time, and deferring emission keeps the event stream
+    /// well-nested for [`sgp_trace::CollectingSink::check_nesting`].
+    pub fn run_traced<S: TraceSink>(&self, cfg: &SimConfig, sink: &mut S) -> SimReport {
         assert!(cfg.clients_per_machine > 0 && cfg.queries_per_client > 0);
         let k = self.machines;
         let clients = cfg.clients_per_machine * k;
@@ -254,6 +268,7 @@ impl ClusterSim {
         let mut warmup_end_ns = 0u64;
         let mut last_completion_ns = 0u64;
 
+        sink.span_enter("db.run", 0, 0);
         while let Some((now, event)) = events.pop() {
             match event {
                 Event::Issue { client } => {
@@ -303,6 +318,7 @@ impl ClusterSim {
                             &mut reads_per_machine,
                             &self.traces,
                             k,
+                            sink,
                         );
                     }
                 }
@@ -313,6 +329,14 @@ impl ClusterSim {
                         events.push(now + service_ns, Event::SubDone { query, machine });
                     } else {
                         m.fifo.push_back((query, service_ns));
+                        if sink.enabled() {
+                            sink.counter_add("db.queue_enqueued", machine as u64, 1);
+                            sink.histogram_record(
+                                "db.queue_depth",
+                                machine as u64,
+                                m.fifo.len() as u64,
+                            );
+                        }
                     }
                 }
                 Event::SubDone { query, machine } => {
@@ -353,6 +377,7 @@ impl ClusterSim {
                                 &mut reads_per_machine,
                                 &self.traces,
                                 k,
+                                sink,
                             );
                         }
                     } else {
@@ -371,6 +396,7 @@ impl ClusterSim {
                             &mut reads_per_machine,
                             &self.traces,
                             k,
+                            sink,
                         );
                     }
                 }
@@ -380,25 +406,23 @@ impl ClusterSim {
             }
         }
 
-        latencies_ns.sort_unstable();
-        let measured = latencies_ns.len().max(1) as f64;
-        let mean_ns = latencies_ns.iter().sum::<u64>() as f64 / measured;
-        let pct = |p: f64| -> f64 {
-            if latencies_ns.is_empty() {
-                return 0.0;
+        if sink.enabled() {
+            for (m, &r) in reads_per_machine.iter().enumerate() {
+                sink.counter_add("db.reads", m as u64, r);
             }
-            let idx = ((latencies_ns.len() - 1) as f64 * p).round() as usize;
-            latencies_ns[idx] as f64
-        };
+        }
+        sink.span_exit("db.run", 0, last_completion_ns);
+
+        let lat = latency_summary_ms(&mut latencies_ns);
         let window_ns = last_completion_ns.saturating_sub(warmup_end_ns).max(1);
         let counted = completed.saturating_sub(warmup);
         let load_rsd = rsd(&reads_per_machine);
         SimReport {
             throughput_qps: counted as f64 / (window_ns as f64 / 1e9),
-            mean_latency_ms: mean_ns / 1e6,
-            p50_latency_ms: pct(0.50) / 1e6,
-            p99_latency_ms: pct(0.99) / 1e6,
-            max_latency_ms: latencies_ns.last().map(|&l| l as f64 / 1e6).unwrap_or(0.0),
+            mean_latency_ms: lat.mean_ms,
+            p50_latency_ms: lat.p50_ms,
+            p99_latency_ms: lat.p99_ms,
+            max_latency_ms: lat.max_ms,
             completed: counted,
             reads_per_machine,
             load_rsd,
@@ -482,7 +506,7 @@ impl ClusterSim {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn complete_query(
+fn complete_query<S: TraceSink>(
     slot: u32,
     now: u64,
     _cfg: &SimConfig,
@@ -497,6 +521,7 @@ fn complete_query(
     reads_per_machine: &mut [u64],
     traces: &[QueryTrace],
     _k: usize,
+    sink: &mut S,
 ) {
     let q = &active[slot as usize];
     *completed += 1;
@@ -511,6 +536,12 @@ fn complete_query(
             for (m, &c) in r.reads.iter().enumerate() {
                 reads_per_machine[m] += c as u64;
             }
+        }
+        if sink.enabled() {
+            sink.span_enter("db.query", q.trace_idx as u64, q.start_ns);
+            sink.span_exit("db.query", q.trace_idx as u64, now);
+            sink.counter_add("db.queries_completed", 0, 1);
+            sink.histogram_record("db.query_latency_ns", 0, now - q.start_ns);
         }
     }
     let client = q.client;

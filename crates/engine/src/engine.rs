@@ -23,6 +23,7 @@ use crate::program::VertexProgram;
 use crate::wire::encoded_len;
 use sgp_fault::{FaultEvent, FaultPlan};
 use sgp_graph::Graph;
+use sgp_trace::{NullSink, TraceSink};
 
 /// Engine execution options.
 #[derive(Debug, Clone, Copy)]
@@ -48,7 +49,24 @@ pub fn run_program<P: VertexProgram>(
     prog: &P,
     opts: &EngineOptions,
 ) -> (Vec<P::VertexData>, RunReport) {
-    run_program_impl(g, placement, prog, opts, None)
+    run_program_impl(g, placement, prog, opts, None, &mut NullSink)
+}
+
+/// [`run_program`] with trace events recorded into `sink` (DESIGN.md §9).
+///
+/// All stamps are **simulated nanoseconds** from the cost model, so the
+/// emitted trace is a pure function of the inputs — identical runs yield
+/// byte-identical traces. With a [`NullSink`] the instrumentation
+/// monomorphizes away and the computed result and report are exactly
+/// those of [`run_program`].
+pub fn run_program_traced<P: VertexProgram, S: TraceSink>(
+    g: &Graph,
+    placement: &Placement,
+    prog: &P,
+    opts: &EngineOptions,
+    sink: &mut S,
+) -> (Vec<P::VertexData>, RunReport) {
+    run_program_impl(g, placement, prog, opts, None, sink)
 }
 
 /// Runs `prog` under a deterministic [`FaultPlan`] (DESIGN.md §7).
@@ -75,9 +93,28 @@ pub fn run_program_with_faults<P: VertexProgram>(
     opts: &EngineOptions,
     plan: &FaultPlan,
 ) -> (Vec<P::VertexData>, RunReport) {
+    run_program_with_faults_traced(g, placement, prog, opts, plan, &mut NullSink)
+}
+
+/// [`run_program_with_faults`] with trace events recorded into `sink`.
+///
+/// Adds fault-recovery spans and crash counters on top of the healthy
+/// instrumentation of [`run_program_traced`].
+///
+/// # Panics
+/// Panics if the plan fails validation or covers a different number of
+/// machines than `placement`.
+pub fn run_program_with_faults_traced<P: VertexProgram, S: TraceSink>(
+    g: &Graph,
+    placement: &Placement,
+    prog: &P,
+    opts: &EngineOptions,
+    plan: &FaultPlan,
+    sink: &mut S,
+) -> (Vec<P::VertexData>, RunReport) {
     assert_eq!(plan.machines, placement.k, "fault plan must match the placement");
     assert!(plan.validate().is_ok(), "fault plan must validate");
-    run_program_impl(g, placement, prog, opts, Some(plan))
+    run_program_impl(g, placement, prog, opts, Some(plan), sink)
 }
 
 /// Tracks which plan events have been charged and accumulates the
@@ -146,12 +183,13 @@ impl FaultState<'_> {
     }
 }
 
-fn run_program_impl<P: VertexProgram>(
+fn run_program_impl<P: VertexProgram, S: TraceSink>(
     g: &Graph,
     placement: &Placement,
     prog: &P,
     opts: &EngineOptions,
     plan: Option<&FaultPlan>,
+    sink: &mut S,
 ) -> (Vec<P::VertexData>, RunReport) {
     let n = g.num_vertices();
     let k = placement.k;
@@ -187,11 +225,14 @@ fn run_program_impl<P: VertexProgram>(
         summary: FaultSummary::default(),
     });
 
+    sink.span_enter("engine.run", 0, 0);
     for iteration in 0..prog.max_iterations() {
         let active_count = active.iter().filter(|&&a| a).count();
         if active_count == 0 {
             break;
         }
+        let iter_start_stamp = total_wall_ns as u64;
+        sink.span_enter("engine.superstep", iteration as u64, iter_start_stamp);
 
         let mut compute_ns = vec![0.0f64; k];
         let mut sent_bytes = vec![0u64; k];
@@ -321,6 +362,9 @@ fn run_program_impl<P: VertexProgram>(
         }
         wall += opts.cost.barrier_ns;
         if let Some(state) = fault_state.as_mut() {
+            let crashes_before = state.summary.crashes;
+            let recovery_bytes_before = state.summary.recovery_bytes;
+            let recovery_ns_before = state.summary.recovery_ns;
             wall = state.charge_iteration(
                 g,
                 placement,
@@ -331,8 +375,47 @@ fn run_program_impl<P: VertexProgram>(
                 wall,
                 P::DATA_BYTES,
             );
+            if sink.enabled() && state.summary.crashes > crashes_before {
+                let recovery_ns = state.summary.recovery_ns - recovery_ns_before;
+                sink.span_enter("engine.fault_recovery", iteration as u64, iter_start_stamp);
+                sink.span_exit(
+                    "engine.fault_recovery",
+                    iteration as u64,
+                    iter_start_stamp + recovery_ns as u64,
+                );
+                sink.counter_add(
+                    "engine.fault_crashes",
+                    iteration as u64,
+                    (state.summary.crashes - crashes_before) as u64,
+                );
+                sink.counter_add(
+                    "engine.fault_recovery_bytes",
+                    iteration as u64,
+                    state.summary.recovery_bytes - recovery_bytes_before,
+                );
+            }
         }
         total_wall_ns += wall;
+
+        if sink.enabled() {
+            sink.counter_add("engine.active_vertices", iteration as u64, active_count as u64);
+            sink.counter_add("engine.gather_messages", iteration as u64, gather_messages);
+            sink.counter_add("engine.update_messages", iteration as u64, update_messages);
+            sink.counter_add(
+                "engine.network_bytes",
+                iteration as u64,
+                sent_bytes.iter().sum::<u64>(),
+            );
+            for m in 0..k {
+                sink.counter_add("engine.machine_bytes", m as u64, machine_bytes[m]);
+                sink.counter_add("engine.machine_compute_ns", m as u64, compute_ns[m] as u64);
+                // Barrier wait: how long machine m idles between finishing
+                // its own compute+network and the (fault-inflated) barrier.
+                let net_ns = machine_bytes[m] as f64 / opts.cost.bytes_per_second * 1e9;
+                let wait = (wall - (compute_ns[m] + net_ns)).max(0.0);
+                sink.histogram_record("engine.barrier_wait_ns", m as u64, wait as u64);
+            }
+        }
 
         iterations.push(IterationStats {
             active_vertices: active_count,
@@ -343,6 +426,7 @@ fn run_program_impl<P: VertexProgram>(
             machine_bytes,
             wall_ns: wall,
         });
+        sink.span_exit("engine.superstep", iteration as u64, total_wall_ns as u64);
 
         seeded.fill(false);
         if prog.all_active() {
@@ -352,6 +436,7 @@ fn run_program_impl<P: VertexProgram>(
         }
     }
 
+    sink.span_exit("engine.run", 0, total_wall_ns as u64);
     let report = RunReport {
         program: prog.name(),
         machines: k,
@@ -639,6 +724,52 @@ mod tests {
         assert_eq!(da, db);
         assert_eq!(ra.total_wall_ns, rb.total_wall_ns);
         assert_eq!(ra.fault, rb.fault);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_counters_match_report() {
+        use sgp_trace::CollectingSink;
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::Hdrf, 4);
+        let opts = EngineOptions::default();
+        let (data, report) = run_program(&g, &pl, &PageRank::new(5), &opts);
+        let mut sink = CollectingSink::new();
+        let (tdata, treport) = run_program_traced(&g, &pl, &PageRank::new(5), &opts, &mut sink);
+        assert_eq!(data, tdata, "tracing must not perturb results");
+        assert_eq!(report.total_wall_ns, treport.total_wall_ns);
+        sink.check_nesting().expect("well-formed span nesting");
+        assert_eq!(
+            sink.counter_total("engine.gather_messages"),
+            report.iterations.iter().map(|i| i.gather_messages).sum::<u64>()
+        );
+        assert_eq!(
+            sink.counter_total("engine.update_messages"),
+            report.iterations.iter().map(|i| i.update_messages).sum::<u64>()
+        );
+        assert_eq!(
+            sink.counter_total("engine.network_bytes"),
+            report.iterations.iter().map(|i| i.network_bytes).sum::<u64>()
+        );
+        assert_eq!(
+            sink.counter_total("engine.active_vertices"),
+            report.iterations.iter().map(|i| i.active_vertices as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn traced_fault_run_records_crash_events() {
+        use sgp_trace::CollectingSink;
+        let g = any_graph();
+        let pl = placement_for(&g, Algorithm::VcrHash, 4);
+        let opts = EngineOptions::default();
+        let plan = FaultPlan::healthy(4, 1).with_crash(2, 0);
+        let mut sink = CollectingSink::new();
+        let (_, report) =
+            run_program_with_faults_traced(&g, &pl, &PageRank::new(5), &opts, &plan, &mut sink);
+        let summary = report.fault.expect("faulted run reports a summary");
+        assert_eq!(sink.counter_total("engine.fault_crashes"), summary.crashes as u64);
+        assert_eq!(sink.counter_total("engine.fault_recovery_bytes"), summary.recovery_bytes);
+        sink.check_nesting().expect("well-formed span nesting");
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub mod reference;
 pub mod wire;
 
 pub use cost::{CostModel, FaultSummary, IterationStats, RunReport};
-pub use engine::{run_program, run_program_with_faults, EngineOptions};
+pub use engine::{
+    run_program, run_program_traced, run_program_with_faults, run_program_with_faults_traced,
+    EngineOptions,
+};
 pub use placement::Placement;
 pub use program::{Direction, VertexProgram};

@@ -1,0 +1,80 @@
+//! Per-run decision counters for the streaming partitioners.
+//!
+//! Each algorithm accumulates the counters relevant to its placement
+//! rule while it runs (plain `u64` increments — cheap enough to stay on
+//! even untraced); the traced drivers flush them into a
+//! [`TraceSink`](sgp_trace::TraceSink) after the stream ends. The
+//! counter names are part of the trace schema (see DESIGN.md §9).
+
+use sgp_trace::TraceSink;
+
+/// Decision counters shared across the partitioner families.
+///
+/// A field is only meaningful for the families that increment it
+/// (documented per field); it stays 0 elsewhere, and the flush emits
+/// every counter unconditionally so trace consumers see a stable
+/// schema.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Greedy score ties broken toward the less-loaded partition
+    /// (LDG/FENNEL vertex-size ties, HDRF edge-count ties).
+    pub balance_tiebreaks: u64,
+    /// Placements that fell back to the least-loaded partition because
+    /// every candidate was at capacity (LDG/FENNEL hard capacity).
+    pub capacity_fallbacks: u64,
+    /// Hybrid-cut edges routed by the *source* owner because the target
+    /// exceeded the high-degree threshold (HCR/Ginger phase 2).
+    pub degree_threshold_hits: u64,
+    /// Vertex-cut replica insertions beyond a vertex's first replica —
+    /// each one is a new mirror that later costs gather/scatter traffic.
+    pub mirror_creations: u64,
+    /// Total vertex-cut replica insertions (first replicas included);
+    /// `replicas_created / |V covered|` is the replication factor.
+    pub replicas_created: u64,
+}
+
+impl DecisionStats {
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &DecisionStats) {
+        self.balance_tiebreaks += other.balance_tiebreaks;
+        self.capacity_fallbacks += other.capacity_fallbacks;
+        self.degree_threshold_hits += other.degree_threshold_hits;
+        self.mirror_creations += other.mirror_creations;
+        self.replicas_created += other.replicas_created;
+    }
+
+    /// Emits every counter (including zeros, for schema stability) into
+    /// `sink` under the `partition.*` namespace.
+    pub fn flush_into<S: TraceSink>(&self, sink: &mut S) {
+        sink.counter_add("partition.balance_tiebreaks", 0, self.balance_tiebreaks);
+        sink.counter_add("partition.capacity_fallbacks", 0, self.capacity_fallbacks);
+        sink.counter_add("partition.degree_threshold_hits", 0, self.degree_threshold_hits);
+        sink.counter_add("partition.mirror_creations", 0, self.mirror_creations);
+        sink.counter_add("partition.replicas_created", 0, self.replicas_created);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgp_trace::CollectingSink;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = DecisionStats { balance_tiebreaks: 1, ..Default::default() };
+        let b = DecisionStats { balance_tiebreaks: 2, mirror_creations: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.balance_tiebreaks, 3);
+        assert_eq!(a.mirror_creations, 5);
+    }
+
+    #[test]
+    fn flush_emits_stable_schema() {
+        let stats = DecisionStats { degree_threshold_hits: 7, ..Default::default() };
+        let mut sink = CollectingSink::new();
+        stats.flush_into(&mut sink);
+        assert_eq!(sink.events().len(), 5);
+        assert_eq!(sink.counter_total("partition.degree_threshold_hits"), 7);
+        assert_eq!(sink.counter_total("partition.balance_tiebreaks"), 0);
+    }
+}

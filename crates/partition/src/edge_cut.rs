@@ -10,8 +10,10 @@
 
 use crate::assignment::{hash_to_partition, PartitionId, Partitioning};
 use crate::config::PartitionerConfig;
+use crate::decisions::DecisionStats;
 use sgp_graph::stream::VertexRecord;
 use sgp_graph::{Graph, StreamOrder, VertexStream};
+use sgp_trace::{NullSink, TraceSink};
 
 /// Shared state visible to a vertex-stream partitioner at placement time:
 /// the history of previous assignments and current partition sizes.
@@ -72,6 +74,12 @@ pub trait VertexStreamPartitioner {
     fn passes(&self) -> usize {
         1
     }
+
+    /// Decision counters accumulated so far (all-zero for algorithms
+    /// without greedy decisions, e.g. hash placement).
+    fn decision_stats(&self) -> DecisionStats {
+        DecisionStats::default()
+    }
 }
 
 /// Hash-based random vertex placement (`ECR` in the paper's Table 2).
@@ -113,12 +121,13 @@ impl VertexStreamPartitioner for HashVertex {
 pub struct Ldg {
     k: usize,
     capacity: f64,
+    stats: DecisionStats,
 }
 
 impl Ldg {
     /// Creates LDG for a graph with `n` vertices.
     pub fn new(cfg: &PartitionerConfig, n: usize) -> Self {
-        Ldg { k: cfg.k, capacity: cfg.vertex_capacity(n).max(1.0) }
+        Ldg { k: cfg.k, capacity: cfg.vertex_capacity(n).max(1.0), stats: DecisionStats::default() }
     }
 }
 
@@ -138,7 +147,10 @@ impl VertexStreamPartitioner for Ldg {
                 Some(b) => {
                     // Higher score wins; ties prefer the smaller partition,
                     // then the lower index (deterministic).
-                    if score > b.0 + 1e-12 || ((score - b.0).abs() <= 1e-12 && size < b.1) {
+                    if score > b.0 + 1e-12 {
+                        candidate
+                    } else if (score - b.0).abs() <= 1e-12 && size < b.1 {
+                        self.stats.balance_tiebreaks += 1;
                         candidate
                     } else {
                         b
@@ -146,15 +158,23 @@ impl VertexStreamPartitioner for Ldg {
                 }
             });
         }
-        best.map(|(_, _, i)| i as PartitionId).unwrap_or_else(|| {
-            // All partitions at capacity (only possible with β = 1 and
-            // n divisible rounding); place in the globally smallest.
-            argmin_size(&state.sizes)
-        })
+        match best {
+            Some((_, _, i)) => i as PartitionId,
+            None => {
+                // All partitions at capacity (only possible with β = 1 and
+                // n divisible rounding); place in the globally smallest.
+                self.stats.capacity_fallbacks += 1;
+                argmin_size(&state.sizes)
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
         "LDG"
+    }
+
+    fn decision_stats(&self) -> DecisionStats {
+        self.stats
     }
 }
 
@@ -172,6 +192,7 @@ pub struct Fennel {
     alpha: f64,
     gamma: f64,
     capacity: f64,
+    stats: DecisionStats,
 }
 
 impl Fennel {
@@ -182,6 +203,7 @@ impl Fennel {
             alpha: cfg.resolved_fennel_alpha(n, m),
             gamma: cfg.fennel_gamma,
             capacity: cfg.vertex_capacity(n).max(1.0),
+            stats: DecisionStats::default(),
         }
     }
 }
@@ -201,7 +223,10 @@ impl VertexStreamPartitioner for Fennel {
             best = Some(match best {
                 None => candidate,
                 Some(b) => {
-                    if score > b.0 + 1e-12 || ((score - b.0).abs() <= 1e-12 && size < b.1) {
+                    if score > b.0 + 1e-12 {
+                        candidate
+                    } else if (score - b.0).abs() <= 1e-12 && size < b.1 {
+                        self.stats.balance_tiebreaks += 1;
                         candidate
                     } else {
                         b
@@ -209,11 +234,21 @@ impl VertexStreamPartitioner for Fennel {
                 }
             });
         }
-        best.map(|(_, _, i)| i as PartitionId).unwrap_or_else(|| argmin_size(&state.sizes))
+        match best {
+            Some((_, _, i)) => i as PartitionId,
+            None => {
+                self.stats.capacity_fallbacks += 1;
+                argmin_size(&state.sizes)
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
         "FNL"
+    }
+
+    fn decision_stats(&self) -> DecisionStats {
+        self.stats
     }
 }
 
@@ -254,6 +289,10 @@ impl<P: VertexStreamPartitioner> VertexStreamPartitioner for Restream<P> {
     fn passes(&self) -> usize {
         self.passes
     }
+
+    fn decision_stats(&self) -> DecisionStats {
+        self.inner.decision_stats()
+    }
 }
 
 fn argmin_size(sizes: &[usize]) -> PartitionId {
@@ -275,13 +314,41 @@ pub fn run_vertex_stream<P: VertexStreamPartitioner>(
     k: usize,
     order: StreamOrder,
 ) -> Partitioning {
+    run_vertex_stream_traced(g, partitioner, k, order, &mut NullSink)
+}
+
+/// [`run_vertex_stream`] with trace instrumentation: a
+/// `partition.stream` span around the run, one `partition.pass` span
+/// per stream pass (stamps are stream positions — logical sequence
+/// numbers, never wallclock), the flushed decision counters, and the
+/// final per-partition vertex loads.
+pub fn run_vertex_stream_traced<P: VertexStreamPartitioner, S: TraceSink>(
+    g: &Graph,
+    partitioner: &mut P,
+    k: usize,
+    order: StreamOrder,
+    sink: &mut S,
+) -> Partitioning {
     let mut state = VertexStreamState::new(g.num_vertices(), k);
-    for _pass in 0..partitioner.passes() {
+    let mut seq: u64 = 0;
+    sink.span_enter("partition.stream", 0, seq);
+    for pass in 0..partitioner.passes() {
+        sink.span_enter("partition.pass", pass as u64, seq);
         let stream = VertexStream::new(g, order);
         for rec in stream {
             let p = partitioner.place(&rec, &state);
             debug_assert!((p as usize) < k, "partitioner returned out-of-range id");
             state.assign(rec.vertex, p);
+            seq += 1;
+        }
+        sink.span_exit("partition.pass", pass as u64, seq);
+    }
+    sink.span_exit("partition.stream", 0, seq);
+    if sink.enabled() {
+        sink.counter_add("partition.vertices_placed", 0, seq);
+        partitioner.decision_stats().flush_into(sink);
+        for (i, &size) in state.sizes.iter().enumerate() {
+            sink.counter_add("partition.load", i as u64, size as u64);
         }
     }
     Partitioning::from_vertex_owners(g, k, state.assignment)

@@ -10,6 +10,7 @@
 
 use crate::assignment::{hash_to_partition, CutModel, PartitionId, Partitioning};
 use crate::config::PartitionerConfig;
+use crate::decisions::DecisionStats;
 use sgp_graph::{Graph, StreamOrder, VertexStream};
 
 /// Degree threshold separating low- from high-degree vertices. PowerLyra
@@ -24,11 +25,21 @@ fn high_degree_threshold(g: &Graph, cfg: &PartitionerConfig) -> usize {
 /// of high-degree vertices follow the *source*'s owner. Embarrassingly
 /// parallel, like plain hash.
 pub fn hybrid_random(g: &Graph, cfg: &PartitionerConfig) -> Partitioning {
+    hybrid_random_with_stats(g, cfg).0
+}
+
+/// [`hybrid_random`] plus the decision counters of the run (how many
+/// edges took the high-degree source-hash route).
+pub fn hybrid_random_with_stats(
+    g: &Graph,
+    cfg: &PartitionerConfig,
+) -> (Partitioning, DecisionStats) {
     let k = cfg.k;
     let threshold = high_degree_threshold(g, cfg);
     let owner: Vec<PartitionId> = g.vertices().map(|v| hash_to_partition(v, k, cfg.seed)).collect();
-    let edge_parts = place_hybrid_edges(g, k, &owner, threshold);
-    Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }
+    let (edge_parts, degree_threshold_hits) = place_hybrid_edges(g, k, &owner, threshold);
+    let stats = DecisionStats { degree_threshold_hits, ..DecisionStats::default() };
+    (Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }, stats)
 }
 
 /// Ginger (`HG`), Eq. (8) of the paper: a FENNEL-like greedy that places
@@ -40,6 +51,15 @@ pub fn hybrid_random(g: &Graph, cfg: &PartitionerConfig) -> Partitioning {
 /// high-degree vertices are re-assigned by hashing their source — the
 /// two-phase behaviour the paper notes is "difficult for streaming data".
 pub fn ginger(g: &Graph, cfg: &PartitionerConfig, order: StreamOrder) -> Partitioning {
+    ginger_with_stats(g, cfg, order).0
+}
+
+/// [`ginger`] plus the decision counters of the run.
+pub fn ginger_with_stats(
+    g: &Graph,
+    cfg: &PartitionerConfig,
+    order: StreamOrder,
+) -> (Partitioning, DecisionStats) {
     let k = cfg.k;
     let n = g.num_vertices();
     let m = g.num_edges().max(1);
@@ -80,30 +100,35 @@ pub fn ginger(g: &Graph, cfg: &PartitionerConfig, order: StreamOrder) -> Partiti
     }
 
     // Phase 2: re-assign in-edges of high-degree vertices by source hash.
-    let edge_parts = place_hybrid_edges(g, k, &owner, threshold);
-    Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }
+    let (edge_parts, degree_threshold_hits) = place_hybrid_edges(g, k, &owner, threshold);
+    let stats = DecisionStats { degree_threshold_hits, ..DecisionStats::default() };
+    (Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }, stats)
 }
 
 /// Shared hybrid edge placement: edge `(u, v)` goes to `owner[v]` when
 /// `v` is low-degree (in-degree ≤ threshold), else to `owner[u]`
-/// (PowerLyra hashes high-degree in-edges by source).
+/// (PowerLyra hashes high-degree in-edges by source). Also returns how
+/// many edges took the high-degree route — the hybrid-cut's
+/// characteristic decision counter.
 fn place_hybrid_edges(
     g: &Graph,
     k: usize,
     owner: &[PartitionId],
     threshold: usize,
-) -> Vec<PartitionId> {
+) -> (Vec<PartitionId>, u64) {
     debug_assert!(owner.iter().all(|&p| (p as usize) < k));
     let mut edge_parts = Vec::with_capacity(g.num_edges());
+    let mut high_degree_hits = 0u64;
     for e in g.edges() {
         let p = if g.in_degree(e.dst) <= threshold {
             owner[e.dst as usize]
         } else {
+            high_degree_hits += 1;
             owner[e.src as usize]
         };
         edge_parts.push(p);
     }
-    edge_parts
+    (edge_parts, high_degree_hits)
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 pub mod assignment;
 pub mod attribute;
 pub mod config;
+pub mod decisions;
 pub mod edge_cut;
 pub mod edge_stream_cut;
 pub mod hetero;
@@ -45,4 +46,5 @@ pub mod vertex_cut;
 
 pub use assignment::{CutModel, PartitionId, Partitioning};
 pub use config::PartitionerConfig;
-pub use registry::{partition, Algorithm};
+pub use decisions::DecisionStats;
+pub use registry::{partition, partition_traced, Algorithm};

@@ -3,12 +3,15 @@
 
 use crate::assignment::{CutModel, Partitioning};
 use crate::config::PartitionerConfig;
-use crate::edge_cut::{run_vertex_stream, Fennel, HashVertex, Ldg, Restream};
-use crate::hybrid::{ginger, hybrid_random};
+use crate::edge_cut::{run_vertex_stream_traced, Fennel, HashVertex, Ldg, Restream};
+use crate::hybrid::{ginger_with_stats, hybrid_random_with_stats};
 use crate::metis::MultilevelPartitioner;
-use crate::vertex_cut::{run_edge_stream, Dbh, GridConstrained, HashEdge, Hdrf, PowerGraphGreedy};
+use crate::vertex_cut::{
+    run_edge_stream_traced, Dbh, GridConstrained, HashEdge, Hdrf, PowerGraphGreedy,
+};
 use serde::{Deserialize, Serialize};
 use sgp_graph::{Graph, StreamOrder};
+use sgp_trace::{NullSink, TraceSink};
 
 /// Every partitioning algorithm in the study (Table 2 names).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -270,30 +273,78 @@ pub fn partition(
     cfg: &PartitionerConfig,
     order: StreamOrder,
 ) -> Partitioning {
+    partition_traced(g, algorithm, cfg, order, &mut NullSink)
+}
+
+/// [`partition`] with trace instrumentation: wraps the run in a
+/// `partition.run` span (keyed by the algorithm's position in
+/// [`Algorithm::all`], stamps are logical element counts) and flushes
+/// the per-algorithm decision counters — balance tie-breaks, hybrid
+/// degree-threshold hits, vertex-cut mirror creations — into `sink`.
+/// The produced [`Partitioning`] is identical to the untraced one; the
+/// sink only observes (the workspace differential tests enforce this
+/// for every algorithm).
+pub fn partition_traced<S: TraceSink>(
+    g: &Graph,
+    algorithm: Algorithm,
+    cfg: &PartitionerConfig,
+    order: StreamOrder,
+    sink: &mut S,
+) -> Partitioning {
     let k = cfg.k;
     let n = g.num_vertices();
     let m = g.num_edges();
-    match algorithm {
-        Algorithm::EcrHash => run_vertex_stream(g, &mut HashVertex::new(cfg), k, order),
-        Algorithm::Ldg => run_vertex_stream(g, &mut Ldg::new(cfg, n), k, order),
-        Algorithm::Fennel => run_vertex_stream(g, &mut Fennel::new(cfg, n, m), k, order),
+    let alg_key = Algorithm::all().iter().position(|&a| a == algorithm).unwrap_or(0) as u64;
+    sink.span_enter("partition.run", alg_key, 0);
+    let p = match algorithm {
+        Algorithm::EcrHash => {
+            run_vertex_stream_traced(g, &mut HashVertex::new(cfg), k, order, sink)
+        }
+        Algorithm::Ldg => run_vertex_stream_traced(g, &mut Ldg::new(cfg, n), k, order, sink),
+        Algorithm::Fennel => {
+            run_vertex_stream_traced(g, &mut Fennel::new(cfg, n, m), k, order, sink)
+        }
         Algorithm::RestreamLdg => {
-            run_vertex_stream(g, &mut Restream::new(Ldg::new(cfg, n), 5), k, order)
+            run_vertex_stream_traced(g, &mut Restream::new(Ldg::new(cfg, n), 5), k, order, sink)
         }
-        Algorithm::RestreamFennel => {
-            run_vertex_stream(g, &mut Restream::new(Fennel::new(cfg, n, m), 5), k, order)
+        Algorithm::RestreamFennel => run_vertex_stream_traced(
+            g,
+            &mut Restream::new(Fennel::new(cfg, n, m), 5),
+            k,
+            order,
+            sink,
+        ),
+        Algorithm::VcrHash => run_edge_stream_traced(g, &mut HashEdge::new(cfg), k, order, sink),
+        Algorithm::Dbh => {
+            run_edge_stream_traced(g, &mut Dbh::with_exact_degrees(cfg, g), k, order, sink)
         }
-        Algorithm::VcrHash => run_edge_stream(g, &mut HashEdge::new(cfg), k, order),
-        Algorithm::Dbh => run_edge_stream(g, &mut Dbh::with_exact_degrees(cfg, g), k, order),
-        Algorithm::Grid => run_edge_stream(g, &mut GridConstrained::new(cfg), k, order),
+        Algorithm::Grid => {
+            run_edge_stream_traced(g, &mut GridConstrained::new(cfg), k, order, sink)
+        }
         Algorithm::PowerGraphGreedy => {
-            run_edge_stream(g, &mut PowerGraphGreedy::new(cfg), k, order)
+            run_edge_stream_traced(g, &mut PowerGraphGreedy::new(cfg), k, order, sink)
         }
-        Algorithm::Hdrf => run_edge_stream(g, &mut Hdrf::new(cfg, m), k, order),
-        Algorithm::HybridRandom => hybrid_random(g, cfg),
-        Algorithm::Ginger => ginger(g, cfg, order),
+        Algorithm::Hdrf => run_edge_stream_traced(g, &mut Hdrf::new(cfg, m), k, order, sink),
+        Algorithm::HybridRandom => {
+            let (p, stats) = hybrid_random_with_stats(g, cfg);
+            if sink.enabled() {
+                sink.counter_add("partition.edges_placed", 0, m as u64);
+                stats.flush_into(sink);
+            }
+            p
+        }
+        Algorithm::Ginger => {
+            let (p, stats) = ginger_with_stats(g, cfg, order);
+            if sink.enabled() {
+                sink.counter_add("partition.edges_placed", 0, m as u64);
+                stats.flush_into(sink);
+            }
+            p
+        }
         Algorithm::Metis => MultilevelPartitioner::default().partitioning(g, k),
-    }
+    };
+    sink.span_exit("partition.run", alg_key, (n + m) as u64);
+    p
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@
 
 use crate::assignment::{fxhash64, hash_to_partition, PartitionId, Partitioning};
 use crate::config::PartitionerConfig;
+use crate::decisions::DecisionStats;
 use sgp_graph::{Edge, EdgeStream, Graph, StreamOrder};
+use sgp_trace::{NullSink, TraceSink};
 
 /// Replica-set table `A(u)` plus partial degree counters and per-partition
 /// edge counts — the state greedy vertex-cut heuristics consult.
@@ -22,6 +24,12 @@ pub struct EdgeStreamState {
     partial_degree: Vec<u64>,
     /// Edges placed in each partition.
     pub edge_counts: Vec<usize>,
+    /// Total replica insertions (every first placement of a vertex on a
+    /// new partition).
+    pub replicas_created: u64,
+    /// Replica insertions beyond a vertex's first replica — the mirrors
+    /// a vertex-cut pays for at gather/scatter time.
+    pub mirror_creations: u64,
 }
 
 impl EdgeStreamState {
@@ -32,6 +40,8 @@ impl EdgeStreamState {
             replicas: vec![Vec::new(); n],
             partial_degree: vec![0; n],
             edge_counts: vec![0; k],
+            replicas_created: 0,
+            mirror_creations: 0,
         }
     }
 
@@ -59,7 +69,11 @@ impl EdgeStreamState {
         for v in [e.src, e.dst] {
             let set = &mut self.replicas[v as usize];
             if let Err(pos) = set.binary_search(&p) {
+                if !set.is_empty() {
+                    self.mirror_creations += 1;
+                }
                 set.insert(pos, p);
+                self.replicas_created += 1;
             }
             self.partial_degree[v as usize] += 1;
         }
@@ -88,6 +102,12 @@ pub trait EdgeStreamPartitioner {
 
     /// Short display name (Table 2 abbreviation).
     fn name(&self) -> &'static str;
+
+    /// Decision counters accumulated so far (all-zero for algorithms
+    /// without greedy decisions, e.g. hash placement).
+    fn decision_stats(&self) -> DecisionStats {
+        DecisionStats::default()
+    }
 }
 
 /// Hash-based random edge placement (`VCR`): hashes the concatenation of
@@ -313,12 +333,18 @@ pub struct Hdrf {
     k: usize,
     lambda: f64,
     capacity: f64,
+    stats: DecisionStats,
 }
 
 impl Hdrf {
     /// Creates HDRF for a graph with `m` edges.
     pub fn new(cfg: &PartitionerConfig, m: usize) -> Self {
-        Hdrf { k: cfg.k, lambda: cfg.hdrf_lambda, capacity: cfg.edge_capacity(m).max(1.0) }
+        Hdrf {
+            k: cfg.k,
+            lambda: cfg.hdrf_lambda,
+            capacity: cfg.edge_capacity(m).max(1.0),
+            stats: DecisionStats::default(),
+        }
     }
 }
 
@@ -340,10 +366,12 @@ impl EdgeStreamPartitioner for Hdrf {
             if state.has_replica(e.dst, i) {
                 score += 1.0 + (1.0 - theta_v);
             }
-            if score > best.0 + 1e-12
-                || ((score - best.0).abs() <= 1e-12
-                    && state.edge_counts[i as usize] < state.edge_counts[best.1 as usize])
+            if score > best.0 + 1e-12 {
+                best = (score, i);
+            } else if (score - best.0).abs() <= 1e-12
+                && state.edge_counts[i as usize] < state.edge_counts[best.1 as usize]
             {
+                self.stats.balance_tiebreaks += 1;
                 best = (score, i);
             }
         }
@@ -352,6 +380,10 @@ impl EdgeStreamPartitioner for Hdrf {
 
     fn name(&self) -> &'static str {
         "HDRF"
+    }
+
+    fn decision_stats(&self) -> DecisionStats {
+        self.stats
     }
 }
 
@@ -363,8 +395,25 @@ pub fn run_edge_stream<P: EdgeStreamPartitioner>(
     k: usize,
     order: StreamOrder,
 ) -> Partitioning {
+    run_edge_stream_traced(g, partitioner, k, order, &mut NullSink)
+}
+
+/// [`run_edge_stream`] with trace instrumentation: a `partition.stream`
+/// span (stamps are stream positions), the flushed decision counters —
+/// including the mirror creations counted by
+/// [`EdgeStreamState::record`] — and the final per-partition edge
+/// loads.
+pub fn run_edge_stream_traced<P: EdgeStreamPartitioner, S: TraceSink>(
+    g: &Graph,
+    partitioner: &mut P,
+    k: usize,
+    order: StreamOrder,
+    sink: &mut S,
+) -> Partitioning {
     let mut state = EdgeStreamState::new(g.num_vertices(), k);
     let mut edge_parts = vec![0 as PartitionId; g.num_edges()];
+    let mut seq: u64 = 0;
+    sink.span_enter("partition.stream", 0, seq);
     for e in EdgeStream::new(g, order) {
         let p = partitioner.place(e, &state);
         debug_assert!((p as usize) < k, "partitioner returned out-of-range id");
@@ -372,6 +421,18 @@ pub fn run_edge_stream<P: EdgeStreamPartitioner>(
         // sgp-lint: allow(no-panic-in-lib): e was just produced by EdgeStream over g, so the CSR lookup cannot miss
         let idx = g.edge_index(e.src, e.dst).expect("stream edge exists in graph");
         edge_parts[idx] = p;
+        seq += 1;
+    }
+    sink.span_exit("partition.stream", 0, seq);
+    if sink.enabled() {
+        sink.counter_add("partition.edges_placed", 0, seq);
+        let mut stats = partitioner.decision_stats();
+        stats.replicas_created = state.replicas_created;
+        stats.mirror_creations = state.mirror_creations;
+        stats.flush_into(sink);
+        for (i, &count) in state.edge_counts.iter().enumerate() {
+            sink.counter_add("partition.load", i as u64, count as u64);
+        }
     }
     Partitioning::from_edge_parts(g, k, edge_parts)
 }

@@ -1,0 +1,361 @@
+//! Trace sinks: where events go.
+//!
+//! Instrumented code is generic over `S: TraceSink`, so the
+//! [`NullSink`] path monomorphizes to empty inlined bodies and untraced
+//! runs keep their existing cost profile (the `trace` bench in
+//! `sgp-bench` measures exactly this overhead rather than assuming it).
+
+use crate::hist::Log2Histogram;
+use crate::json;
+use crate::{Stamp, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Receiver for trace events.
+///
+/// `name` is a static metric identifier; `key` an integer dimension
+/// (machine id, query id, superstep — `0` when unused). Sinks observe
+/// and never perturb: implementations must not feed anything back into
+/// the instrumented computation.
+pub trait TraceSink {
+    /// False for sinks that discard everything; lets hot paths skip
+    /// event preparation that the compiler cannot prove dead.
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// A span named `name` (dimension `key`) was entered at `stamp`.
+    fn span_enter(&mut self, name: &'static str, key: u64, stamp: Stamp);
+    /// The innermost open span `(name, key)` was exited at `stamp`.
+    fn span_exit(&mut self, name: &'static str, key: u64, stamp: Stamp);
+    /// Increment the monotonic counter `(name, key)` by `delta`.
+    fn counter_add(&mut self, name: &'static str, key: u64, delta: u64);
+    /// Record `value` into the histogram `(name, key)`.
+    fn histogram_record(&mut self, name: &'static str, key: u64, value: u64);
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn span_enter(&mut self, name: &'static str, key: u64, stamp: Stamp) {
+        (**self).span_enter(name, key, stamp);
+    }
+    fn span_exit(&mut self, name: &'static str, key: u64, stamp: Stamp) {
+        (**self).span_exit(name, key, stamp);
+    }
+    fn counter_add(&mut self, name: &'static str, key: u64, delta: u64) {
+        (**self).counter_add(name, key, delta);
+    }
+    fn histogram_record(&mut self, name: &'static str, key: u64, value: u64) {
+        (**self).histogram_record(name, key, value);
+    }
+}
+
+/// The default sink: discards every event at zero cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn span_enter(&mut self, _name: &'static str, _key: u64, _stamp: Stamp) {}
+    #[inline(always)]
+    fn span_exit(&mut self, _name: &'static str, _key: u64, _stamp: Stamp) {}
+    #[inline(always)]
+    fn counter_add(&mut self, _name: &'static str, _key: u64, _delta: u64) {}
+    #[inline(always)]
+    fn histogram_record(&mut self, _name: &'static str, _key: u64, _value: u64) {}
+}
+
+/// Records the full event stream in order; exports byte-stable JSON.
+#[derive(Debug, Clone, Default)]
+pub struct CollectingSink {
+    events: Vec<TraceEvent>,
+}
+
+impl CollectingSink {
+    /// An empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Sum of all increments of counter `name`, across every key.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Counter { name: n, delta, .. } if *n == name => Some(*delta),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Sum of all increments of counter `(name, key)`.
+    pub fn counter_total_keyed(&self, name: &str, key: u64) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Counter { name: n, key: k, delta } if *n == name && *k == key => {
+                    Some(*delta)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Aggregate histogram of every sample recorded under `name`
+    /// (all keys merged).
+    pub fn histogram_of(&self, name: &str) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for e in &self.events {
+            if let TraceEvent::Histogram { name: n, value, .. } = e {
+                if *n == name {
+                    h.record(*value);
+                }
+            }
+        }
+        h
+    }
+
+    /// Verify span enter/exit events are well-formed: exits match the
+    /// innermost open span `(name, key)`, exit stamps are not before
+    /// their enter stamps, and every span is closed.
+    pub fn check_nesting(&self) -> Result<(), String> {
+        let mut stack: Vec<(&'static str, u64, Stamp)> = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match *e {
+                TraceEvent::SpanEnter { name, key, stamp } => stack.push((name, key, stamp)),
+                TraceEvent::SpanExit { name, key, stamp } => match stack.pop() {
+                    Some((n, k, s)) if n == name && k == key => {
+                        if stamp < s {
+                            return Err(format!(
+                                "event {i}: span {name}[{key}] exits at {stamp} before its enter stamp {s}"
+                            ));
+                        }
+                    }
+                    Some((n, k, _)) => {
+                        return Err(format!(
+                            "event {i}: span exit {name}[{key}] does not match innermost open span {n}[{k}]"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {i}: span exit {name}[{key}] with no open span"
+                        ));
+                    }
+                },
+                _ => {}
+            }
+        }
+        if let Some((n, k, _)) = stack.last() {
+            return Err(format!("span {n}[{k}] never exited"));
+        }
+        Ok(())
+    }
+
+    /// Render the event stream as the canonical trace JSON document
+    /// (schema `schema_version = 1`, one event per line, integer-only
+    /// payloads — byte-identical for identical event streams).
+    pub fn to_json(&self) -> String {
+        json::write_trace(&self.events)
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn span_enter(&mut self, name: &'static str, key: u64, stamp: Stamp) {
+        self.events.push(TraceEvent::SpanEnter { name, key, stamp });
+    }
+    fn span_exit(&mut self, name: &'static str, key: u64, stamp: Stamp) {
+        self.events.push(TraceEvent::SpanExit { name, key, stamp });
+    }
+    fn counter_add(&mut self, name: &'static str, key: u64, delta: u64) {
+        self.events.push(TraceEvent::Counter { name, key, delta });
+    }
+    fn histogram_record(&mut self, name: &'static str, key: u64, value: u64) {
+        self.events.push(TraceEvent::Histogram { name, key, value });
+    }
+}
+
+/// Aggregate cost of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total stamp-delta across completed spans (inclusive of
+    /// children).
+    pub total: u64,
+    /// Self cost: total minus the time spent in child spans.
+    pub self_total: u64,
+}
+
+/// Streaming aggregation sink: keeps totals only, never the raw stream.
+///
+/// Mismatched or unclosed spans are tolerated (their cost is simply not
+/// attributed); [`CollectingSink::check_nesting`] is the strict
+/// checker.
+#[derive(Debug, Clone, Default)]
+pub struct SummarySink {
+    counters: BTreeMap<(&'static str, u64), u64>,
+    histograms: BTreeMap<&'static str, Log2Histogram>,
+    spans: BTreeMap<&'static str, SpanStat>,
+    stack: Vec<(&'static str, u64, Stamp, u64)>,
+}
+
+impl SummarySink {
+    /// An empty summary sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter totals, keyed by `(name, key)`, in sorted order.
+    pub fn counters(&self) -> &BTreeMap<(&'static str, u64), u64> {
+        &self.counters
+    }
+
+    /// Total of counter `name` across every key.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|((n, _), _)| *n == name).map(|(_, v)| *v).sum()
+    }
+
+    /// Merged histogram per name (keys collapsed), in sorted order.
+    pub fn histograms(&self) -> &BTreeMap<&'static str, Log2Histogram> {
+        &self.histograms
+    }
+
+    /// Aggregate span costs per name, in sorted order.
+    pub fn spans(&self) -> &BTreeMap<&'static str, SpanStat> {
+        &self.spans
+    }
+
+    /// Span names sorted by decreasing self cost (ties by name).
+    pub fn spans_by_self_cost(&self) -> Vec<(&'static str, SpanStat)> {
+        let mut v: Vec<(&'static str, SpanStat)> =
+            self.spans.iter().map(|(n, s)| (*n, *s)).collect();
+        v.sort_by(|a, b| b.1.self_total.cmp(&a.1.self_total).then(a.0.cmp(b.0)));
+        v
+    }
+}
+
+impl TraceSink for SummarySink {
+    fn span_enter(&mut self, name: &'static str, key: u64, stamp: Stamp) {
+        self.stack.push((name, key, stamp, 0));
+    }
+
+    fn span_exit(&mut self, name: &'static str, key: u64, stamp: Stamp) {
+        match self.stack.pop() {
+            Some((n, k, enter, child_total)) if n == name && k == key => {
+                let duration = stamp.saturating_sub(enter);
+                if let Some((_, _, _, parent_children)) = self.stack.last_mut() {
+                    *parent_children += duration;
+                }
+                let stat = self.spans.entry(name).or_default();
+                stat.count += 1;
+                stat.total += duration;
+                stat.self_total += duration.saturating_sub(child_total);
+            }
+            Some(frame) => self.stack.push(frame), // mismatched exit: ignore
+            None => {}
+        }
+    }
+
+    fn counter_add(&mut self, name: &'static str, key: u64, delta: u64) {
+        *self.counters.entry((name, key)).or_insert(0) += delta;
+    }
+
+    fn histogram_record(&mut self, name: &'static str, key: u64, value: u64) {
+        let _ = key;
+        self.histograms.entry(name).or_default().record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit_sample<S: TraceSink>(sink: &mut S) {
+        sink.span_enter("outer", 0, 10);
+        sink.counter_add("ops", 0, 3);
+        sink.span_enter("inner", 1, 20);
+        sink.histogram_record("lat", 0, 5);
+        sink.span_exit("inner", 1, 30);
+        sink.counter_add("ops", 1, 2);
+        sink.span_exit("outer", 0, 50);
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        emit_sample(&mut s);
+    }
+
+    #[test]
+    fn collecting_sink_totals_and_nesting() {
+        let mut s = CollectingSink::new();
+        emit_sample(&mut s);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.counter_total("ops"), 5);
+        assert_eq!(s.counter_total_keyed("ops", 1), 2);
+        assert_eq!(s.histogram_of("lat").count(), 1);
+        assert!(s.check_nesting().is_ok());
+    }
+
+    #[test]
+    fn nesting_violations_are_reported() {
+        let mut s = CollectingSink::new();
+        s.span_enter("a", 0, 1);
+        s.span_exit("b", 0, 2);
+        assert!(s.check_nesting().is_err());
+
+        let mut unclosed = CollectingSink::new();
+        unclosed.span_enter("a", 0, 1);
+        assert!(unclosed.check_nesting().is_err());
+
+        let mut backwards = CollectingSink::new();
+        backwards.span_enter("a", 0, 10);
+        backwards.span_exit("a", 0, 5);
+        assert!(backwards.check_nesting().is_err());
+    }
+
+    #[test]
+    fn summary_sink_attributes_self_cost() {
+        let mut s = SummarySink::new();
+        emit_sample(&mut s);
+        let outer = s.spans()["outer"];
+        let inner = s.spans()["inner"];
+        assert_eq!(outer, SpanStat { count: 1, total: 40, self_total: 30 });
+        assert_eq!(inner, SpanStat { count: 1, total: 10, self_total: 10 });
+        assert_eq!(s.counter_total("ops"), 5);
+        assert_eq!(s.counters()[&("ops", 1)], 2);
+        let ranked = s.spans_by_self_cost();
+        assert_eq!(ranked[0].0, "outer");
+    }
+
+    #[test]
+    fn blanket_mut_ref_impl_delegates() {
+        let mut s = CollectingSink::new();
+        {
+            let mut r: &mut CollectingSink = &mut s;
+            assert!(r.enabled());
+            emit_sample(&mut r);
+        }
+        assert_eq!(s.len(), 7);
+    }
+}

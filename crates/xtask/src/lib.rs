@@ -9,8 +9,9 @@
 //! * [`rules`] — the rule catalogue:
 //!   * `no-hash-iteration` — `HashMap`/`HashSet` (nondeterministic
 //!     iteration order) are banned in the determinism-scoped crates
-//!     (`sgp-engine`, `sgp-db`, `sgp-core`, `sgp-partition`); use
-//!     `BTreeMap`/`BTreeSet` or sort before iterating.
+//!     (`sgp-engine`, `sgp-db`, `sgp-core`, `sgp-partition`,
+//!     `sgp-trace`); use `BTreeMap`/`BTreeSet` or sort before
+//!     iterating.
 //!   * `no-panic-in-lib` — `unwrap()`/`expect()`/`panic!`/`todo!`/
 //!     `unimplemented!`/`dbg!` in non-test library code must be
 //!     rewritten as `Result` or carry a justified allow directive.
@@ -29,6 +30,9 @@
 //! * [`manifest`] — a minimal TOML section reader for the hygiene rule.
 //! * [`report`] — findings, text diagnostics with `file:line` spans, and
 //!   stable machine-readable JSON.
+//! * [`trace_summary`] — the `sgp-xtask trace-summary` renderer for
+//!   trace dumps written by `experiments --trace <path>` (top spans by
+//!   self cost, per-machine load, counter totals, histogram quantiles).
 //!
 //! ## Allow directives
 //!
@@ -50,9 +54,11 @@ pub mod manifest;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod trace_summary;
 pub mod workspace;
 
 pub use report::{render_json, render_text, Finding, LintReport, Severity};
+pub use trace_summary::summarize;
 
 use std::path::PathBuf;
 

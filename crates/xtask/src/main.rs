@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p sgp-xtask -- lint [--root DIR] [--format text|json] [--strict]
 //! cargo run -p sgp-xtask -- rules
+//! cargo run -p sgp-xtask -- trace-summary <trace.json> [--top N]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings (warnings count only under
@@ -12,7 +13,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use sgp_xtask::{render_json, render_text, rules, run_lint, LintConfig};
+use sgp_xtask::{render_json, render_text, rules, run_lint, summarize, LintConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -22,18 +23,25 @@ sgp-xtask — in-tree workspace automation
 USAGE:
     sgp-xtask lint [--root DIR] [--format text|json] [--strict]
     sgp-xtask rules
+    sgp-xtask trace-summary <trace.json> [--top N]
     sgp-xtask help
 
 COMMANDS:
-    lint     Run the static-analysis rule catalogue over the workspace
-    rules    List the rules with one-line descriptions
-    help     Show this message
+    lint           Run the static-analysis rule catalogue over the workspace
+    rules          List the rules with one-line descriptions
+    trace-summary  Render a trace dump (from `experiments --trace <path>`):
+                   top spans by self cost, per-machine load, counters,
+                   histogram quantiles
+    help           Show this message
 
 LINT OPTIONS:
     --root DIR          Workspace root (default: ascend from cwd to the
                         nearest Cargo.toml with a [workspace] section)
     --format text|json  Output format (default: text)
     --strict            Warnings also fail the run
+
+TRACE-SUMMARY OPTIONS:
+    --top N             Span rows to show (default: 10)
 
 EXIT CODES:
     0  no findings (warnings allowed unless --strict)
@@ -46,6 +54,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("rules") => cmd_rules(),
+        Some("trace-summary") => cmd_trace_summary(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -132,4 +141,40 @@ fn cmd_rules() -> ExitCode {
         println!("{rule}\n    {}", rules::describe(rule));
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_trace_summary(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => top = n,
+                _ => return usage_error("--top requires a positive integer"),
+            },
+            other if path.is_none() && !other.starts_with("--") => path = Some(other),
+            other => return usage_error(&format!("unexpected trace-summary argument `{other}`")),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error("trace-summary requires a trace file path");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match summarize(&text, top) {
+        Ok(summary) => {
+            print!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path} is not a valid trace document: {e}");
+            ExitCode::from(1)
+        }
+    }
 }

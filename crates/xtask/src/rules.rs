@@ -5,7 +5,7 @@
 //!
 //! | rule | scope |
 //! |------|-------|
-//! | `no-hash-iteration`   | `sgp-engine`, `sgp-db`, `sgp-core`, `sgp-partition`, `sgp-fault` — all targets incl. tests |
+//! | `no-hash-iteration`   | `sgp-engine`, `sgp-db`, `sgp-core`, `sgp-partition`, `sgp-fault`, `sgp-trace` — all targets incl. tests |
 //! | `no-panic-in-lib`     | the above + `sgp-graph` — library sources only, test spans skipped |
 //! | `no-wallclock-in-sim` | the above + `sgp-graph` — all targets |
 //! | `crate-attr-policy`   | every member |
@@ -76,13 +76,14 @@ pub fn describe(rule: &str) -> &'static str {
 }
 
 /// Crates whose hash-container use breaks replay determinism.
-const HASH_SCOPE: &[&str] = &["sgp-engine", "sgp-db", "sgp-core", "sgp-partition", "sgp-fault"];
+const HASH_SCOPE: &[&str] =
+    &["sgp-engine", "sgp-db", "sgp-core", "sgp-partition", "sgp-fault", "sgp-trace"];
 /// Crates whose library code must be panic-free.
 const PANIC_SCOPE: &[&str] =
-    &["sgp-graph", "sgp-engine", "sgp-db", "sgp-core", "sgp-partition", "sgp-fault"];
+    &["sgp-graph", "sgp-engine", "sgp-db", "sgp-core", "sgp-partition", "sgp-fault", "sgp-trace"];
 /// Crates forbidden to read wall-clock or ambient randomness.
 const WALLCLOCK_SCOPE: &[&str] =
-    &["sgp-graph", "sgp-engine", "sgp-db", "sgp-core", "sgp-partition", "sgp-fault"];
+    &["sgp-graph", "sgp-engine", "sgp-db", "sgp-core", "sgp-partition", "sgp-fault", "sgp-trace"];
 
 fn in_scope(member: &Member, scope: &[&str]) -> bool {
     scope.contains(&member.name.as_str())

@@ -1,0 +1,215 @@
+//! `sgp-xtask trace-summary`: human-readable rendering of a trace dump.
+//!
+//! Reads the canonical trace JSON written by `experiments --trace
+//! <path>` (or any [`sgp_trace`] `CollectingSink` export), replays the
+//! event stream into streaming aggregates — the same semantics as
+//! `sgp_trace::SummarySink`, but over parsed (owned-name) events — and
+//! renders:
+//!
+//! * top-k spans by self cost (duration minus time in child spans),
+//! * the per-machine load table (engine bytes/compute, DB reads),
+//! * counter totals by name,
+//! * histogram quantiles (log₂-bucket resolution).
+//!
+//! The renderer is read-only and deterministic: identical input bytes
+//! produce identical output bytes.
+
+use sgp_trace::{parse_trace, EventKind, Log2Histogram};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Aggregate cost of one span name (mirror of `sgp_trace::SpanStat`
+/// for parsed events).
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanAgg {
+    count: u64,
+    total: u64,
+    self_total: u64,
+}
+
+/// Pads `s` to `w` columns (left-aligned).
+fn pad(s: &str, w: usize) -> String {
+    format!("{s:<w$}")
+}
+
+/// Renders rows as a fixed-width text table with a header rule.
+fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let header: Vec<String> = headers.iter().enumerate().map(|(i, h)| pad(h, widths[i])).collect();
+    out.push_str(header.join("  ").trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().enumerate().map(|(i, c)| pad(c, widths[i])).collect();
+        out.push_str(cells.join("  ").trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses `text` as canonical trace JSON and renders the summary; `top`
+/// bounds the span table.
+pub fn summarize(text: &str, top: usize) -> Result<String, String> {
+    let trace = parse_trace(text)?;
+    let mut counters: BTreeMap<(String, u64), u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Log2Histogram> = BTreeMap::new();
+    let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    let mut stack: Vec<(String, u64, u64, u64)> = Vec::new();
+    for e in &trace.events {
+        match e.kind {
+            EventKind::Counter => {
+                *counters.entry((e.name.clone(), e.key)).or_insert(0) += e.value;
+            }
+            EventKind::Histogram => {
+                histograms.entry(e.name.clone()).or_default().record(e.value);
+            }
+            EventKind::SpanEnter => stack.push((e.name.clone(), e.key, e.value, 0)),
+            EventKind::SpanExit => match stack.pop() {
+                Some((n, k, enter, child_total)) if n == e.name && k == e.key => {
+                    let duration = e.value.saturating_sub(enter);
+                    if let Some((_, _, _, parent_children)) = stack.last_mut() {
+                        *parent_children += duration;
+                    }
+                    let agg = spans.entry(n).or_default();
+                    agg.count += 1;
+                    agg.total += duration;
+                    agg.self_total += duration.saturating_sub(child_total);
+                }
+                Some(frame) => stack.push(frame), // mismatched exit: not attributed
+                None => {}
+            },
+        }
+    }
+
+    let mut out = format!(
+        "trace summary (schema_version {}, {} events)\n",
+        trace.schema_version,
+        trace.events.len()
+    );
+
+    let mut ranked: Vec<(&String, &SpanAgg)> = spans.iter().collect();
+    ranked.sort_by(|a, b| b.1.self_total.cmp(&a.1.self_total).then(a.0.cmp(b.0)));
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .take(top)
+        .map(|(name, s)| {
+            vec![
+                (*name).clone(),
+                s.count.to_string(),
+                s.total.to_string(),
+                s.self_total.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str("\n== top spans by self cost (stamp units) ==\n");
+    out.push_str(&render_table(&["span", "count", "total", "self"], &rows));
+    if !stack.is_empty() {
+        out.push_str(&format!("({} span(s) never exited — partial trace?)\n", stack.len()));
+    }
+
+    // Per-machine load: the counters keyed by machine id.
+    const MACHINE_COUNTERS: &[&str] =
+        &["engine.machine_bytes", "engine.machine_compute_ns", "db.reads", "db.queue_enqueued"];
+    let machines: BTreeSet<u64> = counters
+        .keys()
+        .filter(|(n, _)| MACHINE_COUNTERS.contains(&n.as_str()))
+        .map(|&(_, k)| k)
+        .collect();
+    if !machines.is_empty() {
+        let rows: Vec<Vec<String>> = machines
+            .iter()
+            .map(|&m| {
+                let mut row = vec![m.to_string()];
+                for name in MACHINE_COUNTERS {
+                    let v = counters.get(&((*name).to_string(), m)).copied().unwrap_or(0);
+                    row.push(v.to_string());
+                }
+                row
+            })
+            .collect();
+        out.push_str("\n== per-machine load ==\n");
+        out.push_str(&render_table(
+            &["machine", "engine bytes", "engine compute ns", "db reads", "db enqueued"],
+            &rows,
+        ));
+    }
+
+    let mut by_name: BTreeMap<&String, u64> = BTreeMap::new();
+    for ((name, _), v) in &counters {
+        *by_name.entry(name).or_insert(0) += v;
+    }
+    let rows: Vec<Vec<String>> =
+        by_name.iter().map(|(n, v)| vec![(*n).clone(), v.to_string()]).collect();
+    out.push_str("\n== counter totals ==\n");
+    out.push_str(&render_table(&["counter", "total"], &rows));
+
+    if !histograms.is_empty() {
+        let rows: Vec<Vec<String>> = histograms
+            .iter()
+            .map(|(n, h)| {
+                vec![
+                    n.clone(),
+                    h.count().to_string(),
+                    h.p50().to_string(),
+                    h.p99().to_string(),
+                    h.max().to_string(),
+                ]
+            })
+            .collect();
+        out.push_str("\n== histograms (log2-bucket quantiles) ==\n");
+        out.push_str(&render_table(&["histogram", "samples", "p50", "p99", "max"], &rows));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgp_trace::{CollectingSink, TraceSink};
+
+    fn sample_json() -> String {
+        let mut s = CollectingSink::new();
+        s.span_enter("engine.run", 0, 0);
+        s.span_enter("engine.superstep", 0, 0);
+        s.counter_add("engine.machine_bytes", 0, 100);
+        s.counter_add("engine.machine_bytes", 1, 300);
+        s.histogram_record("engine.barrier_wait_ns", 0, 4_000);
+        s.span_exit("engine.superstep", 0, 900);
+        s.span_exit("engine.run", 0, 1_000);
+        s.to_json()
+    }
+
+    #[test]
+    fn renders_spans_machines_counters_and_histograms() {
+        let out = summarize(&sample_json(), 8).expect("valid trace");
+        assert!(out.contains("schema_version 1"), "{out}");
+        assert!(out.contains("engine.superstep"), "{out}");
+        assert!(out.contains("top spans by self cost"), "{out}");
+        assert!(out.contains("per-machine load"), "{out}");
+        assert!(out.contains("engine.machine_bytes  400"), "{out}");
+        assert!(out.contains("engine.barrier_wait_ns"), "{out}");
+        // Self cost: engine.run spends all 1000 stamps minus the 900 in
+        // its child superstep.
+        let run_line = out.lines().find(|l| l.starts_with("engine.run")).expect("span row");
+        assert!(run_line.trim_end().ends_with("100"), "{run_line}");
+    }
+
+    #[test]
+    fn summarize_is_deterministic() {
+        let json = sample_json();
+        assert_eq!(summarize(&json, 8), summarize(&json, 8));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(summarize("not json", 8).is_err());
+    }
+}

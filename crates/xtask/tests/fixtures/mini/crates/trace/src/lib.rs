@@ -1,0 +1,14 @@
+//! Fixture: the observability crate is determinism-scoped — trace
+//! stamps must be simulated time or logical sequence numbers, never
+//! wallclock, or identical seeds stop producing byte-identical dumps.
+//! This file seeds exactly one wallclock violation; the manifest and
+//! crate attributes are clean, so only that finding may fire.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A span stamp taken from the machine clock instead of the simulation.
+pub fn wallclock_span_stamp() -> u64 {
+    let t = std::time::Instant::now(); // MARK-trace-instant
+    let _ = t;
+    0
+}

@@ -26,6 +26,10 @@
 //! * **Fault injection** ([`fault`]): seeded, schema-versioned fault
 //!   plans (crashes, stragglers, message loss) that both substrates
 //!   replay deterministically — the robustness suite's foundation.
+//! * **Observability** ([`trace`]): the deterministic spans / counters /
+//!   histograms layer (DESIGN.md §9) — every partitioner, the engine,
+//!   and both cluster simulators emit events stamped with simulated
+//!   time or logical sequence numbers, never wallclock.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@ pub use sgp_engine as engine;
 pub use sgp_fault as fault;
 pub use sgp_graph as graph;
 pub use sgp_partition as partition;
+pub use sgp_trace as trace;
 
 /// Convenient re-exports of the most used items across the workspace.
 pub mod prelude {
@@ -69,9 +74,15 @@ pub mod prelude {
         SimError, Workload, WorkloadKind,
     };
     pub use sgp_engine::apps::{PageRank, Sssp, Wcc};
-    pub use sgp_engine::{run_program, run_program_with_faults, EngineOptions, Placement};
+    pub use sgp_engine::{
+        run_program, run_program_traced, run_program_with_faults, run_program_with_faults_traced,
+        EngineOptions, Placement,
+    };
     pub use sgp_fault::{FaultPlan, FaultPlanConfig, RetryPolicy};
     pub use sgp_graph::{Edge, Graph, GraphBuilder, StreamOrder, VertexId};
     pub use sgp_partition::metrics::{edge_cut_ratio, load_imbalance, replication_factor};
-    pub use sgp_partition::{partition, Algorithm, CutModel, PartitionerConfig, Partitioning};
+    pub use sgp_partition::{
+        partition, partition_traced, Algorithm, CutModel, PartitionerConfig, Partitioning,
+    };
+    pub use sgp_trace::{CollectingSink, NullSink, SummarySink, TraceSink};
 }

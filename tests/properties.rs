@@ -5,6 +5,8 @@ use proptest::prelude::*;
 use sgp_engine::reference;
 use sgp_partition::metrics;
 use streaming_graph_partitioning::prelude::*;
+use streaming_graph_partitioning::trace::hist::bucket_index;
+use streaming_graph_partitioning::trace::Log2Histogram;
 
 /// Strategy: a random simple directed graph with 2..=60 vertices.
 fn arb_graph() -> impl Strategy<Value = Graph> {
@@ -191,5 +193,74 @@ proptest! {
         prop_assert!(imb >= 1.0 - 1e-12);
         let doubled: Vec<usize> = counts.iter().map(|&c| c * 2).collect();
         prop_assert!((metrics::load_imbalance(&doubled) - imb).abs() < 1e-9);
+    }
+
+    /// Span enter/exit events are well-formed (strict LIFO nesting,
+    /// non-decreasing stamps, everything closed) for a traced
+    /// partition-plus-engine run over any graph, k, algorithm, order.
+    #[test]
+    fn trace_spans_are_well_nested_for_random_workloads(
+        g in arb_graph(),
+        k in arb_k(),
+        alg in arb_algorithm(),
+        order in arb_order(),
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        let mut sink = CollectingSink::new();
+        let p = partition_traced(&g, alg, &cfg, order, &mut sink);
+        let placement = Placement::build(&g, &p);
+        run_program_traced(&g, &placement, &PageRank::new(3), &EngineOptions::default(), &mut sink);
+        prop_assert!(!sink.is_empty());
+        if let Err(e) = sink.check_nesting() {
+            return Err(TestCaseError::fail(format!("{alg:?}: {e}")));
+        }
+    }
+
+    /// The log₂ histogram's quantile estimate lands in the same bucket
+    /// as the exact rank-based quantile of the raw samples.
+    #[test]
+    fn histogram_quantile_within_one_bucket_of_exact(
+        mut samples in proptest::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Log2Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let rank = ((samples.len() - 1) as f64 * q).round() as usize;
+        let exact = samples[rank.min(samples.len() - 1)];
+        let estimate = h.quantile(q);
+        prop_assert_eq!(
+            bucket_index(estimate),
+            bucket_index(exact),
+            "estimate {} vs exact {} at q={}",
+            estimate,
+            exact,
+            q
+        );
+    }
+
+    /// Same seed + same config ⇒ byte-identical trace JSON, across the
+    /// partitioner and engine layers on arbitrary workloads.
+    #[test]
+    fn same_seed_yields_identical_trace_bytes(
+        g in arb_graph(),
+        k in arb_k(),
+        alg in arb_algorithm(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        let order = StreamOrder::Random { seed };
+        let trace_of = |sink: &mut CollectingSink| {
+            let p = partition_traced(&g, alg, &cfg, order, sink);
+            let placement = Placement::build(&g, &p);
+            run_program_traced(&g, &placement, &PageRank::new(3), &EngineOptions::default(), sink);
+        };
+        let mut a = CollectingSink::new();
+        trace_of(&mut a);
+        let mut b = CollectingSink::new();
+        trace_of(&mut b);
+        prop_assert_eq!(a.to_json(), b.to_json(), "{:?}", alg);
     }
 }

@@ -1,0 +1,65 @@
+//! Golden-snapshot tests for the canonical traces (DESIGN.md §9).
+//!
+//! Two small trace JSONs live under `tests/goldens/`: the engine
+//! PageRank scenario and the fault-injected DES scenario, both at tiny
+//! scale. Each test regenerates its scenario **twice** (same seed +
+//! same config must give byte-identical JSON) and then compares the
+//! bytes against the committed golden.
+//!
+//! Bless flow (documented in EXPERIMENTS.md): after an *intentional*
+//! trace-schema or instrumentation change, regenerate with
+//!
+//! ```text
+//! SGP_BLESS=1 cargo test --test trace_goldens
+//! ```
+//!
+//! and commit the rewritten files. On a checkout where a golden does
+//! not exist yet the test writes it (after the determinism check), so
+//! the first run on a new machine seeds the snapshots it will hold all
+//! later runs to.
+
+use std::fs;
+use std::path::PathBuf;
+use streaming_graph_partitioning::core::config::Scale;
+use streaming_graph_partitioning::core::trace_scenarios::{db_trace_json, engine_trace_json};
+use streaming_graph_partitioning::trace::parse_trace;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(name)
+}
+
+fn check_golden(name: &str, generate: impl Fn() -> String) {
+    let regenerated = generate();
+    let again = generate();
+    assert_eq!(regenerated, again, "{name}: regeneration must be byte-identical run to run");
+    let parsed = parse_trace(&regenerated).expect("canonical trace JSON must parse");
+    assert!(!parsed.events.is_empty(), "{name}: scenario produced no events");
+
+    let path = golden_path(name);
+    let bless = std::env::var_os("SGP_BLESS").is_some_and(|v| v == "1");
+    if bless || !path.exists() {
+        fs::create_dir_all(path.parent().expect("goldens dir has a parent"))
+            .expect("create goldens dir");
+        fs::write(&path, &regenerated).expect("write golden");
+        eprintln!("blessed {name} ({} bytes, {} events)", regenerated.len(), parsed.events.len());
+        return;
+    }
+    let committed = fs::read_to_string(&path).expect("read committed golden");
+    assert_eq!(
+        committed, regenerated,
+        "{name}: trace drifted from the committed golden. If the change is intentional, \
+         re-bless with `SGP_BLESS=1 cargo test --test trace_goldens` (see EXPERIMENTS.md)."
+    );
+}
+
+#[test]
+fn engine_pagerank_golden_regenerates_exactly() {
+    check_golden("trace_engine_tiny.json", || engine_trace_json(Scale::Tiny));
+}
+
+#[test]
+fn des_robustness_golden_regenerates_exactly() {
+    check_golden("trace_db_robustness_tiny.json", || {
+        db_trace_json(Scale::Tiny).expect("the robustness fault plan is valid")
+    });
+}

@@ -1,0 +1,225 @@
+//! Differential harness for the observability layer (DESIGN.md §9).
+//!
+//! The tracer must *observe, never perturb*: for every algorithm, on
+//! both execution substrates, a traced run has to produce bit-identical
+//! results to the untraced run, and the trace's aggregate counters have
+//! to equal the untraced report's fields exactly — not approximately.
+//! Any drift here means the instrumentation leaked into the simulation.
+
+use streaming_graph_partitioning::core::runners::default_order;
+use streaming_graph_partitioning::core::trace_scenarios::db_scenario_config;
+use streaming_graph_partitioning::db::MirrorDirectory;
+use streaming_graph_partitioning::prelude::*;
+
+const K: usize = 4;
+
+fn graph() -> Graph {
+    Dataset::LdbcSnb.generate(Scale::Tiny)
+}
+
+#[test]
+fn traced_partitioning_is_identical_for_every_algorithm() {
+    let g = graph();
+    let cfg = PartitionerConfig::new(K);
+    for &alg in Algorithm::all() {
+        let untraced = partition(&g, alg, &cfg, default_order());
+        let mut sink = CollectingSink::new();
+        let traced = partition_traced(&g, alg, &cfg, default_order(), &mut sink);
+        assert_eq!(untraced.masters(&g), traced.masters(&g), "{alg:?}: masters diverged");
+        assert_eq!(
+            untraced.edges_per_partition(),
+            traced.edges_per_partition(),
+            "{alg:?}: edge loads diverged"
+        );
+        sink.check_nesting().unwrap_or_else(|e| panic!("{alg:?}: bad span nesting: {e}"));
+        // The streaming element-at-a-time runners report per-partition
+        // load counters that must mirror the placement itself (the
+        // offline multilevel baseline and the hybrid constructors
+        // aggregate decision counters only).
+        if !matches!(alg, Algorithm::Metis | Algorithm::HybridRandom | Algorithm::Ginger) {
+            let loads: Vec<u64> =
+                (0..K as u64).map(|i| sink.counter_total_keyed("partition.load", i)).collect();
+            match traced.vertices_per_partition() {
+                Some(v) => {
+                    let expect: Vec<u64> = v.iter().map(|&x| x as u64).collect();
+                    assert_eq!(loads, expect, "{alg:?}: vertex load counters");
+                }
+                None => {
+                    let expect: Vec<u64> =
+                        traced.edges_per_partition().iter().map(|&x| x as u64).collect();
+                    assert_eq!(loads, expect, "{alg:?}: edge load counters");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_trace_counters_match_untraced_report_for_every_algorithm() {
+    let g = graph();
+    let cfg = PartitionerConfig::new(K);
+    let opts = EngineOptions::default();
+    for &alg in Algorithm::all() {
+        let p = partition(&g, alg, &cfg, default_order());
+        let placement = Placement::build(&g, &p);
+        let prog = PageRank::new(5);
+        let (data_untraced, untraced) = run_program(&g, &placement, &prog, &opts);
+        let mut sink = CollectingSink::new();
+        let (data_traced, traced) = run_program_traced(&g, &placement, &prog, &opts, &mut sink);
+
+        assert_eq!(data_untraced, data_traced, "{alg:?}: computed ranks diverged");
+        assert_eq!(
+            untraced.replication_factor.to_bits(),
+            traced.replication_factor.to_bits(),
+            "{alg:?}: replication factor diverged"
+        );
+        assert_eq!(
+            untraced.total_seconds().to_bits(),
+            traced.total_seconds().to_bits(),
+            "{alg:?}: simulated time diverged"
+        );
+
+        // Aggregate counters == untraced report fields, exactly.
+        let messages = sink.counter_total("engine.gather_messages")
+            + sink.counter_total("engine.update_messages");
+        assert_eq!(messages, untraced.total_messages(), "{alg:?}: message counters");
+        assert_eq!(
+            sink.counter_total("engine.network_bytes"),
+            untraced.total_network_bytes(),
+            "{alg:?}: byte counters"
+        );
+
+        // Per-superstep and per-machine keyed counters line up with the
+        // report's iteration stats.
+        for (i, it) in untraced.iterations.iter().enumerate() {
+            assert_eq!(
+                sink.counter_total_keyed("engine.active_vertices", i as u64),
+                it.active_vertices as u64,
+                "{alg:?}: active vertices, superstep {i}"
+            );
+            assert_eq!(
+                sink.counter_total_keyed("engine.gather_messages", i as u64),
+                it.gather_messages,
+                "{alg:?}: gather messages, superstep {i}"
+            );
+        }
+        for m in 0..K {
+            let bytes: u64 = untraced.iterations.iter().map(|it| it.machine_bytes[m]).sum();
+            assert_eq!(
+                sink.counter_total_keyed("engine.machine_bytes", m as u64),
+                bytes,
+                "{alg:?}: machine {m} bytes"
+            );
+        }
+        assert_eq!(
+            sink.histogram_of("engine.barrier_wait_ns").count(),
+            (untraced.num_iterations() * K) as u64,
+            "{alg:?}: one barrier-wait sample per machine per superstep"
+        );
+        sink.check_nesting().unwrap_or_else(|e| panic!("{alg:?}: bad span nesting: {e}"));
+    }
+}
+
+#[test]
+fn db_trace_counters_match_untraced_report_for_every_algorithm() {
+    let g = graph();
+    let cfg = SimConfig { clients_per_machine: 2, queries_per_client: 6, ..Default::default() };
+    for &alg in Algorithm::all() {
+        let p = partition(&g, alg, &PartitionerConfig::new(K), default_order());
+        let store = PartitionedStore::from_owner(g.clone(), K, p.masters(&g));
+        let workload =
+            Workload::generate(&g, WorkloadKind::OneHop, 60, Skew::Zipf { theta: 0.6 }, 0x0_1A7);
+        let sim = ClusterSim::prepare(&store, &workload);
+        let untraced = sim.run(&cfg);
+        let mut sink = CollectingSink::new();
+        let traced = sim.run_traced(&cfg, &mut sink);
+
+        assert_eq!(untraced.completed, traced.completed, "{alg:?}: completions diverged");
+        assert_eq!(untraced.reads_per_machine, traced.reads_per_machine, "{alg:?}: reads");
+        assert_eq!(
+            untraced.p99_latency_ms.to_bits(),
+            traced.p99_latency_ms.to_bits(),
+            "{alg:?}: p99 diverged"
+        );
+        assert_eq!(
+            untraced.sim_seconds.to_bits(),
+            traced.sim_seconds.to_bits(),
+            "{alg:?}: sim time diverged"
+        );
+
+        assert_eq!(
+            sink.counter_total("db.queries_completed"),
+            untraced.completed as u64,
+            "{alg:?}: completion counter"
+        );
+        for m in 0..K {
+            assert_eq!(
+                sink.counter_total_keyed("db.reads", m as u64),
+                untraced.reads_per_machine[m],
+                "{alg:?}: machine {m} reads"
+            );
+        }
+        assert_eq!(
+            sink.histogram_of("db.query_latency_ns").count(),
+            untraced.completed as u64,
+            "{alg:?}: one latency sample per counted query"
+        );
+        sink.check_nesting().unwrap_or_else(|e| panic!("{alg:?}: bad span nesting: {e}"));
+    }
+}
+
+#[test]
+fn faulted_db_trace_counters_match_untraced_report_for_every_algorithm() {
+    let g = graph();
+    let cfg = db_scenario_config();
+    let plan = cfg.build_plan(K);
+    for &alg in Algorithm::all() {
+        let p = partition(&g, alg, &PartitionerConfig::new(K), default_order());
+        let store = PartitionedStore::from_owner(g.clone(), K, p.masters(&g));
+        let mirrors = MirrorDirectory::for_model(&g, &p);
+        let workload =
+            Workload::generate(&g, WorkloadKind::OneHop, cfg.bindings, cfg.skew, cfg.workload_seed);
+        let sim = ClusterSim::prepare(&store, &workload);
+        let untraced = sim.run_faulted(&cfg.sim, &plan, &mirrors).expect("valid plan");
+        let mut sink = CollectingSink::new();
+        let traced = sim.run_faulted_traced(&cfg.sim, &plan, &mirrors, &mut sink).expect("plan");
+
+        assert_eq!(untraced.completed_ok, traced.completed_ok, "{alg:?}: successes diverged");
+        assert_eq!(untraced.failed, traced.failed, "{alg:?}: failures diverged");
+        assert_eq!(
+            untraced.availability.to_bits(),
+            traced.availability.to_bits(),
+            "{alg:?}: availability diverged"
+        );
+
+        assert_eq!(
+            sink.counter_total("db.queries_ok"),
+            untraced.completed_ok as u64,
+            "{alg:?}: success counter"
+        );
+        assert_eq!(
+            sink.counter_total("db.queries_failed"),
+            untraced.failed as u64,
+            "{alg:?}: failure counter"
+        );
+        assert_eq!(sink.counter_total("db.retries"), untraced.retries, "{alg:?}: retry counter");
+        assert_eq!(
+            sink.counter_total("db.dropped_messages"),
+            untraced.dropped_messages,
+            "{alg:?}: drop counter"
+        );
+        assert_eq!(
+            sink.counter_total("db.failovers"),
+            untraced.failovers,
+            "{alg:?}: failover counter"
+        );
+        for m in 0..K {
+            assert_eq!(
+                sink.counter_total_keyed("db.reads", m as u64),
+                untraced.reads_per_machine[m],
+                "{alg:?}: machine {m} reads"
+            );
+        }
+        sink.check_nesting().unwrap_or_else(|e| panic!("{alg:?}: bad span nesting: {e}"));
+    }
+}
