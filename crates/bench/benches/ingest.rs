@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks of the incremental ingestion core: chunked
+//! ingestion through the streaming sources versus materializing the
+//! whole stream up front, on the vertex path (LDG) and the edge path
+//! (HDRF). The chunked path is the one every entry point now runs on;
+//! this bench keeps its overhead honest against the materialized
+//! baseline it replaced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgp_core::config::{Dataset, Scale};
+use sgp_graph::{EdgeStream, StreamOrder, VertexStream};
+use sgp_partition::edge_cut::Ldg;
+use sgp_partition::streaming::{run_edge_chunked, run_vertex_chunked};
+use sgp_partition::vertex_cut::Hdrf;
+use sgp_partition::{partition_chunked, Algorithm, PartitionerConfig, DEFAULT_CHUNK};
+use sgp_trace::NullSink;
+
+fn bench_vertex_ingest(c: &mut Criterion) {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(16);
+    let order = StreamOrder::Random { seed: 7 };
+    let mut group = c.benchmark_group("ingest_vertex_ldg");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_vertices() as u64));
+    for &chunk in &[1usize, 64, DEFAULT_CHUNK] {
+        group.bench_with_input(BenchmarkId::new("chunked", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut p = Ldg::new(&cfg, g.num_vertices());
+                run_vertex_chunked(&g, &mut p, cfg.k, order, chunk, &mut NullSink)
+            });
+        });
+    }
+    group.bench_function("materialized", |b| {
+        b.iter(|| {
+            // Baseline: collect the whole permuted stream, then ingest it
+            // as one chunk — what the pre-refactor driver effectively did.
+            let records: Vec<_> = VertexStream::new(&g, order).collect();
+            let mut p = Ldg::new(&cfg, g.num_vertices());
+            let mut sp =
+                sgp_partition::streaming::VertexIngest::init(&mut p, g.num_vertices(), cfg.k);
+            sp.ingest(&records);
+            sp.seal(&g)
+        });
+    });
+    group.finish();
+}
+
+fn bench_edge_ingest(c: &mut Criterion) {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(16);
+    let order = StreamOrder::Random { seed: 7 };
+    let mut group = c.benchmark_group("ingest_edge_hdrf");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    for &chunk in &[1usize, 64, DEFAULT_CHUNK] {
+        group.bench_with_input(BenchmarkId::new("chunked", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut p = Hdrf::new(&cfg, g.num_edges());
+                run_edge_chunked(&g, &mut p, cfg.k, order, chunk, &mut NullSink)
+            });
+        });
+    }
+    group.bench_function("materialized", |b| {
+        b.iter(|| {
+            let edges = EdgeStream::new(&g, order);
+            let mut p = Hdrf::new(&cfg, g.num_edges());
+            let mut sp = sgp_partition::streaming::EdgeIngest::init(&g, &mut p, cfg.k);
+            sp.ingest(edges.as_slice());
+            sp.seal()
+        });
+    });
+    group.finish();
+}
+
+fn bench_facade_end_to_end(c: &mut Criterion) {
+    // The full facade path (init → ingest → seal) for one algorithm of
+    // each stream family, at the default chunk size.
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(16);
+    let order = StreamOrder::Random { seed: 7 };
+    let mut group = c.benchmark_group("ingest_facade");
+    group.sample_size(10);
+    for &alg in &[Algorithm::Ldg, Algorithm::Hdrf] {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.short_name()), &alg, |b, &alg| {
+            b.iter(|| partition_chunked(&g, alg, &cfg, order, DEFAULT_CHUNK));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertex_ingest, bench_edge_ingest, bench_facade_end_to_end);
+criterion_main!(benches);

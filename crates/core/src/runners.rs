@@ -16,7 +16,9 @@ use sgp_fault::FaultPlan;
 use sgp_graph::{Graph, StreamOrder};
 use sgp_partition::metis::MultilevelPartitioner;
 use sgp_partition::metrics::QualityReport;
-use sgp_partition::{partition, Algorithm, PartitionerConfig};
+use sgp_partition::{
+    partition, partition_multi_loader, Algorithm, LoaderConfig, PartitionerConfig,
+};
 
 /// Default stream order used by every experiment (a fixed seeded random
 /// permutation, the paper's loading protocol).
@@ -135,6 +137,73 @@ pub fn quality_suite_for(
 ) -> Vec<QualityRow> {
     let g = dataset.generate(scale);
     quality_suite(dataset.name(), &g, algorithms, ks)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-loader ablation (Table 1 "Parallelization"; beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// One multi-loader measurement: the structural quality of the placement
+/// produced when the input stream is split across `loaders` parallel
+/// loaders that synchronize shared state every `sync_interval` elements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoaderRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Stream-order label ("random", "bfs", ...).
+    pub order: String,
+    /// Number of partitions.
+    pub k: usize,
+    /// Number of parallel loaders `L`.
+    pub loaders: usize,
+    /// Elements each loader places between synchronization barriers.
+    pub sync_interval: usize,
+    /// Structural quality of the resulting placement.
+    pub quality: QualityReport,
+}
+
+/// Runs the multi-loader grid: every `(order, algorithm, L, T)` cell on
+/// one graph. `L = 1` cells are measured once per order (the sync
+/// interval is irrelevant when the local state *is* the global state)
+/// and serve as the sequential baseline rows.
+pub fn loaders_suite(
+    dataset_name: &str,
+    g: &Graph,
+    algorithms: &[Algorithm],
+    k: usize,
+    orders: &[(&str, StreamOrder)],
+    loader_counts: &[usize],
+    sync_intervals: &[usize],
+) -> Vec<LoaderRow> {
+    let cfg = PartitionerConfig::new(k);
+    let mut rows = Vec::new();
+    for &(order_name, order) in orders {
+        for &alg in algorithms {
+            for &loaders in loader_counts {
+                let intervals: &[usize] = if loaders <= 1 {
+                    &sync_intervals[..sync_intervals.len().min(1)]
+                } else {
+                    sync_intervals
+                };
+                for &sync_interval in intervals {
+                    let lc = LoaderConfig::new(loaders).with_sync_interval(sync_interval);
+                    let p = partition_multi_loader(g, alg, &cfg, order, &lc);
+                    rows.push(LoaderRow {
+                        dataset: dataset_name.to_string(),
+                        algorithm: alg,
+                        order: order_name.to_string(),
+                        k,
+                        loaders,
+                        sync_interval,
+                        quality: QualityReport::measure(g, &p),
+                    });
+                }
+            }
+        }
+    }
+    rows
 }
 
 // ---------------------------------------------------------------------------
@@ -676,6 +745,33 @@ mod tests {
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.quality.replication_factor >= 1.0));
         assert!(rows.iter().all(|r| r.partition_seconds >= 0.0));
+    }
+
+    #[test]
+    fn loaders_suite_grid_and_baseline_rows() {
+        let g = tiny_graph(Dataset::Twitter);
+        let rows = loaders_suite(
+            "twitter",
+            &g,
+            &[Algorithm::Ldg, Algorithm::Hdrf],
+            4,
+            &[("random", StreamOrder::Random { seed: 3 })],
+            &[1, 4],
+            &[16, 256],
+        );
+        // L=1 collapses to one interval: 2 algs × (1 + 2) cells.
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.quality.replication_factor >= 1.0));
+        // The L=1 baseline must equal the sequential registry result.
+        let cfg = PartitionerConfig::new(4);
+        let seq = partition(&g, Algorithm::Ldg, &cfg, StreamOrder::Random { seed: 3 });
+        let seq_quality = QualityReport::measure(&g, &seq);
+        let base = rows
+            .iter()
+            .find(|r| r.algorithm == Algorithm::Ldg && r.loaders == 1)
+            .expect("baseline row");
+        assert_eq!(base.quality.replication_factor, seq_quality.replication_factor);
+        assert_eq!(base.quality.edge_cut_ratio, seq_quality.edge_cut_ratio);
     }
 
     #[test]

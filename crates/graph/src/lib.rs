@@ -44,5 +44,5 @@ pub mod types;
 pub use builder::GraphBuilder;
 pub use csr::Graph;
 pub use stats::GraphStats;
-pub use stream::{EdgeStream, StreamOrder, VertexStream};
+pub use stream::{EdgeStream, EdgeStreamSource, StreamOrder, VertexStream, VertexStreamSource};
 pub use types::{Edge, VertexId};

@@ -1,18 +1,19 @@
 //! Edge-cut SGP on vertex streams (§4.1.1 of the paper): hash, LDG,
 //! FENNEL, and the re-streaming variants of Nishimura & Ugander.
 //!
-//! All algorithms here consume a [`VertexStream`] — each element is a
+//! All algorithms here consume a vertex stream — each element is a
 //! vertex with its complete neighbourhood — and emit a vertex-disjoint
-//! partitioning. The driver [`run_vertex_stream`] owns the shared
-//! streaming state (previous assignments + partition sizes) that the
-//! paper notes each worker must "continuously communicate and
-//! synchronize".
+//! partitioning. The shared streaming state (previous assignments +
+//! partition sizes) that the paper notes each worker must "continuously
+//! communicate and synchronize" lives in [`VertexStreamState`], owned by
+//! the incremental core in [`crate::streaming`]; [`run_vertex_stream`]
+//! and its traced twin are thin adapters over that core.
 
 use crate::assignment::{hash_to_partition, PartitionId, Partitioning};
 use crate::config::PartitionerConfig;
 use crate::decisions::DecisionStats;
 use sgp_graph::stream::VertexRecord;
-use sgp_graph::{Graph, StreamOrder, VertexStream};
+use sgp_graph::{Graph, StreamOrder};
 use sgp_trace::{NullSink, TraceSink};
 
 /// Shared state visible to a vertex-stream partitioner at placement time:
@@ -329,29 +330,14 @@ pub fn run_vertex_stream_traced<P: VertexStreamPartitioner, S: TraceSink>(
     order: StreamOrder,
     sink: &mut S,
 ) -> Partitioning {
-    let mut state = VertexStreamState::new(g.num_vertices(), k);
-    let mut seq: u64 = 0;
-    sink.span_enter("partition.stream", 0, seq);
-    for pass in 0..partitioner.passes() {
-        sink.span_enter("partition.pass", pass as u64, seq);
-        let stream = VertexStream::new(g, order);
-        for rec in stream {
-            let p = partitioner.place(&rec, &state);
-            debug_assert!((p as usize) < k, "partitioner returned out-of-range id");
-            state.assign(rec.vertex, p);
-            seq += 1;
-        }
-        sink.span_exit("partition.pass", pass as u64, seq);
-    }
-    sink.span_exit("partition.stream", 0, seq);
-    if sink.enabled() {
-        sink.counter_add("partition.vertices_placed", 0, seq);
-        partitioner.decision_stats().flush_into(sink);
-        for (i, &size) in state.sizes.iter().enumerate() {
-            sink.counter_add("partition.load", i as u64, size as u64);
-        }
-    }
-    Partitioning::from_vertex_owners(g, k, state.assignment)
+    crate::streaming::run_vertex_chunked(
+        g,
+        partitioner,
+        k,
+        order,
+        crate::streaming::DEFAULT_CHUNK,
+        sink,
+    )
 }
 
 #[cfg(test)]

@@ -11,12 +11,15 @@
 use crate::assignment::{hash_to_partition, CutModel, PartitionId, Partitioning};
 use crate::config::PartitionerConfig;
 use crate::decisions::DecisionStats;
-use sgp_graph::{Graph, StreamOrder, VertexStream};
+use crate::edge_cut::{VertexStreamPartitioner, VertexStreamState};
+use crate::streaming::{VertexIngest, DEFAULT_CHUNK};
+use sgp_graph::stream::VertexRecord;
+use sgp_graph::{Graph, StreamOrder, VertexStreamSource};
 
 /// Degree threshold separating low- from high-degree vertices. PowerLyra
 /// exposes this as a user knob; the reproduction derives it from the
 /// average degree by [`PartitionerConfig::ginger_threshold_factor`].
-fn high_degree_threshold(g: &Graph, cfg: &PartitionerConfig) -> usize {
+pub(crate) fn high_degree_threshold(g: &Graph, cfg: &PartitionerConfig) -> usize {
     ((g.avg_degree() * cfg.ginger_threshold_factor).ceil() as usize).max(1)
 }
 
@@ -60,44 +63,30 @@ pub fn ginger_with_stats(
     cfg: &PartitionerConfig,
     order: StreamOrder,
 ) -> (Partitioning, DecisionStats) {
-    let k = cfg.k;
-    let n = g.num_vertices();
-    let m = g.num_edges().max(1);
-    let threshold = high_degree_threshold(g, cfg);
-    let nm_ratio = n as f64 / m as f64;
+    ginger_chunked(g, cfg, order, DEFAULT_CHUNK)
+}
 
-    // Phase 1: greedy vertex placement over the vertex stream.
-    let mut owner = vec![0 as PartitionId; n];
-    let mut placed = vec![false; n];
-    let mut vertex_counts = vec![0usize; k];
-    let mut edge_counts = vec![0usize; k];
-    let vertex_cap = cfg.vertex_capacity(n).max(1.0) * 1.5; // soft guard only
-    for rec in VertexStream::new(g, order) {
-        let v = rec.vertex;
-        let mut hist = vec![0usize; k];
-        for &w in &rec.neighbors {
-            if placed[w as usize] {
-                hist[owner[w as usize] as usize] += 1;
-            }
-        }
-        let in_deg = g.in_degree(v);
-        let mut best = (f64::NEG_INFINITY, 0usize);
-        for i in 0..k {
-            if vertex_counts[i] as f64 >= vertex_cap {
-                continue;
-            }
-            let balance = 0.5 * (vertex_counts[i] as f64 + nm_ratio * edge_counts[i] as f64);
-            let score = hist[i] as f64 - balance;
-            if score > best.0 {
-                best = (score, i);
-            }
-        }
-        let p = best.1 as PartitionId;
-        owner[v as usize] = p;
-        placed[v as usize] = true;
-        vertex_counts[p as usize] += 1;
-        edge_counts[p as usize] += in_deg; // in-edges travel with v
+/// [`ginger_with_stats`] with a caller-chosen ingestion chunk size —
+/// phase 1 runs through the incremental core, so any chunk size yields
+/// a byte-identical result.
+pub fn ginger_chunked(
+    g: &Graph,
+    cfg: &PartitionerConfig,
+    order: StreamOrder,
+    chunk_size: usize,
+) -> (Partitioning, DecisionStats) {
+    let k = cfg.k;
+    let threshold = high_degree_threshold(g, cfg);
+
+    // Phase 1: greedy vertex placement over the vertex stream, driven
+    // through the incremental core.
+    let mut core = VertexIngest::init(GingerVertex::new(cfg, g), g.num_vertices(), k);
+    let mut source = VertexStreamSource::new(g, order);
+    let mut chunk = Vec::new();
+    while source.next_chunk(chunk_size, &mut chunk) > 0 {
+        core.ingest(&chunk);
     }
+    let owner = core.into_owner();
 
     // Phase 2: re-assign in-edges of high-degree vertices by source hash.
     let (edge_parts, degree_threshold_hits) = place_hybrid_edges(g, k, &owner, threshold);
@@ -105,12 +94,68 @@ pub fn ginger_with_stats(
     (Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }, stats)
 }
 
+/// Ginger's phase-1 greedy as a [`VertexStreamPartitioner`]: places each
+/// vertex `v` on the partition maximizing
+/// `|N(v) ∩ P_i| − ½(|V_i| + (|V|/|E|)·|E_i|)` (Eq. (8)). Vertex counts
+/// come from the shared streaming state; the edge-count term tracks the
+/// in-edges that travel with every vertex this machine placed, which is
+/// private knowledge of the greedy (the shared state counts vertices).
+#[derive(Debug, Clone)]
+pub struct GingerVertex {
+    k: usize,
+    nm_ratio: f64,
+    vertex_cap: f64,
+    in_degrees: Vec<usize>,
+    edge_counts: Vec<usize>,
+}
+
+impl GingerVertex {
+    /// Creates the Ginger phase-1 machine for `g` (in-degrees are the
+    /// a-priori knowledge Ginger shares with the offline formulation).
+    pub fn new(cfg: &PartitionerConfig, g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges().max(1);
+        GingerVertex {
+            k: cfg.k,
+            nm_ratio: n as f64 / m as f64,
+            vertex_cap: cfg.vertex_capacity(n).max(1.0) * 1.5, // soft guard only
+            in_degrees: g.vertices().map(|v| g.in_degree(v)).collect(),
+            edge_counts: vec![0; cfg.k],
+        }
+    }
+}
+
+impl VertexStreamPartitioner for GingerVertex {
+    fn place(&mut self, rec: &VertexRecord, state: &VertexStreamState) -> PartitionId {
+        let hist = state.neighbor_histogram(&rec.neighbors, self.k);
+        let mut best = (f64::NEG_INFINITY, 0usize);
+        for i in 0..self.k {
+            if state.sizes[i] as f64 >= self.vertex_cap {
+                continue;
+            }
+            let balance =
+                0.5 * (state.sizes[i] as f64 + self.nm_ratio * self.edge_counts[i] as f64);
+            let score = hist[i] as f64 - balance;
+            if score > best.0 {
+                best = (score, i);
+            }
+        }
+        // In-edges travel with the vertex.
+        self.edge_counts[best.1] += self.in_degrees[rec.vertex as usize];
+        best.1 as PartitionId
+    }
+
+    fn name(&self) -> &'static str {
+        "HG"
+    }
+}
+
 /// Shared hybrid edge placement: edge `(u, v)` goes to `owner[v]` when
 /// `v` is low-degree (in-degree ≤ threshold), else to `owner[u]`
 /// (PowerLyra hashes high-degree in-edges by source). Also returns how
 /// many edges took the high-degree route — the hybrid-cut's
 /// characteristic decision counter.
-fn place_hybrid_edges(
+pub(crate) fn place_hybrid_edges(
     g: &Graph,
     k: usize,
     owner: &[PartitionId],

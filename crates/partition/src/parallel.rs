@@ -11,7 +11,8 @@
 
 use crate::assignment::Partitioning;
 use crate::config::PartitionerConfig;
-use crate::registry::{partition, Algorithm};
+use crate::registry::Algorithm;
+use crate::streaming::{partition_chunked, DEFAULT_CHUNK};
 use sgp_graph::{Graph, StreamOrder};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -26,27 +27,32 @@ pub struct Job {
     pub order: StreamOrder,
 }
 
-/// Runs all jobs over `g` in parallel, returning results in job order.
+fn run_job(g: &Graph, job: &Job) -> Partitioning {
+    partition_chunked(g, job.algorithm, &job.config, job.order, DEFAULT_CHUNK)
+}
+
+/// Runs all jobs over `g` in parallel, returning one [`Partitioning`]
+/// per job, in job order. Every slot is guaranteed filled: the worker
+/// loop claims every index through the shared cursor, so the result is
+/// a plain `Vec<Partitioning>` rather than options.
 ///
-/// `threads = 0` (or 1) degenerates to sequential execution.
-pub fn partition_batch(g: &Graph, jobs: &[Job], threads: usize) -> Vec<Option<Partitioning>> {
-    let mut results: Vec<Option<Partitioning>> = (0..jobs.len()).map(|_| None).collect();
+/// `threads = 0` (or 1) degenerates to sequential execution; both paths
+/// route through the incremental streaming core, so parallel results
+/// are bit-identical to sequential ones.
+pub fn partition_batch(g: &Graph, jobs: &[Job], threads: usize) -> Vec<Partitioning> {
     if jobs.is_empty() {
-        return results;
+        return Vec::new();
     }
     let workers = threads
         .max(1)
         .min(jobs.len())
         .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
     if workers <= 1 {
-        for (slot, job) in results.iter_mut().zip(jobs) {
-            *slot = Some(partition(g, job.algorithm, &job.config, job.order));
-        }
-        return results;
+        return jobs.iter().map(|job| run_job(g, job)).collect();
     }
     let cursor = AtomicUsize::new(0);
-    // Hand each worker a disjoint set of result slots through a mutex-free
-    // channel: collect (index, result) pairs per worker, then scatter.
+    // Hand each worker a disjoint set of jobs through the shared cursor:
+    // collect (index, result) pairs per worker, then restore job order.
     let collected: Vec<Vec<(usize, Partitioning)>> = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -58,8 +64,7 @@ pub fn partition_batch(g: &Graph, jobs: &[Job], threads: usize) -> Vec<Option<Pa
                     if i >= jobs.len() {
                         break;
                     }
-                    let job = jobs[i];
-                    mine.push((i, partition(g, job.algorithm, &job.config, job.order)));
+                    mine.push((i, run_job(g, &jobs[i])));
                 }
                 mine
             }));
@@ -69,10 +74,10 @@ pub fn partition_batch(g: &Graph, jobs: &[Job], threads: usize) -> Vec<Option<Pa
     })
     // sgp-lint: allow(no-panic-in-lib): crossbeam::scope errs only when a child panicked; same propagation as above
     .expect("crossbeam scope");
-    for (i, p) in collected.into_iter().flatten() {
-        results[i] = Some(p);
-    }
-    results
+    let mut indexed: Vec<(usize, Partitioning)> = collected.into_iter().flatten().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert!(indexed.iter().enumerate().all(|(pos, &(i, _))| pos == i));
+    indexed.into_iter().map(|(_, p)| p).collect()
 }
 
 /// Convenience: run every algorithm of a suite at one `k`, in parallel.
@@ -85,12 +90,7 @@ pub fn partition_suite(
     let jobs: Vec<Job> =
         algorithms.iter().map(|&algorithm| Job { algorithm, config: *config, order }).collect();
     let results = partition_batch(g, &jobs, algorithms.len());
-    algorithms
-        .iter()
-        .copied()
-        // sgp-lint: allow(no-panic-in-lib): partition_batch's worker loop claims every index of jobs via the shared cursor, so every slot is Some
-        .zip(results.into_iter().map(|r| r.expect("every job completed")))
-        .collect()
+    algorithms.iter().copied().zip(results).collect()
 }
 
 #[cfg(test)]
@@ -116,10 +116,25 @@ mod tests {
         let jobs = jobs();
         let seq = partition_batch(&g, &jobs, 1);
         let par = partition_batch(&g, &jobs, 8);
+        assert_eq!(seq.len(), jobs.len());
+        assert_eq!(par.len(), jobs.len());
         for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
-            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
             assert_eq!(s.edge_parts, p.edge_parts, "job {i} ({})", jobs[i].algorithm);
             assert_eq!(s.vertex_owner, p.vertex_owner, "job {i}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_registry_one_shot() {
+        // Routing through the incremental core must not change results
+        // relative to the registry's sequential entry point.
+        let g = graph();
+        let jobs = jobs();
+        let batch = partition_batch(&g, &jobs, 4);
+        for (job, p) in jobs.iter().zip(&batch) {
+            let direct = crate::registry::partition(&g, job.algorithm, &job.config, job.order);
+            assert_eq!(direct.edge_parts, p.edge_parts, "{}", job.algorithm);
+            assert_eq!(direct.vertex_owner, p.vertex_owner, "{}", job.algorithm);
         }
     }
 

@@ -122,6 +122,16 @@ impl Algorithm {
         &[Algorithm::EcrHash, Algorithm::Ldg, Algorithm::Fennel, Algorithm::Metis]
     }
 
+    /// Whether [`partition_multi_loader`](crate::loaders::partition_multi_loader)
+    /// can split this algorithm's stream across parallel loaders: true
+    /// for every streaming algorithm (hash methods need no communication,
+    /// greedy methods place against periodically-synchronized shared
+    /// state — Table 1's "parallelization" column), false only for the
+    /// offline METIS baseline, which reads the whole graph at seal time.
+    pub fn supports_parallel_loaders(&self) -> bool {
+        !matches!(self, Algorithm::Metis)
+    }
+
     /// Static Table 1 row for this algorithm.
     pub fn info(&self) -> AlgorithmInfo {
         use Algorithm::*;

@@ -5,12 +5,15 @@
 //! edge-disjoint partitioning", replicating vertices whose incident edges
 //! land on multiple partitions. The shared mutable state (replica table
 //! `A(u)`, partial degrees, partition edge counts) is the "distributed
-//! table" the paper says greedy methods must synchronize.
+//! table" the paper says greedy methods must synchronize; it lives in
+//! [`EdgeStreamState`], folded incrementally by the core in
+//! [`crate::streaming`], with [`run_edge_stream`] and its traced twin as
+//! thin adapters.
 
 use crate::assignment::{fxhash64, hash_to_partition, PartitionId, Partitioning};
 use crate::config::PartitionerConfig;
 use crate::decisions::DecisionStats;
-use sgp_graph::{Edge, EdgeStream, Graph, StreamOrder};
+use sgp_graph::{Edge, Graph, StreamOrder};
 use sgp_trace::{NullSink, TraceSink};
 
 /// Replica-set table `A(u)` plus partial degree counters and per-partition
@@ -410,31 +413,14 @@ pub fn run_edge_stream_traced<P: EdgeStreamPartitioner, S: TraceSink>(
     order: StreamOrder,
     sink: &mut S,
 ) -> Partitioning {
-    let mut state = EdgeStreamState::new(g.num_vertices(), k);
-    let mut edge_parts = vec![0 as PartitionId; g.num_edges()];
-    let mut seq: u64 = 0;
-    sink.span_enter("partition.stream", 0, seq);
-    for e in EdgeStream::new(g, order) {
-        let p = partitioner.place(e, &state);
-        debug_assert!((p as usize) < k, "partitioner returned out-of-range id");
-        state.record(e, p);
-        // sgp-lint: allow(no-panic-in-lib): e was just produced by EdgeStream over g, so the CSR lookup cannot miss
-        let idx = g.edge_index(e.src, e.dst).expect("stream edge exists in graph");
-        edge_parts[idx] = p;
-        seq += 1;
-    }
-    sink.span_exit("partition.stream", 0, seq);
-    if sink.enabled() {
-        sink.counter_add("partition.edges_placed", 0, seq);
-        let mut stats = partitioner.decision_stats();
-        stats.replicas_created = state.replicas_created;
-        stats.mirror_creations = state.mirror_creations;
-        stats.flush_into(sink);
-        for (i, &count) in state.edge_counts.iter().enumerate() {
-            sink.counter_add("partition.load", i as u64, count as u64);
-        }
-    }
-    Partitioning::from_edge_parts(g, k, edge_parts)
+    crate::streaming::run_edge_chunked(
+        g,
+        partitioner,
+        k,
+        order,
+        crate::streaming::DEFAULT_CHUNK,
+        sink,
+    )
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ const ENGINE_LIB: &str = "crates/engine/src/lib.rs";
 const ENGINE_TOML: &str = "crates/engine/Cargo.toml";
 const ENGINE_SMOKE: &str = "crates/engine/tests/smoke.rs";
 const FAULT_LIB: &str = "crates/fault/src/lib.rs";
+const PARTITION_LIB: &str = "crates/partition/src/lib.rs";
 const TRACE_LIB: &str = "crates/trace/src/lib.rs";
 
 #[test]
@@ -72,6 +73,14 @@ fn fixture_findings_match_exactly() {
         // must not read ambient randomness or iterate hash containers.
         ("no-wallclock-in-sim".into(), FAULT_LIB.into(), mark_line(FAULT_LIB, "MARK-fault-rng")),
         ("no-hash-iteration".into(), FAULT_LIB.into(), mark_line(FAULT_LIB, "MARK-fault-hash")),
+        // The partitioner crate is determinism-scoped too: the
+        // multi-loader merge path must replay decision logs in seeded
+        // rotation order, never hash-iteration order.
+        (
+            "no-hash-iteration".into(),
+            PARTITION_LIB.into(),
+            mark_line(PARTITION_LIB, "MARK-loader-merge-hash"),
+        ),
         // The observability crate is determinism-scoped too: stamps come
         // from simulated time or sequence numbers, never the wall clock.
         (
@@ -91,7 +100,7 @@ fn fixture_findings_match_exactly() {
         "finding set mismatch\nactual:\n{:#?}\nexpected:\n{:#?}",
         actual, expected
     );
-    assert_eq!(report.errors(), 17);
+    assert_eq!(report.errors(), 18);
     assert_eq!(report.warnings(), 1);
     assert_eq!(report.exit_code(), 1, "seeded fixture must fail the lint");
 }
@@ -134,18 +143,20 @@ fn json_output_is_stable_and_wellformed() {
     let b = sgp_xtask::render_json(&report);
     assert_eq!(a, b, "rendering is deterministic");
     assert!(a.starts_with("{\n  \"version\": 1,\n"));
-    assert!(a.contains("\"errors\": 17"));
+    assert!(a.contains("\"errors\": 18"));
     assert!(a.contains("\"warnings\": 1"));
     assert!(a.contains("\"rule\": \"no-hash-iteration\""));
     // Findings arrive sorted by (file, line, rule): the manifest file
     // sorts before src/lib.rs, which sorts before tests/smoke.rs, and
-    // the crates sort engine < fault < trace.
+    // the crates sort engine < fault < partition < trace.
     let toml_pos = a.find("crates/engine/Cargo.toml").expect("manifest finding present");
     let lib_pos = a.find("crates/engine/src/lib.rs").expect("lib finding present");
     let smoke_pos = a.find("crates/engine/tests/smoke.rs").expect("test finding present");
     let fault_pos = a.find("crates/fault/src/lib.rs").expect("fault finding present");
+    let partition_pos = a.find("crates/partition/src/lib.rs").expect("partition finding present");
     let trace_pos = a.find("crates/trace/src/lib.rs").expect("trace finding present");
     assert!(toml_pos < lib_pos && lib_pos < smoke_pos, "sorted by file");
     assert!(smoke_pos < fault_pos, "engine files sort before fault files");
-    assert!(fault_pos < trace_pos, "fault files sort before trace files");
+    assert!(fault_pos < partition_pos, "fault files sort before partition files");
+    assert!(partition_pos < trace_pos, "partition files sort before trace files");
 }

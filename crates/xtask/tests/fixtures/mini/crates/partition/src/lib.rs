@@ -1,0 +1,36 @@
+//! Fixture: the partitioner crate is determinism-scoped, and its
+//! multi-loader merge path is the most tempting place to smuggle in a
+//! hash container — decision logs keyed by loader id "just need a map".
+//! Iterating one at a synchronization barrier would make the merged
+//! global state depend on hash-iteration order, silently breaking the
+//! same-seed ⇒ byte-identical-partitioning contract. This file seeds
+//! exactly that violation; everything else in the crate is clean, so
+//! only the one finding may fire.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Merges per-loader decision logs into a global assignment — through a
+/// hash map, so the replay order (and any non-commutative state folded
+/// over it) depends on hasher seeding instead of the documented seeded
+/// rotation.
+pub fn merge_loader_decisions(logs: &[(u32, u32)]) -> Vec<u32> {
+    let mut by_loader: std::collections::HashMap<u32, Vec<u32>> = Default::default(); // MARK-loader-merge-hash
+    for &(loader, decision) in logs {
+        by_loader.entry(loader).or_default().push(decision);
+    }
+    let mut merged = Vec::new();
+    for (_, decisions) in by_loader {
+        merged.extend(decisions);
+    }
+    merged
+}
+
+/// A clean, deterministic counterpart: loaders are dense indices, so a
+/// vector of logs replayed in seeded rotation order needs no hashing.
+pub fn merge_in_rotation(logs: &[Vec<u32>], start: usize) -> Vec<u32> {
+    let mut merged = Vec::new();
+    for step in 0..logs.len() {
+        merged.extend(logs[(start + step) % logs.len()].iter().copied());
+    }
+    merged
+}

@@ -1,0 +1,170 @@
+//! Differential tests of the incremental streaming-partitioner core:
+//! for every algorithm, chunked ingestion (any chunk size), the traced
+//! drivers, and the single-loader multi-loader path must be
+//! byte-identical to the one-shot batch entry points — and the stream
+//! orders with configurable start vertices must collapse to the legacy
+//! unit variants at start 0, including through serde.
+
+use proptest::prelude::*;
+use sgp_partition::streaming::StreamInput;
+use streaming_graph_partitioning::prelude::*;
+
+/// Strategy: a random simple directed graph with 2..=50 vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..50).prop_flat_map(|n| {
+        let max_edges = (n * (n - 1)).min(240);
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges).prop_map(
+            move |pairs| {
+                let mut b = GraphBuilder::new().ensure_vertices(n);
+                for (s, d) in pairs {
+                    b.push_edge(s, d);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    proptest::sample::select(Algorithm::all().to_vec())
+}
+
+fn arb_order() -> impl Strategy<Value = StreamOrder> {
+    prop_oneof![
+        Just(StreamOrder::Natural),
+        any::<u64>().prop_map(|seed| StreamOrder::Random { seed }),
+        Just(StreamOrder::Bfs),
+        Just(StreamOrder::Dfs),
+        (0u32..50).prop_map(|start| StreamOrder::BfsFrom { start }),
+        (0u32..50).prop_map(|start| StreamOrder::DfsFrom { start }),
+    ]
+}
+
+fn arb_chunk() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(7), Just(64), Just(usize::MAX)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The tentpole determinism contract: for every algorithm and every
+    /// chunk size, driving the incremental core chunk by chunk yields a
+    /// placement byte-identical to the one-shot entry point.
+    #[test]
+    fn chunked_ingestion_is_byte_identical_to_one_shot(
+        g in arb_graph(),
+        alg in arb_algorithm(),
+        order in arb_order(),
+        chunk in arb_chunk(),
+        k in 1usize..=6,
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        let whole = partition(&g, alg, &cfg, order);
+        let chunked = partition_chunked(&g, alg, &cfg, order, chunk);
+        prop_assert_eq!(&whole.edge_parts, &chunked.edge_parts);
+        prop_assert_eq!(&whole.vertex_owner, &chunked.vertex_owner);
+        prop_assert_eq!(whole.model, chunked.model);
+    }
+
+    /// A single loader is the sequential machine: `L = 1` through the
+    /// multi-loader layer must match the registry bit for bit, at any
+    /// synchronization interval.
+    #[test]
+    fn single_loader_matches_sequential(
+        g in arb_graph(),
+        alg in arb_algorithm(),
+        order in arb_order(),
+        sync_interval in prop_oneof![Just(1usize), Just(13), Just(4096)],
+        k in 1usize..=6,
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        let lc = LoaderConfig::new(1).with_sync_interval(sync_interval);
+        let seq = partition(&g, alg, &cfg, order);
+        let par = partition_multi_loader(&g, alg, &cfg, order, &lc);
+        prop_assert_eq!(&seq.edge_parts, &par.edge_parts);
+        prop_assert_eq!(&seq.vertex_owner, &par.vertex_owner);
+    }
+
+    /// Multi-loader runs are a pure function of (graph, algorithm,
+    /// config, order, loader config) — no wallclock, no hash-iteration
+    /// order anywhere in the merge.
+    #[test]
+    fn multi_loader_is_deterministic(
+        g in arb_graph(),
+        alg in arb_algorithm(),
+        order in arb_order(),
+        loaders in 2usize..=5,
+        k in 1usize..=6,
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        let lc = LoaderConfig::new(loaders).with_sync_interval(8);
+        let a = partition_multi_loader(&g, alg, &cfg, order, &lc);
+        let b = partition_multi_loader(&g, alg, &cfg, order, &lc);
+        prop_assert_eq!(&a.edge_parts, &b.edge_parts);
+        prop_assert_eq!(&a.vertex_owner, &b.vertex_owner);
+    }
+
+    /// `BfsFrom`/`DfsFrom` at start 0 are exactly the legacy unit
+    /// variants, all the way through a partitioning.
+    #[test]
+    fn start_zero_traversals_match_unit_variants(
+        g in arb_graph(),
+        alg in arb_algorithm(),
+        k in 1usize..=6,
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        let bfs = partition(&g, alg, &cfg, StreamOrder::Bfs);
+        let bfs0 = partition(&g, alg, &cfg, StreamOrder::BfsFrom { start: 0 });
+        prop_assert_eq!(&bfs.edge_parts, &bfs0.edge_parts);
+        prop_assert_eq!(&bfs.vertex_owner, &bfs0.vertex_owner);
+        let dfs = partition(&g, alg, &cfg, StreamOrder::Dfs);
+        let dfs0 = partition(&g, alg, &cfg, StreamOrder::DfsFrom { start: 0 });
+        prop_assert_eq!(&dfs.edge_parts, &dfs0.edge_parts);
+        prop_assert_eq!(&dfs.vertex_owner, &dfs0.vertex_owner);
+    }
+}
+
+#[test]
+fn facade_covers_every_algorithm_with_the_right_stream() {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(4);
+    for &alg in Algorithm::all() {
+        let sp = StreamingPartitioner::init(&g, alg, &cfg);
+        match sp.input() {
+            StreamInput::Offline => assert_eq!(alg, Algorithm::Metis, "{alg}"),
+            StreamInput::Vertices | StreamInput::Edges => {
+                assert!(alg.supports_parallel_loaders(), "{alg}")
+            }
+        }
+    }
+    assert!(!Algorithm::Metis.supports_parallel_loaders());
+}
+
+#[test]
+fn stream_order_serde_is_backward_compatible() {
+    // Orders serialized before the configurable-start variants existed
+    // must still deserialize: the unit variants survive as-is.
+    let bfs: StreamOrder = serde_json::from_str("\"Bfs\"").expect("legacy Bfs payload");
+    assert_eq!(bfs, StreamOrder::Bfs);
+    let dfs: StreamOrder = serde_json::from_str("\"Dfs\"").expect("legacy Dfs payload");
+    assert_eq!(dfs, StreamOrder::Dfs);
+    let random: StreamOrder =
+        serde_json::from_str("{\"Random\":{\"seed\":7}}").expect("legacy Random payload");
+    assert_eq!(random, StreamOrder::Random { seed: 7 });
+    // And the unit variants still serialize to the legacy form.
+    assert_eq!(serde_json::to_string(&StreamOrder::Bfs).expect("serialize"), "\"Bfs\"");
+    // The new variants round-trip.
+    for order in [StreamOrder::BfsFrom { start: 3 }, StreamOrder::DfsFrom { start: 9 }] {
+        let json = serde_json::to_string(&order).expect("serialize");
+        let back: StreamOrder = serde_json::from_str(&json).expect("round-trip");
+        assert_eq!(back, order);
+    }
+}
+
+#[test]
+fn loader_config_serde_round_trips() {
+    let lc = LoaderConfig::new(4).with_sync_interval(64);
+    let json = serde_json::to_string(&lc).expect("serialize");
+    let back: LoaderConfig = serde_json::from_str(&json).expect("round-trip");
+    assert_eq!(back, lc);
+}
