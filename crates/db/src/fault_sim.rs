@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use sgp_fault::{FaultEvent, FaultPlan, PlanError, RetryPolicy};
 use sgp_graph::Graph;
 use sgp_partition::{CutModel, Partitioning};
-use sgp_trace::{latency_summary_ms, NullSink, TraceSink};
+use sgp_trace::{keys, latency_summary_ms, NullSink, TraceSink};
 use std::collections::VecDeque;
 
 /// Why a fault-injected simulation could not run.
@@ -94,6 +94,7 @@ impl MirrorDirectory {
     /// Directory for an edge-cut store: JanusGraph keeps a single copy
     /// of every vertex, so no machine's data survives its crash.
     pub fn edge_cut(machines: usize) -> Self {
+        // sgp-lint: allow(no-float-accounting): mirror coverage is a ratio in [0,1], not simulated time
         MirrorDirectory { coverage: vec![0.0; machines], peers: vec![Vec::new(); machines] }
     }
 
@@ -122,6 +123,7 @@ impl MirrorDirectory {
             }
         }
         let coverage = (0..k)
+            // sgp-lint: allow(no-float-accounting): mirror coverage is a ratio in [0,1], not simulated time
             .map(|m| if mastered[m] == 0 { 0.0 } else { mirrored[m] as f64 / mastered[m] as f64 })
             .collect();
         let peers = peer_counts
@@ -358,6 +360,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
         let k = sim.machines;
         let clients = cfg.base.clients_per_machine * k;
         let total_queries = clients * cfg.base.queries_per_client;
+        // sgp-lint: allow(no-float-accounting): warmup cutoff is a one-time fraction of the query count, rounded before the event loop starts
         let warmup = (total_queries as f64 * cfg.base.warmup_fraction) as usize;
         let machines = (0..k)
             .map(|_| FMachine {
@@ -418,7 +421,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
             let jitter = (c as u64 * 1_000) % (self.cfg.request_overhead_ns as u64 + 1);
             self.events.push(jitter, FEvent::Issue { client: c });
         }
-        self.sink.span_enter("db.run", 0, 0);
+        self.sink.span_enter(keys::DB_RUN, 0, 0);
         while let Some((now, ev)) = self.events.pop() {
             match ev {
                 FEvent::Issue { client } => self.on_issue(client, now),
@@ -436,7 +439,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
                 FEvent::Crash { machine } => self.on_crash(machine, now),
                 FEvent::Recover { machine } => {
                     self.machines[machine as usize].up = true;
-                    self.sink.counter_add("db.recoveries", machine as u64, 1);
+                    self.sink.counter_add(keys::DB_RECOVERIES, machine as u64, 1);
                 }
             }
             if self.completed >= self.total_queries {
@@ -445,10 +448,10 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
         }
         if self.sink.enabled() {
             for (m, &r) in self.reads_per_machine.iter().enumerate() {
-                self.sink.counter_add("db.reads", m as u64, r);
+                self.sink.counter_add(keys::DB_READS, m as u64, r);
             }
         }
-        self.sink.span_exit("db.run", 0, self.last_completion_ns);
+        self.sink.span_exit(keys::DB_RUN, 0, self.last_completion_ns);
         self.report()
     }
 
@@ -477,7 +480,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
         let (routed, failed_over) = self.route(share.origin);
         if failed_over {
             self.failovers += 1;
-            self.sink.counter_add("db.failovers", share.origin as u64, 1);
+            self.sink.counter_add(keys::DB_FAILOVERS, share.origin as u64, 1);
         }
         self.reads_per_machine[routed as usize] += share.reads as u64;
         let remote = routed != coordinator;
@@ -487,7 +490,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
             self.msg_counter += 1;
             if self.plan.drop_message(self.msg_counter) {
                 self.dropped += 1;
-                self.sink.counter_add("db.dropped_messages", routed as u64, 1);
+                self.sink.counter_add(keys::DB_DROPPED_MESSAGES, routed as u64, 1);
                 self.events.push(
                     t + self.retry.timeout_ns,
                     FEvent::SubFail {
@@ -556,7 +559,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
         }
         if failed_over {
             self.failovers += 1;
-            self.sink.counter_add("db.failovers", home as u64, 1);
+            self.sink.counter_add(keys::DB_FAILOVERS, home as u64, 1);
         }
         self.dispatch_round(slot, now);
         if self.active[slot as usize].pending == 0 {
@@ -583,6 +586,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
         let m = &mut self.machines[machine as usize];
         if m.busy < m.cores {
             m.busy += 1;
+            // sgp-lint: allow(no-float-accounting): the one float->integral boundary applying the slowdown factor
             let effective = (share.service_ns as f64 * slow) as u64;
             let epoch = m.epoch;
             m.in_flight.push(share);
@@ -594,8 +598,8 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
             m.fifo.push_back(share);
             if self.sink.enabled() {
                 let depth = m.fifo.len() as u64;
-                self.sink.counter_add("db.queue_enqueued", machine as u64, 1);
-                self.sink.histogram_record("db.queue_depth", machine as u64, depth);
+                self.sink.counter_add(keys::DB_QUEUE_ENQUEUED, machine as u64, 1);
+                self.sink.histogram_record(keys::DB_QUEUE_DEPTH, machine as u64, depth);
             }
         }
     }
@@ -617,6 +621,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
             }
             if let Some(next) = m.fifo.pop_front() {
                 m.busy += 1;
+                // sgp-lint: allow(no-float-accounting): the one float->integral boundary applying the slowdown factor
                 let effective = (next.service_ns as f64 * slow) as u64;
                 let next_epoch = m.epoch;
                 m.in_flight.push(next);
@@ -672,13 +677,13 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
             return;
         }
         self.retries += 1;
-        self.sink.counter_add("db.retries", share.origin as u64, 1);
+        self.sink.counter_add(keys::DB_RETRIES, share.origin as u64, 1);
         let resend_at = now + self.retry.backoff_ns(share.attempt);
         self.send_share(share.query, Share { attempt: share.attempt + 1, ..share }, resend_at);
     }
 
     fn on_crash(&mut self, machine: u32, now: u64) {
-        self.sink.counter_add("db.crashes", machine as u64, 1);
+        self.sink.counter_add(keys::DB_CRASHES, machine as u64, 1);
         let lost: Vec<Share> = {
             let m = &mut self.machines[machine as usize];
             m.up = false;
@@ -737,7 +742,9 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
                         remainder -= 1;
                     }
                     let per_read = self.cfg.read_service_ns
+                        // sgp-lint: allow(no-float-accounting): evaluating the float service-time model; the result is cast to integral ns on the next line
                         + if remote { self.cfg.remote_read_extra_ns } else { 0.0 };
+                    // sgp-lint: allow(no-float-accounting): the one float->integral boundary for per-share service time
                     let mut service = (share_reads as f64 * per_read) as u64;
                     if share == 0 {
                         service += self.cfg.request_overhead_ns as u64;
@@ -759,6 +766,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
             // Scatter-gather fan-out on the coordinator.
             if remote_fanout > 0 {
                 pending += 1;
+                // sgp-lint: allow(no-float-accounting): the one float->integral boundary for coordinator fan-out time
                 let service = (self.cfg.fanout_ns * remote_fanout as f64) as u64;
                 self.send_share(
                     slot,
@@ -800,20 +808,21 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
                 self.ok += 1;
                 self.latencies_ns.push(now - start_ns);
                 if self.sink.enabled() {
-                    self.sink.span_enter("db.query", trace_idx as u64, start_ns);
-                    self.sink.span_exit("db.query", trace_idx as u64, now);
-                    self.sink.counter_add("db.queries_ok", 0, 1);
-                    self.sink.histogram_record("db.query_latency_ns", 0, now - start_ns);
+                    self.sink.span_enter(keys::DB_QUERY, trace_idx as u64, start_ns);
+                    self.sink.span_exit(keys::DB_QUERY, trace_idx as u64, now);
+                    self.sink.counter_add(keys::DB_QUERIES_OK, 0, 1);
+                    self.sink.histogram_record(keys::DB_QUERY_LATENCY_NS, 0, now - start_ns);
                 }
             } else {
                 self.failed += 1;
-                self.sink.counter_add("db.queries_failed", 0, 1);
+                self.sink.counter_add(keys::DB_QUERIES_FAILED, 0, 1);
             }
         }
         self.free_slots.push(slot);
         self.events.push(now, FEvent::Issue { client });
     }
 
+    // sgp-lint: allow-scope(no-float-accounting): report rendering — availability, qps and seconds are derived from integral counters after the clock stops
     fn report(mut self) -> FaultSimReport {
         let lat = latency_summary_ms(&mut self.latencies_ns);
         let window_ns = self.last_completion_ns.saturating_sub(self.warmup_end_ns).max(1);

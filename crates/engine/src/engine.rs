@@ -23,7 +23,7 @@ use crate::program::VertexProgram;
 use crate::wire::encoded_len;
 use sgp_fault::{FaultEvent, FaultPlan};
 use sgp_graph::Graph;
-use sgp_trace::{NullSink, TraceSink};
+use sgp_trace::{keys, NullSink, TraceSink};
 
 /// Engine execution options.
 #[derive(Debug, Clone, Copy)]
@@ -225,14 +225,14 @@ fn run_program_impl<P: VertexProgram, S: TraceSink>(
         summary: FaultSummary::default(),
     });
 
-    sink.span_enter("engine.run", 0, 0);
+    sink.span_enter(keys::ENGINE_RUN, 0, 0);
     for iteration in 0..prog.max_iterations() {
         let active_count = active.iter().filter(|&&a| a).count();
         if active_count == 0 {
             break;
         }
         let iter_start_stamp = total_wall_ns as u64;
-        sink.span_enter("engine.superstep", iteration as u64, iter_start_stamp);
+        sink.span_enter(keys::ENGINE_SUPERSTEP, iteration as u64, iter_start_stamp);
 
         let mut compute_ns = vec![0.0f64; k];
         let mut sent_bytes = vec![0u64; k];
@@ -377,19 +377,19 @@ fn run_program_impl<P: VertexProgram, S: TraceSink>(
             );
             if sink.enabled() && state.summary.crashes > crashes_before {
                 let recovery_ns = state.summary.recovery_ns - recovery_ns_before;
-                sink.span_enter("engine.fault_recovery", iteration as u64, iter_start_stamp);
+                sink.span_enter(keys::ENGINE_FAULT_RECOVERY, iteration as u64, iter_start_stamp);
                 sink.span_exit(
-                    "engine.fault_recovery",
+                    keys::ENGINE_FAULT_RECOVERY,
                     iteration as u64,
                     iter_start_stamp + recovery_ns as u64,
                 );
                 sink.counter_add(
-                    "engine.fault_crashes",
+                    keys::ENGINE_FAULT_CRASHES,
                     iteration as u64,
                     (state.summary.crashes - crashes_before) as u64,
                 );
                 sink.counter_add(
-                    "engine.fault_recovery_bytes",
+                    keys::ENGINE_FAULT_RECOVERY_BYTES,
                     iteration as u64,
                     state.summary.recovery_bytes - recovery_bytes_before,
                 );
@@ -398,22 +398,22 @@ fn run_program_impl<P: VertexProgram, S: TraceSink>(
         total_wall_ns += wall;
 
         if sink.enabled() {
-            sink.counter_add("engine.active_vertices", iteration as u64, active_count as u64);
-            sink.counter_add("engine.gather_messages", iteration as u64, gather_messages);
-            sink.counter_add("engine.update_messages", iteration as u64, update_messages);
+            sink.counter_add(keys::ENGINE_ACTIVE_VERTICES, iteration as u64, active_count as u64);
+            sink.counter_add(keys::ENGINE_GATHER_MESSAGES, iteration as u64, gather_messages);
+            sink.counter_add(keys::ENGINE_UPDATE_MESSAGES, iteration as u64, update_messages);
             sink.counter_add(
-                "engine.network_bytes",
+                keys::ENGINE_NETWORK_BYTES,
                 iteration as u64,
                 sent_bytes.iter().sum::<u64>(),
             );
             for m in 0..k {
-                sink.counter_add("engine.machine_bytes", m as u64, machine_bytes[m]);
-                sink.counter_add("engine.machine_compute_ns", m as u64, compute_ns[m] as u64);
+                sink.counter_add(keys::ENGINE_MACHINE_BYTES, m as u64, machine_bytes[m]);
+                sink.counter_add(keys::ENGINE_MACHINE_COMPUTE_NS, m as u64, compute_ns[m] as u64);
                 // Barrier wait: how long machine m idles between finishing
                 // its own compute+network and the (fault-inflated) barrier.
                 let net_ns = machine_bytes[m] as f64 / opts.cost.bytes_per_second * 1e9;
                 let wait = (wall - (compute_ns[m] + net_ns)).max(0.0);
-                sink.histogram_record("engine.barrier_wait_ns", m as u64, wait as u64);
+                sink.histogram_record(keys::ENGINE_BARRIER_WAIT_NS, m as u64, wait as u64);
             }
         }
 
@@ -426,7 +426,7 @@ fn run_program_impl<P: VertexProgram, S: TraceSink>(
             machine_bytes,
             wall_ns: wall,
         });
-        sink.span_exit("engine.superstep", iteration as u64, total_wall_ns as u64);
+        sink.span_exit(keys::ENGINE_SUPERSTEP, iteration as u64, total_wall_ns as u64);
 
         seeded.fill(false);
         if prog.all_active() {
@@ -436,7 +436,7 @@ fn run_program_impl<P: VertexProgram, S: TraceSink>(
         }
     }
 
-    sink.span_exit("engine.run", 0, total_wall_ns as u64);
+    sink.span_exit(keys::ENGINE_RUN, 0, total_wall_ns as u64);
     let report = RunReport {
         program: prog.name(),
         machines: k,
@@ -739,19 +739,19 @@ mod tests {
         assert_eq!(report.total_wall_ns, treport.total_wall_ns);
         sink.check_nesting().expect("well-formed span nesting");
         assert_eq!(
-            sink.counter_total("engine.gather_messages"),
+            sink.counter_total(keys::ENGINE_GATHER_MESSAGES),
             report.iterations.iter().map(|i| i.gather_messages).sum::<u64>()
         );
         assert_eq!(
-            sink.counter_total("engine.update_messages"),
+            sink.counter_total(keys::ENGINE_UPDATE_MESSAGES),
             report.iterations.iter().map(|i| i.update_messages).sum::<u64>()
         );
         assert_eq!(
-            sink.counter_total("engine.network_bytes"),
+            sink.counter_total(keys::ENGINE_NETWORK_BYTES),
             report.iterations.iter().map(|i| i.network_bytes).sum::<u64>()
         );
         assert_eq!(
-            sink.counter_total("engine.active_vertices"),
+            sink.counter_total(keys::ENGINE_ACTIVE_VERTICES),
             report.iterations.iter().map(|i| i.active_vertices as u64).sum::<u64>()
         );
     }
@@ -767,8 +767,8 @@ mod tests {
         let (_, report) =
             run_program_with_faults_traced(&g, &pl, &PageRank::new(5), &opts, &plan, &mut sink);
         let summary = report.fault.expect("faulted run reports a summary");
-        assert_eq!(sink.counter_total("engine.fault_crashes"), summary.crashes as u64);
-        assert_eq!(sink.counter_total("engine.fault_recovery_bytes"), summary.recovery_bytes);
+        assert_eq!(sink.counter_total(keys::ENGINE_FAULT_CRASHES), summary.crashes as u64);
+        assert_eq!(sink.counter_total(keys::ENGINE_FAULT_RECOVERY_BYTES), summary.recovery_bytes);
         sink.check_nesting().expect("well-formed span nesting");
     }
 

@@ -70,6 +70,7 @@ impl Placement {
 
     /// Measured replication factor (average replica-set size), identical
     /// to [`sgp_partition::metrics::replication_factor`].
+    // sgp-lint: allow-scope(no-float-accounting): replication factor is a report ratio over integral replica counts
     pub fn replication_factor(&self) -> f64 {
         if self.masters.is_empty() {
             return 0.0;

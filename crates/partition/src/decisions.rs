@@ -6,7 +6,7 @@
 //! [`TraceSink`](sgp_trace::TraceSink) after the stream ends. The
 //! counter names are part of the trace schema (see DESIGN.md §9).
 
-use sgp_trace::TraceSink;
+use sgp_trace::{keys, TraceSink};
 
 /// Decision counters shared across the partitioner families.
 ///
@@ -46,11 +46,11 @@ impl DecisionStats {
     /// Emits every counter (including zeros, for schema stability) into
     /// `sink` under the `partition.*` namespace.
     pub fn flush_into<S: TraceSink>(&self, sink: &mut S) {
-        sink.counter_add("partition.balance_tiebreaks", 0, self.balance_tiebreaks);
-        sink.counter_add("partition.capacity_fallbacks", 0, self.capacity_fallbacks);
-        sink.counter_add("partition.degree_threshold_hits", 0, self.degree_threshold_hits);
-        sink.counter_add("partition.mirror_creations", 0, self.mirror_creations);
-        sink.counter_add("partition.replicas_created", 0, self.replicas_created);
+        sink.counter_add(keys::PARTITION_BALANCE_TIEBREAKS, 0, self.balance_tiebreaks);
+        sink.counter_add(keys::PARTITION_CAPACITY_FALLBACKS, 0, self.capacity_fallbacks);
+        sink.counter_add(keys::PARTITION_DEGREE_THRESHOLD_HITS, 0, self.degree_threshold_hits);
+        sink.counter_add(keys::PARTITION_MIRROR_CREATIONS, 0, self.mirror_creations);
+        sink.counter_add(keys::PARTITION_REPLICAS_CREATED, 0, self.replicas_created);
     }
 }
 
@@ -74,7 +74,7 @@ mod tests {
         let mut sink = CollectingSink::new();
         stats.flush_into(&mut sink);
         assert_eq!(sink.events().len(), 5);
-        assert_eq!(sink.counter_total("partition.degree_threshold_hits"), 7);
-        assert_eq!(sink.counter_total("partition.balance_tiebreaks"), 0);
+        assert_eq!(sink.counter_total(keys::PARTITION_DEGREE_THRESHOLD_HITS), 7);
+        assert_eq!(sink.counter_total(keys::PARTITION_BALANCE_TIEBREAKS), 0);
     }
 }

@@ -11,7 +11,7 @@ use crate::vertex_cut::{
 };
 use serde::{Deserialize, Serialize};
 use sgp_graph::{Graph, StreamOrder};
-use sgp_trace::{NullSink, TraceSink};
+use sgp_trace::{keys, NullSink, TraceSink};
 
 /// Every partitioning algorithm in the study (Table 2 names).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -305,7 +305,7 @@ pub fn partition_traced<S: TraceSink>(
     let n = g.num_vertices();
     let m = g.num_edges();
     let alg_key = Algorithm::all().iter().position(|&a| a == algorithm).unwrap_or(0) as u64;
-    sink.span_enter("partition.run", alg_key, 0);
+    sink.span_enter(keys::PARTITION_RUN, alg_key, 0);
     let p = match algorithm {
         Algorithm::EcrHash => {
             run_vertex_stream_traced(g, &mut HashVertex::new(cfg), k, order, sink)
@@ -338,7 +338,7 @@ pub fn partition_traced<S: TraceSink>(
         Algorithm::HybridRandom => {
             let (p, stats) = hybrid_random_with_stats(g, cfg);
             if sink.enabled() {
-                sink.counter_add("partition.edges_placed", 0, m as u64);
+                sink.counter_add(keys::PARTITION_EDGES_PLACED, 0, m as u64);
                 stats.flush_into(sink);
             }
             p
@@ -346,14 +346,14 @@ pub fn partition_traced<S: TraceSink>(
         Algorithm::Ginger => {
             let (p, stats) = ginger_with_stats(g, cfg, order);
             if sink.enabled() {
-                sink.counter_add("partition.edges_placed", 0, m as u64);
+                sink.counter_add(keys::PARTITION_EDGES_PLACED, 0, m as u64);
                 stats.flush_into(sink);
             }
             p
         }
         Algorithm::Metis => MultilevelPartitioner::default().partitioning(g, k),
     };
-    sink.span_exit("partition.run", alg_key, (n + m) as u64);
+    sink.span_exit(keys::PARTITION_RUN, alg_key, (n + m) as u64);
     p
 }
 

@@ -45,7 +45,7 @@ use crate::vertex_cut::{
 };
 use sgp_graph::stream::VertexRecord;
 use sgp_graph::{Edge, EdgeStreamSource, Graph, StreamOrder, VertexStreamSource};
-use sgp_trace::{NullSink, TraceSink};
+use sgp_trace::{keys, NullSink, TraceSink};
 
 /// Default ingestion chunk size used by the legacy one-shot entry
 /// points. Large enough to amortize per-chunk overhead, small enough to
@@ -167,10 +167,10 @@ impl<P: VertexStreamPartitioner> VertexIngest<P> {
     /// emitted after its stream span.
     pub fn seal_traced<S: TraceSink>(self, g: &Graph, sink: &mut S) -> Partitioning {
         if sink.enabled() {
-            sink.counter_add("partition.vertices_placed", 0, self.seq);
+            sink.counter_add(keys::PARTITION_VERTICES_PLACED, 0, self.seq);
             self.partitioner.decision_stats().flush_into(sink);
             for (i, &size) in self.state.sizes.iter().enumerate() {
-                sink.counter_add("partition.load", i as u64, size as u64);
+                sink.counter_add(keys::PARTITION_LOAD, i as u64, size as u64);
             }
         }
         Partitioning::from_vertex_owners(g, self.k, owner_from_assignment(self.state.assignment))
@@ -253,13 +253,13 @@ impl<'g, P: EdgeStreamPartitioner> EdgeIngest<'g, P> {
     /// edge loads — exactly as the legacy traced driver did.
     pub fn seal_traced<S: TraceSink>(self, sink: &mut S) -> Partitioning {
         if sink.enabled() {
-            sink.counter_add("partition.edges_placed", 0, self.seq);
+            sink.counter_add(keys::PARTITION_EDGES_PLACED, 0, self.seq);
             let mut stats = self.partitioner.decision_stats();
             stats.replicas_created = self.state.replicas_created;
             stats.mirror_creations = self.state.mirror_creations;
             stats.flush_into(sink);
             for (i, &count) in self.state.edge_counts.iter().enumerate() {
-                sink.counter_add("partition.load", i as u64, count as u64);
+                sink.counter_add(keys::PARTITION_LOAD, i as u64, count as u64);
             }
         }
         Partitioning::from_edge_parts(self.g, self.k, self.edge_parts)
@@ -281,16 +281,16 @@ pub fn run_vertex_chunked<P: VertexStreamPartitioner, S: TraceSink>(
     let mut core = VertexIngest::init(partitioner, g.num_vertices(), k);
     let mut source = VertexStreamSource::new(g, order);
     let mut chunk = Vec::new();
-    sink.span_enter("partition.stream", 0, core.seq());
+    sink.span_enter(keys::PARTITION_STREAM, 0, core.seq());
     for pass in 0..core.passes() {
-        sink.span_enter("partition.pass", pass as u64, core.seq());
+        sink.span_enter(keys::PARTITION_PASS, pass as u64, core.seq());
         source.restart();
         while source.next_chunk(chunk_size, &mut chunk) > 0 {
             core.ingest(&chunk);
         }
-        sink.span_exit("partition.pass", pass as u64, core.seq());
+        sink.span_exit(keys::PARTITION_PASS, pass as u64, core.seq());
     }
-    sink.span_exit("partition.stream", 0, core.seq());
+    sink.span_exit(keys::PARTITION_STREAM, 0, core.seq());
     core.seal_traced(g, sink)
 }
 
@@ -308,11 +308,11 @@ pub fn run_edge_chunked<P: EdgeStreamPartitioner, S: TraceSink>(
     let mut core = EdgeIngest::init(g, partitioner, k);
     let mut source = EdgeStreamSource::new(g, order);
     let mut chunk = Vec::new();
-    sink.span_enter("partition.stream", 0, core.seq());
+    sink.span_enter(keys::PARTITION_STREAM, 0, core.seq());
     while source.next_chunk(chunk_size, &mut chunk) > 0 {
         core.ingest(&chunk);
     }
-    sink.span_exit("partition.stream", 0, core.seq());
+    sink.span_exit(keys::PARTITION_STREAM, 0, core.seq());
     core.seal_traced(sink)
 }
 

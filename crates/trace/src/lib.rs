@@ -34,6 +34,7 @@
 
 pub mod hist;
 pub mod json;
+pub mod keys;
 pub mod sink;
 pub mod stats;
 

@@ -1,0 +1,459 @@
+//! Cross-file semantic rules.
+//!
+//! These rules need the whole workspace scanned before they can run —
+//! they correlate declarations in one crate with uses in another:
+//!
+//! * [`trace-key-registry`](crate::rules::TRACE_KEY_REGISTRY) — every
+//!   key passed to a `TraceSink` method (`span_enter`, `span_exit`,
+//!   `counter_add`, `histogram_record`) in the instrumented crates must
+//!   be a constant from the canonical `sgp_trace::keys` module, and
+//!   every constant in that module must be referenced somewhere. This
+//!   pins the trace schema: a renamed or orphaned key would silently
+//!   drift the byte-exact trace goldens.
+//! * [`no-float-accounting`](crate::rules::NO_FLOAT_ACCOUNTING) — the
+//!   simulated-time and message-accounting paths (`sgp-db` simulators,
+//!   `sgp-engine` wire/placement accounting) must stay integral: float
+//!   literals and `as f32`/`as f64` casts are findings. Real-valued
+//!   *algorithm* state (PageRank ranks, the analytic cost model) is out
+//!   of scope by design; quantile/report rendering inside scoped files
+//!   carries `allow-scope` directives.
+//! * [`schema-version-sync`](crate::rules::SCHEMA_VERSION_SYNC) — the
+//!   schema-version constants in `sgp-trace` (JSON trace documents) and
+//!   `sgp-fault` (FaultPlan) must agree with the single source of truth
+//!   committed at `tests/goldens/SCHEMA_VERSIONS`.
+//!
+//! All three charge suppressions to the same per-file [`AllowTable`]s
+//! as the per-file rules, so `stale-allow`/`unused-allow` bookkeeping
+//! covers them uniformly.
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::report::{Finding, Severity};
+use crate::rules::{AllowTable, NO_FLOAT_ACCOUNTING, SCHEMA_VERSION_SYNC, TRACE_KEY_REGISTRY};
+use crate::workspace::{FileKind, Workspace};
+use crate::ScannedEntry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The `TraceSink` methods whose first argument is a trace key.
+const SINK_METHODS: &[&str] = &["span_enter", "span_exit", "counter_add", "histogram_record"];
+
+/// Crates whose library code emits trace events (the registry's crate,
+/// `sgp-trace`, is exempt: its sink impls forward caller-supplied
+/// names).
+const CALLSITE_SCOPE: &[&str] = &["sgp-partition", "sgp-engine", "sgp-db", "sgp-core"];
+
+/// Files whose accounting must stay integral: (package, path suffix).
+/// `engine.rs`/`cost.rs` hold the paper's real-valued analytic cost
+/// model and are deliberately outside this list.
+const FLOAT_SCOPE: &[(&str, &str)] = &[
+    ("sgp-db", "src/sim.rs"),
+    ("sgp-db", "src/fault_sim.rs"),
+    ("sgp-engine", "src/wire.rs"),
+    ("sgp-engine", "src/placement.rs"),
+];
+
+/// Workspace-relative path of the schema-version source of truth.
+pub const SCHEMA_VERSIONS_REL: &str = "tests/goldens/SCHEMA_VERSIONS";
+
+/// (manifest key, package, constant name) for each pinned schema.
+const SCHEMA_SPECS: &[(&str, &str, &str)] = &[
+    ("trace", "sgp-trace", "SCHEMA_VERSION"),
+    ("fault-plan", "sgp-fault", "FAULT_PLAN_SCHEMA_VERSION"),
+];
+
+/// Runs every cross-file rule.
+pub fn check_all(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    allows: &mut [AllowTable<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    check_trace_key_registry(ws, entries, allows, findings);
+    check_float_accounting(ws, entries, allows, findings);
+    check_schema_version_sync(ws, entries, allows, findings);
+}
+
+// ---------------------------------------------------------------------------
+// Token-walk helpers (shared by the three rules)
+// ---------------------------------------------------------------------------
+
+fn prev_nontrivia(tokens: &[Token], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| !lexer::is_trivia(tokens[j].kind))
+}
+
+fn next_nontrivia(tokens: &[Token], i: usize) -> Option<usize> {
+    (i + 1..tokens.len()).find(|&j| !lexer::is_trivia(tokens[j].kind))
+}
+
+fn punct_char(source: &str, t: &Token) -> Option<char> {
+    (t.kind == TokenKind::Punct).then(|| source[t.start..t.end].chars().next().unwrap_or('\0'))
+}
+
+/// Extracts `(name, value, line)` for every `const NAME: … = "…"; `
+/// string constant in a file.
+fn string_consts(scanned: &crate::scan::ScannedFile) -> Vec<(String, String, usize)> {
+    let src = &scanned.source;
+    let toks = &scanned.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident && toks[i].text(src) == "const" {
+            if let Some(ni) = next_nontrivia(toks, i) {
+                if toks[ni].kind == TokenKind::Ident {
+                    let name = toks[ni].text(src).to_string();
+                    let line = toks[ni].line;
+                    // Scan to the terminating `;`, remembering the first
+                    // string literal on the way.
+                    let mut j = ni;
+                    let mut value: Option<String> = None;
+                    while let Some(k) = next_nontrivia(toks, j) {
+                        if punct_char(src, &toks[k]) == Some(';') {
+                            break;
+                        }
+                        if value.is_none() {
+                            if let TokenKind::Str { .. } = toks[k].kind {
+                                value = Some(
+                                    toks[k].text(src).trim_matches(['r', '#', '"']).to_string(),
+                                );
+                            }
+                        }
+                        j = k;
+                    }
+                    if let Some(v) = value {
+                        out.push((name, v, line));
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts the integer value and line of `const NAME: … = <int>;`.
+fn int_const(scanned: &crate::scan::ScannedFile, name: &str) -> Option<(u64, usize)> {
+    let src = &scanned.source;
+    let toks = &scanned.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || toks[i].text(src) != name {
+            continue;
+        }
+        let is_const_decl = prev_nontrivia(toks, i)
+            .is_some_and(|p| toks[p].kind == TokenKind::Ident && toks[p].text(src) == "const");
+        if !is_const_decl {
+            continue;
+        }
+        let line = toks[i].line;
+        let mut j = i;
+        while let Some(k) = next_nontrivia(toks, j) {
+            if punct_char(src, &toks[k]) == Some(';') {
+                break;
+            }
+            if let TokenKind::Number { float: false } = toks[k].kind {
+                let digits: String =
+                    toks[k].text(src).chars().take_while(char::is_ascii_digit).collect();
+                if let Ok(v) = digits.parse::<u64>() {
+                    return Some((v, line));
+                }
+            }
+            j = k;
+        }
+        return None;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// trace-key-registry
+// ---------------------------------------------------------------------------
+
+fn check_trace_key_registry(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    allows: &mut [AllowTable<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    // Locate the canonical registry module.
+    let registry_idx = entries.iter().position(|e| {
+        ws.members[e.member].name == "sgp-trace" && e.scanned.rel.ends_with("src/keys.rs")
+    });
+    let registry: Vec<(String, String, usize)> =
+        registry_idx.map(|i| string_consts(&entries[i].scanned)).unwrap_or_default();
+    let registry_names: BTreeSet<&str> = registry.iter().map(|(n, _, _)| n.as_str()).collect();
+
+    // Pass over every sink call site in the instrumented crates.
+    for (ei, e) in entries.iter().enumerate() {
+        let member = &ws.members[e.member];
+        if !CALLSITE_SCOPE.contains(&member.name.as_str()) || e.kind != FileKind::LibSrc {
+            continue;
+        }
+        let src = &e.scanned.source;
+        let toks = &e.scanned.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident || !SINK_METHODS.contains(&t.text(src)) {
+                continue;
+            }
+            if e.scanned.is_test_line(t.line) {
+                continue;
+            }
+            if !crate::rules::is_method_call(src, toks, i) {
+                continue;
+            }
+            let Some(open) = next_nontrivia(toks, i) else { continue };
+            // First argument, skipping reference sigils.
+            let mut arg = next_nontrivia(toks, open);
+            while let Some(a) = arg {
+                if punct_char(src, &toks[a]) == Some('&') {
+                    arg = next_nontrivia(toks, a);
+                } else {
+                    break;
+                }
+            }
+            let Some(a) = arg else { continue };
+            match toks[a].kind {
+                TokenKind::Str { .. } => {
+                    let line = toks[a].line;
+                    if !allows[ei].allows(TRACE_KEY_REGISTRY, line) {
+                        findings.push(Finding::new(
+                            TRACE_KEY_REGISTRY,
+                            Severity::Error,
+                            &e.scanned.rel,
+                            line,
+                            format!(
+                                "hardcoded trace key {} — declare it in sgp_trace::keys and pass \
+                                 the constant, so the goldens-pinned schema has one source of \
+                                 truth",
+                                toks[a].text(src)
+                            ),
+                        ));
+                    }
+                }
+                TokenKind::Ident => {
+                    // Resolve a path like `keys::PARTITION_RUN` to its
+                    // final segment.
+                    let mut last = a;
+                    let mut j = a;
+                    while let (Some(c1), Some(c2)) = (
+                        next_nontrivia(toks, j),
+                        next_nontrivia(toks, j).and_then(|k| next_nontrivia(toks, k)),
+                    ) {
+                        if punct_char(src, &toks[c1]) == Some(':')
+                            && punct_char(src, &toks[c2]) == Some(':')
+                        {
+                            if let Some(seg) = next_nontrivia(toks, c2) {
+                                if toks[seg].kind == TokenKind::Ident {
+                                    last = seg;
+                                    j = seg;
+                                    continue;
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    let name = toks[last].text(src);
+                    let line = toks[last].line;
+                    if registry_idx.is_some()
+                        && !registry_names.contains(name)
+                        && !allows[ei].allows(TRACE_KEY_REGISTRY, line)
+                    {
+                        findings.push(Finding::new(
+                            TRACE_KEY_REGISTRY,
+                            Severity::Error,
+                            &e.scanned.rel,
+                            line,
+                            format!(
+                                "trace key argument `{name}` does not name a sgp_trace::keys \
+                                 constant — route every key through the registry"
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Every registry constant must be referenced somewhere outside the
+    // registry module itself (call sites, re-exports, or tests).
+    let Some(ri) = registry_idx else { return };
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for (ei, e) in entries.iter().enumerate() {
+        if ei == ri {
+            continue;
+        }
+        let src = &e.scanned.source;
+        for t in &e.scanned.tokens {
+            if t.kind == TokenKind::Ident {
+                if let Some(name) = registry_names.get(t.text(src)) {
+                    used.insert(name);
+                }
+            }
+        }
+    }
+    let rel = entries[ri].scanned.rel.clone();
+    for (name, value, line) in &registry {
+        if !used.contains(name.as_str()) && !allows[ri].allows(TRACE_KEY_REGISTRY, *line) {
+            findings.push(Finding::new(
+                TRACE_KEY_REGISTRY,
+                Severity::Error,
+                &rel,
+                *line,
+                format!(
+                    "registry key `{name}` (\"{value}\") is never referenced by any crate — \
+                     delete it or wire up the instrumentation it promises"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-float-accounting
+// ---------------------------------------------------------------------------
+
+fn check_float_accounting(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    allows: &mut [AllowTable<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    for (ei, e) in entries.iter().enumerate() {
+        let member = &ws.members[e.member];
+        let scoped = FLOAT_SCOPE
+            .iter()
+            .any(|(pkg, suffix)| member.name == *pkg && e.scanned.rel.ends_with(suffix));
+        if !scoped {
+            continue;
+        }
+        let src = &e.scanned.source;
+        let toks = &e.scanned.tokens;
+        let mut reported: BTreeSet<usize> = BTreeSet::new();
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            let is_float_literal = matches!(t.kind, TokenKind::Number { float: true });
+            let is_float_cast = t.kind == TokenKind::Ident
+                && t.text(src) == "as"
+                && next_nontrivia(toks, i).is_some_and(|n| {
+                    toks[n].kind == TokenKind::Ident && matches!(toks[n].text(src), "f32" | "f64")
+                });
+            if !is_float_literal && !is_float_cast {
+                continue;
+            }
+            let line = t.line;
+            if e.scanned.is_test_line(line) || reported.contains(&line) {
+                continue;
+            }
+            if !allows[ei].allows(NO_FLOAT_ACCOUNTING, line) {
+                reported.insert(line);
+                let what =
+                    if is_float_cast { "an `as f32`/`as f64` cast" } else { "a float literal" };
+                findings.push(Finding::new(
+                    NO_FLOAT_ACCOUNTING,
+                    Severity::Error,
+                    &e.scanned.rel,
+                    line,
+                    format!(
+                        "{what} in a simulated-time/message-accounting path — accounting must \
+                         stay integral (ticks, ns, bytes); quantile/report rendering belongs \
+                         under a scoped allow"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// schema-version-sync
+// ---------------------------------------------------------------------------
+
+fn check_schema_version_sync(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    allows: &mut [AllowTable<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    let Ok(text) = std::fs::read_to_string(ws.root.join(SCHEMA_VERSIONS_REL)) else {
+        // Workspaces without a goldens manifest (e.g. ad-hoc fixture
+        // trees) simply don't pin schema versions.
+        return;
+    };
+    let mut pinned: BTreeMap<&str, (u64, usize)> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = line
+            .split_once('=')
+            .and_then(|(k, v)| v.trim().parse::<u64>().ok().map(|v| (k.trim(), v)));
+        match parsed {
+            Some((key, value)) if SCHEMA_SPECS.iter().any(|(k, _, _)| *k == key) => {
+                pinned.insert(key, (value, idx + 1));
+            }
+            _ => findings.push(Finding::new(
+                SCHEMA_VERSION_SYNC,
+                Severity::Error,
+                SCHEMA_VERSIONS_REL,
+                idx + 1,
+                format!("unrecognised schema pin `{line}` — expected `<name>=<integer>` with a known name"),
+            )),
+        }
+    }
+
+    for (key, pkg, const_name) in SCHEMA_SPECS {
+        let found = entries.iter().enumerate().find_map(|(ei, e)| {
+            (ws.members[e.member].name == *pkg && e.kind == FileKind::LibSrc)
+                .then(|| int_const(&e.scanned, const_name).map(|(v, l)| (ei, v, l)))
+                .flatten()
+        });
+        match (found, pinned.get(key)) {
+            (Some((ei, value, line)), Some(&(want, _))) => {
+                if value != want && !allows[ei].allows(SCHEMA_VERSION_SYNC, line) {
+                    let rel = entries[ei].scanned.rel.clone();
+                    findings.push(Finding::new(
+                        SCHEMA_VERSION_SYNC,
+                        Severity::Error,
+                        &rel,
+                        line,
+                        format!(
+                            "`{const_name}` is {value} but {SCHEMA_VERSIONS_REL} pins `{key}={want}` \
+                             — bump the pin and re-bless the goldens in the same change, or revert \
+                             the constant"
+                        ),
+                    ));
+                }
+            }
+            (Some((ei, value, _)), None) => {
+                let rel = entries[ei].scanned.rel.clone();
+                findings.push(Finding::new(
+                    SCHEMA_VERSION_SYNC,
+                    Severity::Error,
+                    SCHEMA_VERSIONS_REL,
+                    0,
+                    format!(
+                        "missing pin `{key}={value}` for `{pkg}::{const_name}` (declared in {rel})"
+                    ),
+                ));
+            }
+            (None, Some(&(want, mline))) => {
+                // A pin exists but the constant is gone: only meaningful
+                // when the crate itself is present in this workspace.
+                if ws.members.iter().any(|m| m.name == *pkg) {
+                    findings.push(Finding::new(
+                        SCHEMA_VERSION_SYNC,
+                        Severity::Error,
+                        SCHEMA_VERSIONS_REL,
+                        mline,
+                        format!(
+                            "pin `{key}={want}` has no matching `{const_name}` constant in {pkg}"
+                        ),
+                    ));
+                }
+            }
+            (None, None) => {}
+        }
+    }
+}

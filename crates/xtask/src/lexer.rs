@@ -1,0 +1,636 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! The lexer turns a source file into a flat, *lossless* token stream:
+//! every byte of the input belongs to exactly one token, tokens carry
+//! byte offsets plus 1-based line/column spans, and concatenating the
+//! token texts reproduces the file byte-for-byte (enforced by the
+//! `lexer_roundtrip` integration test over every `.rs` file in the
+//! workspace).
+//!
+//! It understands the lexical shapes that defeat line-regex scanners:
+//!
+//! * raw strings with any number of hashes (`r#"…"#`, `br##"…"##`),
+//!   including multi-line bodies containing quotes and hashes;
+//! * byte strings and C strings (`b"…"`, `c"…"`);
+//! * nested block comments (`/* a /* b */ c */`) and block doc
+//!   comments (`/** … */`, `/*! … */`);
+//! * line comments vs. outer/inner doc comments (`//`, `///`, `//!`,
+//!   and the non-doc `////…` form);
+//! * char literals vs. lifetimes (`'a'` vs `'a`), escaped chars
+//!   (`'\''`, `'\n'`), byte chars (`b'x'`);
+//! * raw identifiers (`r#match`);
+//! * numeric literals, with float detection (`1.5`, `1.`, `1e9`,
+//!   `2.5e-3`, `1f64`) that does not misfire on hex digits
+//!   (`0x1f32`), ranges (`1..2`), method calls on integers
+//!   (`1.max(2)`), or tuple indexing (`x.0`).
+//!
+//! It deliberately does **not** parse: rules pattern-match over the
+//! token stream (see [`crate::rules`]), which is exactly enough to
+//! anchor findings and allow directives to tokens instead of lines.
+
+/// Doc-comment flavour of a comment token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocStyle {
+    /// A plain (non-doc) comment.
+    None,
+    /// An outer doc comment (`///` or `/**`).
+    Outer,
+    /// An inner doc comment (`//!` or `/*!`).
+    Inner,
+}
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (including newlines).
+    Whitespace,
+    /// A `//`-style comment, up to but excluding the newline.
+    LineComment(DocStyle),
+    /// A `/* … */` comment (possibly nested; `terminated` is false when
+    /// the file ends inside it).
+    BlockComment {
+        /// Doc flavour (`/**` outer, `/*!` inner).
+        doc: DocStyle,
+        /// Whether the closing `*/` was found.
+        terminated: bool,
+    },
+    /// A string literal: `"…"`, `b"…"`, `c"…"`, `r"…"`, `r#"…"#`,
+    /// `br#"…"#` — `raw` distinguishes the no-escape forms.
+    Str {
+        /// Raw string (no escape processing, hash-delimited).
+        raw: bool,
+        /// Whether the closing delimiter was found.
+        terminated: bool,
+    },
+    /// A char or byte-char literal (`'x'`, `'\n'`, `b'x'`).
+    Char {
+        /// Whether the closing quote was found.
+        terminated: bool,
+    },
+    /// A lifetime or loop label (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// An identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A numeric literal; `float` is true for `1.5`, `1.`, `1e9`,
+    /// `1f64` and friends.
+    Number {
+        /// Whether the literal is floating-point.
+        float: bool,
+    },
+    /// A single punctuation character (`.`, `{`, `!`, …).
+    Punct,
+}
+
+/// One token with its byte span and source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset past the last byte (exclusive).
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based column (in characters) of the first byte.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text inside `source` (the string it was lexed from).
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Lexes `source` into a lossless token stream.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars` of the next unconsumed character.
+    pos: usize,
+    line: usize,
+    col: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the character at `self.pos + ahead` (or EOF).
+    fn offset(&self, ahead: usize) -> usize {
+        self.chars.get(self.pos + ahead).map_or(self.src.len(), |&(o, _)| o)
+    }
+
+    /// Consumes `n` characters, updating line/column bookkeeping.
+    fn bump(&mut self, n: usize) {
+        for _ in 0..n {
+            if let Some(&(_, c)) = self.chars.get(self.pos) {
+                self.pos += 1;
+                if c == '\n' {
+                    self.line += 1;
+                    self.col = 1;
+                } else {
+                    self.col += 1;
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.chars.len() {
+            let start = self.offset(0);
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind();
+            let end = self.offset(0);
+            debug_assert!(end > start, "lexer must always make progress");
+            self.tokens.push(Token { kind, start, end, line, col });
+        }
+        self.tokens
+    }
+
+    /// Lexes one token starting at the current position and returns its
+    /// kind; the position is left just past the token.
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.peek(0).unwrap_or('\0');
+        if c.is_whitespace() {
+            let mut n = 1;
+            while self.peek(n).is_some_and(char::is_whitespace) {
+                n += 1;
+            }
+            self.bump(n);
+            return TokenKind::Whitespace;
+        }
+        if c == '/' && self.peek(1) == Some('/') {
+            return self.line_comment();
+        }
+        if c == '/' && self.peek(1) == Some('*') {
+            return self.block_comment();
+        }
+        if c == '"' {
+            return self.string(0, false);
+        }
+        if c == '\'' {
+            return self.char_or_lifetime();
+        }
+        if is_ident_start(c) {
+            return self.ident_or_prefixed_literal(c);
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        self.bump(1);
+        TokenKind::Punct
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        let doc = if self.peek(2) == Some('/') && self.peek(3) != Some('/') {
+            DocStyle::Outer
+        } else if self.peek(2) == Some('!') {
+            DocStyle::Inner
+        } else {
+            DocStyle::None
+        };
+        let mut n = 2;
+        while self.peek(n).is_some_and(|c| c != '\n') {
+            n += 1;
+        }
+        self.bump(n);
+        TokenKind::LineComment(doc)
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        let doc = if self.peek(2) == Some('*')
+            && self.peek(3) != Some('*')
+            && self.peek(3) != Some('/')
+        {
+            DocStyle::Outer
+        } else if self.peek(2) == Some('!') {
+            DocStyle::Inner
+        } else {
+            DocStyle::None
+        };
+        let mut n = 2;
+        let mut depth = 1u32;
+        let terminated = loop {
+            match (self.peek(n), self.peek(n + 1)) {
+                (Some('*'), Some('/')) => {
+                    n += 2;
+                    depth -= 1;
+                    if depth == 0 {
+                        break true;
+                    }
+                }
+                (Some('/'), Some('*')) => {
+                    n += 2;
+                    depth += 1;
+                }
+                (Some(_), _) => n += 1,
+                (None, _) => break false,
+            }
+        };
+        self.bump(n);
+        TokenKind::BlockComment { doc, terminated }
+    }
+
+    /// Lexes `"…"` with escapes. `prefix` characters (the `b` of a byte
+    /// string, already validated) are consumed along with the literal.
+    fn string(&mut self, prefix: usize, _byte: bool) -> TokenKind {
+        let mut n = prefix + 1; // past the opening quote
+        let terminated = loop {
+            match self.peek(n) {
+                Some('\\') => n += if self.peek(n + 1).is_some() { 2 } else { 1 },
+                Some('"') => {
+                    n += 1;
+                    break true;
+                }
+                Some(_) => n += 1,
+                None => break false,
+            }
+        };
+        self.bump(n);
+        TokenKind::Str { raw: false, terminated }
+    }
+
+    /// Lexes `r#*"…"#*` (prefix = chars before the first `#`/`"`, i.e.
+    /// 1 for `r`, 2 for `br`).
+    fn raw_string(&mut self, prefix: usize) -> TokenKind {
+        let mut n = prefix;
+        let mut hashes = 0usize;
+        while self.peek(n) == Some('#') {
+            hashes += 1;
+            n += 1;
+        }
+        n += 1; // the opening quote (caller validated it)
+        let terminated = loop {
+            match self.peek(n) {
+                Some('"') => {
+                    if (0..hashes).all(|h| self.peek(n + 1 + h) == Some('#')) {
+                        n += 1 + hashes;
+                        break true;
+                    }
+                    n += 1;
+                }
+                Some(_) => n += 1,
+                None => break false,
+            }
+        };
+        self.bump(n);
+        TokenKind::Str { raw: true, terminated }
+    }
+
+    /// Disambiguates `'a'` (char), `'\n'` (char), `'a` (lifetime).
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some('\\') => self.char_literal(0),
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                if self.peek(2) == Some('\'') {
+                    self.char_literal(0)
+                } else {
+                    // `'ident` — a lifetime or loop label.
+                    let mut n = 2;
+                    while self.peek(n).is_some_and(is_ident_continue) {
+                        n += 1;
+                    }
+                    self.bump(n);
+                    TokenKind::Lifetime
+                }
+            }
+            _ => self.char_literal(0),
+        }
+    }
+
+    /// Lexes a (possibly byte-) char literal; `prefix` is 1 for `b'x'`.
+    fn char_literal(&mut self, prefix: usize) -> TokenKind {
+        let mut n = prefix + 1;
+        let terminated = loop {
+            match self.peek(n) {
+                Some('\\') => n += if self.peek(n + 1).is_some() { 2 } else { 1 },
+                Some('\'') => {
+                    n += 1;
+                    break true;
+                }
+                Some('\n') | None => break false,
+                Some(_) => n += 1,
+            }
+        };
+        self.bump(n);
+        TokenKind::Char { terminated }
+    }
+
+    /// An identifier, keyword, raw identifier, or a string/char literal
+    /// with an identifier-like prefix (`r"…"`, `b'x'`, `br#"…"#`,
+    /// `c"…"`).
+    fn ident_or_prefixed_literal(&mut self, first: char) -> TokenKind {
+        match first {
+            'r' => {
+                if self.peek(1) == Some('"')
+                    || (self.peek(1) == Some('#') && self.raw_quote_after(2))
+                {
+                    return self.raw_string(1);
+                }
+                if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) {
+                    // Raw identifier `r#match`.
+                    let mut n = 3;
+                    while self.peek(n).is_some_and(is_ident_continue) {
+                        n += 1;
+                    }
+                    self.bump(n);
+                    return TokenKind::Ident;
+                }
+            }
+            'b' => {
+                if self.peek(1) == Some('"') {
+                    return self.string(1, true);
+                }
+                if self.peek(1) == Some('\'') {
+                    return self.char_literal(1);
+                }
+                if self.peek(1) == Some('r')
+                    && (self.peek(2) == Some('"')
+                        || (self.peek(2) == Some('#') && self.raw_quote_after(3)))
+                {
+                    return self.raw_string(2);
+                }
+            }
+            'c' => {
+                if self.peek(1) == Some('"') {
+                    return self.string(1, false);
+                }
+            }
+            _ => {}
+        }
+        let mut n = 1;
+        while self.peek(n).is_some_and(is_ident_continue) {
+            n += 1;
+        }
+        self.bump(n);
+        TokenKind::Ident
+    }
+
+    /// True when, starting at `ahead` (just past the first `#`), zero
+    /// or more further hashes are followed by a quote — i.e. the `#`
+    /// run belongs to a raw-string opener, not a raw identifier.
+    fn raw_quote_after(&self, mut ahead: usize) -> bool {
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut n = 1;
+        let mut float = false;
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'));
+        if radix_prefixed {
+            n = 2;
+            while self.peek(n).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                n += 1;
+            }
+            self.bump(n);
+            return TokenKind::Number { float: false };
+        }
+        while self.peek(n).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            n += 1;
+        }
+        // Fractional part: `.` followed by a digit (`1.5`), or a
+        // trailing `.` not starting a range or method call (`1.`).
+        if self.peek(n) == Some('.') {
+            match self.peek(n + 1) {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    n += 1;
+                    while self.peek(n).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        n += 1;
+                    }
+                }
+                Some(c) if c == '.' || is_ident_start(c) => {}
+                _ => {
+                    float = true;
+                    n += 1;
+                }
+            }
+        }
+        // Exponent: `e`/`E` with optional sign and at least one digit.
+        if matches!(self.peek(n), Some('e') | Some('E')) {
+            let mut m = n + 1;
+            if matches!(self.peek(m), Some('+') | Some('-')) {
+                m += 1;
+            }
+            if self.peek(m).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                n = m;
+                while self.peek(n).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    n += 1;
+                }
+            }
+        }
+        // Type suffix (`u64`, `f64`, `usize` …).
+        let suffix_start = n;
+        while self.peek(n).is_some_and(is_ident_continue) {
+            n += 1;
+        }
+        if !float && n > suffix_start {
+            let sfx: String = (suffix_start..n).filter_map(|i| self.peek(i)).collect();
+            if sfx.starts_with("f32") || sfx.starts_with("f64") {
+                float = true;
+            }
+        }
+        self.bump(n);
+        TokenKind::Number { float }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True for token kinds that carry no syntactic weight (whitespace and
+/// comments) — rule matchers skip these when looking at neighbours.
+pub fn is_trivia(kind: TokenKind) -> bool {
+    matches!(
+        kind,
+        TokenKind::Whitespace | TokenKind::LineComment(_) | TokenKind::BlockComment { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let mut at = 0;
+        for t in &toks {
+            assert_eq!(t.start, at, "token gap in {src:?}");
+            at = t.end;
+        }
+        assert_eq!(at, src.len(), "tokens must cover {src:?}");
+    }
+
+    #[test]
+    fn covers_every_byte() {
+        for src in [
+            "",
+            "fn main() {}\n",
+            "let s = r##\"raw \"# inside\"##; // done",
+            "/* outer /* inner */ tail */ let x = '\\'';",
+            "let π = 3.14; let 网 = \"多字节\";",
+            "b'\\xFF' b\"bytes\" br#\"raw bytes\"# c\"cstr\"",
+            "let unterminated = \"oops",
+            "/* never closed",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r##"contains "# and " quotes"##;"####;
+        let k = kinds(src);
+        assert!(k
+            .iter()
+            .any(|(kind, text)| matches!(kind, TokenKind::Str { raw: true, terminated: true })
+                && text.contains("contains")));
+        // Nothing inside the raw string leaks out as an ident.
+        assert!(!k.iter().any(|(kind, text)| *kind == TokenKind::Ident && text == "contains"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let k = kinds("let r#match = 1;");
+        assert!(k.iter().any(|(kind, text)| *kind == TokenKind::Ident && text == "r#match"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let k = kinds("/* a /* b */ c */ x");
+        assert_eq!(k.len(), 2);
+        assert!(matches!(k[0].0, TokenKind::BlockComment { terminated: true, .. }));
+        assert_eq!(k[1].1, "x");
+    }
+
+    #[test]
+    fn doc_comment_styles() {
+        assert!(matches!(kinds("/// outer")[0].0, TokenKind::LineComment(DocStyle::Outer)));
+        assert!(matches!(kinds("//! inner")[0].0, TokenKind::LineComment(DocStyle::Inner)));
+        assert!(matches!(kinds("// plain")[0].0, TokenKind::LineComment(DocStyle::None)));
+        assert!(matches!(kinds("//// not doc")[0].0, TokenKind::LineComment(DocStyle::None)));
+        assert!(matches!(
+            kinds("/** outer block */")[0].0,
+            TokenKind::BlockComment { doc: DocStyle::Outer, .. }
+        ));
+        assert!(matches!(
+            kinds("/*! inner block */")[0].0,
+            TokenKind::BlockComment { doc: DocStyle::Inner, .. }
+        ));
+        // `/**/` is an empty plain comment, not a doc comment.
+        assert!(matches!(
+            kinds("/**/")[0].0,
+            TokenKind::BlockComment { doc: DocStyle::None, terminated: true }
+        ));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let k = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = k.iter().filter(|(kind, _)| *kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> =
+            k.iter().filter(|(kind, _)| matches!(kind, TokenKind::Char { .. })).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn byte_char_is_char_not_ident() {
+        let k = kinds("let b = b'x'; let n = b'\\n';");
+        assert_eq!(k.iter().filter(|(kind, _)| matches!(kind, TokenKind::Char { .. })).count(), 2);
+    }
+
+    #[test]
+    fn number_float_detection() {
+        let one = |src: &str| {
+            let k = kinds(src);
+            k.iter()
+                .find_map(|(kind, _)| match kind {
+                    TokenKind::Number { float } => Some(*float),
+                    _ => None,
+                })
+                .expect("number token")
+        };
+        assert!(one("1.5"));
+        assert!(one("1."));
+        assert!(one("1e9"));
+        assert!(one("2.5e-3"));
+        assert!(one("1f64"));
+        assert!(one("3f32"));
+        assert!(!one("1"));
+        assert!(!one("1_000u64"));
+        assert!(!one("0x1f32"), "hex digits are not a float suffix");
+        assert!(!one("0b1010"));
+    }
+
+    #[test]
+    fn ranges_and_method_calls_on_ints_are_not_floats() {
+        let k = kinds("for i in 1..10 { let m = 1.max(2); let t = x.0; }");
+        for (kind, text) in &k {
+            if let TokenKind::Number { float } = kind {
+                assert!(!float, "{text} misdetected as float");
+            }
+        }
+    }
+
+    #[test]
+    fn line_and_col_positions() {
+        let src = "ab\n  cd\n";
+        let toks: Vec<_> = lex(src).into_iter().filter(|t| t.kind == TokenKind::Ident).collect();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multibyte_chars_keep_byte_offsets_consistent() {
+        let src = "let s = \"héllo wörld\"; let x = 1;";
+        roundtrip(src);
+        let toks = lex(src);
+        let s = toks.iter().find(|t| matches!(t.kind, TokenKind::Str { .. })).expect("str");
+        assert!(s.text(src).starts_with('"') && s.text(src).ends_with('"'));
+    }
+
+    #[test]
+    fn cstring_literal() {
+        let k = kinds("let p = c\"path\";");
+        assert!(k.iter().any(|(kind, _)| matches!(kind, TokenKind::Str { raw: false, .. })));
+        assert!(!k.iter().any(|(_, text)| text == "path"));
+    }
+}

@@ -6,50 +6,60 @@
 //! lint` is the tool that statically enforces the invariants behind that
 //! claim instead of trusting convention:
 //!
-//! * [`rules`] — the rule catalogue:
+//! * [`lexer`] — a hand-rolled, dependency-free Rust lexer (raw strings,
+//!   nested block comments, char-vs-lifetime disambiguation, doc
+//!   comments, float-aware number literals) producing a lossless token
+//!   stream with byte offsets and line/column spans.
+//! * [`scan`] — derives everything the rules consume from one lex:
+//!   tokens, masked lines, `#[cfg(test)]` spans, and `sgp-lint:`
+//!   directives anchored to comment tokens.
+//! * [`rules`] — the per-file rule catalogue:
 //!   * `no-hash-iteration` — `HashMap`/`HashSet` (nondeterministic
-//!     iteration order) are banned in the determinism-scoped crates
-//!     (`sgp-engine`, `sgp-db`, `sgp-core`, `sgp-partition`,
-//!     `sgp-trace`); use `BTreeMap`/`BTreeSet` or sort before
-//!     iterating.
+//!     iteration order) are banned in the determinism-scoped crates;
+//!     use `BTreeMap`/`BTreeSet` or sort before iterating.
 //!   * `no-panic-in-lib` — `unwrap()`/`expect()`/`panic!`/`todo!`/
 //!     `unimplemented!`/`dbg!` in non-test library code must be
 //!     rewritten as `Result` or carry a justified allow directive.
 //!   * `crate-attr-policy` — every crate root must carry
 //!     `#![deny(unsafe_code)]` and `#![warn(missing_docs)]`.
 //!   * `no-wallclock-in-sim` — `std::time::Instant`, `SystemTime` and
-//!     `thread_rng` are forbidden inside the deterministic simulators;
-//!     only the bench harness's wall-clock footers are exempt (the
-//!     `sgp-bench` crate and binaries are out of scope).
+//!     `thread_rng` are forbidden inside the deterministic simulators.
 //!   * `workspace-dep-hygiene` — member `Cargo.toml`s must inherit
-//!     dependencies (`workspace = true`, no inline versions) and opt
-//!     into the shared `[workspace.lints]` table.
-//! * [`scan`] — a lightweight Rust scanner that masks string literals
-//!   and comments (so rule patterns never false-positive on docs) and
-//!   tracks `#[cfg(test)]` spans.
+//!     dependencies and opt into the shared `[workspace.lints]` table.
+//! * [`crossfile`] — the whole-workspace semantic rules:
+//!   `trace-key-registry` (every `TraceSink` key is a `sgp_trace::keys`
+//!   constant, every constant is used), `no-float-accounting` (integral
+//!   simulated time and message accounting), and `schema-version-sync`
+//!   (schema constants agree with `tests/goldens/SCHEMA_VERSIONS`).
 //! * [`manifest`] — a minimal TOML section reader for the hygiene rule.
-//! * [`report`] — findings, text diagnostics with `file:line` spans, and
-//!   stable machine-readable JSON.
+//! * [`report`] — findings, text diagnostics with `file:line` spans,
+//!   stable machine-readable JSON, and a SARIF 2.1.0 emitter for CI
+//!   annotation.
 //! * [`trace_summary`] — the `sgp-xtask trace-summary` renderer for
-//!   trace dumps written by `experiments --trace <path>` (top spans by
-//!   self cost, per-machine load, counter totals, histogram quantiles).
+//!   trace dumps written by `experiments --trace <path>`.
 //!
 //! ## Allow directives
 //!
-//! A violation is suppressed by a justified directive in a line comment:
+//! A violation is suppressed by a justified directive in a plain line
+//! comment (doc comments never carry directives):
 //!
 //! ```text
-//! // sgp-lint: allow(<rule>): <justification>       (this or the next line)
-//! // sgp-lint: allow-file(<rule>): <justification>  (the whole file)
+//! // sgp-lint: allow(<rule>): <justification>        same or next line
+//! // sgp-lint: allow-scope(<rule>): <justification>  next brace-delimited item
+//! // sgp-lint: allow-file(<rule>): <justification>   the whole file
 //! ```
 //!
 //! The justification is mandatory; a directive without one is itself a
 //! `bad-allow-directive` error and does **not** suppress the finding.
-//! Directives that never fire are reported as `unused-allow` warnings.
+//! A line-scoped allow whose rule no longer fires on its span is a
+//! `stale-allow` **error** (the allowlist cannot rot silently);
+//! scope/file allows that suppress nothing are `unused-allow` warnings.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crossfile;
+pub mod lexer;
 pub mod manifest;
 pub mod report;
 pub mod rules;
@@ -57,10 +67,12 @@ pub mod scan;
 pub mod trace_summary;
 pub mod workspace;
 
-pub use report::{render_json, render_text, Finding, LintReport, Severity};
+pub use report::{render_json, render_sarif, render_text, Finding, LintReport, Severity};
 pub use trace_summary::summarize;
 
+use rules::AllowTable;
 use std::path::PathBuf;
+use workspace::FileKind;
 
 /// Options for one lint run.
 #[derive(Debug, Clone)]
@@ -69,16 +81,40 @@ pub struct LintConfig {
     pub root: PathBuf,
     /// Treat warnings as errors for the exit code.
     pub strict: bool,
+    /// When set, only findings in these workspace-relative files are
+    /// reported (the `--diff <git-ref>` fast path). The whole workspace
+    /// is still scanned — cross-file rules need it — so a finding in an
+    /// unchanged file is *suppressed from the report*, not undetected;
+    /// the full-workspace strict run remains the merge gate.
+    pub only_files: Option<Vec<String>>,
 }
 
 impl LintConfig {
     /// A config rooted at `root` with default settings.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        LintConfig { root: root.into(), strict: false }
+        LintConfig { root: root.into(), strict: false, only_files: None }
     }
 }
 
+/// One scanned source file, paired with the index of its owning member
+/// in [`workspace::Workspace::members`]. Cross-file rules iterate these.
+pub struct ScannedEntry {
+    /// Index into `ws.members`.
+    pub member: usize,
+    /// Target classification of the file.
+    pub kind: FileKind,
+    /// The scan result (tokens, masked lines, test spans, directives).
+    pub scanned: scan::ScannedFile,
+}
+
 /// Runs the full rule catalogue over the workspace at `cfg.root`.
+///
+/// The run is two-pass: every source file is scanned first (pass 1), so
+/// the cross-file rules in [`crossfile`] can correlate declarations and
+/// uses across crates (pass 2). Allow-directive bookkeeping spans both
+/// passes and is finalised last, which is what makes `stale-allow`
+/// sound: a directive is stale only if *no* rule — per-file or
+/// cross-file — charged a suppression to it.
 ///
 /// Returns an error string only for environmental failures (unreadable
 /// root, missing root manifest); findings — including broken fixture
@@ -92,25 +128,47 @@ pub fn run_lint(cfg: &LintConfig) -> Result<LintReport, String> {
     rules::check_root_manifest(&ws, &mut findings);
     manifests_scanned += 1;
 
-    for member in &ws.members {
+    // Pass 1: manifests, crate roots, and a full scan of every file.
+    let mut entries: Vec<ScannedEntry> = Vec::new();
+    for (mi, member) in ws.members.iter().enumerate() {
         rules::check_member_manifest(member, &mut findings);
         manifests_scanned += 1;
         rules::check_crate_root_attrs(member, &mut findings);
         for file in &member.files {
-            let scanned = match scan::scan_file(&file.path, &file.rel) {
-                Ok(s) => s,
-                Err(e) => {
-                    findings.push(Finding::io_error(&file.rel, &e));
-                    continue;
+            match scan::scan_file(&file.path, &file.rel) {
+                Ok(scanned) => {
+                    files_scanned += 1;
+                    entries.push(ScannedEntry { member: mi, kind: file.kind, scanned });
                 }
-            };
-            files_scanned += 1;
-            rules::check_source_file(member, file, &scanned, &mut findings);
+                Err(e) => findings.push(Finding::io_error(&file.rel, &e)),
+            }
         }
+    }
+
+    // Pass 2: per-file rules, then cross-file rules, sharing one allow
+    // table per file.
+    let mut allows: Vec<AllowTable<'_>> =
+        entries.iter().map(|e| AllowTable::new(&e.scanned)).collect();
+    for (i, e) in entries.iter().enumerate() {
+        rules::check_source_file(
+            &ws.members[e.member],
+            e.kind,
+            &e.scanned,
+            &mut allows[i],
+            &mut findings,
+        );
+    }
+    crossfile::check_all(&ws, &entries, &mut allows, &mut findings);
+    for table in allows {
+        table.finish(&mut findings);
     }
 
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
     });
+    if let Some(only) = &cfg.only_files {
+        let keep: std::collections::BTreeSet<&str> = only.iter().map(String::as_str).collect();
+        findings.retain(|f| keep.contains(f.file.as_str()));
+    }
     Ok(LintReport { findings, files_scanned, manifests_scanned, strict: cfg.strict })
 }

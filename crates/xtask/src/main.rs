@@ -2,7 +2,7 @@
 //! partitioning repo.
 //!
 //! ```text
-//! cargo run -p sgp-xtask -- lint [--root DIR] [--format text|json] [--strict]
+//! cargo run -p sgp-xtask -- lint [--root DIR] [--format text|json|sarif] [--strict] [--diff REF]
 //! cargo run -p sgp-xtask -- rules
 //! cargo run -p sgp-xtask -- trace-summary <trace.json> [--top N]
 //! ```
@@ -13,22 +13,22 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use sgp_xtask::{render_json, render_text, rules, run_lint, summarize, LintConfig};
-use std::path::PathBuf;
+use sgp_xtask::{render_json, render_sarif, render_text, rules, run_lint, summarize, LintConfig};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 sgp-xtask — in-tree workspace automation
 
 USAGE:
-    sgp-xtask lint [--root DIR] [--format text|json] [--strict]
+    sgp-xtask lint [--root DIR] [--format text|json|sarif] [--strict] [--diff REF]
     sgp-xtask rules
     sgp-xtask trace-summary <trace.json> [--top N]
     sgp-xtask help
 
 COMMANDS:
     lint           Run the static-analysis rule catalogue over the workspace
-    rules          List the rules with one-line descriptions
+    rules          List the rules and the allow-directive attachment semantics
     trace-summary  Render a trace dump (from `experiments --trace <path>`):
                    top spans by self cost, per-machine load, counters,
                    histogram quantiles
@@ -37,8 +37,14 @@ COMMANDS:
 LINT OPTIONS:
     --root DIR          Workspace root (default: ascend from cwd to the
                         nearest Cargo.toml with a [workspace] section)
-    --format text|json  Output format (default: text)
+    --format FORMAT     text (default), json (stable schema v1), or
+                        sarif (SARIF 2.1.0 for CI annotation)
     --strict            Warnings also fail the run
+    --diff REF          Report only findings in files changed vs. the git
+                        ref (plus untracked files). The whole workspace is
+                        still scanned so cross-file rules stay sound; this
+                        filters the *report*, so keep a full-workspace
+                        strict run as the merge gate.
 
 TRACE-SUMMARY OPTIONS:
     --top N             Span rows to show (default: 10)
@@ -73,12 +79,14 @@ fn usage_error(msg: &str) -> ExitCode {
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut strict = false;
+    let mut diff_ref: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -90,12 +98,17 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 Some(other) => {
-                    return usage_error(&format!("unknown format `{other}` (text|json)"))
+                    return usage_error(&format!("unknown format `{other}` (text|json|sarif)"))
                 }
-                None => return usage_error("--format requires text|json"),
+                None => return usage_error("--format requires text|json|sarif"),
             },
             "--strict" => strict = true,
+            "--diff" => match it.next() {
+                Some(r) => diff_ref = Some(r.clone()),
+                None => return usage_error("--diff requires a git ref (e.g. origin/main)"),
+            },
             other => return usage_error(&format!("unknown lint option `{other}`")),
         }
     }
@@ -120,8 +133,17 @@ fn cmd_lint(args: &[String]) -> ExitCode {
         }
     };
 
-    let mut cfg = LintConfig::new(root);
+    let mut cfg = LintConfig::new(&root);
     cfg.strict = strict;
+    if let Some(r) = &diff_ref {
+        match changed_files(&root, r) {
+            Ok(files) => cfg.only_files = Some(files),
+            Err(e) => {
+                eprintln!("error: --diff {r}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let report = match run_lint(&cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -132,14 +154,61 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     match format {
         Format::Text => print!("{}", render_text(&report)),
         Format::Json => print!("{}", render_json(&report)),
+        Format::Sarif => print!("{}", render_sarif(&report)),
     }
     ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+}
+
+/// Lists workspace-relative files changed vs. `git_ref`, plus untracked
+/// files, via the `git` CLI (the only place the linter shells out).
+fn changed_files(root: &Path, git_ref: &str) -> Result<Vec<String>, String> {
+    let mut files = git_lines(root, &["diff", "--name-only", git_ref])?;
+    files.extend(git_lines(root, &["ls-files", "--others", "--exclude-standard"])?);
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn git_lines(root: &Path, args: &[&str]) -> Result<Vec<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(args)
+        .output()
+        .map_err(|e| format!("cannot run git: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git {} failed: {}",
+            args.join(" "),
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect())
 }
 
 fn cmd_rules() -> ExitCode {
     for rule in rules::ALL_RULES {
         println!("{rule}\n    {}", rules::describe(rule));
     }
+    println!(
+        "\nallow directives (plain line comments only; doc comments never count):\n\
+         \x20   // sgp-lint: allow(<rule>): <justification>\n\
+         \x20       attaches to the directive's own line or the line immediately\n\
+         \x20       after it (trailing-comment or line-above placement)\n\
+         \x20   // sgp-lint: allow-scope(<rule>): <justification>\n\
+         \x20       on its own line, covers the next brace-delimited item through\n\
+         \x20       its closing brace (or the `;` of a braceless item)\n\
+         \x20   // sgp-lint: allow-file(<rule>): <justification>\n\
+         \x20       covers the whole file\n\
+         \x20   The justification is mandatory. A line-scoped allow whose rule no\n\
+         \x20   longer fires on its span is a stale-allow ERROR; unused scope/file\n\
+         \x20   allows are unused-allow warnings."
+    );
     ExitCode::SUCCESS
 }
 

@@ -163,6 +163,63 @@ pub fn render_json(report: &LintReport) -> String {
     out
 }
 
+/// Renders the report as a SARIF 2.1.0 document for CI annotation
+/// (GitHub code scanning understands this directly).
+///
+/// The emitter is deliberately minimal and deterministic: one run, the
+/// full rule catalogue under `tool.driver.rules`, and one `result` per
+/// finding **in the same `(file, line, rule)` order as [`render_json`]**
+/// — the `emitter_properties` test pins that agreement. Findings with
+/// line 0 (file-level) omit the `region`.
+pub fn render_sarif(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"sgp-xtask\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, rule) in crate::rules::ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n            {");
+        out.push_str(&format!("\"id\": {}, ", json_string(rule)));
+        out.push_str(&format!(
+            "\"shortDescription\": {{\"text\": {}}}",
+            json_string(crate::rules::describe(rule))
+        ));
+        out.push('}');
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match f.severity {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+        };
+        out.push_str("\n        {");
+        out.push_str(&format!("\"ruleId\": {}, ", json_string(&f.rule)));
+        out.push_str(&format!("\"level\": \"{level}\", "));
+        out.push_str(&format!("\"message\": {{\"text\": {}}}, ", json_string(&f.message)));
+        out.push_str("\"locations\": [{\"physicalLocation\": {");
+        out.push_str(&format!("\"artifactLocation\": {{\"uri\": {}}}", json_string(&f.file)));
+        if f.line > 0 {
+            out.push_str(&format!(", \"region\": {{\"startLine\": {}}}", f.line));
+        }
+        out.push_str("}}]}");
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
 /// Escapes a string as a JSON string literal.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -224,6 +281,25 @@ mod tests {
         )]));
         assert!(one.contains("\"rule\": \"no-panic-in-lib\""));
         assert!(one.contains("\"line\": 32"));
+    }
+
+    #[test]
+    fn sarif_render_is_wellformed_and_ordered() {
+        let r = report(vec![
+            Finding::new("no-hash-iteration", Severity::Error, "a.rs", 3, "first"),
+            Finding::new("unused-allow", Severity::Warn, "b.rs", 0, "file-level"),
+        ]);
+        let s = render_sarif(&r);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"sgp-xtask\""));
+        let first = s.find("\"ruleId\": \"no-hash-iteration\"").expect("first result");
+        let second = s.find("\"ruleId\": \"unused-allow\"").expect("second result");
+        assert!(first < second, "results keep report order");
+        assert!(s.contains("\"level\": \"warning\""));
+        assert!(s.contains("\"startLine\": 3"));
+        // Line-0 findings carry no region.
+        let b_loc = s.find("\"uri\": \"b.rs\"").expect("b.rs location");
+        assert!(!s[b_loc..].contains("startLine"), "file-level finding has no region");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The rule catalogue and its enforcement.
+//! The rule catalogue and its per-file enforcement.
 //!
 //! Rules are scoped by *package name*, not path, so the same engine
 //! lints the real workspace and the fixture corpus identically:
@@ -11,14 +11,28 @@
 //! | `crate-attr-policy`   | every member |
 //! | `workspace-dep-hygiene` | every member manifest + the root manifest |
 //!
+//! Cross-file rules (`trace-key-registry`, `no-float-accounting`,
+//! `schema-version-sync`) live in [`crate::crossfile`]; they share the
+//! per-file [`AllowTable`]s so suppressions and staleness are tracked
+//! uniformly.
+//!
 //! The bench harness (`sgp-bench`) and binary targets are outside the
 //! determinism scopes: wall-clock footers and CLI conveniences live
 //! there by design.
+//!
+//! ## Matching is token-based
+//!
+//! Source rules walk the lexer's token stream ([`crate::lexer`]), so a
+//! `HashMap` in a doc comment, a `panic!` spelled inside a raw string,
+//! or an `unwrap` in an error message can never fire. A method-call
+//! match (`.unwrap()`) follows the receiver dot across line breaks; the
+//! finding lands on the line of the method name itself.
 
+use crate::lexer::{self, Token, TokenKind};
 use crate::manifest::Manifest;
 use crate::report::{Finding, Severity};
 use crate::scan::{DirectiveScope, ScannedFile};
-use crate::workspace::{FileKind, Member, SourceFile, Workspace};
+use crate::workspace::{FileKind, Member, Workspace};
 
 /// Rule: hash-container iteration order is nondeterministic.
 pub const NO_HASH_ITERATION: &str = "no-hash-iteration";
@@ -30,20 +44,32 @@ pub const CRATE_ATTR_POLICY: &str = "crate-attr-policy";
 pub const NO_WALLCLOCK_IN_SIM: &str = "no-wallclock-in-sim";
 /// Rule: manifests must inherit workspace dependencies and lints.
 pub const WORKSPACE_DEP_HYGIENE: &str = "workspace-dep-hygiene";
+/// Rule: trace keys must come from the `sgp_trace::keys` registry.
+pub const TRACE_KEY_REGISTRY: &str = "trace-key-registry";
+/// Rule: no float arithmetic in accounting/simulated-time paths.
+pub const NO_FLOAT_ACCOUNTING: &str = "no-float-accounting";
+/// Rule: schema-version constants must match the pinned manifest.
+pub const SCHEMA_VERSION_SYNC: &str = "schema-version-sync";
 /// Meta rule: malformed or unjustified allow directives.
 pub const BAD_ALLOW_DIRECTIVE: &str = "bad-allow-directive";
-/// Meta rule: allow directives that never suppressed anything.
+/// Meta rule: a line-scoped allow whose rule no longer fires there.
+pub const STALE_ALLOW: &str = "stale-allow";
+/// Meta rule: scope/file allow directives that never suppressed anything.
 pub const UNUSED_ALLOW: &str = "unused-allow";
 
-/// All enforceable rule ids (the two meta rules included, so directives
-/// can be validated against this list).
+/// All enforceable rule ids (the meta rules included, so directives can
+/// be validated against this list).
 pub const ALL_RULES: &[&str] = &[
     NO_HASH_ITERATION,
     NO_PANIC_IN_LIB,
     CRATE_ATTR_POLICY,
     NO_WALLCLOCK_IN_SIM,
     WORKSPACE_DEP_HYGIENE,
+    TRACE_KEY_REGISTRY,
+    NO_FLOAT_ACCOUNTING,
+    SCHEMA_VERSION_SYNC,
     BAD_ALLOW_DIRECTIVE,
+    STALE_ALLOW,
     UNUSED_ALLOW,
 ];
 
@@ -69,8 +95,24 @@ pub fn describe(rule: &str) -> &'static str {
             "crate manifests must inherit dependencies (workspace = true, no inline versions) and \
              opt into [workspace.lints]"
         }
+        TRACE_KEY_REGISTRY => {
+            "every TraceSink span/counter/histogram key must be a sgp_trace::keys constant, and \
+             every registry constant must be used somewhere (guards the byte-exact trace goldens)"
+        }
+        NO_FLOAT_ACCOUNTING => {
+            "f32/f64 literals and casts are banned in the simulated-time and message-accounting \
+             paths of sgp-db/sgp-engine; quantile/report rendering may use a scoped allow"
+        }
+        SCHEMA_VERSION_SYNC => {
+            "schema-version constants (sgp-trace JSON, sgp-fault FaultPlan) must agree with the \
+             single source of truth in tests/goldens/SCHEMA_VERSIONS"
+        }
         BAD_ALLOW_DIRECTIVE => "sgp-lint allow directives must name a known rule and justify it",
-        UNUSED_ALLOW => "allow directives that suppress nothing should be removed",
+        STALE_ALLOW => {
+            "a line-scoped allow whose rule no longer fires on its attached span is dead and must \
+             be deleted, so the allowlist cannot rot"
+        }
+        UNUSED_ALLOW => "allow-scope/allow-file directives that suppress nothing should be removed",
         _ => "unknown rule",
     }
 }
@@ -90,24 +132,40 @@ fn in_scope(member: &Member, scope: &[&str]) -> bool {
 }
 
 // ---------------------------------------------------------------------------
-// Source-file rules
+// Allow tables
 // ---------------------------------------------------------------------------
 
-/// Tracks which findings a directive suppressed, to report unused ones.
-struct AllowTable<'a> {
+/// Tracks which findings each directive suppressed, to report stale and
+/// unused ones once every rule (per-file *and* cross-file) has run.
+///
+/// Attachment semantics, by directive form:
+///
+/// * `allow(rule)` — suppresses findings on the directive's own line or
+///   the line immediately after it (trailing-comment and
+///   line-above placements; nothing further).
+/// * `allow-scope(rule)` — suppresses findings from the directive line
+///   through the end of the next brace-delimited item.
+/// * `allow-file(rule)` — suppresses findings anywhere in the file.
+pub struct AllowTable<'a> {
     scanned: &'a ScannedFile,
     used: Vec<bool>,
 }
 
 impl<'a> AllowTable<'a> {
-    fn new(scanned: &'a ScannedFile) -> Self {
+    /// A table for one scanned file; no directive is used yet.
+    pub fn new(scanned: &'a ScannedFile) -> Self {
         AllowTable { scanned, used: vec![false; scanned.directives.len()] }
+    }
+
+    /// The file this table belongs to (workspace-relative).
+    pub fn rel(&self) -> &str {
+        &self.scanned.rel
     }
 
     /// Is `(rule, line)` suppressed by a well-formed directive? Marks the
     /// directive used. Malformed directives (unknown rule, missing
     /// justification) never suppress.
-    fn allows(&mut self, rule: &str, line: usize) -> bool {
+    pub fn allows(&mut self, rule: &str, line: usize) -> bool {
         let mut hit = false;
         for (i, d) in self.scanned.directives.iter().enumerate() {
             if d.rule != rule || d.justification.is_empty() {
@@ -115,6 +173,7 @@ impl<'a> AllowTable<'a> {
             }
             let applies = match d.scope {
                 DirectiveScope::File => true,
+                DirectiveScope::Scope { end_line } => d.line <= line && line <= end_line,
                 DirectiveScope::Line => d.line == line || d.line + 1 == line,
             };
             if applies {
@@ -125,8 +184,11 @@ impl<'a> AllowTable<'a> {
         hit
     }
 
-    /// Emits `bad-allow-directive` and `unused-allow` findings.
-    fn finish(self, findings: &mut Vec<Finding>) {
+    /// Emits the meta findings: `bad-allow-directive` for malformed
+    /// directives, `stale-allow` (error) for line-scoped allows that
+    /// suppressed nothing, and `unused-allow` (warn) for scope/file
+    /// allows that suppressed nothing.
+    pub fn finish(self, findings: &mut Vec<Finding>) {
         for (i, d) in self.scanned.directives.iter().enumerate() {
             if d.rule.is_empty() || !ALL_RULES.contains(&d.rule.as_str()) {
                 findings.push(Finding::new(
@@ -152,97 +214,157 @@ impl<'a> AllowTable<'a> {
                     ),
                 ));
             } else if !self.used[i] {
-                findings.push(Finding::new(
-                    UNUSED_ALLOW,
-                    Severity::Warn,
-                    &self.scanned.rel,
-                    d.line,
-                    format!("allow({}) directive suppresses nothing; remove it", d.rule),
-                ));
+                match d.scope {
+                    DirectiveScope::Line => findings.push(Finding::new(
+                        STALE_ALLOW,
+                        Severity::Error,
+                        &self.scanned.rel,
+                        d.line,
+                        format!(
+                            "allow({}) is stale: the rule no longer fires on line {} or {} — the \
+                             violation was fixed, so delete the directive",
+                            d.rule,
+                            d.line,
+                            d.line + 1
+                        ),
+                    )),
+                    DirectiveScope::Scope { .. } | DirectiveScope::File => {
+                        findings.push(Finding::new(
+                            UNUSED_ALLOW,
+                            Severity::Warn,
+                            &self.scanned.rel,
+                            d.line,
+                            format!("allow({}) directive suppresses nothing; remove it", d.rule),
+                        ));
+                    }
+                }
             }
         }
     }
 }
 
-/// Runs every source-level rule over one scanned file.
+// ---------------------------------------------------------------------------
+// Token matchers
+// ---------------------------------------------------------------------------
+
+/// Index of the previous non-trivia token before `i`, if any.
+fn prev_nontrivia(tokens: &[Token], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| !lexer::is_trivia(tokens[j].kind))
+}
+
+/// Index of the next non-trivia token after `i`, if any.
+fn next_nontrivia(tokens: &[Token], i: usize) -> Option<usize> {
+    (i + 1..tokens.len()).find(|&j| !lexer::is_trivia(tokens[j].kind))
+}
+
+fn punct_is(source: &str, tokens: &[Token], i: Option<usize>, c: char) -> bool {
+    i.is_some_and(|i| {
+        tokens[i].kind == TokenKind::Punct && source[tokens[i].start..tokens[i].end].starts_with(c)
+    })
+}
+
+/// Is token `i` a method call `.name(` (whitespace/newlines allowed
+/// around the dot and before the parenthesis)?
+pub fn is_method_call(source: &str, tokens: &[Token], i: usize) -> bool {
+    tokens[i].kind == TokenKind::Ident
+        && punct_is(source, tokens, prev_nontrivia(tokens, i), '.')
+        && punct_is(source, tokens, next_nontrivia(tokens, i), '(')
+}
+
+/// Is token `i` a macro invocation `name!`?
+pub fn is_macro_bang(source: &str, tokens: &[Token], i: usize) -> bool {
+    tokens[i].kind == TokenKind::Ident && punct_is(source, tokens, next_nontrivia(tokens, i), '!')
+}
+
+// ---------------------------------------------------------------------------
+// Source-file rules
+// ---------------------------------------------------------------------------
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "dbg"];
+
+/// Runs every source-level rule over one scanned file, charging
+/// suppressions to `allows` (finalised later by [`AllowTable::finish`]).
 pub fn check_source_file(
     member: &Member,
-    file: &SourceFile,
+    file_kind: FileKind,
     scanned: &ScannedFile,
+    allows: &mut AllowTable<'_>,
     findings: &mut Vec<Finding>,
 ) {
-    let mut allows = AllowTable::new(scanned);
-
     let hash_applies = in_scope(member, HASH_SCOPE);
     let wallclock_applies = in_scope(member, WALLCLOCK_SCOPE);
-    let panic_applies = in_scope(member, PANIC_SCOPE) && file.kind == FileKind::LibSrc;
+    let panic_applies = in_scope(member, PANIC_SCOPE) && file_kind == FileKind::LibSrc;
 
-    for (idx, masked) in scanned.masked.iter().enumerate() {
-        let line = idx + 1;
-        if hash_applies {
-            for ident in ["HashMap", "HashSet"] {
-                if has_ident(masked, ident) && !allows.allows(NO_HASH_ITERATION, line) {
-                    findings.push(Finding::new(
-                        NO_HASH_ITERATION,
-                        Severity::Error,
-                        &scanned.rel,
-                        line,
-                        format!(
-                            "`{ident}` has nondeterministic iteration order — use \
-                             `BTreeMap`/`BTreeSet` or collect+sort (bit-for-bit reproduction \
-                             scope)"
-                        ),
-                    ));
-                    break; // one finding per line per rule
-                }
+    let src = &scanned.source;
+    let tokens = &scanned.tokens;
+    // One finding per (rule, line), matching the old per-line reporting.
+    let mut reported: std::collections::BTreeSet<(&'static str, usize)> =
+        std::collections::BTreeSet::new();
+
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = t.text(src);
+        let line = t.line;
+
+        if hash_applies && matches!(text, "HashMap" | "HashSet") {
+            if !reported.contains(&(NO_HASH_ITERATION, line))
+                && !allows.allows(NO_HASH_ITERATION, line)
+            {
+                reported.insert((NO_HASH_ITERATION, line));
+                findings.push(Finding::new(
+                    NO_HASH_ITERATION,
+                    Severity::Error,
+                    &scanned.rel,
+                    line,
+                    format!(
+                        "`{text}` has nondeterministic iteration order — use \
+                         `BTreeMap`/`BTreeSet` or collect+sort (bit-for-bit reproduction scope)"
+                    ),
+                ));
             }
         }
-        if wallclock_applies {
-            for ident in ["Instant", "SystemTime", "thread_rng"] {
-                if has_ident(masked, ident) && !allows.allows(NO_WALLCLOCK_IN_SIM, line) {
-                    findings.push(Finding::new(
-                        NO_WALLCLOCK_IN_SIM,
-                        Severity::Error,
-                        &scanned.rel,
-                        line,
-                        format!(
-                            "`{ident}` reads ambient machine state; deterministic simulators \
-                             must take seeds/counters as inputs (wall-clock belongs to \
-                             sgp-bench footers)"
-                        ),
-                    ));
-                    break;
-                }
+        if wallclock_applies && matches!(text, "Instant" | "SystemTime" | "thread_rng") {
+            if !reported.contains(&(NO_WALLCLOCK_IN_SIM, line))
+                && !allows.allows(NO_WALLCLOCK_IN_SIM, line)
+            {
+                reported.insert((NO_WALLCLOCK_IN_SIM, line));
+                findings.push(Finding::new(
+                    NO_WALLCLOCK_IN_SIM,
+                    Severity::Error,
+                    &scanned.rel,
+                    line,
+                    format!(
+                        "`{text}` reads ambient machine state; deterministic simulators must \
+                         take seeds/counters as inputs (wall-clock belongs to sgp-bench footers)"
+                    ),
+                ));
             }
         }
-        if panic_applies && !scanned.is_test[idx] {
-            let method = ["unwrap", "expect", "unwrap_err", "expect_err"]
-                .iter()
-                .find(|m| has_method_call(masked, m));
-            let mac =
-                ["panic", "todo", "unimplemented", "dbg"].iter().find(|m| has_macro(masked, m));
-            if let Some(found) = method.or(mac) {
-                if !allows.allows(NO_PANIC_IN_LIB, line) {
-                    let what = if method.is_some() {
-                        format!("`.{found}()`")
-                    } else {
-                        format!("`{found}!`")
-                    };
-                    findings.push(Finding::new(
-                        NO_PANIC_IN_LIB,
-                        Severity::Error,
-                        &scanned.rel,
-                        line,
-                        format!(
-                            "{what} can panic mid-experiment — return a `Result` (see \
-                             sgp_core::SgpError) or justify with an allow directive"
-                        ),
-                    ));
-                }
+        if panic_applies && !scanned.is_test_line(line) {
+            let method = PANIC_METHODS.contains(&text) && is_method_call(src, tokens, i);
+            let mac = !method && PANIC_MACROS.contains(&text) && is_macro_bang(src, tokens, i);
+            if (method || mac)
+                && !reported.contains(&(NO_PANIC_IN_LIB, line))
+                && !allows.allows(NO_PANIC_IN_LIB, line)
+            {
+                reported.insert((NO_PANIC_IN_LIB, line));
+                let what = if method { format!("`.{text}()`") } else { format!("`{text}!`") };
+                findings.push(Finding::new(
+                    NO_PANIC_IN_LIB,
+                    Severity::Error,
+                    &scanned.rel,
+                    line,
+                    format!(
+                        "{what} can panic mid-experiment — return a `Result` (see \
+                         sgp_core::SgpError) or justify with an allow directive"
+                    ),
+                ));
             }
         }
     }
-    allows.finish(findings);
 }
 
 /// Checks the crate-root attribute policy for one member.
@@ -378,104 +500,109 @@ fn check_dep_sections(m: &Manifest, findings: &mut Vec<Finding>) {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Masked-line matchers
-// ---------------------------------------------------------------------------
-
-fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Word-boundary identifier search over a masked line.
-pub fn has_ident(masked: &str, ident: &str) -> bool {
-    find_ident_positions(masked, ident).next().is_some()
-}
-
-fn find_ident_positions<'a>(masked: &'a str, ident: &'a str) -> impl Iterator<Item = usize> + 'a {
-    let bytes = masked.as_bytes();
-    masked.match_indices(ident).filter_map(move |(pos, _)| {
-        let before_ok = pos == 0 || !is_ident_char(bytes[pos - 1] as char);
-        let after = pos + ident.len();
-        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after] as char);
-        (before_ok && after_ok).then_some(pos)
-    })
-}
-
-/// Matches `.name(` — a method call — allowing whitespace around the dot
-/// and before the parenthesis.
-pub fn has_method_call(masked: &str, name: &str) -> bool {
-    let bytes = masked.as_bytes();
-    for pos in find_ident_positions(masked, name) {
-        // Walk back over whitespace to find the receiver dot.
-        let mut i = pos;
-        let mut saw_dot = false;
-        while i > 0 {
-            i -= 1;
-            let c = bytes[i] as char;
-            if c.is_whitespace() {
-                continue;
-            }
-            saw_dot = c == '.';
-            break;
-        }
-        if !saw_dot {
-            continue;
-        }
-        // Walk forward over whitespace to require the call parenthesis.
-        let mut j = pos + name.len();
-        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
-            j += 1;
-        }
-        if j < bytes.len() && bytes[j] == b'(' {
-            return true;
-        }
-    }
-    false
-}
-
-/// Matches `name!` — a macro invocation.
-pub fn has_macro(masked: &str, name: &str) -> bool {
-    let bytes = masked.as_bytes();
-    for pos in find_ident_positions(masked, name) {
-        let mut j = pos + name.len();
-        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
-            j += 1;
-        }
-        if j < bytes.len() && bytes[j] == b'!' {
-            return true;
-        }
-    }
-    false
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scan::scan_source;
 
-    #[test]
-    fn ident_respects_word_boundaries() {
-        assert!(has_ident("use std::collections::HashMap;", "HashMap"));
-        assert!(!has_ident("type MyHashMapLike = ();", "HashMap"));
-        assert!(!has_ident("let hashmap = 1;", "HashMap"));
-        assert!(has_ident("HashSet::new()", "HashSet"));
+    fn lint_tokens(src: &str) -> Vec<(String, usize)> {
+        let scanned = scan_source(src, "crates/x/src/lib.rs");
+        let member = Member {
+            name: "sgp-engine".into(),
+            dir: std::path::PathBuf::new(),
+            manifest: crate::manifest::parse_manifest("", "crates/x/Cargo.toml"),
+            manifest_rel: "crates/x/Cargo.toml".into(),
+            files: vec![],
+            is_root_package: false,
+        };
+        let mut findings = Vec::new();
+        let mut allows = AllowTable::new(&scanned);
+        check_source_file(&member, FileKind::LibSrc, &scanned, &mut allows, &mut findings);
+        allows.finish(&mut findings);
+        findings.into_iter().map(|f| (f.rule, f.line)).collect()
     }
 
     #[test]
-    fn method_call_matcher() {
-        assert!(has_method_call("let x = y.unwrap();", "unwrap"));
-        assert!(has_method_call("y . unwrap ()", "unwrap"));
-        assert!(has_method_call("opt.expect(\"msg\")", "expect"));
-        assert!(!has_method_call("let x = y.unwrap_or(0);", "unwrap"));
-        assert!(!has_method_call("fn unwrap() {}", "unwrap"));
-        assert!(!has_method_call("let unwrap = 3;", "unwrap"));
+    fn ident_in_string_or_comment_never_fires() {
+        let found = lint_tokens(
+            "//! mentions HashMap and panic! freely\nlet s = \"HashMap thread_rng\";\nlet r = r#\"Instant unwrap()\"#;\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn ident_respects_token_boundaries() {
+        assert!(lint_tokens("type MyHashMapLike = ();").is_empty());
+        assert_eq!(
+            lint_tokens("use std::collections::HashMap;"),
+            vec![("no-hash-iteration".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn method_call_matcher_follows_line_breaks() {
+        let found = lint_tokens("fn f() { x\n    .unwrap();\n}");
+        assert_eq!(
+            found,
+            vec![("no-panic-in-lib".into(), 2)],
+            "dot on the previous line still matches"
+        );
+        assert!(lint_tokens("fn f() { let x = y.unwrap_or(0); }").is_empty());
+        assert!(lint_tokens("fn unwrap() {}").is_empty());
     }
 
     #[test]
     fn macro_matcher() {
-        assert!(has_macro("panic!(\"boom\")", "panic"));
-        assert!(has_macro("todo! ()", "todo"));
-        assert!(!has_macro("should_panic(expected = x)", "panic"));
-        assert!(!has_macro("let panic = 1;", "panic"));
+        assert_eq!(lint_tokens("fn f() { panic!(\"boom\") }"), vec![("no-panic-in-lib".into(), 1)]);
+        assert!(lint_tokens("fn f() { should_panic(expected) }").is_empty());
+    }
+
+    #[test]
+    fn allow_on_same_line_and_line_above_both_attach() {
+        // Trailing-comment placement: directive shares the finding line.
+        let same = lint_tokens(
+            "fn f() { x.unwrap(); } // sgp-lint: allow(no-panic-in-lib): bounded by caller\n",
+        );
+        assert!(same.is_empty(), "same-line allow suppresses: {same:?}");
+        // Line-above placement: directive is on the preceding line.
+        let above = lint_tokens(
+            "// sgp-lint: allow(no-panic-in-lib): bounded by caller\nfn f() { x.unwrap(); }\n",
+        );
+        assert!(above.is_empty(), "line-above allow suppresses: {above:?}");
+        // Two lines above does NOT attach: the finding fires and the
+        // directive is stale.
+        let far = lint_tokens(
+            "// sgp-lint: allow(no-panic-in-lib): bounded by caller\n\nfn f() { x.unwrap(); }\n",
+        );
+        assert!(far.contains(&("no-panic-in-lib".into(), 3)), "{far:?}");
+        assert!(far.contains(&("stale-allow".into(), 1)), "{far:?}");
+    }
+
+    #[test]
+    fn allow_scope_suppresses_whole_item() {
+        let found = lint_tokens(
+            "// sgp-lint: allow-scope(no-panic-in-lib): rendering helper, panics acceptable\nfn render() {\n    a.unwrap();\n    b.expect(\"x\");\n}\nfn after() { c.unwrap(); }\n",
+        );
+        assert_eq!(
+            found,
+            vec![("no-panic-in-lib".into(), 6)],
+            "only the item after the scope fires"
+        );
+    }
+
+    #[test]
+    fn stale_line_allow_is_an_error() {
+        let found =
+            lint_tokens("// sgp-lint: allow(no-panic-in-lib): was needed once\nlet x = 1;\n");
+        assert_eq!(found, vec![("stale-allow".into(), 1)]);
+    }
+
+    #[test]
+    fn unused_file_allow_is_a_warning() {
+        let found = lint_tokens(
+            "// sgp-lint: allow-file(no-hash-iteration): legacy exemption\nlet x = 1;\n",
+        );
+        assert_eq!(found, vec![("unused-allow".into(), 1)]);
     }
 
     #[test]

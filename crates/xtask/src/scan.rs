@@ -1,23 +1,35 @@
-//! A lightweight Rust source scanner.
+//! Token-backed source scanning.
 //!
-//! The scanner does not parse Rust; it lexes just enough to answer the
-//! three questions the rules need:
+//! [`scan_source`] lexes a file once (see [`crate::lexer`]) and derives
+//! everything the rules need from the token stream:
 //!
-//! 1. *What does each line look like with string literals and comments
-//!    blanked out?* — so `"HashMap"` in a doc comment or an error string
-//!    never trips the determinism rule. Masking preserves character
-//!    positions (each masked character becomes a space).
-//! 2. *Which lines are test code?* — `#[cfg(test)]` / `#[test]` items
-//!    are tracked by brace matching so `no-panic-in-lib` skips unit
-//!    tests embedded in library files.
-//! 3. *Which allow directives does the file carry?* — `// sgp-lint:
-//!    allow(rule): justification` comments, with their line numbers.
+//! 1. *The tokens themselves* — rules pattern-match identifiers, method
+//!    calls and macro bangs over tokens, so text inside string literals,
+//!    raw strings, char literals and (doc) comments can never produce a
+//!    finding.
+//! 2. *Masked lines* — the source with literal/comment tokens blanked
+//!    (columns preserved), used by checks that still compare shapes of
+//!    whole lines (crate-root attributes).
+//! 3. *Test spans* — `#[cfg(test)]` / `#[test]` attributes are located
+//!    as token sequences and their items delimited by brace matching, so
+//!    `no-panic-in-lib` skips unit tests embedded in library files.
+//! 4. *Allow directives* — `// sgp-lint: …` comments, parsed only from
+//!    plain (non-doc) line-comment tokens and anchored to the token's
+//!    line. Doc comments describing the syntax never count.
 //!
-//! The lexer understands line comments, nested block comments, string
-//! literals with escapes, raw strings (`r#"…"#`, any number of hashes),
-//! byte and raw byte strings, char literals, and the char-vs-lifetime
-//! ambiguity of `'`.
+//! Directives come in three scopes:
+//!
+//! ```text
+//! // sgp-lint: allow(<rule>): <why>        same line or the line after
+//! // sgp-lint: allow-scope(<rule>): <why>  the next brace-delimited item
+//! // sgp-lint: allow-file(<rule>): <why>   the whole file
+//! ```
+//!
+//! `allow-scope` must sit on its own line above the item it exempts; its
+//! reach ends at the item's closing brace (or the `;` of a braceless
+//! item).
 
+use crate::lexer::{self, DocStyle, Token, TokenKind};
 use std::path::Path;
 
 /// The scope of an allow directive.
@@ -25,6 +37,12 @@ use std::path::Path;
 pub enum DirectiveScope {
     /// Applies to the directive's own line and the line after it.
     Line,
+    /// Applies from the directive to the end of the next brace-delimited
+    /// item (inclusive).
+    Scope {
+        /// 1-based last line the directive covers.
+        end_line: usize,
+    },
     /// Applies to the whole file.
     File,
 }
@@ -34,7 +52,7 @@ pub enum DirectiveScope {
 pub struct Directive {
     /// 1-based line the directive appears on.
     pub line: usize,
-    /// `allow(...)` or `allow-file(...)`.
+    /// `allow(...)`, `allow-scope(...)` or `allow-file(...)`.
     pub scope: DirectiveScope,
     /// The rule name inside the parentheses.
     pub rule: String,
@@ -50,7 +68,12 @@ pub struct Directive {
 pub struct ScannedFile {
     /// Workspace-relative path.
     pub rel: String,
-    /// Per-line source with strings and comments blanked.
+    /// The raw source text (tokens index into it).
+    pub source: String,
+    /// The lossless token stream.
+    pub tokens: Vec<Token>,
+    /// Per-line source with strings, chars and comments blanked
+    /// (column-preserving).
     pub masked: Vec<String>,
     /// Per-line flag: true when the line is inside a `#[cfg(test)]` /
     /// `#[test]` item.
@@ -64,6 +87,11 @@ impl ScannedFile {
     pub fn num_lines(&self) -> usize {
         self.masked.len()
     }
+
+    /// Whether 1-based `line` sits inside a test item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line >= 1 && self.is_test.get(line - 1).copied().unwrap_or(false)
+    }
 }
 
 /// Reads and scans one file.
@@ -74,300 +102,202 @@ pub fn scan_file(path: &Path, rel: &str) -> Result<ScannedFile, String> {
 
 /// Scans in-memory source (entry point for unit tests).
 pub fn scan_source(source: &str, rel: &str) -> ScannedFile {
-    let (masked, comments) = mask(source);
-    let is_test = test_spans(&masked);
+    let tokens = lexer::lex(source);
+    let masked = masked_lines(source, &tokens);
+    let is_test = test_spans(source, &tokens, masked.len());
     let mut directives = Vec::new();
-    for (line, text) in &comments {
-        if let Some(d) = parse_directive(*line, text) {
+    for t in &tokens {
+        if t.kind != TokenKind::LineComment(DocStyle::None) {
+            continue;
+        }
+        if let Some(mut d) = parse_directive(t.line, t.text(source)) {
+            if matches!(d.scope, DirectiveScope::Scope { .. }) {
+                d.scope = DirectiveScope::Scope {
+                    end_line: scope_end(source, &tokens, t.line, masked.len()),
+                };
+            }
             directives.push(d);
         }
     }
-    ScannedFile { rel: rel.to_string(), masked, is_test, directives }
+    ScannedFile {
+        rel: rel.to_string(),
+        source: source.to_string(),
+        tokens,
+        masked,
+        is_test,
+        directives,
+    }
 }
 
 // ---------------------------------------------------------------------------
-// Masking lexer
+// Masked lines
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    Code,
-    LineComment,
-    /// Block comment with nesting depth.
-    BlockComment(u32),
-    /// String literal (also byte strings — identical escaping).
-    Str,
-    /// Raw string terminated by `"` + `hashes` `#`s.
-    RawStr(u32),
-    /// Char or byte-char literal.
-    CharLit,
+/// True for token kinds whose text is opaque to the rules.
+fn is_opaque(kind: TokenKind) -> bool {
+    matches!(
+        kind,
+        TokenKind::LineComment(_)
+            | TokenKind::BlockComment { .. }
+            | TokenKind::Str { .. }
+            | TokenKind::Char { .. }
+    )
 }
 
-/// Returns (masked lines, line-comment texts by 1-based line).
-fn mask(source: &str) -> (Vec<String>, Vec<(usize, String)>) {
-    let chars: Vec<char> = source.chars().collect();
-    let mut state = State::Code;
-    let mut masked_all = String::with_capacity(source.len());
-    let mut comments: Vec<(usize, String)> = Vec::new();
-    let mut line = 1usize;
-    let mut current_comment = String::new();
-    let mut i = 0usize;
-
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if state == State::LineComment {
-                comments.push((line, std::mem::take(&mut current_comment)));
-                state = State::Code;
+/// Rebuilds the source with opaque tokens blanked to spaces (newlines
+/// kept), then splits into lines. Character counts per line are
+/// preserved, so columns in the masked text line up with the source.
+fn masked_lines(source: &str, tokens: &[Token]) -> Vec<String> {
+    let mut out = String::with_capacity(source.len());
+    for t in tokens {
+        let text = t.text(source);
+        if is_opaque(t.kind) {
+            for c in text.chars() {
+                out.push(if c == '\n' { '\n' } else { ' ' });
             }
-            masked_all.push('\n');
-            line += 1;
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => {
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    state = State::LineComment;
-                    current_comment.clear();
-                    current_comment.push_str("//");
-                    masked_all.push_str("  ");
-                    i += 2;
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    state = State::BlockComment(1);
-                    masked_all.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    state = State::Str;
-                    masked_all.push(' ');
-                    i += 1;
-                } else if c == 'r'
-                    && matches!(chars.get(i + 1), Some('"') | Some('#'))
-                    && raw_string_hashes(&chars, i + 1).is_some()
-                {
-                    let hashes = raw_string_hashes(&chars, i + 1).unwrap_or(0);
-                    state = State::RawStr(hashes);
-                    // mask 'r', the hashes, and the opening quote
-                    for _ in 0..(2 + hashes as usize) {
-                        masked_all.push(' ');
-                    }
-                    i += 2 + hashes as usize;
-                } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
-                    state = State::Str;
-                    masked_all.push_str("  ");
-                    i += 2;
-                } else if c == 'b'
-                    && chars.get(i + 1) == Some(&'r')
-                    && raw_string_hashes(&chars, i + 2).is_some()
-                {
-                    let hashes = raw_string_hashes(&chars, i + 2).unwrap_or(0);
-                    state = State::RawStr(hashes);
-                    for _ in 0..(3 + hashes as usize) {
-                        masked_all.push(' ');
-                    }
-                    i += 3 + hashes as usize;
-                } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
-                    state = State::CharLit;
-                    masked_all.push_str("  ");
-                    i += 2;
-                } else if c == '\'' {
-                    // Disambiguate char literal vs lifetime: 'x' is a char
-                    // literal only when a closing quote follows within the
-                    // literal; '\… is always a char literal.
-                    if chars.get(i + 1) == Some(&'\\') {
-                        state = State::CharLit;
-                        masked_all.push(' ');
-                        i += 1;
-                    } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
-                        state = State::CharLit;
-                        masked_all.push(' ');
-                        i += 1;
-                    } else {
-                        // A lifetime: keep the tick, the identifier stays
-                        // visible code (harmless to the rules).
-                        masked_all.push('\'');
-                        i += 1;
-                    }
-                } else {
-                    // Identifier characters that could prefix a string
-                    // (e.g. the `r` in `parser"…"` is impossible; `r` only
-                    // starts a raw string when not part of an identifier).
-                    masked_all.push(c);
-                    i += 1;
-                }
-            }
-            State::LineComment => {
-                current_comment.push(c);
-                masked_all.push(' ');
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                if c == '*' && chars.get(i + 1) == Some(&'/') {
-                    masked_all.push_str("  ");
-                    i += 2;
-                    if depth == 1 {
-                        state = State::Code;
-                    } else {
-                        state = State::BlockComment(depth - 1);
-                    }
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    masked_all.push_str("  ");
-                    i += 2;
-                    state = State::BlockComment(depth + 1);
-                } else {
-                    masked_all.push(' ');
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    masked_all.push(' ');
-                    if chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
-                        masked_all.push(' ');
-                        i += 1;
-                    }
-                    i += 1;
-                } else if c == '"' {
-                    masked_all.push(' ');
-                    state = State::Code;
-                    i += 1;
-                } else {
-                    masked_all.push(' ');
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' && closes_raw_string(&chars, i + 1, hashes) {
-                    for _ in 0..(1 + hashes as usize) {
-                        masked_all.push(' ');
-                    }
-                    i += 1 + hashes as usize;
-                    state = State::Code;
-                } else {
-                    masked_all.push(' ');
-                    i += 1;
-                }
-            }
-            State::CharLit => {
-                if c == '\\' {
-                    masked_all.push(' ');
-                    if chars.get(i + 1).is_some() && chars[i + 1] != '\n' {
-                        masked_all.push(' ');
-                        i += 1;
-                    }
-                    i += 1;
-                } else if c == '\'' {
-                    masked_all.push(' ');
-                    state = State::Code;
-                    i += 1;
-                } else {
-                    masked_all.push(' ');
-                    i += 1;
-                }
-            }
+        } else {
+            out.push_str(text);
         }
     }
-    if state == State::LineComment && !current_comment.is_empty() {
-        comments.push((line, current_comment));
-    }
-    let masked: Vec<String> = masked_all.split('\n').map(str::to_string).collect();
-    (masked, comments)
-}
-
-/// If position `at` starts `#*"` (zero or more hashes then a quote),
-/// returns the hash count; otherwise `None`.
-fn raw_string_hashes(chars: &[char], at: usize) -> Option<u32> {
-    let mut j = at;
-    let mut hashes = 0u32;
-    while chars.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    if chars.get(j) == Some(&'"') {
-        Some(hashes)
-    } else {
-        None
-    }
-}
-
-/// True when `hashes` `#` characters follow position `at`.
-fn closes_raw_string(chars: &[char], at: usize, hashes: u32) -> bool {
-    (0..hashes as usize).all(|n| chars.get(at + n) == Some(&'#'))
+    out.split('\n').map(str::to_string).collect()
 }
 
 // ---------------------------------------------------------------------------
 // Test-span detection
 // ---------------------------------------------------------------------------
 
-/// Marks lines belonging to `#[cfg(test)]` / `#[test]` items by brace
-/// matching over the masked source. Attributes are assumed to fit on one
-/// line (true throughout this workspace; multi-line test attributes
-/// would simply not be skipped, which fails safe — extra findings, not
-/// missed ones).
-fn test_spans(masked: &[String]) -> Vec<bool> {
-    let mut is_test = vec![false; masked.len()];
-    let mut depth: i64 = 0;
-    let mut pending = false;
-    let mut in_test = false;
-    let mut test_depth: i64 = 0;
+/// The single source character of a token (only meaningful for
+/// `Punct`, whose tokens are exactly one char).
+fn punct(source: &str, t: &Token) -> Option<char> {
+    if t.kind == TokenKind::Punct {
+        source[t.start..t.end].chars().next()
+    } else {
+        None
+    }
+}
 
-    for (li, line) in masked.iter().enumerate() {
-        let normalized: String = line.chars().filter(|c| !c.is_whitespace()).collect();
-        if !in_test && (normalized.contains("#[cfg(test)") || normalized.contains("#[test]")) {
-            pending = true;
-            is_test[li] = true;
-        }
-        if pending || in_test {
-            is_test[li] = true;
-        }
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    if pending {
-                        pending = false;
-                        in_test = true;
-                        test_depth = depth;
-                    }
-                    depth += 1;
+/// Marks lines belonging to `#[cfg(test)]` / `#[test]` items.
+///
+/// Attributes are recognised as token sequences (`#` `[` … `]`), so an
+/// attribute split across lines, or attribute-looking text inside a
+/// string, behaves correctly. The item following a test attribute is
+/// delimited by brace matching; a `;` before any `{` ends a braceless
+/// item (`#[cfg(test)] use …;`).
+fn test_spans(source: &str, tokens: &[Token], num_lines: usize) -> Vec<bool> {
+    let mut is_test = vec![false; num_lines];
+    let nt: Vec<usize> = (0..tokens.len()).filter(|&i| !lexer::is_trivia(tokens[i].kind)).collect();
+
+    let mut k = 0usize;
+    while k < nt.len() {
+        let t = &tokens[nt[k]];
+        if punct(source, t) == Some('#')
+            && nt.get(k + 1).is_some_and(|&j| punct(source, &tokens[j]) == Some('['))
+        {
+            let (is_test_attr, close_k) = read_attribute(source, tokens, &nt, k);
+            if is_test_attr {
+                let start_line = t.line;
+                let end_line = item_end_line(source, tokens, &nt, close_k + 1, num_lines);
+                for line in start_line..=end_line.min(num_lines) {
+                    is_test[line - 1] = true;
                 }
-                '}' => {
-                    depth -= 1;
-                    if in_test && depth == test_depth {
-                        in_test = false;
-                    }
-                }
-                ';' => {
-                    // `#[cfg(test)] use …;` — attribute over a braceless
-                    // item; nothing to span. (No statement can legally sit
-                    // between an attribute and its item, so any `;` while
-                    // pending belongs to a braceless item.)
-                    if pending {
-                        pending = false;
-                    }
-                }
-                _ => {}
             }
+            k = close_k + 1;
+            continue;
         }
+        k += 1;
     }
     is_test
+}
+
+/// Reads the attribute group starting at `nt[k]` (`#`). Returns whether
+/// it is a test attribute and the `nt` index of the closing `]`.
+fn read_attribute(source: &str, tokens: &[Token], nt: &[usize], k: usize) -> (bool, usize) {
+    let mut depth = 0i64;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut m = k + 1; // at the `[`
+    while m < nt.len() {
+        let t = &tokens[nt[m]];
+        match punct(source, t) {
+            Some('[') => depth += 1,
+            Some(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {
+                if t.kind == TokenKind::Ident {
+                    idents.push(t.text(source));
+                }
+            }
+        }
+        m += 1;
+    }
+    let is_test_attr = match idents.first() {
+        Some(&"cfg") => idents[1..].contains(&"test"),
+        Some(&"test") => true,
+        _ => false,
+    };
+    (is_test_attr, m.min(nt.len().saturating_sub(1)))
+}
+
+/// Finds the last line of the item starting at `nt[from]`: the matching
+/// close of its first `{`, or a `;` before any `{` (braceless item).
+/// Further attribute groups between `from` and the item are part of it.
+fn item_end_line(
+    source: &str,
+    tokens: &[Token],
+    nt: &[usize],
+    from: usize,
+    num_lines: usize,
+) -> usize {
+    let mut depth = 0i64;
+    let mut m = from;
+    while m < nt.len() {
+        let t = &tokens[nt[m]];
+        match punct(source, t) {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return t.line;
+                }
+            }
+            Some(';') if depth == 0 => return t.line,
+            _ => {}
+        }
+        m += 1;
+    }
+    num_lines
+}
+
+/// Computes the last covered line of an `allow-scope` directive on
+/// `dir_line`: the end of the first item that *starts* on a later line.
+fn scope_end(source: &str, tokens: &[Token], dir_line: usize, num_lines: usize) -> usize {
+    let nt: Vec<usize> = (0..tokens.len()).filter(|&i| !lexer::is_trivia(tokens[i].kind)).collect();
+    let from = match nt.iter().position(|&i| tokens[i].line > dir_line) {
+        Some(p) => p,
+        None => return dir_line,
+    };
+    item_end_line(source, tokens, &nt, from, num_lines)
 }
 
 // ---------------------------------------------------------------------------
 // Directive parsing
 // ---------------------------------------------------------------------------
 
-/// Parses one line comment into a directive, if it contains `sgp-lint:`.
-///
-/// Doc comments (`///`, `//!`) never carry directives — they are
-/// documentation *about* the syntax, not uses of it.
+/// Parses one plain line comment into a directive, if it contains
+/// `sgp-lint:`. Doc comments never reach here — they are documentation
+/// *about* the syntax, not uses of it.
 fn parse_directive(line: usize, comment: &str) -> Option<Directive> {
-    if comment.starts_with("///") || comment.starts_with("//!") {
-        return None;
-    }
     let idx = comment.find("sgp-lint:")?;
     let rest = comment[idx + "sgp-lint:".len()..].trim_start();
     let (scope, after_kw) = if let Some(r) = rest.strip_prefix("allow-file") {
         (DirectiveScope::File, r)
+    } else if let Some(r) = rest.strip_prefix("allow-scope") {
+        // The real end line is filled in by `scan_source`, which has the
+        // token stream in hand.
+        (DirectiveScope::Scope { end_line: line }, r)
     } else if let Some(r) = rest.strip_prefix("allow") {
         (DirectiveScope::Line, r)
     } else {
@@ -470,6 +400,14 @@ mod tests {
     }
 
     #[test]
+    fn multi_line_test_attribute_is_recognised() {
+        let src = "#[cfg(\n    test\n)]\nmod tests {\n    fn t() {}\n}\nfn real() {}\n";
+        let s = scan_source(src, "t.rs");
+        assert!(s.is_test[0] && s.is_test[3] && s.is_test[5]);
+        assert!(!s.is_test[6], "item after the test mod");
+    }
+
+    #[test]
     fn test_attr_in_string_is_ignored() {
         let src = "let s = \"#[cfg(test)]\";\nfn f() { g(); }\n";
         let s = scan_source(src, "t.rs");
@@ -502,6 +440,27 @@ mod tests {
     }
 
     #[test]
+    fn allow_scope_covers_the_next_item_only() {
+        let src = "\
+// sgp-lint: allow-scope(no-panic-in-lib): whole fn is a rendering helper
+fn render() {
+    x.unwrap();
+}
+fn after() {}
+";
+        let s = scan_source(src, "t.rs");
+        assert_eq!(s.directives.len(), 1);
+        assert_eq!(s.directives[0].scope, DirectiveScope::Scope { end_line: 4 });
+    }
+
+    #[test]
+    fn allow_scope_on_braceless_item_ends_at_semicolon() {
+        let src = "// sgp-lint: allow-scope(no-hash-iteration): re-export only\nuse x::HashMap;\nfn f() {}\n";
+        let s = scan_source(src, "t.rs");
+        assert_eq!(s.directives[0].scope, DirectiveScope::Scope { end_line: 2 });
+    }
+
+    #[test]
     fn doc_comments_do_not_carry_directives() {
         let s = scan_source(
             "//! Write `// sgp-lint: allow(x): y` to suppress.\n/// e.g. // sgp-lint: allow(z): w\n",
@@ -513,6 +472,15 @@ mod tests {
     #[test]
     fn directive_inside_string_is_not_parsed() {
         let s = scan_source("let s = \"// sgp-lint: allow(x): y\";\n", "t.rs");
+        assert!(s.directives.is_empty());
+    }
+
+    #[test]
+    fn directive_inside_raw_string_is_not_parsed() {
+        let s = scan_source(
+            "let doc = r#\"\n// sgp-lint: allow-file(no-panic-in-lib): smuggled\n\"#;\n",
+            "t.rs",
+        );
         assert!(s.directives.is_empty());
     }
 

@@ -1,0 +1,156 @@
+//! Emitter agreement properties: for arbitrary finding sets, the JSON
+//! and SARIF renderings must agree on finding count and ordering, and
+//! both must be well-formed JSON. Randomness comes from a seeded
+//! xorshift generator, so every run exercises the same cases.
+
+use sgp_xtask::{render_json, render_sarif, Finding, LintReport, Severity};
+
+/// Deterministic xorshift64* PRNG — no third-party crates, fixed seeds.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+const RULES: &[&str] = &[
+    "no-hash-iteration",
+    "no-panic-in-lib",
+    "trace-key-registry",
+    "no-float-accounting",
+    "schema-version-sync",
+    "stale-allow",
+    "unused-allow",
+];
+
+/// Messages deliberately include every JSON-hostile character class the
+/// escaper handles.
+const MESSAGES: &[&str] = &[
+    "plain message",
+    "quotes \" and backslashes \\ inside",
+    "newline\nand\ttab",
+    "control \u{1} char and unicode ±∞",
+    "",
+];
+
+fn arbitrary_report(rng: &mut Rng) -> LintReport {
+    let n = rng.below(12) as usize;
+    let mut findings = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rule = RULES[rng.below(RULES.len() as u64) as usize];
+        let severity = if rng.below(3) == 0 { Severity::Warn } else { Severity::Error };
+        let file = format!("crates/x{}/src/lib.rs", rng.below(4));
+        let line = rng.below(300) as usize; // 0 = file-level finding
+        let message = MESSAGES[rng.below(MESSAGES.len() as u64) as usize];
+        findings.push(Finding::new(rule, severity, &file, line, message));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    LintReport {
+        findings,
+        files_scanned: rng.below(200) as usize,
+        manifests_scanned: rng.below(20) as usize,
+        strict: rng.below(2) == 1,
+    }
+}
+
+/// A minimal JSON well-formedness check: balanced structure with
+/// correct string/escape handling. Accepts a superset of JSON (it does
+/// not validate numbers), which is enough to catch broken quoting or
+/// bracket mismatches in the hand-rolled emitters.
+fn assert_wellformed_json(doc: &str) {
+    let mut stack: Vec<char> = Vec::new();
+    let mut chars = doc.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => loop {
+                match chars.next() {
+                    Some('\\') => {
+                        chars.next();
+                    }
+                    Some('"') => break,
+                    Some(_) => {}
+                    None => panic!("unterminated string in rendered JSON"),
+                }
+            },
+            '{' | '[' => stack.push(c),
+            '}' => assert_eq!(stack.pop(), Some('{'), "unbalanced brace"),
+            ']' => assert_eq!(stack.pop(), Some('['), "unbalanced bracket"),
+            _ => {}
+        }
+    }
+    assert!(stack.is_empty(), "unclosed structure in rendered JSON");
+}
+
+/// `ruleId` values in SARIF result order (results only — the rule
+/// catalogue under `tool.driver.rules` uses `"id"`, not `"ruleId"`).
+fn sarif_rule_ids(sarif: &str) -> Vec<String> {
+    sarif
+        .match_indices("\"ruleId\": \"")
+        .map(|(i, pat)| {
+            let rest = &sarif[i + pat.len()..];
+            rest[..rest.find('"').expect("closing quote")].to_string()
+        })
+        .collect()
+}
+
+/// `"rule"` values in JSON finding order.
+fn json_rules(json: &str) -> Vec<String> {
+    json.match_indices("{\"rule\": \"")
+        .map(|(i, pat)| {
+            let rest = &json[i + pat.len()..];
+            rest[..rest.find('"').expect("closing quote")].to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn json_and_sarif_agree_on_count_and_order_for_arbitrary_findings() {
+    let mut rng = Rng(0x5eed_1234_abcd_9876);
+    for case in 0..200 {
+        let report = arbitrary_report(&mut rng);
+        let json = render_json(&report);
+        let sarif = render_sarif(&report);
+
+        assert_wellformed_json(&json);
+        assert_wellformed_json(&sarif);
+
+        let jr = json_rules(&json);
+        let sr = sarif_rule_ids(&sarif);
+        assert_eq!(jr.len(), report.findings.len(), "case {case}: JSON finding count");
+        assert_eq!(sr.len(), report.findings.len(), "case {case}: SARIF result count");
+        assert_eq!(jr, sr, "case {case}: emitters disagree on finding order");
+
+        // Severity totals agree with the report in both renderings.
+        assert!(json.contains(&format!("\"errors\": {}", report.errors())));
+        assert_eq!(
+            sarif.matches("\"level\": \"error\"").count(),
+            report.errors(),
+            "case {case}: SARIF error levels"
+        );
+        assert_eq!(
+            sarif.matches("\"level\": \"warning\"").count(),
+            report.warnings(),
+            "case {case}: SARIF warning levels"
+        );
+    }
+}
+
+#[test]
+fn rendering_is_deterministic_across_calls() {
+    let mut rng = Rng(42);
+    let report = arbitrary_report(&mut rng);
+    assert_eq!(render_json(&report), render_json(&report));
+    assert_eq!(render_sarif(&report), render_sarif(&report));
+}

@@ -26,9 +26,11 @@ fn mark_line(rel: &str, mark: &str) -> usize {
 const ENGINE_LIB: &str = "crates/engine/src/lib.rs";
 const ENGINE_TOML: &str = "crates/engine/Cargo.toml";
 const ENGINE_SMOKE: &str = "crates/engine/tests/smoke.rs";
+const DB_SIM: &str = "crates/db/src/sim.rs";
 const FAULT_LIB: &str = "crates/fault/src/lib.rs";
 const PARTITION_LIB: &str = "crates/partition/src/lib.rs";
 const TRACE_LIB: &str = "crates/trace/src/lib.rs";
+const TRACE_KEYS: &str = "crates/trace/src/keys.rs";
 
 #[test]
 fn fixture_findings_match_exactly() {
@@ -67,8 +69,28 @@ fn fixture_findings_match_exactly() {
         // An unjustified allow both fires itself and fails to suppress.
         ("bad-allow-directive".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-bad-allow")),
         ("no-panic-in-lib".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-unsuppressed")),
-        // A justified allow that matches nothing is a warning.
-        ("unused-allow".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-unused-allow")),
+        // A justified line allow whose rule no longer fires is a
+        // stale-allow ERROR — the allowlist cannot rot silently.
+        ("stale-allow".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-stale-allow")),
+        // A justified file-scoped allow that suppresses nothing is only
+        // a warning (file allows cover future code by design).
+        ("unused-allow".into(), FAULT_LIB.into(), mark_line(FAULT_LIB, "MARK-unused-file-allow")),
+        // Float arithmetic in the simulated-time accounting scope.
+        ("no-float-accounting".into(), DB_SIM.into(), mark_line(DB_SIM, "MARK-float-cast")),
+        // A hardcoded trace-key string bypassing the registry.
+        (
+            "trace-key-registry".into(),
+            PARTITION_LIB.into(),
+            mark_line(PARTITION_LIB, "MARK-hardcoded-key"),
+        ),
+        // A registry constant no crate references.
+        (
+            "trace-key-registry".into(),
+            TRACE_KEYS.into(),
+            mark_line(TRACE_KEYS, "MARK-registry-unused"),
+        ),
+        // A schema constant that drifted ahead of the goldens pin.
+        ("schema-version-sync".into(), FAULT_LIB.into(), mark_line(FAULT_LIB, "MARK-schema-drift")),
         // The fault-plan crate is determinism-scoped too: seeded plans
         // must not read ambient randomness or iterate hash containers.
         ("no-wallclock-in-sim".into(), FAULT_LIB.into(), mark_line(FAULT_LIB, "MARK-fault-rng")),
@@ -100,7 +122,7 @@ fn fixture_findings_match_exactly() {
         "finding set mismatch\nactual:\n{:#?}\nexpected:\n{:#?}",
         actual, expected
     );
-    assert_eq!(report.errors(), 18);
+    assert_eq!(report.errors(), 23);
     assert_eq!(report.warnings(), 1);
     assert_eq!(report.exit_code(), 1, "seeded fixture must fail the lint");
 }
@@ -143,7 +165,7 @@ fn json_output_is_stable_and_wellformed() {
     let b = sgp_xtask::render_json(&report);
     assert_eq!(a, b, "rendering is deterministic");
     assert!(a.starts_with("{\n  \"version\": 1,\n"));
-    assert!(a.contains("\"errors\": 18"));
+    assert!(a.contains("\"errors\": 23"));
     assert!(a.contains("\"warnings\": 1"));
     assert!(a.contains("\"rule\": \"no-hash-iteration\""));
     // Findings arrive sorted by (file, line, rule): the manifest file

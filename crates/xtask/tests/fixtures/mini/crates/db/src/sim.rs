@@ -1,0 +1,28 @@
+//! Fixture: the simulated-time accounting path — inside the
+//! no-float-accounting scope. One seeded violation, one scoped-allow
+//! negative (quantile rendering), one test-code negative.
+
+/// Mean queue depth computed through floats — silently loses
+/// integral-tick precision mid-simulation, so the rule must fire.
+pub fn mean_queue_depth(total_ticks: u64, samples: u64) -> u64 {
+    let avg = total_ticks as f64 / samples.max(1) as f64; // MARK-float-cast
+    avg as u64
+}
+
+/// p99 latency in milliseconds for a report footer — rendering, not
+/// accounting, so the scoped allow below keeps the rule quiet.
+// sgp-lint: allow-scope(no-float-accounting): quantile rendering is presentation, not simulated-time accounting
+pub fn p99_ms(sorted_ns: &[u64]) -> f64 {
+    let idx = (sorted_ns.len() as f64 * 0.99) as usize;
+    sorted_ns.get(idx).copied().unwrap_or(0) as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_in_test_code_are_exempt() {
+        assert!(mean_queue_depth(10, 4) as f64 >= 2.0);
+    }
+}

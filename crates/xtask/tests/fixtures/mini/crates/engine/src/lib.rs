@@ -41,7 +41,7 @@ pub fn suppressed() -> u32 {
     todo!()
 }
 
-// sgp-lint: allow(no-hash-iteration): fixture — nothing nearby uses a hash container MARK-unused-allow
+// sgp-lint: allow(no-hash-iteration): fixture — nothing nearby uses a hash container, so this line allow is stale MARK-stale-allow
 pub fn no_hashes_here() -> u32 {
     7
 }
@@ -57,6 +57,30 @@ pub fn doc_only() -> u32 {
     let quote = '"';
     let fallback = None.unwrap_or(3u32);
     (s.len() + r.len() + lifetime_tick.len() + quote as usize) as u32 + fallback
+}
+
+/* a nested /* block comment: HashMap::new().unwrap() and
+std::time::Instant::now() */ still inside the outer comment, so
+panic!("never fires") stays invisible to every rule */
+/// Raw strings with hash guards hide `.unwrap()` and thread_rng too.
+pub fn lexer_adversarial() -> u32 {
+    let deep = r##"hash-guarded raw: "quoted" # thread_rng() .unwrap()"##;
+    let byte_raw = br#"HashSet::new() panic!("nope")"#;
+    (deep.len() + byte_raw.len()) as u32
+}
+
+/// A doc comment spelling out `sgp-lint: allow(no-panic-in-lib): docs
+/// never carry directives` must not parse as one — were it parsed, it
+/// would surface below as a stale-allow error.
+pub fn doc_directive_is_inert() -> u32 {
+    11
+}
+
+// sgp-lint: allow-scope(no-panic-in-lib): fixture negative — the whole item below may unwrap
+pub fn scoped_suppression(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("still inside the allow-scope item");
+    a + b
 }
 
 #[cfg(test)]

@@ -6,6 +6,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+// sgp-lint: allow-file(no-panic-in-lib): fixture — nothing in this file panics, so this file allow is unused MARK-unused-file-allow
+
+/// FaultPlan document schema version — drifted one ahead of the
+/// `fault-plan=` pin in tests/goldens/SCHEMA_VERSIONS, so the
+/// schema-version-sync rule must fire here.
+pub const FAULT_PLAN_SCHEMA_VERSION: u32 = 2; // MARK-schema-drift
+
 /// A fault plan whose "random" crash times come from the wrong place.
 pub fn ambient_crash_time() -> u64 {
     let _rng = rand::thread_rng(); // MARK-fault-rng

@@ -34,3 +34,13 @@ pub fn merge_in_rotation(logs: &[Vec<u32>], start: usize) -> Vec<u32> {
     }
     merged
 }
+
+/// Emits the run span through the canonical registry constant — the
+/// key-registry rule resolves `keys::PARTITION_RUN` and stays quiet —
+/// then smuggles in a hardcoded string key, which must fire: a literal
+/// here would drift the goldens-pinned trace schema silently.
+pub fn record_run(sink: &mut TraceSink) {
+    sink.span_enter(keys::PARTITION_RUN);
+    sink.counter_add("partition.hardcoded", 1); // MARK-hardcoded-key
+    sink.span_exit(keys::PARTITION_RUN);
+}

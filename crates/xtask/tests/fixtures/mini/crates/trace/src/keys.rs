@@ -1,0 +1,9 @@
+//! Fixture: the canonical trace-key registry. `PARTITION_RUN` is
+//! referenced by the partition crate; `DB_ORPHANED` is referenced by
+//! nobody, so the registry rule must flag it as dead schema surface.
+
+/// Root span for one partitioner run (referenced by sgp-partition).
+pub const PARTITION_RUN: &str = "partition.run";
+
+/// An orphaned key no crate ever emits.
+pub const DB_ORPHANED: &str = "db.orphaned"; // MARK-registry-unused

@@ -6,6 +6,14 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The canonical trace-key registry.
+pub mod keys;
+
+/// Version stamp of the JSON trace document schema — matches the
+/// `trace=` pin in tests/goldens/SCHEMA_VERSIONS, so the sync rule
+/// stays quiet (the drifted fixture lives in the fault crate).
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// A span stamp taken from the machine clock instead of the simulation.
 pub fn wallclock_span_stamp() -> u64 {
     let t = std::time::Instant::now(); // MARK-trace-instant
