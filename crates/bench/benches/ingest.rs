@@ -4,14 +4,24 @@
 //! (HDRF). The chunked path is the one every entry point now runs on;
 //! this bench keeps its overhead honest against the materialized
 //! baseline it replaced.
+//!
+//! On top of the criterion groups, the custom `main` below writes
+//! `BENCH_ingest.json` (git-ignored) into the working directory: a
+//! best-of-3 wall-clock ingestion-rate summary comparing the sequential
+//! entry point against the real-threads execution backend at
+//! `threads ∈ {1, 2, 4}`, for one algorithm of each stream family. CI
+//! uploads that file as the ingestion-throughput artifact.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sgp_core::config::{Dataset, Scale};
-use sgp_graph::{EdgeStream, StreamOrder, VertexStream};
+use sgp_graph::{EdgeStream, Graph, StreamOrder, VertexStream};
 use sgp_partition::edge_cut::Ldg;
 use sgp_partition::streaming::{run_edge_chunked, run_vertex_chunked};
 use sgp_partition::vertex_cut::Hdrf;
-use sgp_partition::{partition_chunked, Algorithm, PartitionerConfig, DEFAULT_CHUNK};
+use sgp_partition::{
+    partition, partition_chunked, partition_threaded, Algorithm, LoaderConfig, PartitionerConfig,
+    DEFAULT_CHUNK,
+};
 use sgp_trace::NullSink;
 
 fn bench_vertex_ingest(c: &mut Criterion) {
@@ -87,5 +97,100 @@ fn bench_facade_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vertex_ingest, bench_edge_ingest, bench_facade_end_to_end);
-criterion_main!(benches);
+fn bench_threaded_ingest(c: &mut Criterion) {
+    // The real-threads backend against the sequential registry entry
+    // point, on the edge path. Bit-identical output (tested in
+    // `tests/streaming_core.rs`); this group watches the cost.
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(16);
+    let order = StreamOrder::Random { seed: 7 };
+    let mut group = c.benchmark_group("ingest_threaded_hdrf");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| partition(&g, Algorithm::Hdrf, &cfg, order));
+    });
+    for &threads in &[1usize, 2, 4] {
+        let lc = LoaderConfig::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &lc, |b, lc| {
+            b.iter(|| partition_threaded(&g, Algorithm::Hdrf, &cfg, order, lc));
+        });
+    }
+    group.finish();
+}
+
+/// Best-of-3 wall-clock seconds for one run of `f`.
+fn best_of_3<F: FnMut()>(mut f: F) -> f64 {
+    (0..3)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Stream elements an algorithm ingests: edges on the edge/hybrid
+/// paths, vertices on the vertex path.
+fn stream_elements(g: &Graph, alg: Algorithm) -> usize {
+    if alg == Algorithm::Ldg {
+        g.num_vertices()
+    } else {
+        g.num_edges()
+    }
+}
+
+/// Writes the `BENCH_ingest.json` ingestion-rate summary: sequential
+/// versus `partition_threaded` at 1/2/4 threads, LDG and HDRF. Hand-
+/// rendered JSON so the artifact shape is pinned by this function
+/// alone.
+fn emit_ingest_json() {
+    let g = Dataset::Twitter.generate(Scale::Tiny);
+    let cfg = PartitionerConfig::new(16);
+    let order = StreamOrder::Random { seed: 7 };
+    let mut rows = Vec::new();
+    for &alg in &[Algorithm::Ldg, Algorithm::Hdrf] {
+        let elements = stream_elements(&g, alg);
+        let mut push = |mode: &str, secs: f64| {
+            rows.push(format!(
+                "    {{\"algorithm\": \"{}\", \"mode\": \"{}\", \"elements\": {}, \"secs\": {:.6}, \"elements_per_sec\": {:.1}}}",
+                alg.short_name(),
+                mode,
+                elements,
+                secs,
+                elements as f64 / secs.max(1e-9)
+            ));
+        };
+        push("sequential", best_of_3(|| drop(partition(&g, alg, &cfg, order))));
+        for threads in [1usize, 2, 4] {
+            let lc = LoaderConfig::new(threads);
+            push(
+                &format!("threads={threads}"),
+                best_of_3(|| drop(partition_threaded(&g, alg, &cfg, order, &lc))),
+            );
+        }
+    }
+    let json = format!(
+        "{{\n  \"version\": 1,\n  \"dataset\": \"twitter\",\n  \"scale\": \"tiny\",\n  \"k\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        cfg.k,
+        rows.join(",\n")
+    );
+    match std::fs::write("BENCH_ingest.json", &json) {
+        Ok(()) => println!("wrote BENCH_ingest.json"),
+        Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_vertex_ingest,
+    bench_edge_ingest,
+    bench_facade_end_to_end,
+    bench_threaded_ingest
+);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    emit_ingest_json();
+}

@@ -851,7 +851,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::{QueryResult, RoundTrace};
+    use crate::query::{QueryResult, QueryTrace, RoundTrace};
     use crate::store::PartitionedStore;
     use crate::workload::{Skew, Workload, WorkloadKind};
     use sgp_graph::generators::{snb_social, SnbConfig};

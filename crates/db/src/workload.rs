@@ -11,11 +11,11 @@
 
 use crate::query::{execute, Query, QueryTrace};
 use crate::store::PartitionedStore;
-use parking_lot::Mutex;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sgp_graph::sampling::{seeded_rng, Zipf};
 use sgp_graph::{Graph, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which query class a workload issues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -148,48 +148,49 @@ impl Workload {
 }
 
 /// Thread-safe per-vertex access counter. JanusGraph instances serve
-/// queries concurrently, so the recorder is shared behind a lock; the
-/// lock is `parking_lot` for predictable uncontended cost in the hot
-/// recording path.
+/// queries concurrently, so the recorder is shared; each vertex gets
+/// its own atomic cell bumped with `Relaxed` ordering. The cells are
+/// independent statistical counters — no cross-cell ordering is ever
+/// observed — so the hot recording path is a single uncontended
+/// fetch-add with no lock to convoy behind.
 #[derive(Debug, Default)]
 pub struct AccessRecorder {
-    counts: Mutex<Vec<u64>>,
+    counts: Vec<AtomicU64>,
 }
 
 impl AccessRecorder {
     /// A recorder for `n` vertices.
     pub fn new(n: usize) -> Self {
-        AccessRecorder { counts: Mutex::new(vec![0; n]) }
+        AccessRecorder { counts: (0..n).map(|_| AtomicU64::new(0)).collect() }
     }
 
     /// Records one access to `v`.
     pub fn record(&self, v: VertexId) {
-        self.counts.lock()[v as usize] += 1;
+        self.counts[v as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records every vertex read in a query's execution: the start
     /// vertex plus all result-set vertices (what the store actually
     /// touched).
     pub fn record_query(&self, q: &Query, trace: &QueryTrace) {
-        let mut counts = self.counts.lock();
-        counts[q.start_vertex() as usize] += 1;
+        self.record(q.start_vertex());
         if let crate::query::QueryResult::Vertices(vs) = &trace.result {
             for &v in vs {
-                counts[v as usize] += 1;
+                self.record(v);
             }
         }
     }
 
     /// Snapshot of the raw counts.
     pub fn counts(&self) -> Vec<u64> {
-        self.counts.lock().clone()
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
 
     /// Converts the counts into the vertex-weight vector of the paper's
     /// Fig. 8: `1 + accesses` (the +1 keeps never-touched vertices
     /// placeable and the weighted total finite).
     pub fn vertex_weights(&self) -> Vec<u64> {
-        self.counts.lock().iter().map(|&c| 1 + c).collect()
+        self.counts.iter().map(|c| 1 + c.load(Ordering::Relaxed)).collect()
     }
 }
 

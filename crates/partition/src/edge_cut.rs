@@ -63,7 +63,11 @@ impl VertexStreamState {
 }
 
 /// A streaming partitioner over vertex streams.
-pub trait VertexStreamPartitioner {
+///
+/// `Send` is a supertrait: the multi-loader layer ships boxed machines
+/// to worker threads in [`crate::exec`], and every implementor is plain
+/// owned data (counters and vectors), so the bound costs nothing.
+pub trait VertexStreamPartitioner: Send {
     /// Chooses a partition for the arriving vertex given the shared state.
     fn place(&mut self, rec: &VertexRecord, state: &VertexStreamState) -> PartitionId;
 

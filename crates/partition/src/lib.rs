@@ -31,7 +31,10 @@
 //! `init(k, config) → ingest(chunk) → seal() → Partitioning` — and
 //! [`loaders`] splits one logical stream across deterministic parallel
 //! loaders with periodic state synchronization, turning Table 1's
-//! "parallelization" column into measurable behaviour.
+//! "parallelization" column into measurable behaviour. [`exec`] runs the
+//! same split on real OS threads — byte-identical to the modelled path,
+//! with all thread/channel primitives confined there by the
+//! `thread-discipline` lint.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -42,6 +45,7 @@ pub mod config;
 pub mod decisions;
 pub mod edge_cut;
 pub mod edge_stream_cut;
+pub mod exec;
 pub mod hetero;
 pub mod hybrid;
 pub mod loaders;
@@ -55,6 +59,7 @@ pub mod vertex_cut;
 pub use assignment::{CutModel, PartitionId, Partitioning};
 pub use config::PartitionerConfig;
 pub use decisions::DecisionStats;
+pub use exec::{partition_threaded, partition_threaded_traced};
 pub use loaders::{partition_multi_loader, LoaderConfig};
 pub use registry::{partition, partition_traced, Algorithm};
 pub use streaming::{partition_chunked, StreamInput, StreamingPartitioner, DEFAULT_CHUNK};

@@ -80,7 +80,7 @@ impl LoaderConfig {
         self
     }
 
-    fn clamped(&self) -> (usize, usize) {
+    pub(crate) fn clamped(&self) -> (usize, usize) {
         (self.loaders.max(1), self.sync_interval.max(1))
     }
 }
@@ -114,22 +114,53 @@ pub fn partition_multi_loader(
             None => return partition(g, algorithm, cfg, order),
         }
     }
-    let seal = match algorithm.info().model {
-        CutModel::HybridCut => {
-            VertexLoaderSeal::Hybrid { threshold: high_degree_threshold(g, cfg) }
-        }
-        _ => VertexLoaderSeal::EdgeCut,
-    };
+    let seal = vertex_seal(g, algorithm, cfg);
     multi_loader_vertices(g, cfg.k, vertex_machines, order, lc, seal)
 }
 
-enum VertexLoaderSeal {
+/// How a vertex-stream loader run turns the final assignment into a
+/// [`Partitioning`] — shared by the modelled loaders and the threaded
+/// backend in [`crate::exec`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum VertexLoaderSeal {
     EdgeCut,
     Hybrid { threshold: usize },
 }
 
+/// The seal `algorithm` needs, with the hybrid degree threshold
+/// precomputed (it must be fixed *before* ingestion starts).
+pub(crate) fn vertex_seal(
+    g: &Graph,
+    algorithm: Algorithm,
+    cfg: &PartitionerConfig,
+) -> VertexLoaderSeal {
+    match algorithm.info().model {
+        CutModel::HybridCut => {
+            VertexLoaderSeal::Hybrid { threshold: high_degree_threshold(g, cfg) }
+        }
+        _ => VertexLoaderSeal::EdgeCut,
+    }
+}
+
+/// Seals a finished vertex-stream assignment into a [`Partitioning`].
+pub(crate) fn seal_vertices(
+    g: &Graph,
+    k: usize,
+    assignment: Vec<PartitionId>,
+    seal: VertexLoaderSeal,
+) -> Partitioning {
+    let owner = owner_from_assignment(assignment);
+    match seal {
+        VertexLoaderSeal::EdgeCut => Partitioning::from_vertex_owners(g, k, owner),
+        VertexLoaderSeal::Hybrid { threshold } => {
+            let (edge_parts, _) = place_hybrid_edges(g, k, &owner, threshold);
+            Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }
+        }
+    }
+}
+
 /// The merge rotation start for barrier `round`: pure in (seed, round).
-fn merge_start(seed: u64, round: u64, l: usize) -> usize {
+pub(crate) fn merge_start(seed: u64, round: u64, l: usize) -> usize {
     (fxhash64(seed ^ round) % l as u64) as usize
 }
 
@@ -178,14 +209,7 @@ fn multi_loader_vertices(
             round += 1;
         }
     }
-    let owner = owner_from_assignment(global.assignment);
-    match seal {
-        VertexLoaderSeal::EdgeCut => Partitioning::from_vertex_owners(g, k, owner),
-        VertexLoaderSeal::Hybrid { threshold } => {
-            let (edge_parts, _) = place_hybrid_edges(g, k, &owner, threshold);
-            Partitioning { k, model: CutModel::HybridCut, edge_parts, vertex_owner: Some(owner) }
-        }
-    }
+    seal_vertices(g, k, global.assignment, seal)
 }
 
 fn multi_loader_edges(

@@ -4,10 +4,11 @@
 //! *single* stream across loaders; this module is the complementary,
 //! embarrassingly-parallel case the experiment harness needs: running
 //! many independent `(algorithm, k)` jobs over the same immutable graph
-//! on all cores. Work is distributed over a crossbeam scope with a
-//! shared atomic cursor (simple work stealing), and results come back in
-//! job order — bit-identical to a sequential run, since every algorithm
-//! in the workspace is deterministic.
+//! on all cores. Work is distributed over [`crate::exec::scoped_workers`]
+//! (the workspace's single thread-creation point) with a shared atomic
+//! cursor (simple work stealing), and results come back in job order —
+//! bit-identical to a sequential run, since every algorithm in the
+//! workspace is deterministic.
 
 use crate::assignment::Partitioning;
 use crate::config::PartitionerConfig;
@@ -53,27 +54,18 @@ pub fn partition_batch(g: &Graph, jobs: &[Job], threads: usize) -> Vec<Partition
     let cursor = AtomicUsize::new(0);
     // Hand each worker a disjoint set of jobs through the shared cursor:
     // collect (index, result) pairs per worker, then restore job order.
-    let collected: Vec<Vec<(usize, Partitioning)>> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let cursor = &cursor;
-            handles.push(scope.spawn(move |_| {
-                let mut mine = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    mine.push((i, run_job(g, &jobs[i])));
+    let collected: Vec<Vec<(usize, Partitioning)>> =
+        crate::exec::scoped_workers(workers, |_worker| {
+            let mut mine = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
                 }
-                mine
-            }));
-        }
-        // sgp-lint: allow(no-panic-in-lib): join() only fails when a worker panicked, and re-raising that panic on the coordinator is the intended behaviour
-        handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
-    })
-    // sgp-lint: allow(no-panic-in-lib): crossbeam::scope errs only when a child panicked; same propagation as above
-    .expect("crossbeam scope");
+                mine.push((i, run_job(g, &jobs[i])));
+            }
+            mine
+        });
     let mut indexed: Vec<(usize, Partitioning)> = collected.into_iter().flatten().collect();
     indexed.sort_by_key(|&(i, _)| i);
     debug_assert!(indexed.iter().enumerate().all(|(pos, &(i, _))| pos == i));

@@ -99,7 +99,11 @@ impl EdgeStreamState {
 }
 
 /// A streaming partitioner over edge streams.
-pub trait EdgeStreamPartitioner {
+///
+/// `Send` is a supertrait: the multi-loader layer ships boxed machines
+/// to worker threads in [`crate::exec`], and every implementor is plain
+/// owned data (counters and vectors), so the bound costs nothing.
+pub trait EdgeStreamPartitioner: Send {
     /// Chooses a partition for the arriving edge given the shared state.
     fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId;
 

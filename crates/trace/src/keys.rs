@@ -41,6 +41,10 @@ pub const PARTITION_DEGREE_THRESHOLD_HITS: &str = "partition.degree_threshold_hi
 pub const PARTITION_MIRROR_CREATIONS: &str = "partition.mirror_creations";
 /// Counter: total vertex replicas created (replication-factor numerator).
 pub const PARTITION_REPLICAS_CREATED: &str = "partition.replicas_created";
+/// Counter: worker threads of one threaded-execution run.
+pub const PARTITION_EXEC_THREADS: &str = "partition.exec_threads";
+/// Counter: synchronization-barrier rounds of one threaded run.
+pub const PARTITION_EXEC_BARRIER_ROUNDS: &str = "partition.exec_barrier_rounds";
 
 // ---------------------------------------------------------------------------
 // sgp-engine: Pregel-style execution engine instrumentation

@@ -22,13 +22,35 @@
 //!   `sgp-fault` (FaultPlan) must agree with the single source of truth
 //!   committed at `tests/goldens/SCHEMA_VERSIONS`.
 //!
-//! All three charge suppressions to the same per-file [`AllowTable`]s
-//! as the per-file rules, so `stale-allow`/`unused-allow` bookkeeping
-//! covers them uniformly.
+//! * [`no-unsafe`](crate::rules::NO_UNSAFE) — `unsafe` is banned in
+//!   every member and every target kind (sources, tests, benches). The
+//!   *only* suppression is a per-file entry in the committed audit
+//!   registry `tests/goldens/UNSAFE_REGISTRY`; an entry whose file no
+//!   longer contains `unsafe` is itself an error, so the registry
+//!   cannot rot. (The compiler's `unsafe_code = "deny"` covers compiled
+//!   targets; this rule also covers fixture corpora and keeps the audit
+//!   trail reviewable in one file.)
+//! * [`send-bound-registry`](crate::rules::SEND_BOUND_REGISTRY) — the
+//!   threaded execution backend (`sgp-partition` `src/exec.rs`) ships
+//!   values across threads, so every channel constructor there must pin
+//!   its payload type with a turbofish (`bounded::<VertexWork>(1)`),
+//!   and each payload type must be audited in
+//!   `tests/goldens/SEND_REGISTRY` (one line per type, with the
+//!   justification that it is plain owned data). Stale registry entries
+//!   are errors.
+//!
+//! The first three charge suppressions to the same per-file
+//! [`AllowTable`]s as the per-file rules, so `stale-allow`/
+//! `unused-allow` bookkeeping covers them uniformly. The two
+//! registry-backed rules deliberately bypass allow directives: their
+//! audit trail must live in exactly one reviewable file each.
 
 use crate::lexer::{self, Token, TokenKind};
 use crate::report::{Finding, Severity};
-use crate::rules::{AllowTable, NO_FLOAT_ACCOUNTING, SCHEMA_VERSION_SYNC, TRACE_KEY_REGISTRY};
+use crate::rules::{
+    AllowTable, NO_FLOAT_ACCOUNTING, NO_UNSAFE, SCHEMA_VERSION_SYNC, SEND_BOUND_REGISTRY,
+    TRACE_KEY_REGISTRY,
+};
 use crate::workspace::{FileKind, Workspace};
 use crate::ScannedEntry;
 use std::collections::{BTreeMap, BTreeSet};
@@ -53,11 +75,16 @@ const FLOAT_SCOPE: &[(&str, &str)] = &[
 
 /// Workspace-relative path of the schema-version source of truth.
 pub const SCHEMA_VERSIONS_REL: &str = "tests/goldens/SCHEMA_VERSIONS";
+/// Workspace-relative path of the `unsafe` audit registry.
+pub const UNSAFE_REGISTRY_REL: &str = "tests/goldens/UNSAFE_REGISTRY";
+/// Workspace-relative path of the channel-payload Send audit registry.
+pub const SEND_REGISTRY_REL: &str = "tests/goldens/SEND_REGISTRY";
 
 /// (manifest key, package, constant name) for each pinned schema.
 const SCHEMA_SPECS: &[(&str, &str, &str)] = &[
     ("trace", "sgp-trace", "SCHEMA_VERSION"),
     ("fault-plan", "sgp-fault", "FAULT_PLAN_SCHEMA_VERSION"),
+    ("send-registry", "sgp-partition", "SEND_REGISTRY_SCHEMA_VERSION"),
 ];
 
 /// Runs every cross-file rule.
@@ -70,6 +97,8 @@ pub fn check_all(
     check_trace_key_registry(ws, entries, allows, findings);
     check_float_accounting(ws, entries, allows, findings);
     check_schema_version_sync(ws, entries, allows, findings);
+    check_no_unsafe(ws, entries, findings);
+    check_send_bound_registry(ws, entries, findings);
 }
 
 // ---------------------------------------------------------------------------
@@ -454,6 +483,241 @@ fn check_schema_version_sync(
                 }
             }
             (None, None) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry files (shared by no-unsafe and send-bound-registry)
+// ---------------------------------------------------------------------------
+
+/// Parses a `<key> = <justification>` registry file at `rel` under the
+/// workspace root. `#` comments and blank lines are skipped; malformed
+/// entries (no `=`, empty key or empty justification) become findings
+/// under `rule`. A missing file is an empty registry, not an error.
+fn parse_registry(
+    ws: &Workspace,
+    rel: &str,
+    rule: &'static str,
+    findings: &mut Vec<Finding>,
+) -> Vec<(String, usize)> {
+    let Ok(text) = std::fs::read_to_string(ws.root.join(rel)) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once('=') {
+            Some((key, just)) if !key.trim().is_empty() && !just.trim().is_empty() => {
+                entries.push((key.trim().to_string(), idx + 1));
+            }
+            _ => findings.push(Finding::new(
+                rule,
+                Severity::Error,
+                rel,
+                idx + 1,
+                format!(
+                    "malformed registry entry `{line}` — expected `<key> = <justification>` with \
+                     both sides non-empty"
+                ),
+            )),
+        }
+    }
+    entries
+}
+
+// ---------------------------------------------------------------------------
+// no-unsafe
+// ---------------------------------------------------------------------------
+
+fn check_no_unsafe(ws: &Workspace, entries: &[ScannedEntry], findings: &mut Vec<Finding>) {
+    let registry = parse_registry(ws, UNSAFE_REGISTRY_REL, NO_UNSAFE, findings);
+    let mut used = vec![false; registry.len()];
+    for e in entries {
+        let src = &e.scanned.source;
+        let mut reported: BTreeSet<usize> = BTreeSet::new();
+        for t in &e.scanned.tokens {
+            if t.kind != TokenKind::Ident || t.text(src) != "unsafe" {
+                continue;
+            }
+            let mut registered = false;
+            for (i, (key, _)) in registry.iter().enumerate() {
+                if key == &e.scanned.rel {
+                    used[i] = true;
+                    registered = true;
+                }
+            }
+            if registered || reported.contains(&t.line) {
+                continue;
+            }
+            reported.insert(t.line);
+            findings.push(Finding::new(
+                NO_UNSAFE,
+                Severity::Error,
+                &e.scanned.rel,
+                t.line,
+                format!(
+                    "`unsafe` outside the audit registry — soundness arguments live in \
+                     {UNSAFE_REGISTRY_REL}; add `{} = <why this is sound>` there after review, \
+                     or rewrite without unsafe",
+                    e.scanned.rel
+                ),
+            ));
+        }
+    }
+    for (i, (key, line)) in registry.iter().enumerate() {
+        if !used[i] {
+            findings.push(Finding::new(
+                NO_UNSAFE,
+                Severity::Error,
+                UNSAFE_REGISTRY_REL,
+                *line,
+                format!(
+                    "stale registry entry `{key}` — that file no longer contains `unsafe`, so \
+                     delete the entry (the audit trail cannot rot)"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// send-bound-registry
+// ---------------------------------------------------------------------------
+
+/// Channel constructors whose payload type crosses a thread boundary.
+const CHANNEL_CTORS: &[&str] = &["channel", "bounded", "unbounded"];
+
+/// Type names that never need a registry entry: std building blocks
+/// whose Send-ness is the compiler's problem, plus path/qualifier
+/// segments. The registry audits the *workspace* payload types.
+const SEND_EXEMPT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "bool", "char", "str", "String", "Vec", "VecDeque", "Option", "Box", "Arc", "Result",
+];
+
+fn check_send_bound_registry(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    findings: &mut Vec<Finding>,
+) {
+    let registry = parse_registry(ws, SEND_REGISTRY_REL, SEND_BOUND_REGISTRY, findings);
+    let mut used = vec![false; registry.len()];
+    let mut any_designated = false;
+
+    for e in entries {
+        let member = &ws.members[e.member];
+        if !crate::rules::is_exec_backend(member, &e.scanned.rel) {
+            continue;
+        }
+        any_designated = true;
+        let src = &e.scanned.source;
+        let toks = &e.scanned.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident
+                || !CHANNEL_CTORS.contains(&t.text(src))
+                || e.scanned.is_test_line(t.line)
+            {
+                continue;
+            }
+            let n1 = next_nontrivia(toks, i);
+            // `name(…)` with no turbofish: the payload type is inferred,
+            // so the registry has nothing to audit — reject.
+            if n1.is_some_and(|j| punct_char(src, &toks[j]) == Some('(')) {
+                findings.push(Finding::new(
+                    SEND_BOUND_REGISTRY,
+                    Severity::Error,
+                    &e.scanned.rel,
+                    t.line,
+                    format!(
+                        "channel constructor `{}(…)` without an explicit payload turbofish — \
+                         write `{}::<T>(…)` so {SEND_REGISTRY_REL} can audit `T`",
+                        t.text(src),
+                        t.text(src)
+                    ),
+                ));
+                continue;
+            }
+            // `name::<…>(…)`: audit every workspace type named in the
+            // turbofish. `name::ident` (a path segment, e.g. the
+            // `channel` in `crossbeam::channel::bounded`) is skipped —
+            // the final constructor segment gets checked on its own.
+            let n2 = n1.and_then(|j| next_nontrivia(toks, j));
+            let n3 = n2.and_then(|j| next_nontrivia(toks, j));
+            let is_turbofish = n1.is_some_and(|j| punct_char(src, &toks[j]) == Some(':'))
+                && n2.is_some_and(|j| punct_char(src, &toks[j]) == Some(':'))
+                && n3.is_some_and(|j| punct_char(src, &toks[j]) == Some('<'));
+            if !is_turbofish {
+                continue;
+            }
+            let mut depth = 1usize;
+            let mut j = n3;
+            while let Some(k) = j.and_then(|j| next_nontrivia(toks, j)) {
+                match punct_char(src, &toks[k]) {
+                    Some('<') => depth += 1,
+                    Some('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {
+                        if toks[k].kind == TokenKind::Ident {
+                            let name = toks[k].text(src);
+                            // A segment followed by `::` is a path
+                            // qualifier, not the payload type itself.
+                            let qualifier = next_nontrivia(toks, k)
+                                .is_some_and(|q| punct_char(src, &toks[q]) == Some(':'));
+                            if !qualifier && !SEND_EXEMPT_TYPES.contains(&name) {
+                                let mut registered = false;
+                                for (ri, (key, _)) in registry.iter().enumerate() {
+                                    if key == name {
+                                        used[ri] = true;
+                                        registered = true;
+                                    }
+                                }
+                                if !registered {
+                                    findings.push(Finding::new(
+                                        SEND_BOUND_REGISTRY,
+                                        Severity::Error,
+                                        &e.scanned.rel,
+                                        toks[k].line,
+                                        format!(
+                                            "channel payload type `{name}` is not audited in \
+                                             {SEND_REGISTRY_REL} — verify it is plain owned data \
+                                             (no Rc/RefCell/raw pointers) and register it"
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                j = Some(k);
+            }
+        }
+    }
+
+    // Stale entries only mean something where designated files exist at
+    // all (fixture trees without an exec backend pin nothing).
+    if any_designated {
+        for (i, (key, line)) in registry.iter().enumerate() {
+            if !used[i] {
+                findings.push(Finding::new(
+                    SEND_BOUND_REGISTRY,
+                    Severity::Error,
+                    SEND_REGISTRY_REL,
+                    *line,
+                    format!(
+                        "stale Send-registry entry `{key}` — no channel in the execution backend \
+                         carries that payload any more; delete the entry"
+                    ),
+                ));
+            }
         }
     }
 }

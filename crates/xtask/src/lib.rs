@@ -24,13 +24,25 @@
 //!     `#![deny(unsafe_code)]` and `#![warn(missing_docs)]`.
 //!   * `no-wallclock-in-sim` — `std::time::Instant`, `SystemTime` and
 //!     `thread_rng` are forbidden inside the deterministic simulators.
+//!   * `thread-discipline` — thread, channel and lock primitives
+//!     (`spawn`, `channel`, `Mutex`, `crossbeam`, …) are confined to
+//!     the designated execution backend (`sgp-partition`
+//!     `src/exec.rs`); everywhere else they need a justified allow.
+//!   * `atomic-ordering-policy` — atomic orderings are written
+//!     `Ordering::X` at the call site, and anything stronger than
+//!     `Relaxed` must justify its acquire/release pairing.
 //!   * `workspace-dep-hygiene` — member `Cargo.toml`s must inherit
 //!     dependencies and opt into the shared `[workspace.lints]` table.
 //! * [`crossfile`] — the whole-workspace semantic rules:
 //!   `trace-key-registry` (every `TraceSink` key is a `sgp_trace::keys`
 //!   constant, every constant is used), `no-float-accounting` (integral
-//!   simulated time and message accounting), and `schema-version-sync`
-//!   (schema constants agree with `tests/goldens/SCHEMA_VERSIONS`).
+//!   simulated time and message accounting), `schema-version-sync`
+//!   (schema constants agree with `tests/goldens/SCHEMA_VERSIONS`),
+//!   `no-unsafe` (`unsafe` anywhere — tests and benches included —
+//!   requires a per-file entry in `tests/goldens/UNSAFE_REGISTRY`), and
+//!   `send-bound-registry` (channel payload types in the execution
+//!   backend are pinned by turbofish and audited in
+//!   `tests/goldens/SEND_REGISTRY`; stale registry entries are errors).
 //! * [`manifest`] — a minimal TOML section reader for the hygiene rule.
 //! * [`report`] — findings, text diagnostics with `file:line` spans,
 //!   stable machine-readable JSON, and a SARIF 2.1.0 emitter for CI

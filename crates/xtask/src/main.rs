@@ -161,8 +161,14 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 
 /// Lists workspace-relative files changed vs. `git_ref`, plus untracked
 /// files, via the `git` CLI (the only place the linter shells out).
+/// Uses `--name-status -M` so renames resolve to their *new* path and
+/// deletions drop out entirely — a `--name-only` diff would report
+/// paths that no longer exist, silently filtering every finding away.
 fn changed_files(root: &Path, git_ref: &str) -> Result<Vec<String>, String> {
-    let mut files = git_lines(root, &["diff", "--name-only", git_ref])?;
+    let mut files: Vec<String> = git_lines(root, &["diff", "--name-status", "-M", git_ref])?
+        .iter()
+        .filter_map(|l| sgp_xtask::workspace::parse_name_status_line(l))
+        .collect();
     files.extend(git_lines(root, &["ls-files", "--others", "--exclude-standard"])?);
     files.sort();
     files.dedup();

@@ -8,13 +8,18 @@
 //! | `no-hash-iteration`   | `sgp-engine`, `sgp-db`, `sgp-core`, `sgp-partition`, `sgp-fault`, `sgp-trace` — all targets incl. tests |
 //! | `no-panic-in-lib`     | the above + `sgp-graph` — library sources only, test spans skipped |
 //! | `no-wallclock-in-sim` | the above + `sgp-graph` — all targets |
+//! | `thread-discipline`   | the `no-panic-in-lib` crates — library sources, test spans skipped; `sgp-partition`'s `src/exec.rs`/`src/exec/` is the single designated exemption |
+//! | `atomic-ordering-policy` | the `no-panic-in-lib` crates — library sources, test spans skipped, **no** exec exemption |
 //! | `crate-attr-policy`   | every member |
 //! | `workspace-dep-hygiene` | every member manifest + the root manifest |
 //!
 //! Cross-file rules (`trace-key-registry`, `no-float-accounting`,
-//! `schema-version-sync`) live in [`crate::crossfile`]; they share the
-//! per-file [`AllowTable`]s so suppressions and staleness are tracked
-//! uniformly.
+//! `schema-version-sync`, `no-unsafe`, `send-bound-registry`) live in
+//! [`crate::crossfile`]; the first three share the per-file
+//! [`AllowTable`]s so suppressions and staleness are tracked uniformly,
+//! while the two registry-backed rules are suppressed *only* by their
+//! committed registry files (`tests/goldens/UNSAFE_REGISTRY`,
+//! `tests/goldens/SEND_REGISTRY`), whose stale entries are errors.
 //!
 //! The bench harness (`sgp-bench`) and binary targets are outside the
 //! determinism scopes: wall-clock footers and CLI conveniences live
@@ -44,6 +49,15 @@ pub const CRATE_ATTR_POLICY: &str = "crate-attr-policy";
 pub const NO_WALLCLOCK_IN_SIM: &str = "no-wallclock-in-sim";
 /// Rule: manifests must inherit workspace dependencies and lints.
 pub const WORKSPACE_DEP_HYGIENE: &str = "workspace-dep-hygiene";
+/// Rule: thread/channel/lock primitives outside the execution backend.
+pub const THREAD_DISCIPLINE: &str = "thread-discipline";
+/// Rule: atomic orderings must be written qualified; beyond Relaxed
+/// needs a justification.
+pub const ATOMIC_ORDERING_POLICY: &str = "atomic-ordering-policy";
+/// Rule: `unsafe` requires an entry in the committed audit registry.
+pub const NO_UNSAFE: &str = "no-unsafe";
+/// Rule: channel payload types must be audited in the Send registry.
+pub const SEND_BOUND_REGISTRY: &str = "send-bound-registry";
 /// Rule: trace keys must come from the `sgp_trace::keys` registry.
 pub const TRACE_KEY_REGISTRY: &str = "trace-key-registry";
 /// Rule: no float arithmetic in accounting/simulated-time paths.
@@ -65,6 +79,10 @@ pub const ALL_RULES: &[&str] = &[
     CRATE_ATTR_POLICY,
     NO_WALLCLOCK_IN_SIM,
     WORKSPACE_DEP_HYGIENE,
+    THREAD_DISCIPLINE,
+    ATOMIC_ORDERING_POLICY,
+    NO_UNSAFE,
+    SEND_BOUND_REGISTRY,
     TRACE_KEY_REGISTRY,
     NO_FLOAT_ACCOUNTING,
     SCHEMA_VERSION_SYNC,
@@ -94,6 +112,25 @@ pub fn describe(rule: &str) -> &'static str {
         WORKSPACE_DEP_HYGIENE => {
             "crate manifests must inherit dependencies (workspace = true, no inline versions) and \
              opt into [workspace.lints]"
+        }
+        THREAD_DISCIPLINE => {
+            "thread, channel and lock primitives (spawn/channel/Mutex/crossbeam/…) are confined \
+             to the designated execution backend (sgp-partition src/exec.rs); everywhere else in \
+             the determinism-scoped libraries they need a justified allow"
+        }
+        ATOMIC_ORDERING_POLICY => {
+            "atomic memory orderings must be spelled `Ordering::X` at the call site (no bare \
+             imports), and any ordering stronger than Relaxed must carry an allow justifying the \
+             acquire/release pairing it implements"
+        }
+        NO_UNSAFE => {
+            "`unsafe` is banned everywhere (sources, tests, benches); the only suppression is a \
+             per-file entry in tests/goldens/UNSAFE_REGISTRY, and stale entries are errors"
+        }
+        SEND_BOUND_REGISTRY => {
+            "every channel constructor in the execution backend must pin its payload type with a \
+             turbofish, and that type must be audited in tests/goldens/SEND_REGISTRY (guards \
+             which types may cross the loader-thread boundary)"
         }
         TRACE_KEY_REGISTRY => {
             "every TraceSink span/counter/histogram key must be a sgp_trace::keys constant, and \
@@ -126,9 +163,21 @@ const PANIC_SCOPE: &[&str] =
 /// Crates forbidden to read wall-clock or ambient randomness.
 const WALLCLOCK_SCOPE: &[&str] =
     &["sgp-graph", "sgp-engine", "sgp-db", "sgp-core", "sgp-partition", "sgp-fault", "sgp-trace"];
+/// Crates whose library code may not create threads, channels or locks
+/// outside the designated execution backend, and whose atomic orderings
+/// are policed.
+const THREAD_SCOPE: &[&str] =
+    &["sgp-graph", "sgp-engine", "sgp-db", "sgp-core", "sgp-partition", "sgp-fault", "sgp-trace"];
 
 fn in_scope(member: &Member, scope: &[&str]) -> bool {
     scope.contains(&member.name.as_str())
+}
+
+/// Is `rel` part of the designated threaded-execution backend — the one
+/// module allowed to own thread/channel primitives? Shared with the
+/// cross-file `send-bound-registry` rule, which only scans these files.
+pub fn is_exec_backend(member: &Member, rel: &str) -> bool {
+    member.name == "sgp-partition" && (rel.ends_with("src/exec.rs") || rel.contains("/src/exec/"))
 }
 
 // ---------------------------------------------------------------------------
@@ -276,12 +325,39 @@ pub fn is_macro_bang(source: &str, tokens: &[Token], i: usize) -> bool {
     tokens[i].kind == TokenKind::Ident && punct_is(source, tokens, next_nontrivia(tokens, i), '!')
 }
 
+/// Is token `i` invoked as a function or constructor — `name(…)` or
+/// `name::<T>(…)`? Distinguishes `thread::spawn(f)` from an identifier
+/// that merely *names* spawn (`fn spawn_rate()`, `let channel = 3;`).
+pub fn is_call_position(source: &str, tokens: &[Token], i: usize) -> bool {
+    let n1 = next_nontrivia(tokens, i);
+    if punct_is(source, tokens, n1, '(') {
+        return true;
+    }
+    let n2 = n1.and_then(|j| next_nontrivia(tokens, j));
+    let n3 = n2.and_then(|j| next_nontrivia(tokens, j));
+    punct_is(source, tokens, n1, ':')
+        && punct_is(source, tokens, n2, ':')
+        && punct_is(source, tokens, n3, '<')
+}
+
 // ---------------------------------------------------------------------------
 // Source-file rules
 // ---------------------------------------------------------------------------
 
 const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "dbg"];
+
+/// Synchronisation-primitive type names that fire `thread-discipline`
+/// wherever they appear (declaration, import or use — a lock type has
+/// no business even being *named* outside the execution backend).
+const THREAD_SYNC_TYPES: &[&str] =
+    &["Mutex", "RwLock", "Condvar", "Barrier", "mpsc", "crossbeam", "parking_lot"];
+/// Function names that fire `thread-discipline` only in call position,
+/// since they are common English words in other contexts.
+const THREAD_SPAWN_CALLS: &[&str] = &["spawn", "channel", "bounded", "unbounded"];
+/// The atomic memory orderings policed by `atomic-ordering-policy`.
+/// `std::cmp::Ordering` variants (Less/Equal/Greater) never collide.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// Runs every source-level rule over one scanned file, charging
 /// suppressions to `allows` (finalised later by [`AllowTable::finish`]).
@@ -295,6 +371,10 @@ pub fn check_source_file(
     let hash_applies = in_scope(member, HASH_SCOPE);
     let wallclock_applies = in_scope(member, WALLCLOCK_SCOPE);
     let panic_applies = in_scope(member, PANIC_SCOPE) && file_kind == FileKind::LibSrc;
+    let thread_applies = in_scope(member, THREAD_SCOPE)
+        && file_kind == FileKind::LibSrc
+        && !is_exec_backend(member, &scanned.rel);
+    let ordering_applies = in_scope(member, THREAD_SCOPE) && file_kind == FileKind::LibSrc;
 
     let src = &scanned.source;
     let tokens = &scanned.tokens;
@@ -341,6 +421,71 @@ pub fn check_source_file(
                          take seeds/counters as inputs (wall-clock belongs to sgp-bench footers)"
                     ),
                 ));
+            }
+        }
+        if thread_applies && !scanned.is_test_line(line) {
+            let sync_type = THREAD_SYNC_TYPES.contains(&text);
+            let spawn_call = !sync_type
+                && THREAD_SPAWN_CALLS.contains(&text)
+                && is_call_position(src, tokens, i);
+            if (sync_type || spawn_call)
+                && !reported.contains(&(THREAD_DISCIPLINE, line))
+                && !allows.allows(THREAD_DISCIPLINE, line)
+            {
+                reported.insert((THREAD_DISCIPLINE, line));
+                let what = if sync_type {
+                    format!("synchronisation primitive `{text}`")
+                } else {
+                    format!("thread/channel constructor `{text}(…)`")
+                };
+                findings.push(Finding::new(
+                    THREAD_DISCIPLINE,
+                    Severity::Error,
+                    &scanned.rel,
+                    line,
+                    format!(
+                        "{what} outside the designated execution backend — concurrency lives in \
+                         sgp-partition src/exec.rs (route through exec::scoped_workers) or \
+                         carries a justified allow"
+                    ),
+                ));
+            }
+        }
+        if ordering_applies && !scanned.is_test_line(line) && ATOMIC_ORDERINGS.contains(&text) {
+            let p1 = prev_nontrivia(tokens, i);
+            let p2 = p1.and_then(|j| prev_nontrivia(tokens, j));
+            let p3 = p2.and_then(|j| prev_nontrivia(tokens, j));
+            let qualified = punct_is(src, tokens, p1, ':')
+                && punct_is(src, tokens, p2, ':')
+                && p3.is_some_and(|j| {
+                    tokens[j].kind == TokenKind::Ident && tokens[j].text(src) == "Ordering"
+                });
+            let complaint = if !qualified {
+                Some(format!(
+                    "bare atomic ordering `{text}` — write `Ordering::{text}` at the call site \
+                     so every ordering decision is locally visible and grep-able"
+                ))
+            } else if text != "Relaxed" {
+                Some(format!(
+                    "`Ordering::{text}` is stronger than Relaxed — justify the acquire/release \
+                     pairing it implements with an allow directive, or relax it"
+                ))
+            } else {
+                None
+            };
+            if let Some(msg) = complaint {
+                if !reported.contains(&(ATOMIC_ORDERING_POLICY, line))
+                    && !allows.allows(ATOMIC_ORDERING_POLICY, line)
+                {
+                    reported.insert((ATOMIC_ORDERING_POLICY, line));
+                    findings.push(Finding::new(
+                        ATOMIC_ORDERING_POLICY,
+                        Severity::Error,
+                        &scanned.rel,
+                        line,
+                        msg,
+                    ));
+                }
             }
         }
         if panic_applies && !scanned.is_test_line(line) {
@@ -505,10 +650,10 @@ mod tests {
     use super::*;
     use crate::scan::scan_source;
 
-    fn lint_tokens(src: &str) -> Vec<(String, usize)> {
-        let scanned = scan_source(src, "crates/x/src/lib.rs");
+    fn lint_tokens_as(pkg: &str, rel: &str, src: &str) -> Vec<(String, usize)> {
+        let scanned = scan_source(src, rel);
         let member = Member {
-            name: "sgp-engine".into(),
+            name: pkg.into(),
             dir: std::path::PathBuf::new(),
             manifest: crate::manifest::parse_manifest("", "crates/x/Cargo.toml"),
             manifest_rel: "crates/x/Cargo.toml".into(),
@@ -520,6 +665,10 @@ mod tests {
         check_source_file(&member, FileKind::LibSrc, &scanned, &mut allows, &mut findings);
         allows.finish(&mut findings);
         findings.into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    fn lint_tokens(src: &str) -> Vec<(String, usize)> {
+        lint_tokens_as("sgp-engine", "crates/x/src/lib.rs", src)
     }
 
     #[test]
@@ -603,6 +752,78 @@ mod tests {
             "// sgp-lint: allow-file(no-hash-iteration): legacy exemption\nlet x = 1;\n",
         );
         assert_eq!(found, vec![("unused-allow".into(), 1)]);
+    }
+
+    #[test]
+    fn thread_discipline_flags_sync_types_anywhere() {
+        assert_eq!(
+            lint_tokens("use std::sync::Mutex;"),
+            vec![("thread-discipline".into(), 1)],
+            "naming a lock type fires even in an import"
+        );
+        assert_eq!(
+            lint_tokens("fn f() { let b = std::sync::Barrier::new(2); }"),
+            vec![("thread-discipline".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn thread_discipline_spawn_needs_call_position() {
+        assert_eq!(
+            lint_tokens("fn f() { std::thread::spawn(worker); }"),
+            vec![("thread-discipline".into(), 1)]
+        );
+        // Turbofish constructor calls are call position too.
+        assert_eq!(
+            lint_tokens("fn f() { let (tx, rx) = bounded::<u32>(1); }"),
+            vec![("thread-discipline".into(), 1)]
+        );
+        // Mere mentions are not: a local named `channel`, a spawn-ish
+        // fn name, or `bounded` in prose/comment positions.
+        assert!(lint_tokens("fn f() { let channel = 3; }").is_empty());
+        assert!(lint_tokens("fn spawn_rate() -> u32 { 7 }").is_empty());
+        assert!(lint_tokens("// retries are bounded by the diameter\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn thread_discipline_exempts_the_exec_backend() {
+        let src = "fn f() { crossbeam::thread::scope(|s| { s.spawn(|_| {}); }).expect(\"x\"); }";
+        let found = lint_tokens_as("sgp-partition", "crates/partition/src/exec.rs", src);
+        assert!(
+            found.iter().all(|(rule, _)| rule != "thread-discipline"),
+            "exec.rs owns concurrency by design: {found:?}"
+        );
+        // The same tokens in any other partition file do fire.
+        let found = lint_tokens_as("sgp-partition", "crates/partition/src/loaders.rs", src);
+        assert!(found.iter().any(|(rule, _)| rule == "thread-discipline"), "{found:?}");
+    }
+
+    #[test]
+    fn ordering_policy_requires_qualification() {
+        assert_eq!(
+            lint_tokens("fn f(x: &A) { x.0.fetch_add(1, Relaxed); }"),
+            vec![("atomic-ordering-policy".into(), 1)],
+            "bare ordering fires"
+        );
+        assert!(
+            lint_tokens("fn f(x: &A) { x.0.fetch_add(1, Ordering::Relaxed); }").is_empty(),
+            "qualified Relaxed is the blessed default"
+        );
+    }
+
+    #[test]
+    fn ordering_policy_gates_strong_orderings_behind_allows() {
+        assert_eq!(
+            lint_tokens("fn f(x: &A) { x.0.load(Ordering::SeqCst); }"),
+            vec![("atomic-ordering-policy".into(), 1)]
+        );
+        let allowed = lint_tokens(
+            "// sgp-lint: allow(atomic-ordering-policy): acquire pairs with the release in push\n\
+             fn f(x: &A) { x.0.load(Ordering::Acquire); }\n",
+        );
+        assert!(allowed.is_empty(), "justified strong ordering passes: {allowed:?}");
+        // std::cmp::Ordering variants never collide with the policy.
+        assert!(lint_tokens("fn f() -> Ordering { Ordering::Less }").is_empty());
     }
 
     #[test]

@@ -193,9 +193,57 @@ fn rel_path(root: &Path, path: &Path) -> String {
     path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
 }
 
+/// Parses one line of `git diff --name-status -M` output into the path
+/// that exists *now*, or `None` for paths the diff removed.
+///
+/// The `--diff` fast path must lint the post-change tree: a plain
+/// `--name-only` diff reports the *old* path of a rename (which no
+/// longer exists, so its findings can never match) and lists deleted
+/// files (which cannot be scanned at all). Name-status lines look like:
+///
+/// ```text
+/// M\tpath            modified — lint `path`
+/// A\tpath            added — lint `path`
+/// D\tpath            deleted — nothing to lint
+/// R100\told\tnew     renamed — lint `new`, `old` is gone
+/// C75\told\tnew      copied — lint `new`
+/// ```
+pub fn parse_name_status_line(line: &str) -> Option<String> {
+    let mut parts = line.split('\t');
+    let status = parts.next()?.trim();
+    let first = parts.next()?.trim();
+    match status.chars().next()? {
+        'D' => None,
+        'R' | 'C' => parts.next().map(|new| new.trim().to_string()),
+        _ => Some(first.to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn name_status_lines_resolve_to_current_paths() {
+        assert_eq!(parse_name_status_line("M\tsrc/lib.rs"), Some("src/lib.rs".into()));
+        assert_eq!(
+            parse_name_status_line("A\tcrates/x/src/new.rs"),
+            Some("crates/x/src/new.rs".into())
+        );
+        assert_eq!(
+            parse_name_status_line("D\tsrc/gone.rs"),
+            None,
+            "deleted files cannot be linted"
+        );
+        assert_eq!(
+            parse_name_status_line("R100\tsrc/old.rs\tsrc/new.rs"),
+            Some("src/new.rs".into()),
+            "a rename reports the post-change path, not the vanished one"
+        );
+        assert_eq!(parse_name_status_line("C75\tsrc/a.rs\tsrc/b.rs"), Some("src/b.rs".into()));
+        assert_eq!(parse_name_status_line(""), None);
+        assert_eq!(parse_name_status_line("R100"), None, "truncated rename line");
+    }
 
     #[test]
     fn classify_bins() {

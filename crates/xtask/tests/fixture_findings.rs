@@ -23,6 +23,12 @@ fn mark_line(rel: &str, mark: &str) -> usize {
         + 1
 }
 
+const GRAPH_LIB: &str = "crates/graph/src/lib.rs";
+const CORE_LIB: &str = "crates/core/src/lib.rs";
+const UNSAFETY_LIB: &str = "crates/unsafety/src/lib.rs";
+const PARTITION_EXEC: &str = "crates/partition/src/exec.rs";
+const SEND_REGISTRY: &str = "tests/goldens/SEND_REGISTRY";
+const UNSAFE_REGISTRY: &str = "tests/goldens/UNSAFE_REGISTRY";
 const ENGINE_LIB: &str = "crates/engine/src/lib.rs";
 const ENGINE_TOML: &str = "crates/engine/Cargo.toml";
 const ENGINE_SMOKE: &str = "crates/engine/tests/smoke.rs";
@@ -110,6 +116,48 @@ fn fixture_findings_match_exactly() {
             TRACE_LIB.into(),
             mark_line(TRACE_LIB, "MARK-trace-instant"),
         ),
+        // Thread discipline: lock types and spawn-shaped calls are
+        // confined to the designated execution backend.
+        ("thread-discipline".into(), GRAPH_LIB.into(), mark_line(GRAPH_LIB, "MARK-thread-mutex")),
+        ("thread-discipline".into(), GRAPH_LIB.into(), mark_line(GRAPH_LIB, "MARK-thread-spawn")),
+        // Atomic ordering policy: bare ordering names and unjustified
+        // strong orderings fire; a stale justification fires too.
+        (
+            "atomic-ordering-policy".into(),
+            CORE_LIB.into(),
+            mark_line(CORE_LIB, "MARK-bare-ordering"),
+        ),
+        ("atomic-ordering-policy".into(), CORE_LIB.into(), mark_line(CORE_LIB, "MARK-seqcst")),
+        ("stale-allow".into(), CORE_LIB.into(), mark_line(CORE_LIB, "MARK-stale-ordering-allow")),
+        // no-unsafe: the unregistered block fires in-source; the stale
+        // registry entry fires at the registry line.
+        (
+            "no-unsafe".into(),
+            UNSAFETY_LIB.into(),
+            mark_line(UNSAFETY_LIB, "MARK-unregistered-unsafe"),
+        ),
+        (
+            "no-unsafe".into(),
+            UNSAFE_REGISTRY.into(),
+            mark_line(UNSAFE_REGISTRY, "MARK-stale-unsafe"),
+        ),
+        // send-bound-registry: unaudited payload, inference-typed
+        // constructor, and the stale registry entry.
+        (
+            "send-bound-registry".into(),
+            PARTITION_EXEC.into(),
+            mark_line(PARTITION_EXEC, "MARK-unregistered-send"),
+        ),
+        (
+            "send-bound-registry".into(),
+            PARTITION_EXEC.into(),
+            mark_line(PARTITION_EXEC, "MARK-untyped-ctor"),
+        ),
+        (
+            "send-bound-registry".into(),
+            SEND_REGISTRY.into(),
+            mark_line(SEND_REGISTRY, "MARK-stale-send"),
+        ),
     ];
     expected.sort();
 
@@ -122,7 +170,7 @@ fn fixture_findings_match_exactly() {
         "finding set mismatch\nactual:\n{:#?}\nexpected:\n{:#?}",
         actual, expected
     );
-    assert_eq!(report.errors(), 23);
+    assert_eq!(report.errors(), 33);
     assert_eq!(report.warnings(), 1);
     assert_eq!(report.exit_code(), 1, "seeded fixture must fail the lint");
 }
@@ -165,7 +213,7 @@ fn json_output_is_stable_and_wellformed() {
     let b = sgp_xtask::render_json(&report);
     assert_eq!(a, b, "rendering is deterministic");
     assert!(a.starts_with("{\n  \"version\": 1,\n"));
-    assert!(a.contains("\"errors\": 23"));
+    assert!(a.contains("\"errors\": 33"));
     assert!(a.contains("\"warnings\": 1"));
     assert!(a.contains("\"rule\": \"no-hash-iteration\""));
     // Findings arrive sorted by (file, line, rule): the manifest file

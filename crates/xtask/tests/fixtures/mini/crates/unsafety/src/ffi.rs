@@ -1,0 +1,8 @@
+//! Registered FFI boundary: the UNSAFE_REGISTRY entry for this file
+//! carries the audit, so no finding may fire here.
+
+/// Reads a byte through a raw pointer; the caller-supplied-valid-
+/// pointer contract is argued in tests/goldens/UNSAFE_REGISTRY.
+pub fn read_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}

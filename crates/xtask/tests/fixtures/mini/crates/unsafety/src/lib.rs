@@ -1,0 +1,15 @@
+//! Fixture: no-unsafe applies to *every* member, even ones outside the
+//! determinism scopes. The registered FFI shim in `ffi.rs` is covered
+//! by its UNSAFE_REGISTRY entry; the block below is not, so exactly
+//! one finding fires here.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The audited FFI boundary, registered in
+/// tests/goldens/UNSAFE_REGISTRY.
+pub mod ffi;
+
+/// An unregistered unsafe block — must fire.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p } // MARK-unregistered-unsafe
+}

@@ -82,8 +82,8 @@ pub mod prelude {
     pub use sgp_graph::{Edge, Graph, GraphBuilder, StreamOrder, VertexId};
     pub use sgp_partition::metrics::{edge_cut_ratio, load_imbalance, replication_factor};
     pub use sgp_partition::{
-        partition, partition_chunked, partition_multi_loader, partition_traced, Algorithm,
-        CutModel, LoaderConfig, PartitionerConfig, Partitioning, StreamingPartitioner,
+        partition, partition_chunked, partition_multi_loader, partition_threaded, partition_traced,
+        Algorithm, CutModel, LoaderConfig, PartitionerConfig, Partitioning, StreamingPartitioner,
     };
     pub use sgp_trace::{CollectingSink, NullSink, SummarySink, TraceSink};
 }

@@ -85,6 +85,29 @@ proptest! {
         prop_assert_eq!(&seq.vertex_owner, &par.vertex_owner);
     }
 
+    /// The real-threads execution backend is an implementation detail:
+    /// for every algorithm and thread count in {1, 2, 4, 8}, running
+    /// the loaders on OS threads is byte-identical to the modelled
+    /// (sequential round-robin) multi-loader path.
+    #[test]
+    fn threaded_backend_matches_modelled_loaders(
+        g in arb_graph(),
+        alg in arb_algorithm(),
+        order in arb_order(),
+        sync_interval in prop_oneof![Just(1usize), Just(8), Just(4096)],
+        k in 1usize..=6,
+    ) {
+        let cfg = PartitionerConfig::new(k);
+        for threads in [1usize, 2, 4, 8] {
+            let lc = LoaderConfig::new(threads).with_sync_interval(sync_interval);
+            let modelled = partition_multi_loader(&g, alg, &cfg, order, &lc);
+            let threaded = partition_threaded(&g, alg, &cfg, order, &lc);
+            prop_assert_eq!(&modelled.edge_parts, &threaded.edge_parts);
+            prop_assert_eq!(&modelled.vertex_owner, &threaded.vertex_owner);
+            prop_assert_eq!(modelled.model, threaded.model);
+        }
+    }
+
     /// Multi-loader runs are a pure function of (graph, algorithm,
     /// config, order, loader config) — no wallclock, no hash-iteration
     /// order anywhere in the merge.
