@@ -6,11 +6,12 @@
 //! baseline it replaced.
 //!
 //! On top of the criterion groups, the custom `main` below writes
-//! `BENCH_ingest.json` (git-ignored) into the working directory: a
-//! best-of-3 wall-clock ingestion-rate summary comparing the sequential
-//! entry point against the real-threads execution backend at
+//! `BENCH_ingest.json` into the working directory: a best-of-3
+//! wall-clock ingestion-rate summary comparing the sequential entry
+//! point against the real-threads execution backend at
 //! `threads ∈ {1, 2, 4}`, for one algorithm of each stream family. CI
-//! uploads that file as the ingestion-throughput artifact.
+//! uploads that file as the ingestion-throughput artifact, and the copy
+//! at the repo root records the perf trajectory point for this machine.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sgp_core::config::{Dataset, Scale};

@@ -7,9 +7,9 @@ use sgp_core::decision::{recommend, OnlineObjective, WorkloadClass};
 use sgp_core::error::SgpError;
 use sgp_core::report::{f2, f3, human_bytes, TextTable};
 use sgp_core::runners::{
-    engine_robustness_suite, fig1_scatter, loaders_suite, offline_suite, online_run, quality_suite,
-    robustness_suite, series_slope, workload_aware_suite, OfflineWorkload, OnlineRunConfig,
-    RobustnessConfig,
+    elastic_suite, engine_robustness_suite, fig1_scatter, loaders_suite, offline_suite, online_run,
+    quality_suite, robustness_suite, series_slope, workload_aware_suite, ElasticityConfig,
+    OfflineWorkload, OnlineRunConfig, RobustnessConfig,
 };
 use sgp_core::trace_scenarios::{record_db_scenario, record_engine_scenario, SCENARIO_MACHINES};
 use sgp_db::workload::Skew;
@@ -126,7 +126,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 /// Opt-in experiments excluded from `all` (and from the checked-in
 /// results files, which must stay byte-identical release to release):
 /// run them by naming them explicitly.
-pub const EXTRA_EXPERIMENTS: &[&str] = &["robustness", "trace", "loaders"];
+pub const EXTRA_EXPERIMENTS: &[&str] = &["robustness", "trace", "loaders", "elastic"];
 
 /// Runs one experiment by id; returns the rendered report.
 ///
@@ -158,6 +158,7 @@ pub fn run(id: &str, params: &Params) -> String {
         "robustness" => robustness(params),
         "trace" => trace_demo(params),
         "loaders" => loaders(params),
+        "elastic" => elastic(params),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -1042,6 +1043,83 @@ pub fn loaders(params: &Params) -> String {
     out
 }
 
+/// Elasticity suite (opt-in; see [`EXTRA_EXPERIMENTS`]): availability,
+/// p99 latency and recovery accounting while the cluster rides out a
+/// crash-rejoin of machine `k − 1`. The rejoined machine's state
+/// restore is priced by the bounded-movement rebalance over each
+/// algorithm's own placement and charged to the DES, so the RTO and
+/// data-moved columns separate the cut models (DESIGN.md §11).
+pub fn elastic(params: &Params) -> String {
+    let k = params.online_k;
+    let cfg = ElasticityConfig {
+        bindings: params.bindings,
+        sim: FaultSimConfig {
+            base: SimConfig {
+                clients_per_machine: LoadLevel::Medium.clients_per_machine(),
+                queries_per_client: params.queries_per_client,
+                ..Default::default()
+            },
+            ..ElasticityConfig::default().sim
+        },
+        ..Default::default()
+    };
+    let g = Dataset::LdbcSnb.generate(params.scale);
+    let algs = [
+        Algorithm::EcrHash,
+        Algorithm::Ldg,
+        Algorithm::VcrHash,
+        Algorithm::Hdrf,
+        Algorithm::HybridRandom,
+        Algorithm::Ginger,
+    ];
+    let mut out = header(
+        format!("Elasticity — crash-rejoin of machine {}, bounded-movement recovery", k - 1)
+            .as_str(),
+    );
+    match elastic_suite(Dataset::LdbcSnb.name(), &g, &algs, k, &cfg) {
+        Ok(rows) => {
+            let mut t = TextTable::new([
+                "Alg",
+                "Cut",
+                "Avail",
+                "p99 ms",
+                "RTO ms",
+                "Data moved",
+                "Moves",
+                "Balanced",
+                "Shed",
+                "Failovers",
+            ]);
+            for r in &rows {
+                t.row([
+                    r.algorithm.short_name().to_string(),
+                    r.cut_model.clone(),
+                    f3(r.availability),
+                    f2(r.p99_latency_ms),
+                    f2(r.rto_ms),
+                    r.data_moved.to_string(),
+                    r.vertices_moved.to_string(),
+                    if r.balance_restored { "yes" } else { "no" }.to_string(),
+                    r.shed_queries.to_string(),
+                    r.failovers.to_string(),
+                ]);
+            }
+            out.push_str(&format!(
+                "\n--- online (DES): riding out a membership change ---\n{}",
+                t.render()
+            ));
+            out.push_str(
+                "\n(mirror-bearing cuts keep serving through the outage, so their availability \
+                 dip is the admission-control shedding during restore; edge-cut loses the dead \
+                 machine's masters outright. Data moved follows each placement's balance: the \
+                 more even the masters, the less the rebalance ships)\n",
+            );
+        }
+        Err(e) => out.push_str(&format!("\nelastic run failed: {e}\n")),
+    }
+    out
+}
+
 /// Trace demo (opt-in; see [`EXTRA_EXPERIMENTS`]): runs the canonical
 /// traced scenarios through a streaming [`SummarySink`] and renders the
 /// aggregation — the same event streams `experiments --trace <path>`
@@ -1244,6 +1322,20 @@ mod tests {
             assert!(out.contains(alg), "missing {alg} in {out}");
         }
         assert_eq!(out, run("loaders", &tiny()), "loaders report must be deterministic");
+    }
+
+    #[test]
+    fn elastic_is_opt_in_deterministic_and_renders() {
+        // Excluded from `all` like the other extras, and bit-stable:
+        // the same seeded invocation must render identical output.
+        assert!(!ALL_EXPERIMENTS.contains(&"elastic"));
+        assert!(EXTRA_EXPERIMENTS.contains(&"elastic"));
+        let out = run("elastic", &tiny());
+        assert!(out.contains("Elasticity"), "{out}");
+        assert!(out.contains("RTO ms"), "{out}");
+        assert!(out.contains("Data moved"), "{out}");
+        assert!(out.contains("edge-cut") && out.contains("vertex-cut"), "{out}");
+        assert_eq!(out, run("elastic", &tiny()), "elastic report must be deterministic");
     }
 
     #[test]

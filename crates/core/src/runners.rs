@@ -6,8 +6,8 @@ use crate::config::{Dataset, Scale};
 use serde::{Deserialize, Serialize};
 use sgp_db::workload::{run_workload, Skew};
 use sgp_db::{
-    ClusterSim, FaultSimConfig, LoadLevel, MirrorDirectory, PartitionedStore, SimConfig, SimError,
-    Workload, WorkloadKind,
+    ClusterSim, DegradedConfig, ElasticPlan, FaultSimConfig, LoadLevel, MirrorDirectory,
+    PartitionedStore, SimConfig, SimError, Workload, WorkloadKind,
 };
 use sgp_engine::apps::{PageRank, Sssp, Wcc};
 use sgp_engine::cost::five_number_summary;
@@ -17,7 +17,8 @@ use sgp_graph::{Graph, StreamOrder};
 use sgp_partition::metis::MultilevelPartitioner;
 use sgp_partition::metrics::QualityReport;
 use sgp_partition::{
-    partition, partition_multi_loader, Algorithm, LoaderConfig, PartitionerConfig,
+    partition, partition_multi_loader, plan_rebalance, Algorithm, LoaderConfig, MigrationConfig,
+    PartitionerConfig,
 };
 
 /// Default stream order used by every experiment (a fixed seeded random
@@ -729,6 +730,141 @@ pub fn engine_robustness_suite(
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Elasticity suite (membership changes + bounded migration; DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+/// Parameters of an elasticity experiment: one crash-rejoin membership
+/// disruption of the last machine, with the rejoin's state restore
+/// priced by [`plan_rebalance`] over the algorithm's own placement and
+/// charged to the DES, so RTO / data-moved / shed-query differences are
+/// attributable to the cut model alone.
+#[derive(Debug, Clone)]
+pub struct ElasticityConfig {
+    /// Query bindings generated for the 1-hop workload.
+    pub bindings: usize,
+    /// Start-vertex skew of the workload.
+    pub skew: Skew,
+    /// Binding-generation seed.
+    pub workload_seed: u64,
+    /// DES base parameters, retry policy, and degraded-mode knobs.
+    pub sim: FaultSimConfig,
+    /// Seed of the fault plan (drives message-loss and failover draws).
+    pub plan_seed: u64,
+    /// Simulated time at which machine `k − 1` drops out of the
+    /// cluster. Skipped for single-machine clusters.
+    pub disrupt_at_ns: u64,
+    /// Downtime before the machine rejoins, stale.
+    pub rejoin_after_ns: u64,
+    /// Bounds on the rebalance that restores the rejoined machine.
+    pub migration: MigrationConfig,
+}
+
+impl Default for ElasticityConfig {
+    fn default() -> Self {
+        ElasticityConfig {
+            bindings: 400,
+            skew: Skew::Zipf { theta: 0.6 },
+            workload_seed: 0x0_1A7,
+            sim: FaultSimConfig {
+                degraded: DegradedConfig { shed_queue_depth: 4, migration_ns_per_record: 2_000 },
+                ..FaultSimConfig::default()
+            },
+            plan_seed: 0xE1A_57,
+            disrupt_at_ns: 2_000_000,
+            rejoin_after_ns: 10_000_000,
+            migration: MigrationConfig::default(),
+        }
+    }
+}
+
+/// One elasticity measurement: availability and tail latency while the
+/// cluster rides out a membership change, plus the recovery accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElasticityRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm whose placement defines masters, mirrors, and the
+    /// migration cost.
+    pub algorithm: Algorithm,
+    /// Cut-model label.
+    pub cut_model: String,
+    /// Number of machines.
+    pub k: usize,
+    /// Fraction of post-warm-up queries that completed successfully.
+    pub availability: f64,
+    /// 99th-percentile latency of successful queries, ms.
+    pub p99_latency_ms: f64,
+    /// Recovery time objective: disruption to full service, ms.
+    pub rto_ms: f64,
+    /// Migration records shipped to restore the rejoined machine.
+    pub data_moved: u64,
+    /// Vertices the rebalance plan relocates.
+    pub vertices_moved: usize,
+    /// Whether the bounded rebalance fully restored balance.
+    pub balance_restored: bool,
+    /// Shares fast-rejected by admission control while degraded.
+    pub shed_queries: u64,
+    /// Sub-requests redirected to a live mirror.
+    pub failovers: u64,
+}
+
+/// Runs the elasticity suite: every algorithm's placement rides the
+/// *same* crash-rejoin disruption of machine `k − 1`; the state restore
+/// is priced by the bounded-movement rebalance over that placement and
+/// charged to the DES cost model, degrading the cluster while the
+/// transfer drains (DESIGN.md §11).
+pub fn elastic_suite(
+    dataset_name: &str,
+    g: &Graph,
+    algorithms: &[Algorithm],
+    k: usize,
+    cfg: &ElasticityConfig,
+) -> Result<Vec<ElasticityRow>, SimError> {
+    let pcfg = PartitionerConfig::new(k);
+    let mut rows = Vec::with_capacity(algorithms.len());
+    for &alg in algorithms {
+        let p = partition(g, alg, &pcfg, default_order());
+        let owner = p.masters(g);
+        let store = PartitionedStore::from_owner(g.clone(), k, owner.clone());
+        let mirrors = MirrorDirectory::for_model(g, &p);
+        let workload =
+            Workload::generate(g, WorkloadKind::OneHop, cfg.bindings, cfg.skew, cfg.workload_seed);
+        let sim = ClusterSim::prepare(&store, &workload);
+        let mut plan = FaultPlan::healthy(k, cfg.plan_seed);
+        let mut elastic = ElasticPlan::default();
+        let mut vertices_moved = 0;
+        let mut balance_restored = true;
+        if k > 1 {
+            let victim = k - 1;
+            let live: Vec<bool> = (0..k).map(|m| m != victim).collect();
+            let mplan = plan_rebalance(g, &owner, &live, &cfg.migration);
+            vertices_moved = mplan.moves.len();
+            balance_restored = mplan.balance_restored;
+            plan = plan.with_crash_rejoin(victim as u32, cfg.disrupt_at_ns, cfg.rejoin_after_ns);
+            // Restoring the rejoined machine ships the same records its
+            // evacuation would have: the data it masters.
+            elastic.records_per_event.push(mplan.data_moved);
+        }
+        let r = sim.run_elastic(&cfg.sim, &plan, &mirrors, &elastic)?;
+        rows.push(ElasticityRow {
+            dataset: dataset_name.to_string(),
+            algorithm: alg,
+            cut_model: alg.info().model.to_string(),
+            k,
+            availability: r.availability,
+            p99_latency_ms: r.p99_latency_ms,
+            rto_ms: r.rto_ms,
+            data_moved: r.data_moved,
+            vertices_moved,
+            balance_restored,
+            shed_queries: r.shed_queries,
+            failovers: r.failovers,
+        });
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -913,6 +1049,39 @@ mod tests {
         let vc = rows.iter().find(|r| r.cut_model == "vertex-cut").expect("vertex-cut row");
         assert!(vc.recovered_vertices > 0, "vertex-cut masters recover from mirrors");
         assert!(vc.recovery_bytes > 0);
+    }
+
+    #[test]
+    fn elastic_suite_reports_recovery_accounting() {
+        let g = tiny_graph(Dataset::LdbcSnb);
+        let cfg = ElasticityConfig {
+            bindings: 200,
+            sim: FaultSimConfig {
+                base: SimConfig {
+                    clients_per_machine: 4,
+                    queries_per_client: 12,
+                    ..Default::default()
+                },
+                ..ElasticityConfig::default().sim
+            },
+            ..Default::default()
+        };
+        let algs = [Algorithm::EcrHash, Algorithm::VcrHash, Algorithm::HybridRandom];
+        let rows = elastic_suite("snb", &g, &algs, 4, &cfg).expect("valid plan");
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.data_moved > 0, "{:?}: the rejoin must ship state", r.algorithm);
+            assert!(r.vertices_moved > 0, "{:?}: the rebalance must move vertices", r.algorithm);
+            assert!(r.balance_restored, "{:?}: an unbounded budget restores balance", r.algorithm);
+            // The RTO covers at least the 10 ms of downtime.
+            assert!(r.rto_ms >= 10.0, "{:?}: rto {}", r.algorithm, r.rto_ms);
+        }
+        let again = elastic_suite("snb", &g, &algs, 4, &cfg).expect("valid plan");
+        assert_eq!(
+            format!("{rows:?}"),
+            format!("{again:?}"),
+            "same seed must reproduce the suite bit-for-bit"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use crate::sim::{rsd, ClusterSim, EventQueue, SimConfig};
 use serde::{Deserialize, Serialize};
-use sgp_fault::{FaultEvent, FaultPlan, PlanError, RetryPolicy};
+use sgp_fault::{FaultEvent, FaultPlan, MembershipKind, PlanError, RetryPolicy};
 use sgp_graph::Graph;
 use sgp_partition::{CutModel, Partitioning};
 use sgp_trace::{keys, latency_summary_ms, NullSink, TraceSink};
@@ -175,12 +175,53 @@ pub struct FaultSimConfig {
     pub base: SimConfig,
     /// Timeout / retry / backoff behaviour of the coordinator.
     pub retry: RetryPolicy,
+    /// Degraded-mode behaviour during recovery and migration. Defaults
+    /// to fully off, so plain fault runs are byte-identical to before
+    /// the elasticity layer existed.
+    #[serde(default)]
+    pub degraded: DegradedConfig,
 }
 
 impl Default for FaultSimConfig {
     fn default() -> Self {
-        FaultSimConfig { base: SimConfig::default(), retry: RetryPolicy::default() }
+        FaultSimConfig {
+            base: SimConfig::default(),
+            retry: RetryPolicy::default(),
+            degraded: DegradedConfig::default(),
+        }
     }
+}
+
+/// How the cluster degrades while a membership change is being repaired
+/// (DESIGN.md §11). Both knobs default to "off"/free so that runs
+/// without membership events — and old callers that never set them —
+/// behave exactly as before.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DegradedConfig {
+    /// Queue depth at which a machine sheds (fast-rejects) new shares
+    /// while migration is in flight. `0` disables admission control.
+    pub shed_queue_depth: usize,
+    /// Simulated nanoseconds charged per migrated record — the DES cost
+    /// of shipping one vertex or adjacency entry during rebalance.
+    pub migration_ns_per_record: u64,
+}
+
+impl Default for DegradedConfig {
+    fn default() -> Self {
+        DegradedConfig { shed_queue_depth: 0, migration_ns_per_record: 0 }
+    }
+}
+
+/// The migration work a fault plan's membership events oblige, computed
+/// by the caller (who holds the graph and partitioning — the DES sees
+/// only query traces) with `sgp_partition::plan_rebalance` and charged
+/// to the cost model here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElasticPlan {
+    /// Records each membership event moves, aligned with the order
+    /// [`sgp_fault::FaultPlan::membership_events`] yields them. Events
+    /// beyond the end of the vector move nothing.
+    pub records_per_event: Vec<u64>,
 }
 
 /// Results of one fault-injected run.
@@ -218,6 +259,19 @@ pub struct FaultSimReport {
     pub load_rsd: f64,
     /// Total simulated wall-clock seconds.
     pub sim_seconds: f64,
+    /// Recovery time objective: the longest interval, in milliseconds,
+    /// from a membership disruption to full service restored (machine
+    /// back up and its migration drained). `0` when the plan has no
+    /// membership events.
+    #[serde(default)]
+    pub rto_ms: f64,
+    /// Migration records shipped over all membership events.
+    #[serde(default)]
+    pub data_moved: u64,
+    /// Shares fast-rejected by admission control while the cluster was
+    /// in degraded mode.
+    #[serde(default)]
+    pub shed_queries: u64,
 }
 
 /// Events of the fault-injected DES. `origin` is the machine the trace
@@ -238,6 +292,15 @@ enum FEvent {
     Crash { machine: u32 },
     /// `machine` rejoins with an empty queue.
     Recover { machine: u32 },
+    /// A scale-out `machine` comes online and starts pulling `records`
+    /// of migrated state.
+    Join { machine: u32, records: u64 },
+    /// `machine` leaves the cluster for good; its `records` evacuate to
+    /// the survivors.
+    Leave { machine: u32, records: u64 },
+    /// A crash-rejoin `machine` returns after being down since
+    /// `down_since` and restores `records` of state.
+    Rejoin { machine: u32, records: u64, down_since: u64 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -299,6 +362,35 @@ impl ClusterSim {
         mirrors: &MirrorDirectory,
         sink: &mut S,
     ) -> Result<FaultSimReport, SimError> {
+        self.run_elastic_traced(cfg, plan, mirrors, &ElasticPlan::default(), sink)
+    }
+
+    /// [`ClusterSim::run_faulted`] with the plan's membership events
+    /// charged to the cost model: `elastic` carries the migration
+    /// records each event moves (computed by the caller from the
+    /// partitioning with `sgp_partition::plan_rebalance`), and
+    /// `cfg.degraded` turns those records into a recovery window during
+    /// which admission control may shed load (DESIGN.md §11).
+    pub fn run_elastic(
+        &self,
+        cfg: &FaultSimConfig,
+        plan: &FaultPlan,
+        mirrors: &MirrorDirectory,
+        elastic: &ElasticPlan,
+    ) -> Result<FaultSimReport, SimError> {
+        self.run_elastic_traced(cfg, plan, mirrors, elastic, &mut NullSink)
+    }
+
+    /// [`ClusterSim::run_elastic`] with trace events recorded into
+    /// `sink`.
+    pub fn run_elastic_traced<S: TraceSink>(
+        &self,
+        cfg: &FaultSimConfig,
+        plan: &FaultPlan,
+        mirrors: &MirrorDirectory,
+        elastic: &ElasticPlan,
+        sink: &mut S,
+    ) -> Result<FaultSimReport, SimError> {
         if self.machines == 0 {
             return Err(SimError::NoMachines);
         }
@@ -312,7 +404,7 @@ impl ClusterSim {
         assert_eq!(mirrors.machines(), self.machines, "mirror directory must match the cluster");
         assert!(cfg.base.clients_per_machine > 0 && cfg.base.queries_per_client > 0);
         assert!(cfg.retry.max_attempts > 0, "at least one attempt per sub-request");
-        Ok(FaultRun::new(self, cfg, plan, mirrors, sink).execute())
+        Ok(FaultRun::new(self, cfg, plan, mirrors, elastic, sink).execute())
     }
 }
 
@@ -325,6 +417,8 @@ struct FaultRun<'a, S: TraceSink> {
     retry: &'a RetryPolicy,
     plan: &'a FaultPlan,
     mirrors: &'a MirrorDirectory,
+    degraded: DegradedConfig,
+    elastic: &'a ElasticPlan,
     machines: Vec<FMachine>,
     events: EventQueue<FEvent>,
     active: Vec<FActive>,
@@ -347,6 +441,17 @@ struct FaultRun<'a, S: TraceSink> {
     msg_counter: u64,
     /// Monotonic counter keying failover draws.
     draw_counter: u64,
+    /// Simulated instant until which the cluster is in degraded mode
+    /// (migration traffic in flight); admission control only sheds
+    /// before this instant.
+    degraded_until: u64,
+    /// Shares fast-rejected by admission control.
+    shed: u64,
+    /// Migration records shipped over all membership events so far.
+    data_moved: u64,
+    /// Longest disruption-to-restored interval observed (the report's
+    /// RTO), in simulated nanoseconds.
+    rto_ns: u64,
 }
 
 impl<'a, S: TraceSink> FaultRun<'a, S> {
@@ -355,6 +460,7 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
         cfg: &'a FaultSimConfig,
         plan: &'a FaultPlan,
         mirrors: &'a MirrorDirectory,
+        elastic: &'a ElasticPlan,
         sink: &'a mut S,
     ) -> Self {
         let k = sim.machines;
@@ -379,6 +485,8 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
             retry: &cfg.retry,
             plan,
             mirrors,
+            degraded: cfg.degraded,
+            elastic,
             machines,
             events: EventQueue::new(),
             active: Vec::new(),
@@ -399,6 +507,10 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
             failovers: 0,
             msg_counter: 0,
             draw_counter: 0,
+            degraded_until: 0,
+            shed: 0,
+            data_moved: 0,
+            rto_ns: 0,
         }
     }
 
@@ -408,12 +520,40 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
         // windows need no events: the slowdown factor is queried at
         // every service start.
         let plan = self.plan;
+        let mut membership_idx = 0usize;
         for e in &plan.events {
-            if let FaultEvent::Crash { machine, at_ns, recovery_ns } = *e {
-                self.events.push(at_ns, FEvent::Crash { machine });
-                if let Some(d) = recovery_ns {
-                    self.events.push(at_ns.saturating_add(d), FEvent::Recover { machine });
+            match *e {
+                FaultEvent::Crash { machine, at_ns, recovery_ns } => {
+                    self.events.push(at_ns, FEvent::Crash { machine });
+                    if let Some(d) = recovery_ns {
+                        self.events.push(at_ns.saturating_add(d), FEvent::Recover { machine });
+                    }
                 }
+                FaultEvent::Membership { machine, at_ns, kind, rejoin_ns } => {
+                    let records =
+                        self.elastic.records_per_event.get(membership_idx).copied().unwrap_or(0);
+                    membership_idx += 1;
+                    match kind {
+                        MembershipKind::ScaleOut => {
+                            // The joiner is outside the cluster until
+                            // its membership event fires.
+                            self.machines[machine as usize].up = false;
+                            self.events.push(at_ns, FEvent::Join { machine, records });
+                        }
+                        MembershipKind::ScaleIn => {
+                            self.events.push(at_ns, FEvent::Leave { machine, records });
+                        }
+                        MembershipKind::CrashRejoin => {
+                            self.events.push(at_ns, FEvent::Crash { machine });
+                            let d = rejoin_ns.unwrap_or(1);
+                            self.events.push(
+                                at_ns.saturating_add(d),
+                                FEvent::Rejoin { machine, records, down_since: at_ns },
+                            );
+                        }
+                    }
+                }
+                _ => {}
             }
         }
         let clients = self.cfg.clients_per_machine * self.sim.machines;
@@ -440,6 +580,21 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
                 FEvent::Recover { machine } => {
                     self.machines[machine as usize].up = true;
                     self.sink.counter_add(keys::DB_RECOVERIES, machine as u64, 1);
+                }
+                FEvent::Join { machine, records } => {
+                    self.machines[machine as usize].up = true;
+                    self.sink.counter_add(keys::DB_MEMBERSHIP_EVENTS, machine as u64, 1);
+                    self.begin_migration(machine, records, now, now);
+                }
+                FEvent::Leave { machine, records } => {
+                    self.sink.counter_add(keys::DB_MEMBERSHIP_EVENTS, machine as u64, 1);
+                    self.lose_work(machine, now);
+                    self.begin_migration(machine, records, now, now);
+                }
+                FEvent::Rejoin { machine, records, down_since } => {
+                    self.machines[machine as usize].up = true;
+                    self.sink.counter_add(keys::DB_MEMBERSHIP_EVENTS, machine as u64, 1);
+                    self.begin_migration(machine, records, now, down_since);
                 }
             }
             if self.completed >= self.total_queries {
@@ -595,6 +750,28 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
                 FEvent::SubDone { query: share.query, machine, attempt: share.attempt, epoch },
             );
         } else {
+            // Admission control: while migration traffic is in flight,
+            // a machine whose queue is already past the shed threshold
+            // fast-rejects the share instead of queueing it — the
+            // coordinator retries with backoff and may fail over.
+            if self.degraded.shed_queue_depth > 0
+                && now < self.degraded_until
+                && m.fifo.len() >= self.degraded.shed_queue_depth
+            {
+                self.shed += 1;
+                self.sink.counter_add(keys::DB_SHED_QUERIES, machine as u64, 1);
+                self.events.push(
+                    now,
+                    FEvent::SubFail {
+                        query: share.query,
+                        origin: share.origin,
+                        reads: share.reads,
+                        service_ns: share.service_ns,
+                        attempt: share.attempt,
+                    },
+                );
+                return;
+            }
             m.fifo.push_back(share);
             if self.sink.enabled() {
                 let depth = m.fifo.len() as u64;
@@ -684,6 +861,31 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
 
     fn on_crash(&mut self, machine: u32, now: u64) {
         self.sink.counter_add(keys::DB_CRASHES, machine as u64, 1);
+        self.lose_work(machine, now);
+    }
+
+    /// Charges `records` of migration for the membership change at
+    /// `machine` to the cost model: the cluster runs degraded until the
+    /// transfer drains, and the recovery interval — measured from
+    /// `since` (the crash instant for a rejoin, the event itself
+    /// otherwise) — feeds the report's RTO.
+    fn begin_migration(&mut self, machine: u32, records: u64, now: u64, since: u64) {
+        self.data_moved += records;
+        if records > 0 {
+            self.sink.counter_add(keys::DB_DATA_MOVED, machine as u64, records);
+        }
+        let window = records.saturating_mul(self.degraded.migration_ns_per_record);
+        let restored = now.saturating_add(window);
+        self.degraded_until = self.degraded_until.max(restored);
+        let rto = restored.saturating_sub(since);
+        self.sink.histogram_record(keys::DB_RECOVERY_NS, machine as u64, rto);
+        self.rto_ns = self.rto_ns.max(rto);
+    }
+
+    /// Takes `machine` out of service: bumps its epoch so stale
+    /// completions are discarded and fails all queued and in-flight
+    /// work after the coordinator's timeout.
+    fn lose_work(&mut self, machine: u32, now: u64) {
         let lost: Vec<Share> = {
             let m = &mut self.machines[machine as usize];
             m.up = false;
@@ -844,6 +1046,9 @@ impl<'a, S: TraceSink> FaultRun<'a, S> {
             load_rsd: rsd(&self.reads_per_machine),
             reads_per_machine: self.reads_per_machine,
             sim_seconds: self.last_completion_ns as f64 / 1e9,
+            rto_ms: self.rto_ns as f64 / 1e6,
+            data_moved: self.data_moved,
+            shed_queries: self.shed,
         }
     }
 }
@@ -1059,6 +1264,113 @@ mod tests {
         for m in 0..3u32 {
             assert_eq!(ec.coverage(m), 0.0);
             assert!(ec.failover_target(m, |_| true).is_none());
+        }
+    }
+
+    #[test]
+    fn plain_fault_run_reports_no_elastic_activity() {
+        // Degraded mode off + no membership events: the elasticity
+        // fields are inert zeros and the rest of the report matches a
+        // pre-elasticity run.
+        let sim = two_machine_sim();
+        let plan = FaultPlan::healthy(2, 7).with_recovering_crash(1, 1_000_000, 10_000_000);
+        let r = sim.run_faulted(&quick_cfg(), &plan, &MirrorDirectory::edge_cut(2)).unwrap();
+        assert_eq!(r.rto_ms, 0.0);
+        assert_eq!(r.data_moved, 0);
+        assert_eq!(r.shed_queries, 0);
+    }
+
+    fn elastic_cfg() -> FaultSimConfig {
+        FaultSimConfig {
+            degraded: DegradedConfig { shed_queue_depth: 1, migration_ns_per_record: 10_000 },
+            ..quick_cfg()
+        }
+    }
+
+    #[test]
+    fn scale_in_charges_migration_and_reports_rto() {
+        let sim = two_machine_sim();
+        let plan = FaultPlan::healthy(2, 7).with_scale_in(1, 2_000_000);
+        let elastic = ElasticPlan { records_per_event: vec![500] };
+        let r = sim.run_elastic(&elastic_cfg(), &plan, &full_coverage(2), &elastic).unwrap();
+        assert_eq!(r.data_moved, 500);
+        // 500 records at 10 us each -> a 5 ms recovery window.
+        assert!((r.rto_ms - 5.0).abs() < 1e-9, "rto_ms = {}", r.rto_ms);
+        assert!(r.failovers > 0, "post-departure reads must fail over to mirrors");
+    }
+
+    #[test]
+    fn scale_out_machine_is_down_until_it_joins() {
+        // Machine 1 only joins the two-machine cluster at 5 ms; before
+        // that its reads fail over (full mirrors) or ride retries.
+        let sim = two_machine_sim();
+        let plan = FaultPlan::healthy(2, 7).with_scale_out(1, 5_000_000);
+        let elastic = ElasticPlan { records_per_event: vec![200] };
+        let r = sim.run_elastic(&elastic_cfg(), &plan, &full_coverage(2), &elastic).unwrap();
+        assert_eq!(r.data_moved, 200);
+        assert!(r.failovers > 0, "pre-join reads for machine 1 must fail over");
+        // 200 records at 10 us -> 2 ms to populate the joiner.
+        assert!((r.rto_ms - 2.0).abs() < 1e-9, "rto_ms = {}", r.rto_ms);
+    }
+
+    #[test]
+    fn crash_rejoin_rto_spans_downtime_plus_migration() {
+        let sim = two_machine_sim();
+        let plan = FaultPlan::healthy(2, 7).with_crash_rejoin(1, 1_000_000, 10_000_000);
+        let elastic = ElasticPlan { records_per_event: vec![300] };
+        let r = sim.run_elastic(&elastic_cfg(), &plan, &full_coverage(2), &elastic).unwrap();
+        assert_eq!(r.data_moved, 300);
+        // 10 ms of downtime plus 3 ms of restore traffic.
+        assert!((r.rto_ms - 13.0).abs() < 1e-9, "rto_ms = {}", r.rto_ms);
+        assert!(r.retries > 0 || r.failovers > 0, "the outage must be visible");
+    }
+
+    #[test]
+    fn admission_control_sheds_under_migration_pressure() {
+        // Scale the survivor's queue pressure up: everything fails over
+        // to machine 0 while machine 1 restores, and a shed threshold
+        // of one rejects most of the pile-up.
+        let sim = two_machine_sim();
+        let cfg = FaultSimConfig {
+            base: SimConfig {
+                clients_per_machine: 16,
+                queries_per_client: 25,
+                ..Default::default()
+            },
+            degraded: DegradedConfig { shed_queue_depth: 1, migration_ns_per_record: 1_000_000 },
+            ..Default::default()
+        };
+        let plan = FaultPlan::healthy(2, 7).with_crash_rejoin(1, 1_000_000, 2_000_000);
+        let elastic = ElasticPlan { records_per_event: vec![10_000] };
+        let shed = sim.run_elastic(&cfg, &plan, &full_coverage(2), &elastic).unwrap();
+        assert!(shed.shed_queries > 0, "queue pressure past the threshold must shed");
+        let open = FaultSimConfig {
+            degraded: DegradedConfig { shed_queue_depth: 0, ..cfg.degraded },
+            ..cfg
+        };
+        let unshed = sim.run_elastic(&open, &plan, &full_coverage(2), &elastic).unwrap();
+        assert_eq!(unshed.shed_queries, 0, "threshold 0 disables admission control");
+    }
+
+    #[test]
+    fn elastic_run_is_bit_for_bit_reproducible() {
+        let sim = two_machine_sim();
+        let plan = FaultPlan::healthy(2, 42)
+            .with_crash_rejoin(0, 3_000_000, 5_000_000)
+            .with_scale_in(1, 40_000_000)
+            .with_message_loss(0.01);
+        let elastic = ElasticPlan { records_per_event: vec![250, 400] };
+        let mirrors = full_coverage(2);
+        let cfg = elastic_cfg();
+        let a = sim.run_elastic(&cfg, &plan, &mirrors, &elastic).unwrap();
+        let b = sim.run_elastic(&cfg, &plan, &mirrors, &elastic).unwrap();
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "same plan + seed + migration load must reproduce bit-for-bit"
+        );
+        if let (Ok(ja), Ok(jb)) = (serde_json::to_string(&a), serde_json::to_string(&b)) {
+            assert_eq!(ja, jb, "the serialized reports must be byte-identical too");
         }
     }
 }

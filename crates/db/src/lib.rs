@@ -36,7 +36,9 @@ pub mod sim;
 pub mod store;
 pub mod workload;
 
-pub use fault_sim::{FaultSimConfig, FaultSimReport, MirrorDirectory, SimError};
+pub use fault_sim::{
+    DegradedConfig, ElasticPlan, FaultSimConfig, FaultSimReport, MirrorDirectory, SimError,
+};
 pub use query::{Query, QueryResult, QueryTrace};
 pub use sim::{ClusterSim, LoadLevel, SimConfig, SimReport};
 pub use store::{PartitionedStore, StoreError};

@@ -14,7 +14,10 @@
 //!   simulated-time window;
 //! * **message loss** — a per-message drop probability applied to
 //!   cross-machine traffic, decided by a seeded hash of the message
-//!   sequence number.
+//!   sequence number;
+//! * **membership change** (schema v2) — scale-out, scale-in, and
+//!   crash-then-rejoin events that change the live cluster and oblige a
+//!   bounded-movement rebalance (DESIGN.md §11).
 //!
 //! Every random decision flows from [`FaultPlan::seed`] through a
 //! counter-keyed [splitmix64](https://prng.di.unimi.it/splitmix64.c)
@@ -29,5 +32,7 @@ pub mod plan;
 pub mod retry;
 mod rng;
 
-pub use plan::{FaultEvent, FaultPlan, FaultPlanConfig, PlanError, FAULT_PLAN_SCHEMA_VERSION};
+pub use plan::{
+    FaultEvent, FaultPlan, FaultPlanConfig, MembershipKind, PlanError, FAULT_PLAN_SCHEMA_VERSION,
+};
 pub use retry::RetryPolicy;

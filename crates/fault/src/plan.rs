@@ -7,7 +7,9 @@ use serde::{Deserialize, Serialize};
 /// Schema version of the serialized [`FaultPlan`]. Bump on any change
 /// to the event vocabulary or the draw-stream constants — a plan only
 /// reproduces a run bit-for-bit under the schema it was written for.
-pub const FAULT_PLAN_SCHEMA_VERSION: u32 = 1;
+/// v2 added the [`FaultEvent::Membership`] vocabulary; v1 plans are
+/// rejected with [`PlanError::SchemaMismatch`].
+pub const FAULT_PLAN_SCHEMA_VERSION: u32 = 2;
 
 /// Draw-stream separators: each decision family hashes from a disjoint
 /// stream so message-loss draws never correlate with failover draws.
@@ -40,18 +42,50 @@ pub enum FaultEvent {
         /// Service-time multiplier, ≥ 1.
         slowdown: f64,
     },
+    /// A cluster-membership change (schema v2): the cluster's working
+    /// set of machines grows, shrinks, or loses-then-regains a member.
+    /// Unlike [`FaultEvent::Crash`], a membership event obliges the
+    /// system to *rebalance* — the simulators charge a bounded-movement
+    /// migration and run degraded until it completes.
+    Membership {
+        /// Affected machine index.
+        machine: u32,
+        /// Simulated time of the membership change, nanoseconds.
+        at_ns: u64,
+        /// What kind of change this is.
+        kind: MembershipKind,
+        /// Downtime before a [`MembershipKind::CrashRejoin`] machine
+        /// rejoins; must be `Some(> 0)` for that kind and `None` for
+        /// the others.
+        rejoin_ns: Option<u64>,
+    },
+}
+
+/// The three membership-change shapes of [`FaultEvent::Membership`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MembershipKind {
+    /// The machine joins the cluster at `at_ns` (it is *down* — not yet
+    /// a member — before then).
+    ScaleOut,
+    /// The machine leaves the cluster permanently at `at_ns`.
+    ScaleIn,
+    /// The machine crashes at `at_ns` and rejoins, state intact but
+    /// stale, after `rejoin_ns` of downtime.
+    CrashRejoin,
 }
 
 impl FaultEvent {
     fn machine(&self) -> u32 {
         match *self {
-            FaultEvent::Crash { machine, .. } | FaultEvent::Straggler { machine, .. } => machine,
+            FaultEvent::Crash { machine, .. }
+            | FaultEvent::Straggler { machine, .. }
+            | FaultEvent::Membership { machine, .. } => machine,
         }
     }
 
     fn start_ns(&self) -> u64 {
         match *self {
-            FaultEvent::Crash { at_ns, .. } => at_ns,
+            FaultEvent::Crash { at_ns, .. } | FaultEvent::Membership { at_ns, .. } => at_ns,
             FaultEvent::Straggler { from_ns, .. } => from_ns,
         }
     }
@@ -78,6 +112,9 @@ pub enum PlanError {
     },
     /// The plan declares a zero-machine cluster.
     NoMachines,
+    /// A membership event is malformed: a crash-then-rejoin without a
+    /// positive downtime, or a scale-out/scale-in carrying one.
+    BadMembershipEvent,
 }
 
 impl std::fmt::Display for PlanError {
@@ -96,6 +133,13 @@ impl std::fmt::Display for PlanError {
                 write!(f, "plan schema v{found} != supported v{FAULT_PLAN_SCHEMA_VERSION}")
             }
             PlanError::NoMachines => write!(f, "plan covers zero machines"),
+            PlanError::BadMembershipEvent => {
+                write!(
+                    f,
+                    "membership event malformed: crash-then-rejoin needs a positive downtime, \
+                     scale-out/scale-in must not carry one"
+                )
+            }
         }
     }
 }
@@ -167,6 +211,51 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a scale-out: `machine` joins the cluster at `at_ns` (before
+    /// then it is not a member and serves nothing).
+    pub fn with_scale_out(mut self, machine: u32, at_ns: u64) -> Self {
+        self.events.push(FaultEvent::Membership {
+            machine,
+            at_ns,
+            kind: MembershipKind::ScaleOut,
+            rejoin_ns: None,
+        });
+        self.sort_events();
+        self
+    }
+
+    /// Adds a scale-in: `machine` leaves the cluster permanently at
+    /// `at_ns`, and its data must migrate to the survivors.
+    pub fn with_scale_in(mut self, machine: u32, at_ns: u64) -> Self {
+        self.events.push(FaultEvent::Membership {
+            machine,
+            at_ns,
+            kind: MembershipKind::ScaleIn,
+            rejoin_ns: None,
+        });
+        self.sort_events();
+        self
+    }
+
+    /// Adds a crash-then-rejoin: `machine` crashes at `at_ns` and
+    /// rejoins, stale, after `rejoin_ns > 0` of downtime.
+    pub fn with_crash_rejoin(mut self, machine: u32, at_ns: u64, rejoin_ns: u64) -> Self {
+        self.events.push(FaultEvent::Membership {
+            machine,
+            at_ns,
+            kind: MembershipKind::CrashRejoin,
+            rejoin_ns: Some(rejoin_ns),
+        });
+        self.sort_events();
+        self
+    }
+
+    /// The membership events of the plan, in schedule order — the
+    /// rebalance triggers an elastic run must answer.
+    pub fn membership_events(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(|e| matches!(e, FaultEvent::Membership { .. }))
+    }
+
     fn sort_events(&mut self) {
         self.events.sort_by_key(|e| (e.start_ns(), e.machine()));
     }
@@ -214,6 +303,33 @@ impl FaultPlan {
                 slowdown: slowdown.max(1.0),
             });
         }
+        // Membership draws come last so a `memberships = 0` config
+        // reproduces the exact v1 draw stream for crashes/stragglers.
+        let mut members: Vec<u32> = Vec::new();
+        let wanted = cfg.memberships.min(machines.saturating_sub(victims.len() + 1));
+        while members.len() < wanted {
+            let m = rng.range_u64(0, machines as u64) as u32;
+            if !victims.contains(&m) && !members.contains(&m) {
+                members.push(m);
+            }
+        }
+        for &m in &members {
+            let at = rng.range_u64(cfg.crash_window_ns.0, cfg.crash_window_ns.1);
+            let (kind, rejoin) = match rng.range_u64(0, 3) {
+                0 => (MembershipKind::ScaleOut, None),
+                1 => (MembershipKind::ScaleIn, None),
+                _ => (
+                    MembershipKind::CrashRejoin,
+                    Some(rng.range_u64(cfg.recovery_window_ns.0, cfg.recovery_window_ns.1).max(1)),
+                ),
+            };
+            plan.events.push(FaultEvent::Membership {
+                machine: m,
+                at_ns: at,
+                kind,
+                rejoin_ns: rejoin,
+            });
+        }
         plan.sort_events();
         plan
     }
@@ -242,24 +358,58 @@ impl FaultPlan {
                     return Err(PlanError::BadStragglerWindow);
                 }
             }
+            if let FaultEvent::Membership { kind, rejoin_ns, .. } = *e {
+                let ok = match kind {
+                    MembershipKind::CrashRejoin => matches!(rejoin_ns, Some(d) if d > 0),
+                    MembershipKind::ScaleOut | MembershipKind::ScaleIn => rejoin_ns.is_none(),
+                };
+                if !ok {
+                    return Err(PlanError::BadMembershipEvent);
+                }
+            }
         }
         Ok(())
     }
 
-    /// Is `machine` up at simulated time `t_ns`?
+    /// Is `machine` up (a live cluster member) at simulated time `t_ns`?
     pub fn is_up(&self, machine: u32, t_ns: u64) -> bool {
         for e in &self.events {
-            if let FaultEvent::Crash { machine: m, at_ns, recovery_ns } = *e {
-                if m == machine && t_ns >= at_ns {
-                    match recovery_ns {
-                        None => return false,
-                        Some(d) => {
-                            if t_ns < at_ns.saturating_add(d) {
+            match *e {
+                FaultEvent::Crash { machine: m, at_ns, recovery_ns } if m == machine => {
+                    if t_ns >= at_ns {
+                        match recovery_ns {
+                            None => return false,
+                            Some(d) => {
+                                if t_ns < at_ns.saturating_add(d) {
+                                    return false;
+                                }
+                            }
+                        }
+                    }
+                }
+                FaultEvent::Membership { machine: m, at_ns, kind, rejoin_ns } if m == machine => {
+                    match kind {
+                        // Not a member until it joins.
+                        MembershipKind::ScaleOut => {
+                            if t_ns < at_ns {
+                                return false;
+                            }
+                        }
+                        // Gone for good once it leaves.
+                        MembershipKind::ScaleIn => {
+                            if t_ns >= at_ns {
+                                return false;
+                            }
+                        }
+                        MembershipKind::CrashRejoin => {
+                            let d = rejoin_ns.unwrap_or(0);
+                            if t_ns >= at_ns && t_ns < at_ns.saturating_add(d) {
                                 return false;
                             }
                         }
                     }
                 }
+                _ => {}
             }
         }
         true
@@ -286,6 +436,7 @@ impl FaultPlan {
             // Dead at t=0 *and* never recovering.
             self.events.iter().any(|e| {
                 matches!(*e, FaultEvent::Crash { machine, at_ns: 0, recovery_ns: None } if machine == m)
+                    || matches!(*e, FaultEvent::Membership { machine, at_ns: 0, kind: MembershipKind::ScaleIn, .. } if machine == m)
             })
         })
     }
@@ -328,6 +479,10 @@ pub struct FaultPlanConfig {
     pub straggler_duration_ns: u64,
     /// Per-message drop probability for cross-machine traffic.
     pub message_loss: f64,
+    /// Number of membership events to draw (kinds drawn uniformly;
+    /// machines disjoint from crash victims so a generated plan never
+    /// strands the cluster). `0` reproduces the v1 draw stream exactly.
+    pub memberships: usize,
 }
 
 impl Default for FaultPlanConfig {
@@ -341,6 +496,7 @@ impl Default for FaultPlanConfig {
             slowdown_range: (1.5, 4.0),
             straggler_duration_ns: 50_000_000,
             message_loss: 0.005,
+            memberships: 0,
         }
     }
 }
@@ -395,6 +551,56 @@ mod tests {
         let mut old = FaultPlan::healthy(2, 1);
         old.schema_version = 0;
         assert_eq!(old.validate(), Err(PlanError::SchemaMismatch { found: 0 }));
+        // v1 plans (pre-membership vocabulary) are rejected, not coerced.
+        let mut v1 = FaultPlan::healthy(2, 1);
+        v1.schema_version = 1;
+        assert_eq!(v1.validate(), Err(PlanError::SchemaMismatch { found: 1 }));
+        let no_rejoin = FaultPlan::healthy(2, 1).with_crash_rejoin(0, 10, 0);
+        assert_eq!(no_rejoin.validate(), Err(PlanError::BadMembershipEvent));
+        let mut stray = FaultPlan::healthy(2, 1).with_scale_in(0, 10);
+        if let Some(FaultEvent::Membership { rejoin_ns, .. }) = stray.events.first_mut() {
+            *rejoin_ns = Some(5);
+        }
+        assert_eq!(stray.validate(), Err(PlanError::BadMembershipEvent));
+    }
+
+    #[test]
+    fn membership_events_shape_liveness() {
+        let p = FaultPlan::healthy(4, 1)
+            .with_scale_out(3, 100)
+            .with_scale_in(2, 200)
+            .with_crash_rejoin(1, 50, 25);
+        assert!(p.validate().is_ok());
+        // Scale-out: down before the join, up after.
+        assert!(!p.is_up(3, 0) && !p.is_up(3, 99) && p.is_up(3, 100));
+        // Scale-in: up before the departure, down forever after.
+        assert!(p.is_up(2, 199) && !p.is_up(2, 200) && !p.is_up(2, u64::MAX));
+        // Crash-rejoin: a bounded outage.
+        assert!(p.is_up(1, 49) && !p.is_up(1, 50) && !p.is_up(1, 74) && p.is_up(1, 75));
+        // Untouched machine stays up throughout.
+        assert!(p.is_up(0, 0) && p.is_up(0, u64::MAX));
+        assert_eq!(p.membership_events().count(), 3);
+    }
+
+    #[test]
+    fn generated_membership_plans_are_deterministic_and_valid() {
+        let cfg = FaultPlanConfig { memberships: 2, ..Default::default() };
+        let a = FaultPlan::generate(&cfg, 8, 7);
+        let b = FaultPlan::generate(&cfg, 8, 7);
+        assert_eq!(a, b);
+        assert!(a.validate().is_ok());
+        assert_eq!(a.membership_events().count(), 2);
+        // memberships = 0 reproduces the v1 draw stream: the non-
+        // membership prefix of the plan is unchanged.
+        let v1_cfg = FaultPlanConfig { memberships: 0, ..Default::default() };
+        let base = FaultPlan::generate(&v1_cfg, 8, 7);
+        let non_membership: Vec<_> = a
+            .events
+            .iter()
+            .filter(|e| !matches!(e, FaultEvent::Membership { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(non_membership, base.events);
     }
 
     #[test]

@@ -85,6 +85,22 @@ pub trait VertexStreamPartitioner: Send {
     fn decision_stats(&self) -> DecisionStats {
         DecisionStats::default()
     }
+
+    /// Algorithm-specific run-varying tables as canonical `(key, value)`
+    /// records for the snapshot layer ([`crate::snapshot`], DESIGN.md
+    /// §11). Config-pure algorithms (hash placement) have none.
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        Vec::new()
+    }
+
+    /// Restores one record produced by
+    /// [`snapshot_records`](VertexStreamPartitioner::snapshot_records);
+    /// returns `false` for an unknown key or unparsable value (the
+    /// snapshot layer surfaces that as a typed error).
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        let _ = (key, value);
+        false
+    }
 }
 
 /// Hash-based random vertex placement (`ECR` in the paper's Table 2).
@@ -181,6 +197,14 @@ impl VertexStreamPartitioner for Ldg {
     fn decision_stats(&self) -> DecisionStats {
         self.stats
     }
+
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        self.stats.snapshot_records()
+    }
+
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        self.stats.restore_record(key, value)
+    }
 }
 
 /// FENNEL (Tsourakakis et al.), Eq. (5) of the paper:
@@ -255,6 +279,14 @@ impl VertexStreamPartitioner for Fennel {
     fn decision_stats(&self) -> DecisionStats {
         self.stats
     }
+
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        self.stats.snapshot_records()
+    }
+
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        self.stats.restore_record(key, value)
+    }
 }
 
 /// Re-streaming wrapper (Nishimura & Ugander, Table 1's "Restreaming
@@ -297,6 +329,14 @@ impl<P: VertexStreamPartitioner> VertexStreamPartitioner for Restream<P> {
 
     fn decision_stats(&self) -> DecisionStats {
         self.inner.decision_stats()
+    }
+
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        self.inner.snapshot_records()
+    }
+
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        self.inner.restore_record(key, value)
     }
 }
 

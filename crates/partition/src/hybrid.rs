@@ -148,6 +148,31 @@ impl VertexStreamPartitioner for GingerVertex {
     fn name(&self) -> &'static str {
         "HG"
     }
+
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        // The edge-count term is placement-affecting private state, so a
+        // snapshot that dropped it would diverge after restore.
+        let counts: Vec<String> = self.edge_counts.iter().map(|c| c.to_string()).collect();
+        vec![("edge_counts", counts.join(","))]
+    }
+
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        if key != "edge_counts" {
+            return false;
+        }
+        let mut counts = Vec::with_capacity(self.k);
+        for part in value.split(',') {
+            match part.parse::<usize>() {
+                Ok(c) => counts.push(c),
+                Err(_) => return false,
+            }
+        }
+        if counts.len() != self.k {
+            return false;
+        }
+        self.edge_counts = counts;
+        true
+    }
 }
 
 /// Shared hybrid edge placement: edge `(u, v)` goes to `owner[v]` when

@@ -35,6 +35,13 @@
 //! same split on real OS threads — byte-identical to the modelled path,
 //! with all thread/channel primitives confined there by the
 //! `thread-discipline` lint.
+//!
+//! The elasticity layer (DESIGN.md §11) builds on that core:
+//! [`snapshot`] serializes a machine's run-varying state in a
+//! schema-versioned canonical format such that restore-then-continue is
+//! bit-identical to an uninterrupted run, and [`migration`] computes
+//! bounded-movement rebalance plans when the cluster gains or loses
+//! machines.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -51,8 +58,10 @@ pub mod hybrid;
 pub mod loaders;
 pub mod metis;
 pub mod metrics;
+pub mod migration;
 pub mod parallel;
 pub mod registry;
+pub mod snapshot;
 pub mod streaming;
 pub mod vertex_cut;
 
@@ -61,5 +70,7 @@ pub use config::PartitionerConfig;
 pub use decisions::DecisionStats;
 pub use exec::{partition_threaded, partition_threaded_traced};
 pub use loaders::{partition_multi_loader, LoaderConfig};
+pub use migration::{plan_rebalance, MigrationConfig, MigrationPlan, VertexMove};
 pub use registry::{partition, partition_traced, Algorithm};
+pub use snapshot::{SnapshotError, SNAPSHOT_SCHEMA_VERSION};
 pub use streaming::{partition_chunked, StreamInput, StreamingPartitioner, DEFAULT_CHUNK};

@@ -67,6 +67,12 @@ impl<P: VertexStreamPartitioner + ?Sized> VertexStreamPartitioner for &mut P {
     fn decision_stats(&self) -> DecisionStats {
         (**self).decision_stats()
     }
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        (**self).snapshot_records()
+    }
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        (**self).restore_record(key, value)
+    }
 }
 
 impl<P: VertexStreamPartitioner + ?Sized> VertexStreamPartitioner for Box<P> {
@@ -82,6 +88,12 @@ impl<P: VertexStreamPartitioner + ?Sized> VertexStreamPartitioner for Box<P> {
     fn decision_stats(&self) -> DecisionStats {
         (**self).decision_stats()
     }
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        (**self).snapshot_records()
+    }
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        (**self).restore_record(key, value)
+    }
 }
 
 impl<P: EdgeStreamPartitioner + ?Sized> EdgeStreamPartitioner for &mut P {
@@ -94,6 +106,12 @@ impl<P: EdgeStreamPartitioner + ?Sized> EdgeStreamPartitioner for &mut P {
     fn decision_stats(&self) -> DecisionStats {
         (**self).decision_stats()
     }
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        (**self).snapshot_records()
+    }
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        (**self).restore_record(key, value)
+    }
 }
 
 impl<P: EdgeStreamPartitioner + ?Sized> EdgeStreamPartitioner for Box<P> {
@@ -105,6 +123,12 @@ impl<P: EdgeStreamPartitioner + ?Sized> EdgeStreamPartitioner for Box<P> {
     }
     fn decision_stats(&self) -> DecisionStats {
         (**self).decision_stats()
+    }
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        (**self).snapshot_records()
+    }
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        (**self).restore_record(key, value)
     }
 }
 
@@ -180,6 +204,26 @@ impl<P: VertexStreamPartitioner> VertexIngest<P> {
     /// the hybrid seal, which routes edges itself).
     pub(crate) fn into_owner(self) -> Vec<PartitionId> {
         owner_from_assignment(self.state.assignment)
+    }
+
+    /// Snapshot support: the wrapped partitioner.
+    pub(crate) fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+
+    /// Snapshot support: mutable access to the wrapped partitioner.
+    pub(crate) fn partitioner_mut(&mut self) -> &mut P {
+        &mut self.partitioner
+    }
+
+    /// Snapshot support: mutable access to the shared state.
+    pub(crate) fn state_mut(&mut self) -> &mut VertexStreamState {
+        &mut self.state
+    }
+
+    /// Snapshot support: overwrites the logical sequence counter.
+    pub(crate) fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
     }
 }
 
@@ -263,6 +307,36 @@ impl<'g, P: EdgeStreamPartitioner> EdgeIngest<'g, P> {
             }
         }
         Partitioning::from_edge_parts(self.g, self.k, self.edge_parts)
+    }
+
+    /// Snapshot support: the wrapped partitioner.
+    pub(crate) fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+
+    /// Snapshot support: mutable access to the wrapped partitioner.
+    pub(crate) fn partitioner_mut(&mut self) -> &mut P {
+        &mut self.partitioner
+    }
+
+    /// Snapshot support: mutable access to the shared state.
+    pub(crate) fn state_mut(&mut self) -> &mut EdgeStreamState {
+        &mut self.state
+    }
+
+    /// Snapshot support: the per-edge placement vector (CSR slot order).
+    pub(crate) fn edge_parts(&self) -> &[PartitionId] {
+        &self.edge_parts
+    }
+
+    /// Snapshot support: mutable access to the placement vector.
+    pub(crate) fn edge_parts_mut(&mut self) -> &mut [PartitionId] {
+        &mut self.edge_parts
+    }
+
+    /// Snapshot support: overwrites the logical sequence counter.
+    pub(crate) fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
     }
 }
 
@@ -386,7 +460,7 @@ impl std::error::Error for WrongStreamKind {}
 
 /// How a vertex machine turns its owner map into edges at seal time.
 #[derive(Debug, Clone, Copy)]
-enum VertexSealMode {
+pub(crate) enum VertexSealMode {
     /// Appendix-B edge-cut grouping (out-edges follow their source).
     EdgeCut,
     /// PowerLyra hybrid routing: low-degree in-edges follow the target's
@@ -394,7 +468,7 @@ enum VertexSealMode {
     Hybrid { threshold: usize },
 }
 
-enum Machine<'g> {
+pub(crate) enum Machine<'g> {
     Vertex { core: VertexIngest<Box<dyn VertexStreamPartitioner>>, seal: VertexSealMode },
     Edge { core: EdgeIngest<'g, Box<dyn EdgeStreamPartitioner>> },
     Offline,
@@ -412,6 +486,7 @@ enum Machine<'g> {
 pub struct StreamingPartitioner<'g> {
     g: &'g Graph,
     k: usize,
+    algorithm: Algorithm,
     machine: Machine<'g>,
 }
 
@@ -431,7 +506,50 @@ impl<'g> StreamingPartitioner<'g> {
         } else {
             Machine::Offline
         };
-        StreamingPartitioner { g, k: cfg.k, machine }
+        StreamingPartitioner { g, k: cfg.k, algorithm, machine }
+    }
+
+    /// The algorithm this machine runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Serializes the machine's run-varying state into the canonical
+    /// snapshot format (see [`crate::snapshot`]).
+    pub fn snapshot(&self) -> String {
+        crate::snapshot::write_snapshot(self)
+    }
+
+    /// Rebuilds a machine from a snapshot taken at a chunk boundary;
+    /// continuing the stream from that boundary is bit-identical to an
+    /// uninterrupted run (see [`crate::snapshot`]).
+    pub fn restore(
+        g: &'g Graph,
+        algorithm: Algorithm,
+        cfg: &PartitionerConfig,
+        text: &str,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        crate::snapshot::read_snapshot(g, algorithm, cfg, text)
+    }
+
+    /// Snapshot support: the underlying graph.
+    pub(crate) fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Snapshot support: the partition count.
+    pub(crate) fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Snapshot support: the machine variant.
+    pub(crate) fn machine(&self) -> &Machine<'g> {
+        &self.machine
+    }
+
+    /// Snapshot support: mutable access to the machine variant.
+    pub(crate) fn machine_mut(&mut self) -> &mut Machine<'g> {
+        &mut self.machine
     }
 
     /// The stream kind this machine ingests.

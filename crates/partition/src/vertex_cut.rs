@@ -83,6 +83,50 @@ impl EdgeStreamState {
         self.edge_counts[p as usize] += 1;
     }
 
+    /// Iterates the non-empty replica sets `(u, A(u))` in vertex order
+    /// (snapshot support; canonical because the sets are kept sorted).
+    pub(crate) fn replica_entries(&self) -> impl Iterator<Item = (u32, &[PartitionId])> + '_ {
+        self.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(u, set)| (u as u32, set.as_slice()))
+    }
+
+    /// Iterates the non-zero partial degrees `(u, d(u))` in vertex order
+    /// (snapshot support).
+    pub(crate) fn partial_degree_entries(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.partial_degree.iter().enumerate().filter(|&(_, &d)| d > 0).map(|(u, &d)| (u as u32, d))
+    }
+
+    /// Overwrites `A(u)` during restore. Returns `false` when `u` is out
+    /// of range, `set` is not strictly increasing, or a partition id is
+    /// out of range.
+    pub(crate) fn restore_replicas(&mut self, u: u32, set: Vec<PartitionId>) -> bool {
+        if set.windows(2).any(|w| w[0] >= w[1]) || set.iter().any(|&p| p as usize >= self.k) {
+            return false;
+        }
+        match self.replicas.get_mut(u as usize) {
+            Some(slot) => {
+                *slot = set;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overwrites `d(u)` during restore. Returns `false` when `u` is out
+    /// of range.
+    pub(crate) fn restore_partial_degree(&mut self, u: u32, d: u64) -> bool {
+        match self.partial_degree.get_mut(u as usize) {
+            Some(slot) => {
+                *slot = d;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Least-loaded partition among `candidates` (ties → lower id); falls
     /// back to the global least-loaded when `candidates` is empty.
     pub fn least_loaded(&self, candidates: &[PartitionId]) -> PartitionId {
@@ -114,6 +158,22 @@ pub trait EdgeStreamPartitioner: Send {
     /// without greedy decisions, e.g. hash placement).
     fn decision_stats(&self) -> DecisionStats {
         DecisionStats::default()
+    }
+
+    /// Algorithm-specific run-varying tables as canonical `(key, value)`
+    /// records for the snapshot layer ([`crate::snapshot`], DESIGN.md
+    /// §11). Config-pure algorithms (hash, DBH, Grid) have none.
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        Vec::new()
+    }
+
+    /// Restores one record produced by
+    /// [`snapshot_records`](EdgeStreamPartitioner::snapshot_records);
+    /// returns `false` for an unknown key or unparsable value (the
+    /// snapshot layer surfaces that as a typed error).
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        let _ = (key, value);
+        false
     }
 }
 
@@ -391,6 +451,14 @@ impl EdgeStreamPartitioner for Hdrf {
 
     fn decision_stats(&self) -> DecisionStats {
         self.stats
+    }
+
+    fn snapshot_records(&self) -> Vec<(&'static str, String)> {
+        self.stats.snapshot_records()
+    }
+
+    fn restore_record(&mut self, key: &str, value: &str) -> bool {
+        self.stats.restore_record(key, value)
     }
 }
 

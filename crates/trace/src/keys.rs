@@ -107,3 +107,14 @@ pub const DB_QUERIES_FAILED: &str = "db.queries_failed";
 pub const DB_QUERIES_COMPLETED: &str = "db.queries_completed";
 /// Histogram: end-to-end query latency in simulated nanoseconds.
 pub const DB_QUERY_LATENCY_NS: &str = "db.query_latency_ns";
+/// Counter: membership changes applied (keyed by machine id).
+pub const DB_MEMBERSHIP_EVENTS: &str = "db.membership_events";
+/// Counter: migration records shipped during rebalance (keyed by
+/// machine id).
+pub const DB_DATA_MOVED: &str = "db.data_moved";
+/// Counter: shares fast-rejected by admission control while degraded
+/// (keyed by machine id).
+pub const DB_SHED_QUERIES: &str = "db.shed_queries";
+/// Histogram: per-event recovery time in simulated nanoseconds (keyed
+/// by machine id).
+pub const DB_RECOVERY_NS: &str = "db.recovery_ns";

@@ -71,6 +71,7 @@ const FLOAT_SCOPE: &[(&str, &str)] = &[
     ("sgp-db", "src/fault_sim.rs"),
     ("sgp-engine", "src/wire.rs"),
     ("sgp-engine", "src/placement.rs"),
+    ("sgp-partition", "src/migration.rs"),
 ];
 
 /// Workspace-relative path of the schema-version source of truth.
@@ -85,6 +86,7 @@ const SCHEMA_SPECS: &[(&str, &str, &str)] = &[
     ("trace", "sgp-trace", "SCHEMA_VERSION"),
     ("fault-plan", "sgp-fault", "FAULT_PLAN_SCHEMA_VERSION"),
     ("send-registry", "sgp-partition", "SEND_REGISTRY_SCHEMA_VERSION"),
+    ("snapshot", "sgp-partition", "SNAPSHOT_SCHEMA_VERSION"),
 ];
 
 /// Runs every cross-file rule.

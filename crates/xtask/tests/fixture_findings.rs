@@ -33,6 +33,7 @@ const ENGINE_LIB: &str = "crates/engine/src/lib.rs";
 const ENGINE_TOML: &str = "crates/engine/Cargo.toml";
 const ENGINE_SMOKE: &str = "crates/engine/tests/smoke.rs";
 const DB_SIM: &str = "crates/db/src/sim.rs";
+const RECOVERY_LIB: &str = "crates/recovery/src/lib.rs";
 const FAULT_LIB: &str = "crates/fault/src/lib.rs";
 const PARTITION_LIB: &str = "crates/partition/src/lib.rs";
 const TRACE_LIB: &str = "crates/trace/src/lib.rs";
@@ -81,6 +82,18 @@ fn fixture_findings_match_exactly() {
         // A justified file-scoped allow that suppresses nothing is only
         // a warning (file allows cover future code by design).
         ("unused-allow".into(), FAULT_LIB.into(), mark_line(FAULT_LIB, "MARK-unused-file-allow")),
+        // The elastic recovery path is determinism-scoped: RTO comes
+        // from simulated time, migration targets from seeded order.
+        (
+            "no-wallclock-in-sim".into(),
+            RECOVERY_LIB.into(),
+            mark_line(RECOVERY_LIB, "MARK-recovery-instant"),
+        ),
+        (
+            "no-hash-iteration".into(),
+            RECOVERY_LIB.into(),
+            mark_line(RECOVERY_LIB, "MARK-recovery-hash"),
+        ),
         // Float arithmetic in the simulated-time accounting scope.
         ("no-float-accounting".into(), DB_SIM.into(), mark_line(DB_SIM, "MARK-float-cast")),
         // A hardcoded trace-key string bypassing the registry.
@@ -170,7 +183,7 @@ fn fixture_findings_match_exactly() {
         "finding set mismatch\nactual:\n{:#?}\nexpected:\n{:#?}",
         actual, expected
     );
-    assert_eq!(report.errors(), 33);
+    assert_eq!(report.errors(), 35);
     assert_eq!(report.warnings(), 1);
     assert_eq!(report.exit_code(), 1, "seeded fixture must fail the lint");
 }
@@ -213,7 +226,7 @@ fn json_output_is_stable_and_wellformed() {
     let b = sgp_xtask::render_json(&report);
     assert_eq!(a, b, "rendering is deterministic");
     assert!(a.starts_with("{\n  \"version\": 1,\n"));
-    assert!(a.contains("\"errors\": 33"));
+    assert!(a.contains("\"errors\": 35"));
     assert!(a.contains("\"warnings\": 1"));
     assert!(a.contains("\"rule\": \"no-hash-iteration\""));
     // Findings arrive sorted by (file, line, rule): the manifest file

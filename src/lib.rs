@@ -70,20 +70,23 @@ pub mod prelude {
     pub use sgp_core::runners::{self, OfflineWorkload};
     pub use sgp_db::workload::Skew;
     pub use sgp_db::{
-        ClusterSim, FaultSimConfig, LoadLevel, MirrorDirectory, PartitionedStore, Query, SimConfig,
-        SimError, Workload, WorkloadKind,
+        ClusterSim, DegradedConfig, ElasticPlan, FaultSimConfig, LoadLevel, MirrorDirectory,
+        PartitionedStore, Query, SimConfig, SimError, Workload, WorkloadKind,
     };
     pub use sgp_engine::apps::{PageRank, Sssp, Wcc};
     pub use sgp_engine::{
         run_program, run_program_traced, run_program_with_faults, run_program_with_faults_traced,
         EngineOptions, Placement,
     };
-    pub use sgp_fault::{FaultPlan, FaultPlanConfig, RetryPolicy};
-    pub use sgp_graph::{Edge, Graph, GraphBuilder, StreamOrder, VertexId};
+    pub use sgp_fault::{FaultPlan, FaultPlanConfig, MembershipKind, RetryPolicy};
+    pub use sgp_graph::{
+        Edge, EdgeStreamSource, Graph, GraphBuilder, StreamOrder, VertexId, VertexStreamSource,
+    };
     pub use sgp_partition::metrics::{edge_cut_ratio, load_imbalance, replication_factor};
     pub use sgp_partition::{
         partition, partition_chunked, partition_multi_loader, partition_threaded, partition_traced,
-        Algorithm, CutModel, LoaderConfig, PartitionerConfig, Partitioning, StreamingPartitioner,
+        plan_rebalance, Algorithm, CutModel, LoaderConfig, MigrationConfig, MigrationPlan,
+        PartitionerConfig, Partitioning, SnapshotError, StreamInput, StreamingPartitioner,
     };
     pub use sgp_trace::{CollectingSink, NullSink, SummarySink, TraceSink};
 }

@@ -1,0 +1,197 @@
+//! Elasticity proptests: snapshot→restore→continue is bit-identical to
+//! an uninterrupted run for every algorithm × chunking, same-seed
+//! membership plans reproduce byte-identical recovery reports, and
+//! bounded-movement migration never exceeds its budget while restoring
+//! balance whenever the budget allows.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use streaming_graph_partitioning::prelude::*;
+
+static GRAPH: OnceLock<Graph> = OnceLock::new();
+
+fn graph() -> &'static Graph {
+    GRAPH.get_or_init(|| Dataset::LdbcSnb.generate(Scale::Tiny))
+}
+
+/// A store/workload fixture shared across cases (the membership plan
+/// under test varies; the cluster does not).
+static FIXTURE: OnceLock<(ClusterSim, MirrorDirectory)> = OnceLock::new();
+
+fn fixture() -> &'static (ClusterSim, MirrorDirectory) {
+    FIXTURE.get_or_init(|| {
+        let g = graph();
+        let cfg = PartitionerConfig::new(4);
+        let p = partition(g, Algorithm::VcrHash, &cfg, StreamOrder::Random { seed: 7 });
+        let store = PartitionedStore::from_owner(g.clone(), 4, p.masters(g));
+        let mirrors = MirrorDirectory::for_model(g, &p);
+        let w = Workload::generate(g, WorkloadKind::OneHop, 80, Skew::Uniform, 3);
+        (ClusterSim::prepare(&store, &w), mirrors)
+    })
+}
+
+/// Streams `g` into a fresh machine, snapshotting after `cut` chunks
+/// and restoring into a new machine mid-stream, then finishes the
+/// stream there. Returns the sealed result and whether the cut point
+/// was actually crossed (offline algorithms round-trip immediately).
+fn interrupted(
+    g: &Graph,
+    alg: Algorithm,
+    cfg: &PartitionerConfig,
+    order: StreamOrder,
+    chunk: usize,
+    cut: usize,
+) -> (Partitioning, bool) {
+    let mut sp = StreamingPartitioner::init(g, alg, cfg);
+    let mut fed = 0usize;
+    let mut crossed = false;
+    match sp.input() {
+        StreamInput::Vertices => {
+            let passes = sp.passes();
+            let mut source = VertexStreamSource::new(g, order);
+            let mut buf = Vec::new();
+            for _ in 0..passes {
+                source.restart();
+                while source.next_chunk(chunk, &mut buf) > 0 {
+                    sp.ingest_vertices(&buf).expect("vertex machine accepts vertex chunks");
+                    fed += 1;
+                    if fed == cut {
+                        let snap = sp.snapshot();
+                        sp = StreamingPartitioner::restore(g, alg, cfg, &snap)
+                            .expect("own snapshot restores");
+                        crossed = true;
+                    }
+                }
+            }
+        }
+        StreamInput::Edges => {
+            let mut source = EdgeStreamSource::new(g, order);
+            let mut buf = Vec::new();
+            while source.next_chunk(chunk, &mut buf) > 0 {
+                sp.ingest_edges(&buf).expect("edge machine accepts edge chunks");
+                fed += 1;
+                if fed == cut {
+                    let snap = sp.snapshot();
+                    sp = StreamingPartitioner::restore(g, alg, cfg, &snap)
+                        .expect("own snapshot restores");
+                    crossed = true;
+                }
+            }
+        }
+        StreamInput::Offline => {
+            let snap = sp.snapshot();
+            sp = StreamingPartitioner::restore(g, alg, cfg, &snap).expect("own snapshot restores");
+            crossed = true;
+        }
+    }
+    (sp.seal(), crossed)
+}
+
+fn sim_cfg() -> FaultSimConfig {
+    FaultSimConfig {
+        base: SimConfig { clients_per_machine: 2, queries_per_client: 6, ..Default::default() },
+        degraded: DegradedConfig { shed_queue_depth: 2, migration_ns_per_record: 1_000 },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Interrupting any algorithm at any chunk boundary, serializing,
+    /// restoring into a fresh machine, and finishing the stream there
+    /// yields exactly the partitioning of the uninterrupted run.
+    #[test]
+    fn restore_then_continue_matches_uninterrupted(
+        seed in any::<u64>(),
+        chunk in 8usize..48,
+        cut in 1usize..5,
+    ) {
+        let g = graph();
+        let cfg = PartitionerConfig::new(4);
+        let order = StreamOrder::Random { seed };
+        for &alg in Algorithm::all() {
+            let whole = partition_chunked(g, alg, &cfg, order, chunk);
+            let (resumed, crossed) = interrupted(g, alg, &cfg, order, chunk, cut);
+            prop_assert!(crossed, "cut {} never reached for {}", cut, alg);
+            prop_assert_eq!(&whole.vertex_owner, &resumed.vertex_owner, "owners differ: {}", alg);
+            prop_assert_eq!(&whole.edge_parts, &resumed.edge_parts, "edge parts differ: {}", alg);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same membership plan + same elastic record counts ⇒ the recovery
+    /// DES reproduces bit-for-bit: two runs serialize to byte-identical
+    /// report JSON, for every event kind, schedule, and data volume.
+    #[test]
+    fn same_seed_membership_plan_reproduces_report_json(
+        seed in any::<u64>(),
+        kind in 0u8..3,
+        at_ns in 1u64..3_000_000,
+        records in 0u64..4_000,
+    ) {
+        let (sim, mirrors) = fixture();
+        let machine = 3u32;
+        let plan = match kind {
+            0 => FaultPlan::healthy(4, seed).with_scale_out(machine, at_ns),
+            1 => FaultPlan::healthy(4, seed).with_scale_in(machine, at_ns),
+            _ => FaultPlan::healthy(4, seed).with_crash_rejoin(machine, at_ns, 500_000),
+        };
+        let cfg = sim_cfg();
+        let elastic = ElasticPlan { records_per_event: vec![records] };
+        let a = sim.run_elastic(&cfg, &plan, mirrors, &elastic).expect("three machines survive");
+        let b = sim.run_elastic(&cfg, &plan, mirrors, &elastic).expect("three machines survive");
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        if let (Ok(ja), Ok(jb)) = (serde_json::to_string(&a), serde_json::to_string(&b)) {
+            prop_assert_eq!(ja, jb, "reports must serialize byte-identically");
+        }
+    }
+
+    /// The migration planner never exceeds its movement budget; with an
+    /// unconstrained budget it always restores balance — the evacuated
+    /// partition ends empty and the reported loads match replaying the
+    /// move list.
+    #[test]
+    fn migration_budget_is_respected_and_balance_restored_when_feasible(
+        seed in any::<u64>(),
+        k in 2usize..6,
+        victim_raw in 0usize..6,
+        budget in 0usize..64,
+    ) {
+        let victim = victim_raw % k;
+        let g = graph();
+        let cfg = PartitionerConfig::new(k);
+        let p = partition(g, Algorithm::Ldg, &cfg, StreamOrder::Random { seed });
+        let owner = p.masters(g);
+        let mut live = vec![true; k];
+        live[victim] = false;
+
+        let bounded =
+            plan_rebalance(g, &owner, &live, &MigrationConfig { budget, ..Default::default() });
+        prop_assert!(
+            bounded.moves.len() <= budget,
+            "{} moves exceed budget {}",
+            bounded.moves.len(),
+            budget
+        );
+
+        let unbounded = plan_rebalance(g, &owner, &live, &MigrationConfig::default());
+        prop_assert!(unbounded.balance_restored, "unbounded plan must restore balance");
+        let replanned = plan_rebalance(g, &owner, &live, &MigrationConfig::default());
+        prop_assert_eq!(&unbounded.moves, &replanned.moves, "re-planning must be deterministic");
+
+        let after = unbounded.apply(&owner);
+        prop_assert!(
+            after.iter().all(|&q| (q as usize) != victim),
+            "evacuated partition still owns vertices"
+        );
+        let mut loads = vec![0u64; k];
+        for &q in &after {
+            loads[q as usize] += 1;
+        }
+        prop_assert_eq!(&loads, &unbounded.loads_after, "reported loads disagree with the moves");
+    }
+}
