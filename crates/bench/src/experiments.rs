@@ -7,16 +7,17 @@ use sgp_core::decision::{recommend, OnlineObjective, WorkloadClass};
 use sgp_core::error::SgpError;
 use sgp_core::report::{f2, f3, human_bytes, TextTable};
 use sgp_core::runners::{
-    elastic_suite, engine_robustness_suite, fig1_scatter, loaders_suite, offline_suite, online_run,
-    quality_suite, robustness_suite, series_slope, workload_aware_suite, ElasticityConfig,
-    OfflineWorkload, OnlineRunConfig, RobustnessConfig,
+    churn_suite, elastic_suite, engine_robustness_suite, fig1_scatter, loaders_suite,
+    offline_suite, online_run, quality_suite, robustness_suite, series_slope, workload_aware_suite,
+    ChurnMethod, ChurnSuiteConfig, ElasticityConfig, OfflineWorkload, OnlineRunConfig,
+    RobustnessConfig,
 };
 use sgp_core::trace_scenarios::{record_db_scenario, record_engine_scenario, SCENARIO_MACHINES};
 use sgp_db::workload::Skew;
 use sgp_db::{FaultSimConfig, LoadLevel, SimConfig, WorkloadKind};
 use sgp_engine::apps::PageRank;
 use sgp_engine::{run_program, EngineOptions, Placement};
-use sgp_graph::{Graph, GraphBuilder, StreamOrder};
+use sgp_graph::{ChurnConfig, Graph, GraphBuilder, StreamOrder};
 use sgp_partition::{Algorithm, Partitioning};
 use sgp_trace::SummarySink;
 
@@ -126,7 +127,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 /// Opt-in experiments excluded from `all` (and from the checked-in
 /// results files, which must stay byte-identical release to release):
 /// run them by naming them explicitly.
-pub const EXTRA_EXPERIMENTS: &[&str] = &["robustness", "trace", "loaders", "elastic"];
+pub const EXTRA_EXPERIMENTS: &[&str] = &["robustness", "trace", "loaders", "elastic", "churn"];
 
 /// Runs one experiment by id; returns the rendered report.
 ///
@@ -159,6 +160,7 @@ pub fn run(id: &str, params: &Params) -> String {
         "trace" => trace_demo(params),
         "loaders" => loaders(params),
         "elastic" => elastic(params),
+        "churn" => churn(params),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -1120,6 +1122,53 @@ pub fn elastic(params: &Params) -> String {
     out
 }
 
+/// Churn suite (opt-in; see [`EXTRA_EXPERIMENTS`]): dynamic-graph
+/// maintenance under a seeded edge insert/delete stream over every
+/// dataset family. Each method starts from its own initial partition
+/// and reacts to imbalance/cut-degradation triggers — 2PS and windowed
+/// LDG repartition from scratch, restreamed LDG repairs under a
+/// movement budget — so the table is the quality-vs-movement tradeoff
+/// curve of DESIGN.md §12. Deterministic: same scale, same bytes.
+pub fn churn(params: &Params) -> String {
+    let k = 4;
+    let mut out = header("Churn — dynamic-graph maintenance: quality vs movement");
+    let mut t =
+        TextTable::new(["Dataset", "Method", "Batches", "Repart", "Moved", "Cut", "RF", "Imbal"]);
+    for &d in Dataset::all() {
+        let g = d.generate(params.scale);
+        let cfg = ChurnSuiteConfig {
+            k,
+            churn: ChurnConfig {
+                batches: 6,
+                inserts_per_batch: (g.num_edges() / 16).max(8),
+                deletes_per_batch: (g.num_edges() / 20).max(6),
+                seed: 0xC0_2019,
+            },
+            restream_budget: (g.num_vertices() / 8).max(16),
+            ..ChurnSuiteConfig::default()
+        };
+        for r in churn_suite(d.name(), &g, ChurnMethod::all(), &cfg) {
+            t.row([
+                r.dataset.clone(),
+                r.method.name().to_string(),
+                r.batches.to_string(),
+                r.repartitions.to_string(),
+                r.vertices_moved.to_string(),
+                f3(r.final_cut_ratio),
+                f2(r.final_quality.replication_factor),
+                f2(r.final_quality.edge_imbalance),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n(quality vs movement: full repartitioning — 2PS, windowed LDG — buys the lowest \
+         final cut at the price of relocating a large share of the graph on every trigger; \
+         the budgeted restream holds movement at its cap and pays a modest cut penalty)\n",
+    );
+    out
+}
+
 /// Trace demo (opt-in; see [`EXTRA_EXPERIMENTS`]): runs the canonical
 /// traced scenarios through a streaming [`SummarySink`] and renders the
 /// aggregation — the same event streams `experiments --trace <path>`
@@ -1336,6 +1385,21 @@ mod tests {
         assert!(out.contains("Data moved"), "{out}");
         assert!(out.contains("edge-cut") && out.contains("vertex-cut"), "{out}");
         assert_eq!(out, run("elastic", &tiny()), "elastic report must be deterministic");
+    }
+
+    #[test]
+    fn churn_is_opt_in_and_deterministic() {
+        assert!(!ALL_EXPERIMENTS.contains(&"churn"));
+        assert!(EXTRA_EXPERIMENTS.contains(&"churn"));
+        let out = run("churn", &tiny());
+        assert!(out.contains("quality vs movement"), "{out}");
+        for label in ["2PS", "W-LDG", "reLDG"] {
+            assert!(out.contains(label), "missing method {label} in {out}");
+        }
+        for dataset in ["Twitter", "UK2007-05", "USA-Road", "LDBC"] {
+            assert!(out.contains(dataset), "missing dataset {dataset} in {out}");
+        }
+        assert_eq!(out, run("churn", &tiny()), "churn report must be deterministic");
     }
 
     #[test]

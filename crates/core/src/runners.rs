@@ -13,13 +13,14 @@ use sgp_engine::apps::{PageRank, Sssp, Wcc};
 use sgp_engine::cost::five_number_summary;
 use sgp_engine::{run_program, run_program_with_faults, EngineOptions, Placement, RunReport};
 use sgp_fault::FaultPlan;
-use sgp_graph::{Graph, StreamOrder};
+use sgp_graph::{ChurnConfig, ChurnStream, Graph, StreamOrder};
 use sgp_partition::metis::MultilevelPartitioner;
 use sgp_partition::metrics::QualityReport;
 use sgp_partition::{
-    partition, partition_multi_loader, plan_rebalance, Algorithm, LoaderConfig, MigrationConfig,
-    PartitionerConfig,
+    cut_edges, partition, partition_multi_loader, plan_rebalance, Algorithm, LoaderConfig,
+    MigrationConfig, MigrationStrategy, PartitionId, PartitionerConfig, Partitioning,
 };
+use sgp_trace::{keys, NullSink, TraceSink};
 
 /// Default stream order used by every experiment (a fixed seeded random
 /// permutation, the paper's loading protocol).
@@ -865,6 +866,240 @@ pub fn elastic_suite(
     Ok(rows)
 }
 
+// ---------------------------------------------------------------------------
+// Churn suite (dynamic graphs: quality vs movement; DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// A maintenance strategy under edge churn: how the cluster reacts when
+/// a repartitioning trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnMethod {
+    /// Full repartition with two-phase streaming (2PS) on every trigger.
+    TwoPhase,
+    /// Full repartition with LDG behind a `W`-element look-ahead window.
+    Windowed,
+    /// Bounded-movement repair: restream LDG over the current owner map
+    /// via [`plan_rebalance`] with the `Restream` strategy.
+    Restream,
+}
+
+impl ChurnMethod {
+    /// The three methods in report order.
+    pub fn all() -> &'static [ChurnMethod] {
+        &[ChurnMethod::TwoPhase, ChurnMethod::Windowed, ChurnMethod::Restream]
+    }
+
+    /// Label rendered into the churn report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChurnMethod::TwoPhase => "2PS",
+            ChurnMethod::Windowed => "W-LDG",
+            ChurnMethod::Restream => "reLDG",
+        }
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        match self {
+            ChurnMethod::TwoPhase => Algorithm::TwoPhaseHdrf,
+            ChurnMethod::Windowed | ChurnMethod::Restream => Algorithm::Ldg,
+        }
+    }
+
+    fn partitioner_config(&self, cfg: &ChurnSuiteConfig) -> PartitionerConfig {
+        let pcfg = PartitionerConfig::new(cfg.k);
+        match self {
+            ChurnMethod::Windowed => pcfg.with_window(cfg.window),
+            _ => pcfg,
+        }
+    }
+}
+
+impl std::fmt::Display for ChurnMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+/// Parameters of a churn experiment: the edge-churn workload plus the
+/// repartitioning triggers and the per-method knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnSuiteConfig {
+    /// Number of partitions.
+    pub k: usize,
+    /// Seeded insert/delete stream applied to the dataset graph.
+    pub churn: ChurnConfig,
+    /// Repartition when max/avg per-partition *edge* load exceeds this.
+    pub imbalance_trigger: f64,
+    /// Repartition when the cut ratio exceeds this multiple of the cut
+    /// ratio measured right after the previous repartition.
+    pub cut_degradation_trigger: f64,
+    /// Look-ahead window `W` of the windowed method.
+    pub window: usize,
+    /// Per-trigger movement budget of the restream method.
+    pub restream_budget: usize,
+    /// Restream rounds attempted per trigger.
+    pub restream_rounds: usize,
+}
+
+impl Default for ChurnSuiteConfig {
+    fn default() -> Self {
+        ChurnSuiteConfig {
+            k: 4,
+            churn: ChurnConfig {
+                batches: 8,
+                inserts_per_batch: 64,
+                deletes_per_batch: 48,
+                seed: 0xC0_2019,
+            },
+            imbalance_trigger: 1.25,
+            cut_degradation_trigger: 1.05,
+            window: 8,
+            restream_budget: 256,
+            restream_rounds: 2,
+        }
+    }
+}
+
+/// One churn measurement: how one maintenance method traded movement for
+/// quality over the whole churn stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Maintenance method.
+    pub method: ChurnMethod,
+    /// Number of partitions.
+    pub k: usize,
+    /// Churn batches applied.
+    pub batches: usize,
+    /// Times a trigger fired and the method repartitioned/repaired.
+    pub repartitions: usize,
+    /// Vertices whose owner changed across all repartitions.
+    pub vertices_moved: u64,
+    /// Structural quality of the final owner map on the final graph
+    /// (edge-cut view, so the three methods are directly comparable).
+    pub final_quality: QualityReport,
+    /// Cut ratio of the final owner map on the final graph.
+    pub final_cut_ratio: f64,
+}
+
+/// Cut ratio of `owner` over `g` (0 when the graph has no edges).
+fn churn_cut_ratio(g: &Graph, owner: &[PartitionId]) -> f64 {
+    if g.num_edges() == 0 {
+        0.0
+    } else {
+        cut_edges(g, owner) as f64 / g.num_edges() as f64
+    }
+}
+
+/// Max/avg per-partition edge load, charging each edge to its source's
+/// partition (the edge-cut store's placement rule). Insertions and
+/// deletions shift this without any owner changing, so it is the
+/// imbalance signal that actually moves under churn.
+fn churn_edge_imbalance(g: &Graph, owner: &[PartitionId], k: usize) -> f64 {
+    let mut loads = vec![0u64; k];
+    for e in g.edges() {
+        loads[owner[e.src as usize] as usize] += 1;
+    }
+    let max = loads.iter().copied().max().unwrap_or(0);
+    if g.num_edges() == 0 {
+        1.0
+    } else {
+        max as f64 * k as f64 / g.num_edges() as f64
+    }
+}
+
+/// Runs the churn suite: each method starts from its own initial
+/// partition of `g`, then rides the same seeded insert/delete stream;
+/// whenever the edge-imbalance or cut-degradation trigger fires, the
+/// method repartitions (2PS, windowed LDG) or repairs under a movement
+/// budget (restreamed LDG), and the suite accounts every owner change.
+/// Pure function of its inputs — same seeds, same rows, bit for bit.
+pub fn churn_suite(
+    dataset_name: &str,
+    g: &Graph,
+    methods: &[ChurnMethod],
+    cfg: &ChurnSuiteConfig,
+) -> Vec<ChurnRow> {
+    churn_suite_traced(dataset_name, g, methods, cfg, &mut NullSink)
+}
+
+/// [`churn_suite`] with trace instrumentation: per method (counter key =
+/// method index) it emits the batches applied, the repartitions
+/// triggered, and the vertices moved.
+pub fn churn_suite_traced<S: TraceSink>(
+    dataset_name: &str,
+    g: &Graph,
+    methods: &[ChurnMethod],
+    cfg: &ChurnSuiteConfig,
+    sink: &mut S,
+) -> Vec<ChurnRow> {
+    let mut rows = Vec::with_capacity(methods.len());
+    for (mi, &method) in methods.iter().enumerate() {
+        let pcfg = method.partitioner_config(cfg);
+        let alg = method.algorithm();
+        let mut owner = partition(g, alg, &pcfg, default_order()).masters(g);
+        let mut cur = g.clone();
+        let mut baseline_cut = churn_cut_ratio(&cur, &owner);
+        let mut repartitions = 0usize;
+        let mut moved = 0u64;
+        let mut batches = 0usize;
+        let mut stream = ChurnStream::new(g, cfg.churn);
+        while let Some(batch) = stream.next_batch() {
+            cur = batch.graph;
+            batches += 1;
+            let imbalance = churn_edge_imbalance(&cur, &owner, cfg.k);
+            let cut = churn_cut_ratio(&cur, &owner);
+            if imbalance <= cfg.imbalance_trigger
+                && cut <= baseline_cut * cfg.cut_degradation_trigger
+            {
+                continue;
+            }
+            repartitions += 1;
+            match method {
+                ChurnMethod::TwoPhase | ChurnMethod::Windowed => {
+                    let next = partition(&cur, alg, &pcfg, default_order()).masters(&cur);
+                    moved += owner.iter().zip(&next).filter(|(a, b)| a != b).count() as u64;
+                    owner = next;
+                }
+                ChurnMethod::Restream => {
+                    let live = vec![true; cfg.k];
+                    let mcfg = MigrationConfig {
+                        budget: cfg.restream_budget,
+                        strategy: MigrationStrategy::Restream {
+                            algorithm: alg,
+                            order: default_order(),
+                            rounds: cfg.restream_rounds,
+                        },
+                        ..MigrationConfig::default()
+                    };
+                    let plan = plan_rebalance(&cur, &owner, &live, &mcfg);
+                    moved += plan.moves.len() as u64;
+                    owner = plan.apply(&owner);
+                }
+            }
+            baseline_cut = churn_cut_ratio(&cur, &owner);
+        }
+        sink.counter_add(keys::PARTITION_CHURN_BATCHES, mi as u64, batches as u64);
+        sink.counter_add(keys::PARTITION_CHURN_REPARTITIONS, mi as u64, repartitions as u64);
+        sink.counter_add(keys::PARTITION_CHURN_MOVED, mi as u64, moved);
+        let final_cut_ratio = churn_cut_ratio(&cur, &owner);
+        let final_quality =
+            QualityReport::measure(&cur, &Partitioning::from_vertex_owners(&cur, cfg.k, owner));
+        rows.push(ChurnRow {
+            dataset: dataset_name.to_string(),
+            method,
+            k: cfg.k,
+            batches,
+            repartitions,
+            vertices_moved: moved,
+            final_quality,
+            final_cut_ratio,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1081,6 +1316,55 @@ mod tests {
             format!("{rows:?}"),
             format!("{again:?}"),
             "same seed must reproduce the suite bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn churn_suite_is_deterministic_and_accounts_movement() {
+        let g = tiny_graph(Dataset::Twitter);
+        let cfg = ChurnSuiteConfig::default();
+        let rows = churn_suite("twitter", &g, ChurnMethod::all(), &cfg);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.batches, cfg.churn.batches, "{}", r.method);
+            assert!((0.0..=1.0).contains(&r.final_cut_ratio), "{}", r.method);
+            if r.repartitions == 0 {
+                assert_eq!(r.vertices_moved, 0, "{}: no trigger, no movement", r.method);
+            }
+        }
+        // The bounded-repair method can never move more than its budget
+        // allows per trigger.
+        let re = rows.iter().find(|r| r.method == ChurnMethod::Restream).expect("reLDG row");
+        assert!(
+            re.vertices_moved <= re.repartitions as u64 * cfg.restream_budget as u64,
+            "movement {} exceeds budget × triggers",
+            re.vertices_moved
+        );
+        let again = churn_suite("twitter", &g, ChurnMethod::all(), &cfg);
+        assert_eq!(
+            format!("{rows:?}"),
+            format!("{again:?}"),
+            "same seed must reproduce the suite bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn churn_suite_traced_counters_match_rows() {
+        let g = tiny_graph(Dataset::LdbcSnb);
+        let cfg = ChurnSuiteConfig::default();
+        let mut sink = sgp_trace::CollectingSink::new();
+        let rows = churn_suite_traced("snb", &g, ChurnMethod::all(), &cfg, &mut sink);
+        assert_eq!(
+            sink.counter_total(keys::PARTITION_CHURN_BATCHES),
+            rows.iter().map(|r| r.batches as u64).sum::<u64>()
+        );
+        assert_eq!(
+            sink.counter_total(keys::PARTITION_CHURN_REPARTITIONS),
+            rows.iter().map(|r| r.repartitions as u64).sum::<u64>()
+        );
+        assert_eq!(
+            sink.counter_total(keys::PARTITION_CHURN_MOVED),
+            rows.iter().map(|r| r.vertices_moved).sum::<u64>()
         );
     }
 

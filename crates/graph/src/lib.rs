@@ -33,6 +33,7 @@
 #![deny(unsafe_code)]
 
 pub mod builder;
+pub mod churn;
 pub mod csr;
 pub mod generators;
 pub mod io;
@@ -42,6 +43,7 @@ pub mod stream;
 pub mod types;
 
 pub use builder::GraphBuilder;
+pub use churn::{ChurnBatch, ChurnConfig, ChurnOp, ChurnStream};
 pub use csr::Graph;
 pub use stats::GraphStats;
 pub use stream::{EdgeStream, EdgeStreamSource, StreamOrder, VertexStream, VertexStreamSource};

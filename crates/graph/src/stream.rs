@@ -127,6 +127,20 @@ pub struct VertexRecord {
     pub out_neighbors: Vec<VertexId>,
 }
 
+impl VertexRecord {
+    /// Builds the stream element for `v` exactly as the stream sources
+    /// do: undirected neighbourhood sorted and deduplicated, out-edges
+    /// verbatim. Exposed so consumers that persist buffered records by
+    /// vertex id (the windowed partitioner's snapshot layer) can rebuild
+    /// them canonically from the graph.
+    pub fn for_vertex(g: &Graph, v: VertexId) -> VertexRecord {
+        let mut neighbors: Vec<VertexId> = g.undirected_neighbors(v).collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        VertexRecord { vertex: v, neighbors, out_neighbors: g.out_neighbors(v).to_vec() }
+    }
+}
+
 /// Cursor state of a [`VertexStreamSource`].
 #[derive(Debug, Clone)]
 enum VertexCursor {
@@ -204,10 +218,7 @@ impl<'g> VertexStreamSource<'g> {
     }
 
     fn record_of(&self, v: VertexId) -> VertexRecord {
-        let mut neighbors: Vec<VertexId> = self.graph.undirected_neighbors(v).collect();
-        neighbors.sort_unstable();
-        neighbors.dedup();
-        VertexRecord { vertex: v, neighbors, out_neighbors: self.graph.out_neighbors(v).to_vec() }
+        VertexRecord::for_vertex(self.graph, v)
     }
 
     /// Yields the next stream element, or `None` at end of stream.

@@ -25,6 +25,27 @@ pub struct PartitionerConfig {
     pub ginger_threshold_factor: f64,
     /// Seed for all hash-based and tie-breaking decisions.
     pub seed: u64,
+    /// Look-ahead window size `W` for the buffered streaming model
+    /// (ADWISE-style): the [`crate::streaming::StreamingPartitioner`]
+    /// facade holds up to `W − 1` elements and places the highest-affinity
+    /// buffered element first. `W = 1` (the default) degenerates exactly
+    /// to the paper's one-pass model — the buffer never holds an element
+    /// across a placement, so arrival order is placement order.
+    #[serde(default = "default_window")]
+    pub window: usize,
+    /// Whether the 2PS two-phase partitioner runs its streaming
+    /// clustering pass. Disabled, its assignment pass degenerates exactly
+    /// to HDRF (the differential tests pin this).
+    #[serde(default = "default_two_phase_clustering")]
+    pub two_phase_clustering: bool,
+}
+
+fn default_window() -> usize {
+    1
+}
+
+fn default_two_phase_clustering() -> bool {
+    true
 }
 
 impl PartitionerConfig {
@@ -40,6 +61,8 @@ impl PartitionerConfig {
             hdrf_lambda: 1.1,
             ginger_threshold_factor: 4.0,
             seed: 0x5A5A_1234,
+            window: 1,
+            two_phase_clustering: true,
         }
     }
 
@@ -53,6 +76,13 @@ impl PartitionerConfig {
     pub fn with_slack(mut self, beta: f64) -> Self {
         assert!(beta >= 1.0, "slack must be >= 1");
         self.balance_slack = beta;
+        self
+    }
+
+    /// Returns a copy with a different look-ahead window `W ≥ 1`.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 1, "window must be >= 1");
+        self.window = window;
         self
     }
 

@@ -102,6 +102,11 @@ pub fn partition_threaded_traced<S: TraceSink>(
     lc: &LoaderConfig,
     sink: &mut S,
 ) -> Partitioning {
+    if !algorithm.supports_parallel_loaders() {
+        // Same routing as the modelled multi-loader: METIS and 2PS fall
+        // back to the single-loader run.
+        return partition(g, algorithm, cfg, order);
+    }
     let (l, _) = lc.clamped();
     let mut edge_machines = Vec::with_capacity(l);
     for _ in 0..l {

@@ -42,6 +42,13 @@
 //! bit-identical to an uninterrupted run, and [`migration`] computes
 //! bounded-movement rebalance plans when the cluster gains or loses
 //! machines.
+//!
+//! The dynamic-graph tier (DESIGN.md §12) adds the multi-pass and
+//! buffered streaming models on the same machine lifecycle: 2PS
+//! two-phase edge partitioning ([`two_phase::TwoPhase`]), a bounded
+//! look-ahead window on the [`streaming::StreamingPartitioner`] facade
+//! (`W = 1` degenerates exactly to one-pass), and restreaming over a
+//! prior assignment with bounded movement ([`dynamic`]).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -50,6 +57,7 @@ pub mod assignment;
 pub mod attribute;
 pub mod config;
 pub mod decisions;
+pub mod dynamic;
 pub mod edge_cut;
 pub mod edge_stream_cut;
 pub mod exec;
@@ -63,14 +71,18 @@ pub mod parallel;
 pub mod registry;
 pub mod snapshot;
 pub mod streaming;
+pub mod two_phase;
 pub mod vertex_cut;
 
 pub use assignment::{CutModel, PartitionId, Partitioning};
 pub use config::PartitionerConfig;
 pub use decisions::DecisionStats;
+pub use dynamic::{cut_edges, restream_rounds, restream_rounds_traced, RestreamOutcome};
 pub use exec::{partition_threaded, partition_threaded_traced};
 pub use loaders::{partition_multi_loader, LoaderConfig};
-pub use migration::{plan_rebalance, MigrationConfig, MigrationPlan, VertexMove};
+pub use migration::{
+    plan_rebalance, MigrationConfig, MigrationPlan, MigrationStrategy, VertexMove,
+};
 pub use registry::{partition, partition_traced, Algorithm};
 pub use snapshot::{SnapshotError, SNAPSHOT_SCHEMA_VERSION};
 pub use streaming::{partition_chunked, StreamInput, StreamingPartitioner, DEFAULT_CHUNK};

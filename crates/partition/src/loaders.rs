@@ -96,6 +96,11 @@ pub fn partition_multi_loader(
     order: StreamOrder,
     lc: &LoaderConfig,
 ) -> Partitioning {
+    if !algorithm.supports_parallel_loaders() {
+        // METIS (offline) and 2PS (its clustering pass must see the
+        // whole stream before placement) run single-loader.
+        return partition(g, algorithm, cfg, order);
+    }
     let (l, _) = lc.clamped();
     let mut edge_machines = Vec::with_capacity(l);
     for _ in 0..l {

@@ -23,7 +23,33 @@
 //! yield byte-identical plans.
 
 use crate::assignment::PartitionId;
-use sgp_graph::Graph;
+use crate::config::PartitionerConfig;
+use crate::dynamic::restream_rounds;
+use crate::edge_cut::UNASSIGNED;
+use crate::registry::Algorithm;
+use sgp_graph::{Graph, StreamOrder};
+
+/// How [`plan_rebalance`] chooses the post-migration owner map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationStrategy {
+    /// The PR 7 greedy planner: mandatory evacuations plus highest-gain
+    /// balance moves, one vertex at a time.
+    Greedy,
+    /// Restream the whole graph over the current assignment
+    /// ([`crate::dynamic::restream_rounds`]) and diff the result into a
+    /// budget-truncated move list — the Le Merrer et al. bounded-
+    /// movement repartitioning model (DESIGN.md §12).
+    Restream {
+        /// The vertex-stream algorithm to restream with. Edge-stream
+        /// algorithms cannot restream; the planner falls back to
+        /// [`MigrationStrategy::Greedy`] for them.
+        algorithm: Algorithm,
+        /// Stream order of each restreaming pass.
+        order: StreamOrder,
+        /// Maximum restreaming rounds.
+        rounds: usize,
+    },
+}
 
 /// Knobs for [`plan_rebalance`].
 #[derive(Debug, Clone, Copy)]
@@ -35,12 +61,18 @@ pub struct MigrationConfig {
     /// partition may hold more than `β · n / live` vertices (Eq. (1) of
     /// the paper, applied to the shrunk or grown cluster).
     pub balance_slack: f64,
+    /// Planning strategy (greedy move selection by default).
+    pub strategy: MigrationStrategy,
 }
 
 impl Default for MigrationConfig {
     fn default() -> Self {
-        // sgp-lint: allow(no-float-accounting): balance slack is a config constant mirroring the paper's β, not simulated-time accounting
-        MigrationConfig { budget: usize::MAX, balance_slack: 1.1 }
+        MigrationConfig {
+            budget: usize::MAX,
+            // sgp-lint: allow(no-float-accounting): balance slack is a config constant mirroring the paper's β, not simulated-time accounting
+            balance_slack: 1.1,
+            strategy: MigrationStrategy::Greedy,
+        }
     }
 }
 
@@ -110,9 +142,26 @@ fn gain(g: &Graph, owner: &[PartitionId], v: u32, from: PartitionId, to: Partiti
 /// Guarantees, pinned by the root proptests:
 /// * `moves.len() <= cfg.budget`, always;
 /// * the plan is deterministic in its inputs (byte-identical re-plans);
-/// * when the budget suffices, `balance_restored` is `true`: dead
-///   partitions end empty and every live load is within the cap.
+/// * when the budget suffices and the strategy is greedy,
+///   `balance_restored` is `true`: dead partitions end empty and every
+///   live load is within the cap.
 pub fn plan_rebalance(
+    g: &Graph,
+    owner: &[PartitionId],
+    live: &[bool],
+    cfg: &MigrationConfig,
+) -> MigrationPlan {
+    match cfg.strategy {
+        MigrationStrategy::Greedy => plan_rebalance_greedy(g, owner, live, cfg),
+        MigrationStrategy::Restream { algorithm, order, rounds } => {
+            plan_rebalance_restream(g, owner, live, cfg, algorithm, order, rounds)
+        }
+    }
+}
+
+/// The greedy planner (the original PR 7 path): mandatory evacuations
+/// in vertex order, then highest-gain balance moves.
+fn plan_rebalance_greedy(
     g: &Graph,
     owner: &[PartitionId],
     live: &[bool],
@@ -246,6 +295,108 @@ pub fn plan_rebalance(
     plan
 }
 
+/// The restreaming planner: compact the live partitions to `0..live`,
+/// restream the graph over the compacted current assignment, then diff
+/// the accepted outcome against `owner` into a move list — mandatory
+/// evacuations (vertex order) first, then quality moves in descending
+/// locality gain — truncated to the budget.
+fn plan_rebalance_restream(
+    g: &Graph,
+    owner: &[PartitionId],
+    live: &[bool],
+    cfg: &MigrationConfig,
+    algorithm: Algorithm,
+    order: StreamOrder,
+    rounds: usize,
+) -> MigrationPlan {
+    let k = live.len();
+    let n = owner.len();
+    let live_ids: Vec<PartitionId> =
+        (0..k).filter(|&p| live[p]).map(|p| p as PartitionId).collect();
+    if live_ids.is_empty() {
+        return plan_rebalance_greedy(g, owner, live, cfg);
+    }
+    // Current assignment in the compacted live id space; vertices on
+    // dead partitions become UNASSIGNED so the restream re-places them.
+    let compact: Vec<PartitionId> = owner
+        .iter()
+        .map(|&p| live_ids.binary_search(&p).map(|i| i as PartitionId).unwrap_or(UNASSIGNED))
+        .collect();
+    let pcfg = PartitionerConfig::new(live_ids.len()).with_slack(cfg.balance_slack);
+    let Some(outcome) = restream_rounds(g, algorithm, &pcfg, order, &compact, rounds) else {
+        // Edge-stream algorithms cannot restream a vertex-owner map.
+        return plan_rebalance_greedy(g, owner, live, cfg);
+    };
+    // Back to the original partition id space. A vertex can still be
+    // UNASSIGNED here only when every restream round was rejected AND it
+    // lived on a dead partition; spread those round-robin.
+    let target: Vec<PartitionId> = outcome
+        .owner
+        .iter()
+        .enumerate()
+        .map(
+            |(v, &p)| {
+                if p == UNASSIGNED {
+                    live_ids[v % live_ids.len()]
+                } else {
+                    live_ids[p as usize]
+                }
+            },
+        )
+        .collect();
+    let mut mandatory: Vec<u32> = Vec::new();
+    let mut quality: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        let from = owner[v as usize];
+        if (from as usize) >= k || !live[from as usize] {
+            mandatory.push(v);
+        } else if target[v as usize] != from {
+            quality.push(v);
+        }
+    }
+    quality.sort_by_key(|&v| {
+        (std::cmp::Reverse(gain(g, owner, v, owner[v as usize], target[v as usize])), v)
+    });
+
+    let mut plan = MigrationPlan {
+        moves: Vec::new(),
+        data_moved: 0,
+        balance_restored: false,
+        loads_after: Vec::new(),
+    };
+    let mut current = owner.to_vec();
+    let mut loads = vec![0u64; k];
+    for &p in &current {
+        if let Some(slot) = loads.get_mut(p as usize) {
+            *slot += 1;
+        }
+    }
+    for v in mandatory.into_iter().chain(quality) {
+        if plan.moves.len() >= cfg.budget {
+            break;
+        }
+        let from = current[v as usize];
+        let to = target[v as usize];
+        if from == to {
+            continue;
+        }
+        plan.moves.push(VertexMove { vertex: v, from, to });
+        plan.data_moved += 1 + g.degree(v) as u64;
+        if let Some(slot) = loads.get_mut(from as usize) {
+            *slot -= 1;
+        }
+        loads[to as usize] += 1;
+        current[v as usize] = to;
+    }
+    // sgp-lint: allow(no-float-accounting): the balance cap is a config-derived threshold, not simulated-time accounting
+    let cap = ((cfg.balance_slack * n as f64 / live_ids.len() as f64).ceil() as u64).max(1);
+    let dead_empty = (0..k).all(|p| live[p] || loads[p] == 0);
+    let within_cap = (0..k).all(|p| !live[p] || loads[p] <= cap);
+    plan.balance_restored = dead_empty && within_cap;
+    plan.loads_after = loads;
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +470,57 @@ mod tests {
         let plan = plan_rebalance(&g, &owner, &[false; 4], &MigrationConfig::default());
         assert!(plan.moves.is_empty());
         assert!(!plan.balance_restored);
+    }
+
+    fn restream_cfg(budget: usize) -> MigrationConfig {
+        MigrationConfig {
+            budget,
+            strategy: MigrationStrategy::Restream {
+                algorithm: crate::Algorithm::Ldg,
+                order: StreamOrder::Natural,
+                rounds: 3,
+            },
+            ..MigrationConfig::default()
+        }
+    }
+
+    #[test]
+    fn restream_strategy_zero_budget_is_identity() {
+        let (g, owner) = setup();
+        let plan = plan_rebalance(&g, &owner, &[true; 4], &restream_cfg(0));
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.apply(&owner), owner);
+        assert_eq!(plan.data_moved, 0);
+    }
+
+    #[test]
+    fn restream_strategy_respects_budget_and_is_deterministic() {
+        let (g, owner) = setup();
+        let live = vec![true, true, true, false];
+        let a = plan_rebalance(&g, &owner, &live, &restream_cfg(40));
+        let b = plan_rebalance(&g, &owner, &live, &restream_cfg(40));
+        assert_eq!(a, b);
+        assert!(a.moves.len() <= 40);
+        // Evacuations come first, in vertex order.
+        let evac: Vec<u32> = a.moves.iter().take_while(|m| m.from == 3).map(|m| m.vertex).collect();
+        assert!(evac.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.moves.iter().all(|m| m.to < 3));
+    }
+
+    #[test]
+    fn restream_strategy_falls_back_to_greedy_for_edge_algorithms() {
+        let (g, owner) = setup();
+        let live = vec![true, true, true, false];
+        let cfg = MigrationConfig {
+            strategy: MigrationStrategy::Restream {
+                algorithm: crate::Algorithm::Hdrf,
+                order: StreamOrder::Natural,
+                rounds: 2,
+            },
+            ..MigrationConfig::default()
+        };
+        let restream = plan_rebalance(&g, &owner, &live, &cfg);
+        let greedy = plan_rebalance(&g, &owner, &live, &MigrationConfig::default());
+        assert_eq!(restream, greedy);
     }
 }

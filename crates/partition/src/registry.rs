@@ -6,6 +6,7 @@ use crate::config::PartitionerConfig;
 use crate::edge_cut::{run_vertex_stream_traced, Fennel, HashVertex, Ldg, Restream};
 use crate::hybrid::{ginger_with_stats, hybrid_random_with_stats};
 use crate::metis::MultilevelPartitioner;
+use crate::two_phase::TwoPhase;
 use crate::vertex_cut::{
     run_edge_stream_traced, Dbh, GridConstrained, HashEdge, Hdrf, PowerGraphGreedy,
 };
@@ -42,6 +43,9 @@ pub enum Algorithm {
     Ginger,
     /// Offline multilevel baseline (METIS-like).
     Metis,
+    /// 2PS two-phase edge partitioning (streaming clustering pass +
+    /// cluster-affine HDRF assignment pass).
+    TwoPhaseHdrf,
 }
 
 /// Input stream model of an algorithm (Table 1's "Stream" column).
@@ -94,6 +98,7 @@ impl Algorithm {
             Algorithm::RestreamLdg,
             Algorithm::RestreamFennel,
             Algorithm::Metis,
+            Algorithm::TwoPhaseHdrf,
         ]
     }
 
@@ -126,10 +131,12 @@ impl Algorithm {
     /// can split this algorithm's stream across parallel loaders: true
     /// for every streaming algorithm (hash methods need no communication,
     /// greedy methods place against periodically-synchronized shared
-    /// state — Table 1's "parallelization" column), false only for the
-    /// offline METIS baseline, which reads the whole graph at seal time.
+    /// state — Table 1's "parallelization" column), false for the
+    /// offline METIS baseline (which reads the whole graph at seal time)
+    /// and for the two-pass 2PS partitioner (whose clustering pass must
+    /// see the entire stream before any edge is placed).
     pub fn supports_parallel_loaders(&self) -> bool {
-        !matches!(self, Algorithm::Metis)
+        !matches!(self, Algorithm::Metis | Algorithm::TwoPhaseHdrf)
     }
 
     /// Static Table 1 row for this algorithm.
@@ -255,6 +262,15 @@ impl Algorithm {
                 parallelization: "No (offline pre-processing)",
                 method: "Multilevel",
             },
+            TwoPhaseHdrf => AlgorithmInfo {
+                short_name: "2PS",
+                long_name: "Two-phase streaming (clustering + HDRF) [Mayer et al. 2020]",
+                model: VertexCut,
+                stream: Edge,
+                cost_metric: "Replication Factor",
+                parallelization: "No (two-pass, clustering state)",
+                method: "Clustering + Greedy",
+            },
         }
     }
 
@@ -352,6 +368,9 @@ pub fn partition_traced<S: TraceSink>(
             p
         }
         Algorithm::Metis => MultilevelPartitioner::default().partitioning(g, k),
+        Algorithm::TwoPhaseHdrf => {
+            run_edge_stream_traced(g, &mut TwoPhase::new(cfg, m), k, order, sink)
+        }
     };
     sink.span_exit(keys::PARTITION_RUN, alg_key, (n + m) as u64);
     p

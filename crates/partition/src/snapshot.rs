@@ -30,7 +30,8 @@ use crate::config::PartitionerConfig;
 use crate::edge_cut::UNASSIGNED;
 use crate::registry::Algorithm;
 use crate::streaming::{Machine, StreamInput, StreamingPartitioner};
-use sgp_graph::Graph;
+use sgp_graph::stream::VertexRecord;
+use sgp_graph::{Edge, Graph};
 
 /// Version stamped into the snapshot header and pinned in
 /// `tests/goldens/SCHEMA_VERSIONS`. Bump on any change to the record
@@ -126,6 +127,12 @@ pub fn write_snapshot(sp: &StreamingPartitioner<'_>) -> String {
             for (key, value) in core.partitioner().snapshot_records() {
                 push(format!("palg {key} {value}"));
             }
+            // Look-ahead window contents (DESIGN.md §12): only the
+            // vertex id is recorded — the record is config-pure and is
+            // rebuilt from the graph at restore time.
+            for rec in sp.window_vertex_buffer() {
+                push(format!("wv {}", rec.vertex));
+            }
         }
         Machine::Edge { core } => {
             for (i, &p) in core.edge_parts().iter().enumerate() {
@@ -148,6 +155,10 @@ pub fn write_snapshot(sp: &StreamingPartitioner<'_>) -> String {
             for (key, value) in core.partitioner().snapshot_records() {
                 push(format!("palg {key} {value}"));
             }
+            // Look-ahead window contents, in arrival order.
+            for e in sp.window_edge_buffer() {
+                push(format!("we {} {}", e.src, e.dst));
+            }
         }
         Machine::Offline => {}
     }
@@ -168,6 +179,8 @@ struct Parsed {
     replicas_created: u64,
     mirror_creations: u64,
     palgs: Vec<(String, String)>,
+    window_vertices: Vec<u32>,
+    window_edges: Vec<(u32, u32)>,
     saw_end: bool,
 }
 
@@ -300,6 +313,22 @@ pub fn read_snapshot<'g>(
                 let (pk, pv) = rest.split_once(' ').ok_or(bad)?;
                 parsed.palgs.push((pk.to_string(), pv.to_string()));
             }
+            "wv" => {
+                let v = parse_u64(rest).ok_or(bad.clone())?;
+                if v >= g.num_vertices() as u64 {
+                    return Err(bad);
+                }
+                parsed.window_vertices.push(v as u32);
+            }
+            "we" => {
+                let (s, d) = rest.split_once(' ').ok_or(bad.clone())?;
+                let s = parse_u64(s).ok_or(bad.clone())?;
+                let d = parse_u64(d).ok_or(bad.clone())?;
+                if s >= g.num_vertices() as u64 || d >= g.num_vertices() as u64 {
+                    return Err(bad);
+                }
+                parsed.window_edges.push((s as u32, d as u32));
+            }
             _ => return Err(bad),
         }
     }
@@ -309,12 +338,17 @@ pub fn read_snapshot<'g>(
         return Err(SnapshotError::Malformed { line: text.lines().count().max(1) });
     }
 
-    apply(&mut sp, parsed, k)?;
+    apply(&mut sp, parsed, k, g)?;
     Ok(sp)
 }
 
 /// Applies fully-parsed records onto a freshly initialized machine.
-fn apply(sp: &mut StreamingPartitioner<'_>, parsed: Parsed, k: usize) -> Result<(), SnapshotError> {
+fn apply(
+    sp: &mut StreamingPartitioner<'_>,
+    parsed: Parsed,
+    k: usize,
+    g: &Graph,
+) -> Result<(), SnapshotError> {
     match sp.machine_mut() {
         Machine::Vertex { core, .. } => {
             if parsed.loads.len() != k {
@@ -381,6 +415,31 @@ fn apply(sp: &mut StreamingPartitioner<'_>, parsed: Parsed, k: usize) -> Result<
             // snapshot of it is just the header, and restore is init.
         }
     }
+    // Refill the look-ahead window last, once the core borrow is done.
+    // A record of the wrong stream kind marks a spliced snapshot.
+    match sp.input() {
+        StreamInput::Vertices => {
+            if !parsed.window_edges.is_empty() {
+                return Err(SnapshotError::Malformed { line: 0 });
+            }
+            for v in parsed.window_vertices {
+                sp.push_window_vertex(VertexRecord::for_vertex(g, v));
+            }
+        }
+        StreamInput::Edges => {
+            if !parsed.window_vertices.is_empty() {
+                return Err(SnapshotError::Malformed { line: 0 });
+            }
+            for (s, d) in parsed.window_edges {
+                sp.push_window_edge(Edge::new(s, d));
+            }
+        }
+        StreamInput::Offline => {
+            if !parsed.window_vertices.is_empty() || !parsed.window_edges.is_empty() {
+                return Err(SnapshotError::Malformed { line: 0 });
+            }
+        }
+    }
     Ok(())
 }
 
@@ -439,19 +498,25 @@ mod tests {
                             text = Some(snap);
                         }
                     }
+                    sp.flush_window();
                 }
             }
             StreamInput::Edges => {
+                let passes = sp.passes();
                 let mut source = EdgeStreamSource::new(g, order);
                 let mut buf = Vec::new();
-                while source.next_chunk(chunk, &mut buf) > 0 {
-                    sp.ingest_edges(&buf).unwrap();
-                    fed += 1;
-                    if fed == cut {
-                        let snap = sp.snapshot();
-                        sp = StreamingPartitioner::restore(g, alg, cfg, &snap).unwrap();
-                        text = Some(snap);
+                for _ in 0..passes {
+                    source.restart();
+                    while source.next_chunk(chunk, &mut buf) > 0 {
+                        sp.ingest_edges(&buf).unwrap();
+                        fed += 1;
+                        if fed == cut {
+                            let snap = sp.snapshot();
+                            sp = StreamingPartitioner::restore(g, alg, cfg, &snap).unwrap();
+                            text = Some(snap);
+                        }
                     }
+                    sp.flush_window();
                 }
             }
             StreamInput::Offline => {

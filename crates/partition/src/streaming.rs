@@ -44,7 +44,7 @@ use crate::vertex_cut::{
     Dbh, EdgeStreamPartitioner, EdgeStreamState, GridConstrained, HashEdge, Hdrf, PowerGraphGreedy,
 };
 use sgp_graph::stream::VertexRecord;
-use sgp_graph::{Edge, EdgeStreamSource, Graph, StreamOrder, VertexStreamSource};
+use sgp_graph::{Edge, EdgeStreamSource, Graph, StreamOrder, VertexId, VertexStreamSource};
 use sgp_trace::{keys, NullSink, TraceSink};
 
 /// Default ingestion chunk size used by the legacy one-shot entry
@@ -103,6 +103,15 @@ impl<P: EdgeStreamPartitioner + ?Sized> EdgeStreamPartitioner for &mut P {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+    fn passes(&self) -> usize {
+        (**self).passes()
+    }
+    fn observing(&self) -> bool {
+        (**self).observing()
+    }
+    fn observe(&mut self, e: Edge) {
+        (**self).observe(e)
+    }
     fn decision_stats(&self) -> DecisionStats {
         (**self).decision_stats()
     }
@@ -120,6 +129,15 @@ impl<P: EdgeStreamPartitioner + ?Sized> EdgeStreamPartitioner for Box<P> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn passes(&self) -> usize {
+        (**self).passes()
+    }
+    fn observing(&self) -> bool {
+        (**self).observing()
+    }
+    fn observe(&mut self, e: Edge) {
+        (**self).observe(e)
     }
     fn decision_stats(&self) -> DecisionStats {
         (**self).decision_stats()
@@ -263,6 +281,11 @@ impl<'g, P: EdgeStreamPartitioner> EdgeIngest<'g, P> {
         }
     }
 
+    /// Stream passes the wrapped partitioner wants (2 for 2PS).
+    pub fn passes(&self) -> usize {
+        self.partitioner.passes()
+    }
+
     /// Elements placed so far (the logical trace stamp).
     pub fn seq(&self) -> u64 {
         self.seq
@@ -273,9 +296,18 @@ impl<'g, P: EdgeStreamPartitioner> EdgeIngest<'g, P> {
         &self.state
     }
 
-    /// Ingests one bounded chunk of stream edges.
+    /// Ingests one bounded chunk of stream edges. While the wrapped
+    /// partitioner reports an observation pass
+    /// ([`EdgeStreamPartitioner::observing`]), edges are routed to
+    /// [`EdgeStreamPartitioner::observe`] and neither the shared state,
+    /// the placement vector, nor the sequence counter changes — the
+    /// snapshot invariant `sum(loads) == seq` holds across passes.
     pub fn ingest(&mut self, chunk: &[Edge]) {
         for &e in chunk {
+            if self.partitioner.observing() {
+                self.partitioner.observe(e);
+                continue;
+            }
             let p = self.partitioner.place(e, &self.state);
             debug_assert!((p as usize) < self.k, "partitioner returned out-of-range id");
             self.state.record(e, p);
@@ -369,8 +401,10 @@ pub fn run_vertex_chunked<P: VertexStreamPartitioner, S: TraceSink>(
 }
 
 /// Drives an edge-stream partitioner through the incremental core in
-/// bounded chunks; trace emission matches the legacy edge driver (a
-/// single `partition.stream` span, no pass spans).
+/// bounded chunks; trace emission matches the legacy edge driver for
+/// one-pass algorithms (a single `partition.stream` span, no pass
+/// spans). Multi-pass edge partitioners (2PS) additionally get one
+/// `partition.pass` span per pass, mirroring the vertex driver.
 pub fn run_edge_chunked<P: EdgeStreamPartitioner, S: TraceSink>(
     g: &Graph,
     partitioner: &mut P,
@@ -382,9 +416,19 @@ pub fn run_edge_chunked<P: EdgeStreamPartitioner, S: TraceSink>(
     let mut core = EdgeIngest::init(g, partitioner, k);
     let mut source = EdgeStreamSource::new(g, order);
     let mut chunk = Vec::new();
+    let passes = core.passes().max(1);
     sink.span_enter(keys::PARTITION_STREAM, 0, core.seq());
-    while source.next_chunk(chunk_size, &mut chunk) > 0 {
-        core.ingest(&chunk);
+    for pass in 0..passes {
+        if passes > 1 {
+            sink.span_enter(keys::PARTITION_PASS, pass as u64, core.seq());
+        }
+        source.restart();
+        while source.next_chunk(chunk_size, &mut chunk) > 0 {
+            core.ingest(&chunk);
+        }
+        if passes > 1 {
+            sink.span_exit(keys::PARTITION_PASS, pass as u64, core.seq());
+        }
     }
     sink.span_exit(keys::PARTITION_STREAM, 0, core.seq());
     core.seal_traced(sink)
@@ -427,6 +471,9 @@ pub(crate) fn boxed_edge_partitioner(
         Algorithm::Grid => Some(Box::new(GridConstrained::new(cfg))),
         Algorithm::PowerGraphGreedy => Some(Box::new(PowerGraphGreedy::new(cfg))),
         Algorithm::Hdrf => Some(Box::new(Hdrf::new(cfg, g.num_edges()))),
+        Algorithm::TwoPhaseHdrf => {
+            Some(Box::new(crate::two_phase::TwoPhase::new(cfg, g.num_edges())))
+        }
         _ => None,
     }
 }
@@ -488,6 +535,15 @@ pub struct StreamingPartitioner<'g> {
     k: usize,
     algorithm: Algorithm,
     machine: Machine<'g>,
+    /// Look-ahead window size `W ≥ 1` (ADWISE-style buffered model,
+    /// DESIGN.md §12). `W = 1` degenerates exactly to one-pass: the
+    /// buffer never holds an element across a placement.
+    window: usize,
+    /// Buffered vertex records awaiting placement (≤ `W − 1` between
+    /// ingest calls), in arrival order.
+    wbuf_v: Vec<VertexRecord>,
+    /// Buffered edges awaiting placement, in arrival order.
+    wbuf_e: Vec<Edge>,
 }
 
 impl<'g> StreamingPartitioner<'g> {
@@ -506,7 +562,15 @@ impl<'g> StreamingPartitioner<'g> {
         } else {
             Machine::Offline
         };
-        StreamingPartitioner { g, k: cfg.k, algorithm, machine }
+        StreamingPartitioner {
+            g,
+            k: cfg.k,
+            algorithm,
+            machine,
+            window: cfg.window.max(1),
+            wbuf_v: Vec::new(),
+            wbuf_e: Vec::new(),
+        }
     }
 
     /// The algorithm this machine runs.
@@ -562,11 +626,11 @@ impl<'g> StreamingPartitioner<'g> {
     }
 
     /// Number of full stream passes the algorithm wants (1 except for
-    /// the restreaming variants; 0 for offline).
+    /// the restreaming variants and 2PS; 0 for offline).
     pub fn passes(&self) -> usize {
         match &self.machine {
             Machine::Vertex { core, .. } => core.passes(),
-            Machine::Edge { .. } => 1,
+            Machine::Edge { core } => core.passes(),
             Machine::Offline => 0,
         }
     }
@@ -581,12 +645,19 @@ impl<'g> StreamingPartitioner<'g> {
     }
 
     /// Ingests a chunk of vertex records; errors if this machine
-    /// consumes edges (or nothing).
+    /// consumes edges (or nothing). With a look-ahead window `W > 1`
+    /// each record enters the buffer first and the highest-affinity
+    /// buffered record is placed whenever the buffer reaches `W`.
     pub fn ingest_vertices(&mut self, chunk: &[VertexRecord]) -> Result<(), WrongStreamKind> {
         let expected = self.input();
         match &mut self.machine {
             Machine::Vertex { core, .. } => {
-                core.ingest(chunk);
+                for rec in chunk {
+                    self.wbuf_v.push(rec.clone());
+                    while self.wbuf_v.len() >= self.window {
+                        place_best_vertex(core, &mut self.wbuf_v);
+                    }
+                }
                 Ok(())
             }
             _ => Err(WrongStreamKind { expected }),
@@ -594,20 +665,88 @@ impl<'g> StreamingPartitioner<'g> {
     }
 
     /// Ingests a chunk of edges; errors if this machine consumes vertex
-    /// records (or nothing).
+    /// records (or nothing). Buffered look-ahead as in
+    /// [`ingest_vertices`](StreamingPartitioner::ingest_vertices).
     pub fn ingest_edges(&mut self, chunk: &[Edge]) -> Result<(), WrongStreamKind> {
         let expected = self.input();
         match &mut self.machine {
             Machine::Edge { core } => {
-                core.ingest(chunk);
+                for &e in chunk {
+                    self.wbuf_e.push(e);
+                    while self.wbuf_e.len() >= self.window {
+                        place_best_edge(core, &mut self.wbuf_e);
+                    }
+                }
                 Ok(())
             }
             _ => Err(WrongStreamKind { expected }),
         }
     }
 
+    /// Drains the look-ahead buffer completely, placing the remaining
+    /// elements best-first. Callers running multiple passes must flush
+    /// at each pass boundary so no element leaks into the next pass;
+    /// [`seal`](StreamingPartitioner::seal) flushes implicitly.
+    pub fn flush_window(&mut self) {
+        match &mut self.machine {
+            Machine::Vertex { core, .. } => {
+                while !self.wbuf_v.is_empty() {
+                    place_best_vertex(core, &mut self.wbuf_v);
+                }
+            }
+            Machine::Edge { core } => {
+                while !self.wbuf_e.is_empty() {
+                    place_best_edge(core, &mut self.wbuf_e);
+                }
+            }
+            Machine::Offline => {}
+        }
+    }
+
+    /// Seeds the machine's assignment state from a prior partitioning
+    /// before any element streams in — the restreaming model (DESIGN.md
+    /// §12): the next pass sees where every vertex *currently* lives and
+    /// re-places each arriving vertex against that state. Entries equal
+    /// to [`UNASSIGNED`] are skipped. Errors for machines that do not
+    /// consume vertex streams.
+    pub fn preload_assignment(&mut self, owner: &[PartitionId]) -> Result<(), WrongStreamKind> {
+        let expected = self.input();
+        match &mut self.machine {
+            Machine::Vertex { core, .. } => {
+                for (v, &p) in owner.iter().enumerate() {
+                    if p != UNASSIGNED {
+                        core.state_mut().assign(v as VertexId, p);
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(WrongStreamKind { expected }),
+        }
+    }
+
+    /// Snapshot support: the buffered vertex records in arrival order.
+    pub(crate) fn window_vertex_buffer(&self) -> &[VertexRecord] {
+        &self.wbuf_v
+    }
+
+    /// Snapshot support: the buffered edges in arrival order.
+    pub(crate) fn window_edge_buffer(&self) -> &[Edge] {
+        &self.wbuf_e
+    }
+
+    /// Snapshot support: refills the vertex buffer during restore.
+    pub(crate) fn push_window_vertex(&mut self, rec: VertexRecord) {
+        self.wbuf_v.push(rec);
+    }
+
+    /// Snapshot support: refills the edge buffer during restore.
+    pub(crate) fn push_window_edge(&mut self, e: Edge) {
+        self.wbuf_e.push(e);
+    }
+
     /// Closes the lifecycle and produces the [`Partitioning`].
-    pub fn seal(self) -> Partitioning {
+    pub fn seal(mut self) -> Partitioning {
+        self.flush_window();
         match self.machine {
             Machine::Vertex { core, seal } => match seal {
                 VertexSealMode::EdgeCut => core.seal(self.g),
@@ -626,6 +765,51 @@ impl<'g> StreamingPartitioner<'g> {
             Machine::Offline => MultilevelPartitioner::default().partitioning(self.g, self.k),
         }
     }
+}
+
+/// Places the buffered vertex record with the most already-assigned
+/// neighbours — the look-ahead affinity rule of the buffered streaming
+/// model (ADWISE-style). Ties resolve to the earliest arrival, which is
+/// what makes `W = 1` degenerate exactly to the one-pass order.
+fn place_best_vertex(
+    core: &mut VertexIngest<Box<dyn VertexStreamPartitioner>>,
+    buf: &mut Vec<VertexRecord>,
+) {
+    debug_assert!(!buf.is_empty(), "selection from an empty window");
+    let mut best = 0usize;
+    let mut best_score = 0usize;
+    for (i, rec) in buf.iter().enumerate() {
+        let score = rec
+            .neighbors
+            .iter()
+            .filter(|&&nb| core.state().assignment[nb as usize] != UNASSIGNED)
+            .count();
+        if i == 0 || score > best_score {
+            best = i;
+            best_score = score;
+        }
+    }
+    let rec = buf.remove(best);
+    core.ingest(std::slice::from_ref(&rec));
+}
+
+/// Places the buffered edge with the most endpoints already replicated
+/// somewhere (ties → earliest arrival); the edge-stream analogue of
+/// [`place_best_vertex`].
+fn place_best_edge(core: &mut EdgeIngest<'_, Box<dyn EdgeStreamPartitioner>>, buf: &mut Vec<Edge>) {
+    debug_assert!(!buf.is_empty(), "selection from an empty window");
+    let mut best = 0usize;
+    let mut best_score = 0usize;
+    for (i, e) in buf.iter().enumerate() {
+        let score = usize::from(!core.state().replicas(e.src).is_empty())
+            + usize::from(!core.state().replicas(e.dst).is_empty());
+        if i == 0 || score > best_score {
+            best = i;
+            best_score = score;
+        }
+    }
+    let e = buf.remove(best);
+    core.ingest(&[e]);
 }
 
 /// Runs `algorithm` end to end through the incremental core with a
@@ -650,14 +834,19 @@ pub fn partition_chunked(
                     // sgp-lint: allow(no-panic-in-lib): the machine was just initialized as a vertex consumer
                     sp.ingest_vertices(&chunk).expect("vertex machine accepts vertex chunks");
                 }
+                sp.flush_window();
             }
         }
         StreamInput::Edges => {
             let mut source = EdgeStreamSource::new(g, order);
             let mut chunk = Vec::new();
-            while source.next_chunk(chunk_size, &mut chunk) > 0 {
-                // sgp-lint: allow(no-panic-in-lib): the machine was just initialized as an edge consumer
-                sp.ingest_edges(&chunk).expect("edge machine accepts edge chunks");
+            for _ in 0..sp.passes() {
+                source.restart();
+                while source.next_chunk(chunk_size, &mut chunk) > 0 {
+                    // sgp-lint: allow(no-panic-in-lib): the machine was just initialized as an edge consumer
+                    sp.ingest_edges(&chunk).expect("edge machine accepts edge chunks");
+                }
+                sp.flush_window();
             }
         }
         StreamInput::Offline => {}
@@ -703,7 +892,8 @@ mod tests {
                 | Algorithm::Dbh
                 | Algorithm::Grid
                 | Algorithm::PowerGraphGreedy
-                | Algorithm::Hdrf => StreamInput::Edges,
+                | Algorithm::Hdrf
+                | Algorithm::TwoPhaseHdrf => StreamInput::Edges,
                 _ => StreamInput::Vertices,
             };
             assert_eq!(sp.input(), want, "{alg}");
@@ -727,6 +917,10 @@ mod tests {
         assert_eq!(StreamingPartitioner::init(&g, Algorithm::RestreamLdg, &cfg).passes(), 5);
         assert_eq!(StreamingPartitioner::init(&g, Algorithm::Ldg, &cfg).passes(), 1);
         assert_eq!(StreamingPartitioner::init(&g, Algorithm::Metis, &cfg).passes(), 0);
+        assert_eq!(StreamingPartitioner::init(&g, Algorithm::TwoPhaseHdrf, &cfg).passes(), 2);
+        let one_pass =
+            PartitionerConfig { two_phase_clustering: false, ..PartitionerConfig::new(4) };
+        assert_eq!(StreamingPartitioner::init(&g, Algorithm::TwoPhaseHdrf, &one_pass).passes(), 1);
     }
 
     #[test]

@@ -154,6 +154,27 @@ pub trait EdgeStreamPartitioner: Send {
     /// Short display name (Table 2 abbreviation).
     fn name(&self) -> &'static str;
 
+    /// Number of full passes over the edge stream this partitioner
+    /// needs (DESIGN.md §12). One-pass algorithms keep the default; a
+    /// multi-pass algorithm such as 2PS observes the stream on its
+    /// early passes and only places edges on the final one.
+    fn passes(&self) -> usize {
+        1
+    }
+
+    /// True while the partitioner is still in an observation pass: the
+    /// ingestion core routes each edge to
+    /// [`observe`](EdgeStreamPartitioner::observe) instead of
+    /// [`place`](EdgeStreamPartitioner::place), and no shared state,
+    /// assignment, or sequence number changes.
+    fn observing(&self) -> bool {
+        false
+    }
+
+    /// Consumes one edge of an observation pass. Only called while
+    /// [`observing`](EdgeStreamPartitioner::observing) returns true.
+    fn observe(&mut self, _e: Edge) {}
+
     /// Decision counters accumulated so far (all-zero for algorithms
     /// without greedy decisions, e.g. hash placement).
     fn decision_stats(&self) -> DecisionStats {
@@ -413,10 +434,19 @@ impl Hdrf {
             stats: DecisionStats::default(),
         }
     }
-}
 
-impl EdgeStreamPartitioner for Hdrf {
-    fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId {
+    /// HDRF's Eq. (7) scoring with an optional per-endpoint cluster
+    /// affinity bonus: each `Some(p)` in `targets` adds `+1.0` to
+    /// partition `p`'s score, the way 2PS biases its assignment pass
+    /// toward the endpoint's cluster home. With `[None, None]` the loop
+    /// performs exactly the same float operations as plain HDRF, so the
+    /// two are bit-identical (pinned by the dynamic-graph differentials).
+    pub(crate) fn place_with_affinity(
+        &mut self,
+        e: Edge,
+        state: &EdgeStreamState,
+        targets: [Option<PartitionId>; 2],
+    ) -> PartitionId {
         // Partial degrees +1 so the very first edge of a vertex does not
         // divide by zero (the HDRF reference implementation does the same).
         let du = state.partial_degree(e.src) as f64 + 1.0;
@@ -433,6 +463,12 @@ impl EdgeStreamPartitioner for Hdrf {
             if state.has_replica(e.dst, i) {
                 score += 1.0 + (1.0 - theta_v);
             }
+            if targets[0] == Some(i) {
+                score += 1.0;
+            }
+            if targets[1] == Some(i) {
+                score += 1.0;
+            }
             if score > best.0 + 1e-12 {
                 best = (score, i);
             } else if (score - best.0).abs() <= 1e-12
@@ -443,6 +479,12 @@ impl EdgeStreamPartitioner for Hdrf {
             }
         }
         best.1
+    }
+}
+
+impl EdgeStreamPartitioner for Hdrf {
+    fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId {
+        self.place_with_affinity(e, state, [None, None])
     }
 
     fn name(&self) -> &'static str {

@@ -45,6 +45,16 @@ pub const PARTITION_REPLICAS_CREATED: &str = "partition.replicas_created";
 pub const PARTITION_EXEC_THREADS: &str = "partition.exec_threads";
 /// Counter: synchronization-barrier rounds of one threaded run.
 pub const PARTITION_EXEC_BARRIER_ROUNDS: &str = "partition.exec_barrier_rounds";
+/// Counter: accepted restreaming rounds of one bounded-movement
+/// repartitioning run (dynamic-graph tier, DESIGN.md §12).
+pub const PARTITION_RESTREAM_ROUNDS: &str = "partition.restream_rounds";
+/// Counter: churn batches ingested by one churn-suite run.
+pub const PARTITION_CHURN_BATCHES: &str = "partition.churn_batches";
+/// Counter: repartitioning triggers fired during one churn-suite run.
+pub const PARTITION_CHURN_REPARTITIONS: &str = "partition.churn_repartitions";
+/// Counter: vertex masters moved by repartitioning during one
+/// churn-suite run.
+pub const PARTITION_CHURN_MOVED: &str = "partition.churn_moved";
 
 // ---------------------------------------------------------------------------
 // sgp-engine: Pregel-style execution engine instrumentation

@@ -38,6 +38,7 @@ const FAULT_LIB: &str = "crates/fault/src/lib.rs";
 const PARTITION_LIB: &str = "crates/partition/src/lib.rs";
 const TRACE_LIB: &str = "crates/trace/src/lib.rs";
 const TRACE_KEYS: &str = "crates/trace/src/keys.rs";
+const WINDOWED_LIB: &str = "crates/windowed/src/lib.rs";
 
 #[test]
 fn fixture_findings_match_exactly() {
@@ -122,6 +123,14 @@ fn fixture_findings_match_exactly() {
             PARTITION_LIB.into(),
             mark_line(PARTITION_LIB, "MARK-loader-merge-hash"),
         ),
+        // The windowed look-ahead buffer is determinism-scoped too: the
+        // buffer must flush in arrival order, never hash-iteration
+        // order, or `W = 1` stops degenerating to one-pass streaming.
+        (
+            "no-hash-iteration".into(),
+            WINDOWED_LIB.into(),
+            mark_line(WINDOWED_LIB, "MARK-window-hash"),
+        ),
         // The observability crate is determinism-scoped too: stamps come
         // from simulated time or sequence numbers, never the wall clock.
         (
@@ -183,7 +192,7 @@ fn fixture_findings_match_exactly() {
         "finding set mismatch\nactual:\n{:#?}\nexpected:\n{:#?}",
         actual, expected
     );
-    assert_eq!(report.errors(), 35);
+    assert_eq!(report.errors(), 36);
     assert_eq!(report.warnings(), 1);
     assert_eq!(report.exit_code(), 1, "seeded fixture must fail the lint");
 }
@@ -226,7 +235,7 @@ fn json_output_is_stable_and_wellformed() {
     let b = sgp_xtask::render_json(&report);
     assert_eq!(a, b, "rendering is deterministic");
     assert!(a.starts_with("{\n  \"version\": 1,\n"));
-    assert!(a.contains("\"errors\": 35"));
+    assert!(a.contains("\"errors\": 36"));
     assert!(a.contains("\"warnings\": 1"));
     assert!(a.contains("\"rule\": \"no-hash-iteration\""));
     // Findings arrive sorted by (file, line, rule): the manifest file

@@ -67,7 +67,9 @@ pub use sgp_trace as trace;
 pub mod prelude {
     pub use sgp_core::config::{Dataset, Scale};
     pub use sgp_core::decision::{recommend, OnlineObjective, WorkloadClass};
-    pub use sgp_core::runners::{self, OfflineWorkload};
+    pub use sgp_core::runners::{
+        self, churn_suite, ChurnMethod, ChurnRow, ChurnSuiteConfig, OfflineWorkload,
+    };
     pub use sgp_db::workload::Skew;
     pub use sgp_db::{
         ClusterSim, DegradedConfig, ElasticPlan, FaultSimConfig, LoadLevel, MirrorDirectory,
@@ -80,13 +82,15 @@ pub mod prelude {
     };
     pub use sgp_fault::{FaultPlan, FaultPlanConfig, MembershipKind, RetryPolicy};
     pub use sgp_graph::{
-        Edge, EdgeStreamSource, Graph, GraphBuilder, StreamOrder, VertexId, VertexStreamSource,
+        ChurnConfig, ChurnStream, Edge, EdgeStreamSource, Graph, GraphBuilder, StreamOrder,
+        VertexId, VertexStreamSource,
     };
     pub use sgp_partition::metrics::{edge_cut_ratio, load_imbalance, replication_factor};
     pub use sgp_partition::{
-        partition, partition_chunked, partition_multi_loader, partition_threaded, partition_traced,
-        plan_rebalance, Algorithm, CutModel, LoaderConfig, MigrationConfig, MigrationPlan,
-        PartitionerConfig, Partitioning, SnapshotError, StreamInput, StreamingPartitioner,
+        cut_edges, partition, partition_chunked, partition_multi_loader, partition_threaded,
+        partition_traced, plan_rebalance, restream_rounds, Algorithm, CutModel, LoaderConfig,
+        MigrationConfig, MigrationPlan, MigrationStrategy, PartitionerConfig, Partitioning,
+        RestreamOutcome, SnapshotError, StreamInput, StreamingPartitioner,
     };
     pub use sgp_trace::{CollectingSink, NullSink, SummarySink, TraceSink};
 }

@@ -62,20 +62,26 @@ fn interrupted(
                         crossed = true;
                     }
                 }
+                sp.flush_window();
             }
         }
         StreamInput::Edges => {
+            let passes = sp.passes();
             let mut source = EdgeStreamSource::new(g, order);
             let mut buf = Vec::new();
-            while source.next_chunk(chunk, &mut buf) > 0 {
-                sp.ingest_edges(&buf).expect("edge machine accepts edge chunks");
-                fed += 1;
-                if fed == cut {
-                    let snap = sp.snapshot();
-                    sp = StreamingPartitioner::restore(g, alg, cfg, &snap)
-                        .expect("own snapshot restores");
-                    crossed = true;
+            for _ in 0..passes {
+                source.restart();
+                while source.next_chunk(chunk, &mut buf) > 0 {
+                    sp.ingest_edges(&buf).expect("edge machine accepts edge chunks");
+                    fed += 1;
+                    if fed == cut {
+                        let snap = sp.snapshot();
+                        sp = StreamingPartitioner::restore(g, alg, cfg, &snap)
+                            .expect("own snapshot restores");
+                        crossed = true;
+                    }
                 }
+                sp.flush_window();
             }
         }
         StreamInput::Offline => {
@@ -85,6 +91,56 @@ fn interrupted(
         }
     }
     (sp.seal(), crossed)
+}
+
+/// The dynamic-tier machine states added in DESIGN.md §12 round-trip:
+/// 2PS interrupted inside its clustering pass and inside its placement
+/// pass, and a windowed machine with a non-empty look-ahead buffer,
+/// all restore and continue bit-identically to the uninterrupted run.
+#[test]
+fn dynamic_tier_snapshots_round_trip() {
+    let g = graph();
+    let order = StreamOrder::Random { seed: 23 };
+    let chunk = 16;
+    let chunks_per_pass = g.num_edges().div_ceil(chunk);
+
+    // 2PS: cut 2 lands mid-pass-1 (clustering), cut chunks_per_pass + 2
+    // lands mid-pass-2 (cluster-aware placement).
+    let cfg = PartitionerConfig::new(4);
+    let whole = partition_chunked(g, Algorithm::TwoPhaseHdrf, &cfg, order, chunk);
+    for cut in [2, chunks_per_pass + 2] {
+        let (resumed, crossed) = interrupted(g, Algorithm::TwoPhaseHdrf, &cfg, order, chunk, cut);
+        assert!(crossed, "cut {cut} never reached");
+        assert_eq!(whole.edge_parts, resumed.edge_parts, "2PS diverged after cut {cut}");
+    }
+
+    // Windowed machines snapshot their look-ahead buffers (`wv`/`we`
+    // records) and continue bit-identically after restore.
+    let wcfg = PartitionerConfig::new(4).with_window(7);
+    for alg in [Algorithm::Ldg, Algorithm::Hdrf] {
+        let mut sp = StreamingPartitioner::init(g, alg, &wcfg);
+        match sp.input() {
+            StreamInput::Vertices => {
+                let mut source = VertexStreamSource::new(g, order);
+                let mut buf = Vec::new();
+                source.next_chunk(chunk, &mut buf);
+                sp.ingest_vertices(&buf).expect("vertex chunk");
+                assert!(sp.snapshot().contains("\nwv "), "{alg}: buffer must serialize");
+            }
+            _ => {
+                let mut source = EdgeStreamSource::new(g, order);
+                let mut buf = Vec::new();
+                source.next_chunk(chunk, &mut buf);
+                sp.ingest_edges(&buf).expect("edge chunk");
+                assert!(sp.snapshot().contains("\nwe "), "{alg}: buffer must serialize");
+            }
+        }
+        let whole = partition_chunked(g, alg, &wcfg, order, chunk);
+        let (resumed, crossed) = interrupted(g, alg, &wcfg, order, chunk, 3);
+        assert!(crossed, "{alg}: cut never reached");
+        assert_eq!(whole.vertex_owner, resumed.vertex_owner, "{alg}: owners diverged");
+        assert_eq!(whole.edge_parts, resumed.edge_parts, "{alg}: edge parts diverged");
+    }
 }
 
 fn sim_cfg() -> FaultSimConfig {

@@ -156,11 +156,15 @@ fn facade_covers_every_algorithm_with_the_right_stream() {
         match sp.input() {
             StreamInput::Offline => assert_eq!(alg, Algorithm::Metis, "{alg}"),
             StreamInput::Vertices | StreamInput::Edges => {
-                assert!(alg.supports_parallel_loaders(), "{alg}")
+                // Every one-pass streaming algorithm parallelizes across
+                // loaders; 2PS does not (its clustering pass must see the
+                // whole stream before any placement).
+                assert!(alg.supports_parallel_loaders() || alg == Algorithm::TwoPhaseHdrf, "{alg}")
             }
         }
     }
     assert!(!Algorithm::Metis.supports_parallel_loaders());
+    assert!(!Algorithm::TwoPhaseHdrf.supports_parallel_loaders());
 }
 
 #[test]
