@@ -9,14 +9,19 @@
 //! `BENCH_ingest.json` into the working directory: a best-of-3
 //! wall-clock ingestion-rate summary comparing the sequential entry
 //! point against the real-threads execution backend at
-//! `threads ∈ {1, 2, 4}`, for one algorithm of each stream family. CI
-//! uploads that file as the ingestion-throughput artifact, and the copy
-//! at the repo root records the perf trajectory point for this machine.
+//! `threads ∈ {1, 2, 4}`, for **every Table 2 streaming algorithm**
+//! (the offline METIS baseline has no ingestion loop and is skipped;
+//! 2PS appears sequential-only because its clustering pass cannot be
+//! split across loaders). CI uploads that file as the
+//! ingestion-throughput artifact, the copy at the repo root records
+//! the perf trajectory point for this machine, and `cargo xtask
+//! bench-check` compares a fresh run against that copy.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sgp_core::config::{Dataset, Scale};
 use sgp_graph::{EdgeStream, Graph, StreamOrder, VertexStream};
 use sgp_partition::edge_cut::Ldg;
+use sgp_partition::registry::StreamKind;
 use sgp_partition::streaming::{run_edge_chunked, run_vertex_chunked};
 use sgp_partition::vertex_cut::Hdrf;
 use sgp_partition::{
@@ -83,14 +88,14 @@ fn bench_edge_ingest(c: &mut Criterion) {
 }
 
 fn bench_facade_end_to_end(c: &mut Criterion) {
-    // The full facade path (init → ingest → seal) for one algorithm of
-    // each stream family, at the default chunk size.
+    // The full facade path (init → ingest → seal) for every Table 2
+    // algorithm, at the default chunk size.
     let g = Dataset::Twitter.generate(Scale::Tiny);
     let cfg = PartitionerConfig::new(16);
     let order = StreamOrder::Random { seed: 7 };
     let mut group = c.benchmark_group("ingest_facade");
     group.sample_size(10);
-    for &alg in &[Algorithm::Ldg, Algorithm::Hdrf] {
+    for &alg in Algorithm::all() {
         group.bench_with_input(BenchmarkId::from_parameter(alg.short_name()), &alg, |b, &alg| {
             b.iter(|| partition_chunked(&g, alg, &cfg, order, DEFAULT_CHUNK));
         });
@@ -100,24 +105,27 @@ fn bench_facade_end_to_end(c: &mut Criterion) {
 
 fn bench_threaded_ingest(c: &mut Criterion) {
     // The real-threads backend against the sequential registry entry
-    // point, on the edge path. Bit-identical output (tested in
-    // `tests/streaming_core.rs`); this group watches the cost.
+    // point, on two greedy edge-stream algorithms. Bit-identical output
+    // (tested in `tests/streaming_core.rs`); this group watches the
+    // cost of the delta-shipping barrier protocol.
     let g = Dataset::Twitter.generate(Scale::Tiny);
     let cfg = PartitionerConfig::new(16);
     let order = StreamOrder::Random { seed: 7 };
-    let mut group = c.benchmark_group("ingest_threaded_hdrf");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(g.num_edges() as u64));
-    group.bench_function("sequential", |b| {
-        b.iter(|| partition(&g, Algorithm::Hdrf, &cfg, order));
-    });
-    for &threads in &[1usize, 2, 4] {
-        let lc = LoaderConfig::new(threads);
-        group.bench_with_input(BenchmarkId::new("threads", threads), &lc, |b, lc| {
-            b.iter(|| partition_threaded(&g, Algorithm::Hdrf, &cfg, order, lc));
+    for &alg in &[Algorithm::Hdrf, Algorithm::PowerGraphGreedy] {
+        let mut group = c.benchmark_group(format!("ingest_threaded_{}", alg.short_name()));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_function("sequential", |b| {
+            b.iter(|| partition(&g, alg, &cfg, order));
         });
+        for &threads in &[1usize, 2, 4] {
+            let lc = LoaderConfig::new(threads);
+            group.bench_with_input(BenchmarkId::new("threads", threads), &lc, |b, lc| {
+                b.iter(|| partition_threaded(&g, alg, &cfg, order, lc));
+            });
+        }
+        group.finish();
     }
-    group.finish();
 }
 
 /// Best-of-3 wall-clock seconds for one run of `f`.
@@ -131,26 +139,29 @@ fn best_of_3<F: FnMut()>(mut f: F) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Stream elements an algorithm ingests: edges on the edge/hybrid
-/// paths, vertices on the vertex path.
+/// Stream elements an algorithm ingests: vertices on the vertex and
+/// hybrid paths (phase 1 streams vertices), edges otherwise.
 fn stream_elements(g: &Graph, alg: Algorithm) -> usize {
-    if alg == Algorithm::Ldg {
-        g.num_vertices()
-    } else {
-        g.num_edges()
+    match alg.info().stream {
+        StreamKind::Vertex | StreamKind::Hybrid => g.num_vertices(),
+        _ => g.num_edges(),
     }
 }
 
 /// Writes the `BENCH_ingest.json` ingestion-rate summary: sequential
-/// versus `partition_threaded` at 1/2/4 threads, LDG and HDRF. Hand-
-/// rendered JSON so the artifact shape is pinned by this function
-/// alone.
+/// versus `partition_threaded` at 1/2/4 threads, for every Table 2
+/// streaming algorithm (METIS is offline and skipped; algorithms that
+/// cannot split their stream appear sequential-only). Hand-rendered
+/// JSON so the artifact shape is pinned by this function alone.
 fn emit_ingest_json() {
     let g = Dataset::Twitter.generate(Scale::Tiny);
     let cfg = PartitionerConfig::new(16);
     let order = StreamOrder::Random { seed: 7 };
     let mut rows = Vec::new();
-    for &alg in &[Algorithm::Ldg, Algorithm::Hdrf] {
+    for &alg in Algorithm::all() {
+        if alg.info().stream == StreamKind::Offline {
+            continue;
+        }
         let elements = stream_elements(&g, alg);
         let mut push = |mode: &str, secs: f64| {
             rows.push(format!(
@@ -163,6 +174,9 @@ fn emit_ingest_json() {
             ));
         };
         push("sequential", best_of_3(|| drop(partition(&g, alg, &cfg, order))));
+        if !alg.supports_parallel_loaders() {
+            continue;
+        }
         for threads in [1usize, 2, 4] {
             let lc = LoaderConfig::new(threads);
             push(

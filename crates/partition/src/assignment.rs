@@ -83,38 +83,69 @@ impl Partitioning {
         Partitioning { k, model: CutModel::VertexCut, edge_parts, vertex_owner: None }
     }
 
+    /// Flat replica-membership bitset: `stride` words per vertex, bit
+    /// `p` of vertex `v`'s block set iff partition `p` holds an edge
+    /// incident to `v` (or owns `v`, for vertex-disjoint models). The
+    /// same fixed-stride layout as the streaming state's replica store
+    /// (DESIGN.md §13): one pass over the edges, no per-vertex
+    /// allocation or membership scan.
+    fn replica_bits(&self, g: &Graph) -> (Vec<u64>, usize) {
+        let stride = self.k.div_ceil(64).max(1);
+        let mut bits = vec![0u64; g.num_vertices() * stride];
+        for (i, e) in g.edges().enumerate() {
+            let p = self.edge_parts[i] as usize;
+            bits[e.src as usize * stride + (p >> 6)] |= 1u64 << (p & 63);
+            bits[e.dst as usize * stride + (p >> 6)] |= 1u64 << (p & 63);
+        }
+        if let Some(owner) = &self.vertex_owner {
+            for (v, &p) in owner.iter().enumerate() {
+                bits[v * stride + (p as usize >> 6)] |= 1u64 << (p & 63);
+            }
+        }
+        (bits, stride)
+    }
+
     /// Computes the replica set `A(u)` for every vertex: the sorted set of
     /// partitions holding at least one edge incident to `u`, always
     /// including the owner for vertex-disjoint models (so isolated
     /// vertices still live somewhere).
     pub fn replica_sets(&self, g: &Graph) -> Vec<Vec<PartitionId>> {
-        let n = g.num_vertices();
-        let mut sets: Vec<Vec<PartitionId>> = vec![Vec::new(); n];
-        let push_unique = |sets: &mut Vec<Vec<PartitionId>>, v: usize, p: PartitionId| {
-            // Replica sets are tiny (≤ k); linear containment beats hashing.
-            if !sets[v].contains(&p) {
-                sets[v].push(p);
-            }
-        };
-        for (i, e) in g.edges().enumerate() {
-            let p = self.edge_parts[i];
-            push_unique(&mut sets, e.src as usize, p);
-            push_unique(&mut sets, e.dst as usize, p);
-        }
-        if let Some(owner) = &self.vertex_owner {
-            for (v, &p) in owner.iter().enumerate() {
-                push_unique(&mut sets, v, p);
-            }
-        }
-        for (v, set) in sets.iter_mut().enumerate() {
-            if set.is_empty() {
-                // Isolated vertex in a pure vertex-cut placement: park it
-                // deterministically so every vertex has a home.
-                set.push((v % self.k) as PartitionId);
-            }
-            set.sort_unstable();
-        }
-        sets
+        let (bits, stride) = self.replica_bits(g);
+        bits.chunks_exact(stride)
+            .enumerate()
+            .map(|(v, block)| {
+                // Ascending-bit materialization is already sorted.
+                let mut set: Vec<PartitionId> = Vec::new();
+                for (w, &word) in block.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        set.push(((w as PartitionId) << 6) + word.trailing_zeros());
+                        word &= word - 1;
+                    }
+                }
+                if set.is_empty() {
+                    // Isolated vertex in a pure vertex-cut placement:
+                    // park it deterministically so every vertex has a
+                    // home.
+                    set.push((v % self.k) as PartitionId);
+                }
+                set
+            })
+            .collect()
+    }
+
+    /// Sum of `|A(u)|` over all vertices — the numerator of the
+    /// replication factor (Eq. 6) — computed by popcount over the flat
+    /// bitset without materializing any replica set.
+    pub(crate) fn total_replicas(&self, g: &Graph) -> usize {
+        let (bits, stride) = self.replica_bits(g);
+        bits.chunks_exact(stride)
+            .map(|block| {
+                let ones: u32 = block.iter().map(|w| w.count_ones()).sum();
+                // An empty block is a parked isolated vertex: one replica.
+                (ones as usize).max(1)
+            })
+            .sum()
     }
 
     /// The master partition of every vertex. For vertex-disjoint models
@@ -233,6 +264,25 @@ mod tests {
         let sets = p.replica_sets(&g);
         assert_eq!(sets[4].len(), 1);
         assert_eq!(sets[4][0], (4 % 3) as PartitionId);
+    }
+
+    #[test]
+    fn total_replicas_matches_materialized_sets() {
+        let g = GraphBuilder::new()
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(1, 3)
+            .add_edge(2, 3)
+            .ensure_vertices(6)
+            .build();
+        for k in [1usize, 2, 3, 64, 65, 100] {
+            let parts: Vec<PartitionId> = (0..4).map(|i| (i * 31 % k) as PartitionId).collect();
+            let p = Partitioning::from_edge_parts(&g, k, parts);
+            let sets = p.replica_sets(&g);
+            assert_eq!(p.total_replicas(&g), sets.iter().map(|s| s.len()).sum::<usize>(), "k={k}");
+            // Parked isolated vertices count exactly one replica.
+            assert_eq!(sets[5], vec![(5 % k) as PartitionId], "k={k}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::assignment::{hash_to_partition, PartitionId, Partitioning};
 use crate::config::PartitionerConfig;
 use crate::decisions::DecisionStats;
+use crate::kernels;
 use sgp_graph::stream::VertexRecord;
 use sgp_graph::{Graph, StreamOrder};
 use sgp_trace::{NullSink, TraceSink};
@@ -37,17 +38,27 @@ impl VertexStreamState {
 
     /// Counts, for each partition, how many of `neighbors` are already
     /// placed there — the `|P_i ∩ N(u)|` term of LDG and FENNEL. Returns
-    /// a dense `k`-length histogram (reused buffer pattern would be an
-    /// over-optimization at `k ≤ 128`).
+    /// a dense `k`-length histogram. Unplaced neighbours contribute
+    /// nothing; repeated neighbours (and self-loops of an already-placed
+    /// vertex) count once per occurrence.
     pub fn neighbor_histogram(&self, neighbors: &[u32], k: usize) -> Vec<usize> {
-        let mut hist = vec![0usize; k];
+        let mut hist = Vec::new();
+        self.neighbor_histogram_into(neighbors, k, &mut hist);
+        hist
+    }
+
+    /// [`neighbor_histogram`](Self::neighbor_histogram) into a caller
+    /// scratch buffer — the zero-alloc form the hot placement loops use
+    /// (DESIGN.md §13). Clears and resizes `hist` to `k`.
+    pub fn neighbor_histogram_into(&self, neighbors: &[u32], k: usize, hist: &mut Vec<usize>) {
+        hist.clear();
+        hist.resize(k, 0);
         for &w in neighbors {
             let p = self.assignment[w as usize];
             if p != UNASSIGNED {
                 hist[p as usize] += 1;
             }
         }
-        hist
     }
 
     /// Records the placement of `v`, maintaining size counters. If `v`
@@ -143,44 +154,43 @@ pub struct Ldg {
     k: usize,
     capacity: f64,
     stats: DecisionStats,
+    /// Scratch neighbour histogram reused across vertices (DESIGN.md §13).
+    hist: Vec<usize>,
+    /// Scratch score column handed to the shared argmax kernel.
+    scores: Vec<f64>,
 }
 
 impl Ldg {
     /// Creates LDG for a graph with `n` vertices.
     pub fn new(cfg: &PartitionerConfig, n: usize) -> Self {
-        Ldg { k: cfg.k, capacity: cfg.vertex_capacity(n).max(1.0), stats: DecisionStats::default() }
+        Ldg {
+            k: cfg.k,
+            capacity: cfg.vertex_capacity(n).max(1.0),
+            stats: DecisionStats::default(),
+            hist: Vec::new(),
+            scores: vec![0.0; cfg.k],
+        }
     }
 }
 
 impl VertexStreamPartitioner for Ldg {
     fn place(&mut self, rec: &VertexRecord, state: &VertexStreamState) -> PartitionId {
-        let hist = state.neighbor_histogram(&rec.neighbors, self.k);
-        let mut best: Option<(f64, usize, usize)> = None; // (score, size for tie-break, index)
-        for (i, &h) in hist.iter().enumerate() {
+        state.neighbor_histogram_into(&rec.neighbors, self.k, &mut self.hist);
+        // Capacity-saturated partitions become SKIP entries — LDG never
+        // overfills; otherwise the exact Eq. (4) score. Partition sizes
+        // do not change inside the scan, so the kernel's load tie-break
+        // is the historical "prefer the smaller partition" comparison.
+        for (i, &h) in self.hist.iter().enumerate() {
             let size = state.sizes[i];
-            if (size as f64) >= self.capacity {
-                continue; // hard capacity: LDG never overfills
-            }
-            let score = h as f64 * (1.0 - size as f64 / self.capacity);
-            let candidate = (score, size, i);
-            best = Some(match best {
-                None => candidate,
-                Some(b) => {
-                    // Higher score wins; ties prefer the smaller partition,
-                    // then the lower index (deterministic).
-                    if score > b.0 + 1e-12 {
-                        candidate
-                    } else if (score - b.0).abs() <= 1e-12 && size < b.1 {
-                        self.stats.balance_tiebreaks += 1;
-                        candidate
-                    } else {
-                        b
-                    }
-                }
-            });
+            self.scores[i] = if (size as f64) >= self.capacity {
+                kernels::SKIP
+            } else {
+                h as f64 * (1.0 - size as f64 / self.capacity)
+            };
         }
-        match best {
-            Some((_, _, i)) => i as PartitionId,
+        match kernels::epsilon_argmax(&self.scores, &state.sizes, &mut self.stats.balance_tiebreaks)
+        {
+            Some(i) => i as PartitionId,
             None => {
                 // All partitions at capacity (only possible with β = 1 and
                 // n divisible rounding); place in the globally smallest.
@@ -222,6 +232,10 @@ pub struct Fennel {
     gamma: f64,
     capacity: f64,
     stats: DecisionStats,
+    /// Scratch neighbour histogram reused across vertices (DESIGN.md §13).
+    hist: Vec<usize>,
+    /// Scratch score column handed to the shared argmax kernel.
+    scores: Vec<f64>,
 }
 
 impl Fennel {
@@ -233,38 +247,27 @@ impl Fennel {
             gamma: cfg.fennel_gamma,
             capacity: cfg.vertex_capacity(n).max(1.0),
             stats: DecisionStats::default(),
+            hist: Vec::new(),
+            scores: vec![0.0; cfg.k],
         }
     }
 }
 
 impl VertexStreamPartitioner for Fennel {
     fn place(&mut self, rec: &VertexRecord, state: &VertexStreamState) -> PartitionId {
-        let hist = state.neighbor_histogram(&rec.neighbors, self.k);
-        let mut best: Option<(f64, usize, usize)> = None;
-        for (i, &h) in hist.iter().enumerate() {
+        state.neighbor_histogram_into(&rec.neighbors, self.k, &mut self.hist);
+        for (i, &h) in self.hist.iter().enumerate() {
             let size = state.sizes[i];
-            if (size as f64) >= self.capacity {
-                continue;
-            }
-            let load_penalty = self.alpha * self.gamma * (size as f64).powf(self.gamma - 1.0);
-            let score = h as f64 - load_penalty;
-            let candidate = (score, size, i);
-            best = Some(match best {
-                None => candidate,
-                Some(b) => {
-                    if score > b.0 + 1e-12 {
-                        candidate
-                    } else if (score - b.0).abs() <= 1e-12 && size < b.1 {
-                        self.stats.balance_tiebreaks += 1;
-                        candidate
-                    } else {
-                        b
-                    }
-                }
-            });
+            self.scores[i] = if (size as f64) >= self.capacity {
+                kernels::SKIP
+            } else {
+                let load_penalty = self.alpha * self.gamma * (size as f64).powf(self.gamma - 1.0);
+                h as f64 - load_penalty
+            };
         }
-        match best {
-            Some((_, _, i)) => i as PartitionId,
+        match kernels::epsilon_argmax(&self.scores, &state.sizes, &mut self.stats.balance_tiebreaks)
+        {
+            Some(i) => i as PartitionId,
             None => {
                 self.stats.capacity_fallbacks += 1;
                 argmin_size(&state.sizes)
@@ -341,11 +344,8 @@ impl<P: VertexStreamPartitioner> VertexStreamPartitioner for Restream<P> {
 }
 
 fn argmin_size(sizes: &[usize]) -> PartitionId {
-    sizes
-        .iter()
-        .enumerate()
-        .min_by_key(|&(_, &s)| s)
-        .map(|(i, _)| i as PartitionId)
+    kernels::argmin_load(sizes)
+        .map(|i| i as PartitionId)
         // sgp-lint: allow(no-panic-in-lib): sizes has length k and PartitionerConfig::new asserts k >= 1
         .expect("at least one partition")
 }
@@ -409,6 +409,34 @@ mod tests {
         }
         b.push_edge(0, 5);
         b.build()
+    }
+
+    #[test]
+    fn neighbor_histogram_semantics_are_pinned() {
+        // The `|P_i ∩ N(u)|` term every vertex-stream heuristic scores
+        // with. Pinned exactly: unplaced neighbours contribute nothing,
+        // repeated neighbours count once per occurrence (multi-edges
+        // weight the score), and a self-loop counts only once the vertex
+        // itself is placed — at first-placement time it is unassigned
+        // and contributes zero.
+        let mut state = VertexStreamState::new(6, 3);
+        state.assign(0, 0);
+        state.assign(1, 2);
+        state.assign(2, 2);
+        // Vertex 5 arrives: neighbours 0 (placed on 0), 1 and 2 (placed
+        // on 2), 1 repeated, unplaced 3 and 4, and itself (unplaced).
+        assert_eq!(state.neighbor_histogram(&[0, 1, 2, 1, 3, 4, 5], 3), vec![1, 0, 3]);
+        // Once 5 is placed, its self-loop occurrences count like any
+        // other placed neighbour — the re-streaming case.
+        state.assign(5, 1);
+        assert_eq!(state.neighbor_histogram(&[5, 5, 3], 3), vec![0, 2, 0]);
+        // No neighbours → all-zero histogram, still dense length k.
+        assert_eq!(state.neighbor_histogram(&[], 3), vec![0, 0, 0]);
+        // The zero-alloc form clears and resizes a dirty scratch buffer
+        // to exactly k before counting.
+        let mut scratch = vec![99usize; 7];
+        state.neighbor_histogram_into(&[0, 5], 3, &mut scratch);
+        assert_eq!(scratch, vec![1, 1, 0]);
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //!   stride-splits it (element `i` → worker `i mod L`) before any
 //!   thread sees it — identical to the modelled split.
 //! * **Workers only compute.** Each worker owns its partitioner state
-//!   machine for the whole run (all passes of a re-streaming algorithm
-//!   included) and, per round, receives the global snapshot plus its
-//!   stride, places against the snapshot exactly like a modelled
-//!   loader, and returns a decision log. It never touches shared state.
+//!   machine *and its local state replica* for the whole run (all
+//!   passes of a re-streaming algorithm included). Per round it
+//!   receives the previous barrier's decision **delta** plus its
+//!   stride, replays the other workers' logs into its replica (its own
+//!   decisions were applied at placement time), places exactly like a
+//!   modelled loader, and returns a decision log. No `O(n)` state
+//!   snapshot ever crosses a channel, and no worker touches shared
+//!   state.
 //! * **The merge is single-threaded and seeded.** The coordinator
 //!   collects logs in worker-index order — never completion order — and
 //!   replays them in the same seeded rotation as the modelled barrier
@@ -34,7 +38,10 @@
 use crate::assignment::{PartitionId, Partitioning};
 use crate::config::PartitionerConfig;
 use crate::edge_cut::{VertexStreamPartitioner, VertexStreamState};
-use crate::loaders::{merge_start, seal_vertices, vertex_seal, LoaderConfig, VertexLoaderSeal};
+use crate::loaders::{
+    apply_edge_decisions, apply_vertex_decisions, merge_start, seal_vertices, vertex_seal,
+    LoaderConfig, VertexLoaderSeal,
+};
 use crate::registry::{partition, Algorithm};
 use crate::streaming::{boxed_edge_partitioner, boxed_vertex_partitioner};
 use crate::vertex_cut::{EdgeStreamPartitioner, EdgeStreamState};
@@ -42,6 +49,7 @@ use crossbeam::channel::{Receiver, Sender};
 use sgp_graph::stream::VertexRecord;
 use sgp_graph::{Edge, EdgeStreamSource, Graph, StreamOrder, VertexStreamSource};
 use sgp_trace::{keys, NullSink, TraceSink};
+use std::sync::Arc;
 
 /// Schema version of `tests/goldens/SEND_REGISTRY`, the pinned list of
 /// types allowed to cross the loader-channel boundary. Bump on any
@@ -50,10 +58,21 @@ use sgp_trace::{keys, NullSink, TraceSink};
 /// `schema-version-sync` lint enforces the pairing.
 pub const SEND_REGISTRY_SCHEMA_VERSION: u32 = 1;
 
-/// One round of work for a vertex-stream worker: the global state as of
-/// the last barrier plus the worker's stride of the block.
+/// The previous barrier's merged decision logs plus the rotation start
+/// they were merged at. One `Arc` is shared by all workers of a round;
+/// each worker replays every log but its own into its retained local
+/// state, which lands it exactly on the post-barrier global (replay is
+/// order-commutative, see [`crate::loaders`]). Round 0 ships an empty
+/// delta: every replica starts equal to the fresh global.
+struct VertexDelta {
+    start: usize,
+    decisions: Vec<Vec<(u32, PartitionId)>>,
+}
+
+/// One round of work for a vertex-stream worker: the previous barrier's
+/// delta plus the worker's stride of the block.
 struct VertexWork {
-    snapshot: VertexStreamState,
+    delta: Arc<VertexDelta>,
     records: Vec<VertexRecord>,
 }
 
@@ -63,9 +82,15 @@ struct VertexLog {
     decisions: Vec<(u32, PartitionId)>,
 }
 
+/// Edge-stream twin of [`VertexDelta`].
+struct EdgeDelta {
+    start: usize,
+    decisions: Vec<Vec<(Edge, PartitionId)>>,
+}
+
 /// One round of work for an edge-stream worker.
 struct EdgeWork {
-    snapshot: EdgeStreamState,
+    delta: Arc<EdgeDelta>,
     edges: Vec<Edge>,
 }
 
@@ -151,14 +176,16 @@ fn threaded_vertices(
         // the same call sequence as its modelled counterpart.
         let mut work_txs: Vec<Sender<VertexWork>> = Vec::with_capacity(l);
         let mut log_rxs: Vec<Receiver<VertexLog>> = Vec::with_capacity(l);
-        for machine in machines {
+        let n = g.num_vertices();
+        for (index, machine) in machines.into_iter().enumerate() {
             let (work_tx, work_rx) = crossbeam::channel::bounded::<VertexWork>(1);
             let (log_tx, log_rx) = crossbeam::channel::bounded::<VertexLog>(1);
-            scope.spawn(move |_| vertex_worker(machine, work_rx, log_tx));
+            scope.spawn(move |_| vertex_worker(index, n, k, machine, work_rx, log_tx));
             work_txs.push(work_tx);
             log_rxs.push(log_rx);
         }
-        let mut global = VertexStreamState::new(g.num_vertices(), k);
+        let mut global = VertexStreamState::new(n, k);
+        let mut delta = Arc::new(VertexDelta { start: 0, decisions: Vec::new() });
         let mut source = VertexStreamSource::new(g, order);
         let mut block: Vec<VertexRecord> = Vec::new();
         let mut round: u64 = 0;
@@ -170,24 +197,22 @@ fn threaded_vertices(
                     strides[i % l].push(rec);
                 }
                 for (tx, records) in work_txs.iter().zip(strides) {
-                    let work = VertexWork { snapshot: global.clone(), records };
+                    let work = VertexWork { delta: Arc::clone(&delta), records };
                     // sgp-lint: allow(no-panic-in-lib): a dead receiver means the worker panicked; re-raising on the coordinator is intended
                     tx.send(work).expect("vertex worker hung up");
                 }
                 // Collect logs in worker-index order — never completion
                 // order — then replay in the seeded barrier rotation, so
-                // the merged state is schedule-independent.
-                let logs: Vec<VertexLog> = log_rxs
+                // the merged state is schedule-independent. The merged
+                // logs become the next round's delta.
+                let decisions: Vec<Vec<(u32, PartitionId)>> = log_rxs
                     .iter()
                     // sgp-lint: allow(no-panic-in-lib): a dead sender means the worker panicked; re-raising on the coordinator is intended
-                    .map(|rx| rx.recv().expect("vertex worker hung up"))
+                    .map(|rx| rx.recv().expect("vertex worker hung up").decisions)
                     .collect();
                 let start = merge_start(lc.seed, round, l);
-                for step in 0..l {
-                    for &(v, p) in &logs[(start + step) % l].decisions {
-                        global.assign(v, p);
-                    }
-                }
+                apply_vertex_decisions(&mut global, &decisions, start, None);
+                delta = Arc::new(VertexDelta { start, decisions });
                 round += 1;
             }
         }
@@ -202,11 +227,18 @@ fn threaded_vertices(
 }
 
 fn vertex_worker(
+    index: usize,
+    n: usize,
+    k: usize,
     mut machine: Box<dyn VertexStreamPartitioner>,
     work: Receiver<VertexWork>,
     log: Sender<VertexLog>,
 ) {
-    while let Ok(VertexWork { snapshot: mut local, records }) = work.recv() {
+    // The worker's retained local replica: fresh-global at round 0,
+    // then post-barrier global at every round after the delta replay.
+    let mut local = VertexStreamState::new(n, k);
+    while let Ok(VertexWork { delta, records }) = work.recv() {
+        apply_vertex_decisions(&mut local, &delta.decisions, delta.start, Some(index));
         let mut decisions = Vec::with_capacity(records.len());
         for rec in &records {
             let p = machine.place(rec, &local);
@@ -231,14 +263,18 @@ fn threaded_edges(
     let (edge_parts, rounds) = crossbeam::thread::scope(|scope| {
         let mut work_txs: Vec<Sender<EdgeWork>> = Vec::with_capacity(l);
         let mut log_rxs: Vec<Receiver<EdgeLog>> = Vec::with_capacity(l);
-        for machine in machines {
+        let n = g.num_vertices();
+        for (index, machine) in machines.into_iter().enumerate() {
             let (work_tx, work_rx) = crossbeam::channel::bounded::<EdgeWork>(1);
             let (log_tx, log_rx) = crossbeam::channel::bounded::<EdgeLog>(1);
-            scope.spawn(move |_| edge_worker(machine, work_rx, log_tx));
+            scope.spawn(move |_| edge_worker(index, n, k, machine, work_rx, log_tx));
             work_txs.push(work_tx);
             log_rxs.push(log_rx);
         }
-        let mut global = EdgeStreamState::new(g.num_vertices(), k);
+        // No coordinator-side replica state: the workers' retained
+        // replicas carry it, and the result needs only the edge → part
+        // map assembled from the logs.
+        let mut delta = Arc::new(EdgeDelta { start: 0, decisions: Vec::new() });
         let mut edge_parts = vec![0 as PartitionId; g.num_edges()];
         let mut source = EdgeStreamSource::new(g, order);
         let mut block: Vec<Edge> = Vec::new();
@@ -249,27 +285,26 @@ fn threaded_edges(
                 strides[i % l].push(e);
             }
             for (tx, edges) in work_txs.iter().zip(strides) {
-                let work = EdgeWork { snapshot: global.clone(), edges };
+                let work = EdgeWork { delta: Arc::clone(&delta), edges };
                 // sgp-lint: allow(no-panic-in-lib): a dead receiver means the worker panicked; re-raising on the coordinator is intended
                 tx.send(work).expect("edge worker hung up");
             }
-            let logs: Vec<EdgeLog> = log_rxs
+            let decisions: Vec<Vec<(Edge, PartitionId)>> = log_rxs
                 .iter()
                 // sgp-lint: allow(no-panic-in-lib): a dead sender means the worker panicked; re-raising on the coordinator is intended
-                .map(|rx| rx.recv().expect("edge worker hung up"))
+                .map(|rx| rx.recv().expect("edge worker hung up").decisions)
                 .collect();
             // Each edge is placed exactly once, so writing its partition
             // at merge time equals the modelled path's write at local
             // placement time.
-            let start = merge_start(lc.seed, round, l);
-            for step in 0..l {
-                for &(e, p) in &logs[(start + step) % l].decisions {
-                    global.record(e, p);
+            for log in &decisions {
+                for &(e, p) in log {
                     // sgp-lint: allow(no-panic-in-lib): logged edges come from a stream over g, so the CSR lookup cannot miss
                     let idx = g.edge_index(e.src, e.dst).expect("stream edge exists in graph");
                     edge_parts[idx] = p;
                 }
             }
+            delta = Arc::new(EdgeDelta { start: merge_start(lc.seed, round, l), decisions });
             round += 1;
         }
         drop(work_txs);
@@ -281,11 +316,16 @@ fn threaded_edges(
 }
 
 fn edge_worker(
+    index: usize,
+    n: usize,
+    k: usize,
     mut machine: Box<dyn EdgeStreamPartitioner>,
     work: Receiver<EdgeWork>,
     log: Sender<EdgeLog>,
 ) {
-    while let Ok(EdgeWork { snapshot: mut local, edges }) = work.recv() {
+    let mut local = EdgeStreamState::new(n, k);
+    while let Ok(EdgeWork { delta, edges }) = work.recv() {
+        apply_edge_decisions(&mut local, &delta.decisions, delta.start, Some(index));
         let mut decisions = Vec::with_capacity(edges.len());
         for &e in &edges {
             let p = machine.place(e, &local);

@@ -107,6 +107,8 @@ pub struct GingerVertex {
     vertex_cap: f64,
     in_degrees: Vec<usize>,
     edge_counts: Vec<usize>,
+    /// Scratch neighbour histogram reused across vertices (DESIGN.md §13).
+    hist: Vec<usize>,
 }
 
 impl GingerVertex {
@@ -121,13 +123,14 @@ impl GingerVertex {
             vertex_cap: cfg.vertex_capacity(n).max(1.0) * 1.5, // soft guard only
             in_degrees: g.vertices().map(|v| g.in_degree(v)).collect(),
             edge_counts: vec![0; cfg.k],
+            hist: Vec::new(),
         }
     }
 }
 
 impl VertexStreamPartitioner for GingerVertex {
     fn place(&mut self, rec: &VertexRecord, state: &VertexStreamState) -> PartitionId {
-        let hist = state.neighbor_histogram(&rec.neighbors, self.k);
+        state.neighbor_histogram_into(&rec.neighbors, self.k, &mut self.hist);
         let mut best = (f64::NEG_INFINITY, 0usize);
         for i in 0..self.k {
             if state.sizes[i] as f64 >= self.vertex_cap {
@@ -135,7 +138,7 @@ impl VertexStreamPartitioner for GingerVertex {
             }
             let balance =
                 0.5 * (state.sizes[i] as f64 + self.nm_ratio * self.edge_counts[i] as f64);
-            let score = hist[i] as f64 - balance;
+            let score = self.hist[i] as f64 - balance;
             if score > best.0 {
                 best = (score, i);
             }

@@ -63,6 +63,7 @@ pub mod edge_stream_cut;
 pub mod exec;
 pub mod hetero;
 pub mod hybrid;
+mod kernels;
 pub mod loaders;
 pub mod metis;
 pub mod metrics;

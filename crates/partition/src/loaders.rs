@@ -13,8 +13,10 @@
 //! places against a *local* state snapshot: the global state as of the
 //! last synchronization barrier plus the loader's own in-round
 //! decisions. Every `sync_interval` elements per loader, a barrier
-//! merges all decision logs into the global state and refreshes every
-//! local snapshot.
+//! merges all decision logs into the global state and brings every
+//! local view up to date by replaying the *other* loaders' logs into it
+//! — a compact delta rather than an `O(n)` snapshot clone, sound
+//! because replay is order-commutative (below).
 //!
 //! The merge is seeded and deterministic: logs are replayed in a
 //! rotation of the loader order chosen by hashing the barrier index
@@ -169,6 +171,53 @@ pub(crate) fn merge_start(seed: u64, round: u64, l: usize) -> usize {
     (fxhash64(seed ^ round) % l as u64) as usize
 }
 
+/// Replays one barrier's decision logs into `state` in the seeded
+/// rotation beginning at `start`. With `skip = Some(j)` loader `j`'s
+/// log is omitted — that is the **delta merge**: a local state that
+/// already applied its own decisions at placement time only needs the
+/// *other* loaders' logs to land exactly equal to the refreshed global
+/// (replay is order-commutative, see the module doc), without cloning
+/// an `O(n)` snapshot per barrier. Shared by the modelled loaders here
+/// and the threaded backend in [`crate::exec`].
+pub(crate) fn apply_vertex_decisions(
+    state: &mut VertexStreamState,
+    decisions: &[Vec<(u32, PartitionId)>],
+    start: usize,
+    skip: Option<usize>,
+) {
+    let l = decisions.len();
+    for step in 0..l {
+        let j = (start + step) % l;
+        if skip == Some(j) {
+            continue;
+        }
+        for &(v, p) in &decisions[j] {
+            state.assign(v, p);
+        }
+    }
+}
+
+/// Edge-stream twin of [`apply_vertex_decisions`]: replays replica /
+/// degree / load updates, with the same optional skip-own-log delta
+/// form.
+pub(crate) fn apply_edge_decisions(
+    state: &mut EdgeStreamState,
+    decisions: &[Vec<(Edge, PartitionId)>],
+    start: usize,
+    skip: Option<usize>,
+) {
+    let l = decisions.len();
+    for step in 0..l {
+        let j = (start + step) % l;
+        if skip == Some(j) {
+            continue;
+        }
+        for &(e, p) in &decisions[j] {
+            state.record(e, p);
+        }
+    }
+}
+
 fn multi_loader_vertices(
     g: &Graph,
     k: usize,
@@ -199,17 +248,15 @@ fn multi_loader_vertices(
                 locals[j].assign(rec.vertex, p);
                 decisions[j].push((rec.vertex, p));
             }
-            // Barrier: replay all decision logs into the global state in
-            // a seeded rotation of the loader order, then refresh every
-            // local snapshot.
+            // Barrier: replay all decision logs into the global state
+            // in a seeded rotation of the loader order, and the *other*
+            // loaders' logs into each local — a compact delta that
+            // leaves every local equal to the refreshed global without
+            // an O(n) clone per barrier.
             let start = merge_start(lc.seed, round, l);
-            for step in 0..l {
-                for &(v, p) in &decisions[(start + step) % l] {
-                    global.assign(v, p);
-                }
-            }
-            for local in &mut locals {
-                local.clone_from(&global);
+            apply_vertex_decisions(&mut global, &decisions, start, None);
+            for (j, local) in locals.iter_mut().enumerate() {
+                apply_vertex_decisions(local, &decisions, start, Some(j));
             }
             round += 1;
         }
@@ -247,13 +294,9 @@ fn multi_loader_edges(
             decisions[j].push((e, p));
         }
         let start = merge_start(lc.seed, round, l);
-        for step in 0..l {
-            for &(e, p) in &decisions[(start + step) % l] {
-                global.record(e, p);
-            }
-        }
-        for local in &mut locals {
-            local.clone_from(&global);
+        apply_edge_decisions(&mut global, &decisions, start, None);
+        for (j, local) in locals.iter_mut().enumerate() {
+            apply_edge_decisions(local, &decisions, start, Some(j));
         }
         round += 1;
     }

@@ -36,8 +36,7 @@ pub fn replication_factor(g: &Graph, p: &Partitioning) -> f64 {
     if g.num_vertices() == 0 {
         return 0.0;
     }
-    let total: usize = p.replica_sets(g).iter().map(|s| s.len()).sum();
-    total as f64 / g.num_vertices() as f64
+    p.total_replicas(g) as f64 / g.num_vertices() as f64
 }
 
 /// Load imbalance: largest count over average count (≥ 1.0; 1.0 = exact

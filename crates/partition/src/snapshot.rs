@@ -141,7 +141,7 @@ pub fn write_snapshot(sp: &StreamingPartitioner<'_>) -> String {
                 }
             }
             for (u, set) in core.state().replica_entries() {
-                let joined: Vec<String> = set.iter().map(|p| p.to_string()).collect();
+                let joined: Vec<String> = set.map(|p| p.to_string()).collect();
                 push(format!("replica {u} {}", joined.join(",")));
             }
             for (u, d) in core.state().partial_degree_entries() {

@@ -801,8 +801,8 @@ fn place_best_edge(core: &mut EdgeIngest<'_, Box<dyn EdgeStreamPartitioner>>, bu
     let mut best = 0usize;
     let mut best_score = 0usize;
     for (i, e) in buf.iter().enumerate() {
-        let score = usize::from(!core.state().replicas(e.src).is_empty())
-            + usize::from(!core.state().replicas(e.dst).is_empty());
+        let score = usize::from(core.state().has_any_replica(e.src))
+            + usize::from(core.state().has_any_replica(e.dst));
         if i == 0 || score > best_score {
             best = i;
             best_score = score;

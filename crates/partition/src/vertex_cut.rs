@@ -13,16 +13,26 @@
 use crate::assignment::{fxhash64, hash_to_partition, PartitionId, Partitioning};
 use crate::config::PartitionerConfig;
 use crate::decisions::DecisionStats;
+use crate::kernels;
 use sgp_graph::{Edge, Graph, StreamOrder};
 use sgp_trace::{NullSink, TraceSink};
 
 /// Replica-set table `A(u)` plus partial degree counters and per-partition
 /// edge counts — the state greedy vertex-cut heuristics consult.
+///
+/// `A(u)` is a flat fixed-stride bitset (DESIGN.md §13): every vertex
+/// owns `ceil(k/64)` consecutive `u64` words of one contiguous vector,
+/// and bit `p` of vertex `u`'s block is set iff `u` has a replica on
+/// partition `p`. Membership tests are one shift-and-mask, emptiness is
+/// a word scan, and set intersection (the PowerGraph greedy's rule 1)
+/// is a word-wise AND — no per-edge heap traffic anywhere on the path.
 #[derive(Debug, Clone)]
 pub struct EdgeStreamState {
     k: usize,
-    /// `A(u)`: sorted small vec of partitions vertex `u` currently spans.
-    replicas: Vec<Vec<PartitionId>>,
+    /// Words per vertex block in the flat bitset: `ceil(k/64)`, ≥ 1.
+    stride: usize,
+    /// The flat bitset: vertex `u` owns words `[u·stride, (u+1)·stride)`.
+    replica_bits: Vec<u64>,
     /// Partial degree d(u): number of stream edges seen incident to `u`.
     partial_degree: Vec<u64>,
     /// Edges placed in each partition.
@@ -35,12 +45,59 @@ pub struct EdgeStreamState {
     pub mirror_creations: u64,
 }
 
+/// Ascending iterator over the set bits of one vertex's replica block,
+/// optionally intersected word-wise with a second block. Yields the
+/// same sequence the historical sorted `Vec<PartitionId>` sets held.
+#[derive(Debug, Clone)]
+pub struct ReplicaIter<'a> {
+    words: &'a [u64],
+    mask: Option<&'a [u64]>,
+    next_word: usize,
+    current: u64,
+    base: PartitionId,
+}
+
+impl<'a> ReplicaIter<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        ReplicaIter { words, mask: None, next_word: 0, current: 0, base: 0 }
+    }
+
+    fn intersect(words: &'a [u64], mask: &'a [u64]) -> Self {
+        debug_assert_eq!(words.len(), mask.len(), "blocks share the stride");
+        ReplicaIter { words, mask: Some(mask), next_word: 0, current: 0, base: 0 }
+    }
+}
+
+impl Iterator for ReplicaIter<'_> {
+    type Item = PartitionId;
+
+    fn next(&mut self) -> Option<PartitionId> {
+        while self.current == 0 {
+            if self.next_word >= self.words.len() {
+                return None;
+            }
+            let mut word = self.words[self.next_word];
+            if let Some(mask) = self.mask {
+                word &= mask[self.next_word];
+            }
+            self.current = word;
+            self.base = (self.next_word as PartitionId) << 6;
+            self.next_word += 1;
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.base + bit)
+    }
+}
+
 impl EdgeStreamState {
     /// Fresh state for `n` vertices and `k` partitions.
     pub fn new(n: usize, k: usize) -> Self {
+        let stride = k.div_ceil(64).max(1);
         EdgeStreamState {
             k,
-            replicas: vec![Vec::new(); n],
+            stride,
+            replica_bits: vec![0; n * stride],
             partial_degree: vec![0; n],
             edge_counts: vec![0; k],
             replicas_created: 0,
@@ -48,10 +105,23 @@ impl EdgeStreamState {
         }
     }
 
-    /// The replica set `A(u)`.
+    /// The bitset block of vertex `u`.
     #[inline]
-    pub fn replicas(&self, u: u32) -> &[PartitionId] {
-        &self.replicas[u as usize]
+    fn block(&self, u: u32) -> &[u64] {
+        let base = u as usize * self.stride;
+        &self.replica_bits[base..base + self.stride]
+    }
+
+    /// The replica set `A(u)` in ascending partition order.
+    #[inline]
+    pub fn replicas(&self, u: u32) -> ReplicaIter<'_> {
+        ReplicaIter::new(self.block(u))
+    }
+
+    /// True if `u` has at least one replica anywhere (one word scan).
+    #[inline]
+    pub fn has_any_replica(&self, u: u32) -> bool {
+        self.block(u).iter().any(|&w| w != 0)
     }
 
     /// Partial degree of `u` (edges seen so far).
@@ -60,22 +130,25 @@ impl EdgeStreamState {
         self.partial_degree[u as usize]
     }
 
-    /// True if `u` already has a replica on partition `p`.
+    /// True if `u` already has a replica on partition `p` (shift-and-mask).
     #[inline]
     pub fn has_replica(&self, u: u32, p: PartitionId) -> bool {
-        self.replicas[u as usize].binary_search(&p).is_ok()
+        let word = self.replica_bits[u as usize * self.stride + (p as usize >> 6)];
+        (word >> (p & 63)) & 1 == 1
     }
 
     /// Records edge `e` placed on `p`: updates replica sets, partial
     /// degrees and edge counts.
     pub fn record(&mut self, e: Edge, p: PartitionId) {
         for v in [e.src, e.dst] {
-            let set = &mut self.replicas[v as usize];
-            if let Err(pos) = set.binary_search(&p) {
-                if !set.is_empty() {
+            let base = v as usize * self.stride;
+            let word = base + (p as usize >> 6);
+            let mask = 1u64 << (p & 63);
+            if self.replica_bits[word] & mask == 0 {
+                if self.replica_bits[base..base + self.stride].iter().any(|&w| w != 0) {
                     self.mirror_creations += 1;
                 }
-                set.insert(pos, p);
+                self.replica_bits[word] |= mask;
                 self.replicas_created += 1;
             }
             self.partial_degree[v as usize] += 1;
@@ -84,13 +157,14 @@ impl EdgeStreamState {
     }
 
     /// Iterates the non-empty replica sets `(u, A(u))` in vertex order
-    /// (snapshot support; canonical because the sets are kept sorted).
-    pub(crate) fn replica_entries(&self) -> impl Iterator<Item = (u32, &[PartitionId])> + '_ {
-        self.replicas
-            .iter()
+    /// (snapshot support; canonical because the ascending bit scan
+    /// reproduces the order the historical sorted sets held).
+    pub(crate) fn replica_entries(&self) -> impl Iterator<Item = (u32, ReplicaIter<'_>)> + '_ {
+        self.replica_bits
+            .chunks_exact(self.stride)
             .enumerate()
-            .filter(|(_, set)| !set.is_empty())
-            .map(|(u, set)| (u as u32, set.as_slice()))
+            .filter(|(_, block)| block.iter().any(|&w| w != 0))
+            .map(|(u, block)| (u as u32, ReplicaIter::new(block)))
     }
 
     /// Iterates the non-zero partial degrees `(u, d(u))` in vertex order
@@ -106,9 +180,13 @@ impl EdgeStreamState {
         if set.windows(2).any(|w| w[0] >= w[1]) || set.iter().any(|&p| p as usize >= self.k) {
             return false;
         }
-        match self.replicas.get_mut(u as usize) {
-            Some(slot) => {
-                *slot = set;
+        let base = u as usize * self.stride;
+        match self.replica_bits.get_mut(base..base + self.stride) {
+            Some(block) => {
+                block.fill(0);
+                for p in set {
+                    block[p as usize >> 6] |= 1u64 << (p & 63);
+                }
                 true
             }
             None => false,
@@ -130,15 +208,32 @@ impl EdgeStreamState {
     /// Least-loaded partition among `candidates` (ties → lower id); falls
     /// back to the global least-loaded when `candidates` is empty.
     pub fn least_loaded(&self, candidates: &[PartitionId]) -> PartitionId {
-        let pick = |iter: &mut dyn Iterator<Item = PartitionId>| {
-            // sgp-lint: allow(no-panic-in-lib): called with 0..k (non-empty, k >= 1 asserted at construction) or a non-empty candidate set
-            iter.min_by_key(|&p| (self.edge_counts[p as usize], p)).expect("k >= 1")
-        };
-        if candidates.is_empty() {
-            pick(&mut (0..self.k as PartitionId))
+        let pick = if candidates.is_empty() {
+            kernels::least_loaded_among(0..self.k as PartitionId, &self.edge_counts)
         } else {
-            pick(&mut candidates.iter().copied())
+            kernels::least_loaded_among(candidates.iter().copied(), &self.edge_counts)
+        };
+        // sgp-lint: allow(no-panic-in-lib): the candidate set is 0..k (non-empty, k >= 1 asserted at construction) or a non-empty slice
+        pick.expect("k >= 1")
+    }
+
+    /// Least-loaded partition hosting a replica of `u` (ties → lower
+    /// id); the global least-loaded when `u` has none — the bitset form
+    /// of `least_loaded(A(u))`.
+    pub fn least_loaded_replica(&self, u: u32) -> PartitionId {
+        match kernels::least_loaded_among(self.replicas(u), &self.edge_counts) {
+            Some(p) => p,
+            None => self.least_loaded(&[]),
         }
+    }
+
+    /// Least-loaded partition hosting replicas of *both* endpoints
+    /// (`A(u) ∩ A(v)`), or `None` when the intersection is empty. The
+    /// intersection is a word-wise AND over the two blocks; no candidate
+    /// list is ever materialized.
+    pub fn least_loaded_common(&self, u: u32, v: u32) -> Option<PartitionId> {
+        let iter = ReplicaIter::intersect(self.block(u), self.block(v));
+        kernels::least_loaded_among(iter, &self.edge_counts)
     }
 }
 
@@ -286,37 +381,53 @@ impl EdgeStreamPartitioner for Dbh {
 /// row plus its column. An edge may only go to the intersection of its
 /// endpoints' constrained sets, upper-bounding the replication factor by
 /// `2√k − 1`. Embarrassingly parallel.
+///
+/// Constrained sets depend only on `k`, so all `k` sets and all `k²`
+/// pairwise candidate lists (intersection, or the deduplicated union
+/// when grid folding leaves the intersection empty) are precomputed at
+/// construction; `place` is two shard hashes and one table lookup.
 #[derive(Debug, Clone)]
 pub struct GridConstrained {
     k: usize,
     rows: usize,
     cols: usize,
     seed: u64,
+    /// `pairs[pu·k + pv]`: the candidate list an edge sharded to
+    /// `(pu, pv)` chooses from — never empty.
+    pairs: Vec<Vec<PartitionId>>,
 }
 
 impl GridConstrained {
     /// Creates the grid partitioner; `k` is factored into the most square
     /// `r × c ≤ k` grid (excess ids fold onto the grid by modulo).
     pub fn new(cfg: &PartitionerConfig) -> Self {
-        let (rows, cols) = squarest_factorization(cfg.k);
-        GridConstrained { k: cfg.k, rows, cols, seed: cfg.seed }
+        let k = cfg.k;
+        let (rows, cols) = squarest_factorization(k);
+        let sets: Vec<Vec<PartitionId>> =
+            (0..k as PartitionId).map(|p| constrained_set_of(p, k, rows, cols)).collect();
+        let mut pairs = Vec::with_capacity(k * k);
+        for su in &sets {
+            for sv in &sets {
+                let mut common: Vec<PartitionId> =
+                    su.iter().copied().filter(|p| sv.binary_search(p).is_ok()).collect();
+                if common.is_empty() {
+                    // Can only happen when k is not a perfect grid and
+                    // folding clipped the sets; fall back to the union.
+                    common = su.clone();
+                    common.extend(sv);
+                    common.sort_unstable();
+                    common.dedup();
+                }
+                pairs.push(common);
+            }
+        }
+        GridConstrained { k, rows, cols, seed: cfg.seed, pairs }
     }
 
     /// The constrained set (row ∪ column) of partition `p`.
+    #[cfg(test)]
     fn constrained_set(&self, p: PartitionId) -> Vec<PartitionId> {
-        let (r, c) = (p as usize / self.cols, p as usize % self.cols);
-        let mut set = Vec::with_capacity(self.rows + self.cols - 1);
-        for j in 0..self.cols {
-            set.push((r * self.cols + j) as PartitionId);
-        }
-        for i in 0..self.rows {
-            if i != r {
-                set.push((i * self.cols + c) as PartitionId);
-            }
-        }
-        set.retain(|&x| (x as usize) < self.k);
-        set.sort_unstable();
-        set
+        constrained_set_of(p, self.k, self.rows, self.cols)
     }
 
     fn shard(&self, v: u32) -> PartitionId {
@@ -324,21 +435,28 @@ impl GridConstrained {
     }
 }
 
+/// The constrained set (row ∪ column, clipped to `< k`, sorted) of
+/// partition `p` on an `rows × cols` grid.
+fn constrained_set_of(p: PartitionId, k: usize, rows: usize, cols: usize) -> Vec<PartitionId> {
+    let (r, c) = (p as usize / cols, p as usize % cols);
+    let mut set = Vec::with_capacity(rows + cols - 1);
+    for j in 0..cols {
+        set.push((r * cols + j) as PartitionId);
+    }
+    for i in 0..rows {
+        if i != r {
+            set.push((i * cols + c) as PartitionId);
+        }
+    }
+    set.retain(|&x| (x as usize) < k);
+    set.sort_unstable();
+    set
+}
+
 impl EdgeStreamPartitioner for GridConstrained {
     fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId {
         let (pu, pv) = (self.shard(e.src), self.shard(e.dst));
-        let (su, sv) = (self.constrained_set(pu), self.constrained_set(pv));
-        let mut common: Vec<PartitionId> =
-            su.iter().copied().filter(|p| sv.binary_search(p).is_ok()).collect();
-        if common.is_empty() {
-            // Can only happen when k is not a perfect grid and folding
-            // clipped the sets; fall back to the union.
-            common = su;
-            common.extend(sv);
-            common.sort_unstable();
-            common.dedup();
-        }
-        state.least_loaded(&common)
+        state.least_loaded(&self.pairs[pu as usize * self.k + pv as usize])
     }
 
     fn name(&self) -> &'static str {
@@ -379,27 +497,23 @@ impl PowerGraphGreedy {
 
 impl EdgeStreamPartitioner for PowerGraphGreedy {
     fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId {
-        let (au, av) = (state.replicas(e.src), state.replicas(e.dst));
-        match (au.is_empty(), av.is_empty()) {
-            (false, false) => {
-                let common: Vec<PartitionId> =
-                    au.iter().copied().filter(|p| av.binary_search(p).is_ok()).collect();
-                if !common.is_empty() {
-                    state.least_loaded(&common)
-                } else {
+        match (state.has_any_replica(e.src), state.has_any_replica(e.dst)) {
+            (true, true) => match state.least_loaded_common(e.src, e.dst) {
+                Some(p) => p,
+                None => {
                     // Rule 2: richer endpoint (more unseen edges ≈ higher
                     // partial degree) keeps its locality.
                     let pick = if state.partial_degree(e.src) >= state.partial_degree(e.dst) {
-                        au
+                        e.src
                     } else {
-                        av
+                        e.dst
                     };
-                    state.least_loaded(pick)
+                    state.least_loaded_replica(pick)
                 }
-            }
-            (false, true) => state.least_loaded(au),
-            (true, false) => state.least_loaded(av),
-            (true, true) => state.least_loaded(&[]),
+            },
+            (true, false) => state.least_loaded_replica(e.src),
+            (false, true) => state.least_loaded_replica(e.dst),
+            (false, false) => state.least_loaded(&[]),
         }
     }
 
@@ -422,6 +536,8 @@ pub struct Hdrf {
     lambda: f64,
     capacity: f64,
     stats: DecisionStats,
+    /// Scratch score column reused across edges (DESIGN.md §13).
+    scores: Vec<f64>,
 }
 
 impl Hdrf {
@@ -432,6 +548,7 @@ impl Hdrf {
             lambda: cfg.hdrf_lambda,
             capacity: cfg.edge_capacity(m).max(1.0),
             stats: DecisionStats::default(),
+            scores: vec![0.0; cfg.k],
         }
     }
 
@@ -453,7 +570,10 @@ impl Hdrf {
         let dv = state.partial_degree(e.dst) as f64 + 1.0;
         let theta_u = du / (du + dv);
         let theta_v = 1.0 - theta_u;
-        let mut best = (f64::NEG_INFINITY, 0 as PartitionId);
+        // Fill the dense score column, then let the shared kernel pick
+        // the winner — same float ops, same 1e-12 tie discipline as the
+        // historical in-line fold (see kernels.rs for the seed-equivalence
+        // argument vs the old `(NEG_INFINITY, 0)` start).
         for i in 0..self.k as PartitionId {
             let mut score =
                 self.lambda * (1.0 - state.edge_counts[i as usize] as f64 / self.capacity);
@@ -469,16 +589,15 @@ impl Hdrf {
             if targets[1] == Some(i) {
                 score += 1.0;
             }
-            if score > best.0 + 1e-12 {
-                best = (score, i);
-            } else if (score - best.0).abs() <= 1e-12
-                && state.edge_counts[i as usize] < state.edge_counts[best.1 as usize]
-            {
-                self.stats.balance_tiebreaks += 1;
-                best = (score, i);
-            }
+            self.scores[i as usize] = score;
         }
-        best.1
+        crate::kernels::epsilon_argmax(
+            &self.scores,
+            &state.edge_counts,
+            &mut self.stats.balance_tiebreaks,
+        )
+        .map(|i| i as PartitionId)
+        .unwrap_or(0)
     }
 }
 
@@ -623,6 +742,60 @@ mod tests {
                 assert!(
                     sa.iter().any(|p| sb.binary_search(p).is_ok()),
                     "constrained sets of {a} and {b} must intersect"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_precomputed_pairs_match_per_edge_recomputation() {
+        // The pre-refactor Grid recomputed the candidate list on every
+        // placement: intersect the endpoints' constrained sets, fall
+        // back to their deduplicated union when grid folding empties the
+        // intersection. The refactor moved that to a k² table built at
+        // construction; this reference partitioner IS the old per-edge
+        // logic, and placements must agree on every stream — including
+        // non-perfect-square and prime k, where the folding fallback
+        // and the 1 × k degenerate grid actually trigger.
+        struct OldGrid {
+            k: usize,
+            rows: usize,
+            cols: usize,
+            seed: u64,
+        }
+        impl EdgeStreamPartitioner for OldGrid {
+            fn place(&mut self, e: Edge, state: &EdgeStreamState) -> PartitionId {
+                let shard = |v: u32| {
+                    hash_to_partition(v, self.rows * self.cols, self.seed) % self.k as PartitionId
+                };
+                let su = constrained_set_of(shard(e.src), self.k, self.rows, self.cols);
+                let sv = constrained_set_of(shard(e.dst), self.k, self.rows, self.cols);
+                let mut common: Vec<PartitionId> =
+                    su.iter().copied().filter(|p| sv.binary_search(p).is_ok()).collect();
+                if common.is_empty() {
+                    common = su;
+                    common.extend(sv);
+                    common.sort_unstable();
+                    common.dedup();
+                }
+                state.least_loaded(&common)
+            }
+            fn name(&self) -> &'static str {
+                "OldGrid"
+            }
+        }
+
+        let g = erdos_renyi(ErdosRenyiConfig { vertices: 400, edges: 3000, seed: 21 });
+        for k in [2usize, 3, 5, 7, 12, 16, 17, 30, 100] {
+            let c = cfg(k);
+            let (rows, cols) = squarest_factorization(k);
+            let mut old = OldGrid { k, rows, cols, seed: c.seed };
+            for order in [StreamOrder::Natural, StreamOrder::Random { seed: 9 }, StreamOrder::Bfs] {
+                let new_p = run_edge_stream(&g, &mut GridConstrained::new(&c), k, order);
+                let old_p = run_edge_stream(&g, &mut old, k, order);
+                assert_eq!(
+                    new_p.edge_parts, old_p.edge_parts,
+                    "Grid placements diverged from the per-edge reference at k={k} ({order:?})"
                 );
             }
         }

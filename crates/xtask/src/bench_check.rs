@@ -1,0 +1,243 @@
+//! `sgp-xtask bench-check` — ingestion-throughput regression gate.
+//!
+//! The ingest bench (`cargo bench -p sgp-bench --bench ingest`) writes a
+//! `BENCH_ingest.json` summary of best-of-3 ingestion rates — sequential
+//! and `threads ∈ {1, 2, 4}` — for every Table 2 streaming algorithm.
+//! The copy at the repo root is the committed trajectory point for this
+//! machine; the bench run leaves a fresh copy in `crates/bench/`. This
+//! module compares the two: a fresh `elements_per_sec` more than the
+//! threshold (default 20%) below the committed number on any
+//! `(algorithm, mode)` pair is a regression, and a pair that vanished
+//! from the fresh run is a coverage loss. Both fail the check; new pairs
+//! in the fresh run are reported but never fail (coverage may grow).
+//!
+//! The parser is deliberately minimal: `sgp-xtask` is dependency-free,
+//! and the artifact shape is pinned by the bench's own hand-rendered
+//! emitter (one run object per line), so a line-oriented field extractor
+//! is exact, not approximate.
+
+use std::fmt::Write as _;
+
+/// One `(algorithm, mode)` throughput sample from a `BENCH_ingest.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Algorithm short name (e.g. `hdrf`, `ldg`).
+    pub algorithm: String,
+    /// Execution mode: `sequential` or `threads=N`.
+    pub mode: String,
+    /// Best-of-3 ingestion rate for the pair.
+    pub elements_per_sec: f64,
+}
+
+/// Extracts the quoted string value of `key` from one row line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts the numeric value of `key` from one row line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the `runs` rows out of a `BENCH_ingest.json` document.
+///
+/// Returns an error if the document carries no rows or a row line is
+/// missing a required field — either means the artifact shape drifted
+/// from the emitter this parser is pinned against.
+pub fn parse_rows(json: &str) -> Result<Vec<BenchRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in json.lines().enumerate() {
+        if !line.contains("\"algorithm\"") {
+            continue;
+        }
+        let parse = || -> Option<BenchRow> {
+            Some(BenchRow {
+                algorithm: str_field(line, "algorithm")?,
+                mode: str_field(line, "mode")?,
+                elements_per_sec: num_field(line, "elements_per_sec")?,
+            })
+        };
+        match parse() {
+            Some(row) => rows.push(row),
+            None => return Err(format!("line {}: malformed bench row: {line}", i + 1)),
+        }
+    }
+    if rows.is_empty() {
+        return Err("no bench rows found (expected a \"runs\" array of row objects)".into());
+    }
+    Ok(rows)
+}
+
+/// Outcome of one baseline-vs-fresh comparison.
+#[derive(Debug)]
+pub struct BenchCheckReport {
+    /// Human-readable per-pair lines, in baseline order.
+    pub lines: Vec<String>,
+    /// Failing pairs (regression beyond threshold, or missing from the
+    /// fresh run). Empty means the check passed.
+    pub failures: Vec<String>,
+}
+
+impl BenchCheckReport {
+    /// True when no pair regressed or vanished.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the full report, one pair per line, with a verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            let _ = writeln!(out, "{line}");
+        }
+        if self.passed() {
+            let _ = writeln!(out, "bench-check: PASS ({} pairs)", self.lines.len());
+        } else {
+            let _ = writeln!(
+                out,
+                "bench-check: FAIL ({} of {} pairs)",
+                self.failures.len(),
+                self.lines.len()
+            );
+        }
+        out
+    }
+}
+
+/// Compares fresh rows against the committed baseline.
+///
+/// `threshold_pct` is the tolerated slowdown: with the default 20.0, a
+/// fresh rate below 80% of the committed rate fails. Noise on a busy CI
+/// host motivates the wide margin — this gate exists to catch the
+/// protocol-level regressions (an accidental O(n) clone back in the
+/// barrier path), not scheduler jitter.
+pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], threshold_pct: f64) -> BenchCheckReport {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    let floor = 1.0 - threshold_pct / 100.0;
+    for b in baseline {
+        let pair = format!("{}/{}", b.algorithm, b.mode);
+        match fresh.iter().find(|f| f.algorithm == b.algorithm && f.mode == b.mode) {
+            Some(f) => {
+                let ratio = f.elements_per_sec / b.elements_per_sec.max(1e-9);
+                let verdict = if ratio < floor { "REGRESSED" } else { "ok" };
+                let line = format!(
+                    "{pair}: {:.1} -> {:.1} el/s ({:+.1}%) {verdict}",
+                    b.elements_per_sec,
+                    f.elements_per_sec,
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio < floor {
+                    failures.push(line.clone());
+                }
+                lines.push(line);
+            }
+            None => {
+                let line = format!("{pair}: missing from fresh run MISSING");
+                failures.push(line.clone());
+                lines.push(line);
+            }
+        }
+    }
+    for f in fresh {
+        if !baseline.iter().any(|b| b.algorithm == f.algorithm && b.mode == f.mode) {
+            lines.push(format!(
+                "{}/{}: new pair ({:.1} el/s), not in baseline",
+                f.algorithm, f.mode, f.elements_per_sec
+            ));
+        }
+    }
+    BenchCheckReport { lines, failures }
+}
+
+/// Parses both documents and compares them in one step.
+pub fn check(
+    baseline_json: &str,
+    fresh_json: &str,
+    threshold_pct: f64,
+) -> Result<BenchCheckReport, String> {
+    let baseline = parse_rows(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    let fresh = parse_rows(fresh_json).map_err(|e| format!("fresh: {e}"))?;
+    Ok(compare(&baseline, &fresh, threshold_pct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(&str, &str, f64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(a, m, r)| {
+                format!(
+                    "    {{\"algorithm\": \"{a}\", \"mode\": \"{m}\", \"elements\": 100, \"secs\": 0.1, \"elements_per_sec\": {r:.1}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"version\": 1,\n  \"dataset\": \"twitter\",\n  \"scale\": \"tiny\",\n  \"k\": 16,\n  \"runs\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    #[test]
+    fn parses_emitter_shaped_documents() {
+        let rows =
+            parse_rows(&doc(&[("hdrf", "sequential", 1000.0), ("hdrf", "threads=2", 800.0)]))
+                .expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].algorithm, "hdrf");
+        assert_eq!(rows[1].mode, "threads=2");
+        assert!((rows[1].elements_per_sec - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_documents() {
+        assert!(parse_rows("{\n  \"runs\": []\n}\n").is_err());
+        assert!(parse_rows("{\"algorithm\": \"hdrf\"}").is_err());
+    }
+
+    #[test]
+    fn within_threshold_passes_and_regression_fails() {
+        let base =
+            parse_rows(&doc(&[("hdrf", "sequential", 1000.0), ("ldg", "sequential", 1000.0)]))
+                .expect("base");
+        // 15% down passes at the 20% threshold; 25% down fails.
+        let fresh =
+            parse_rows(&doc(&[("hdrf", "sequential", 850.0), ("ldg", "sequential", 750.0)]))
+                .expect("fresh");
+        let report = compare(&base, &fresh, 20.0);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].starts_with("ldg/sequential"), "{:?}", report.failures);
+        assert!(report.render().contains("FAIL (1 of 2 pairs)"));
+    }
+
+    #[test]
+    fn missing_pair_fails_and_new_pair_does_not() {
+        let base = parse_rows(&doc(&[("hdrf", "sequential", 1000.0)])).expect("base");
+        let fresh = parse_rows(&doc(&[("ldg", "sequential", 1000.0)])).expect("fresh");
+        let report = compare(&base, &fresh, 20.0);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("missing from fresh run"));
+        assert!(report.lines.iter().any(|l| l.contains("new pair")));
+    }
+
+    #[test]
+    fn faster_fresh_run_always_passes() {
+        let base = parse_rows(&doc(&[("hdrf", "threads=4", 1000.0)])).expect("base");
+        let fresh = parse_rows(&doc(&[("hdrf", "threads=4", 2000.0)])).expect("fresh");
+        let report = compare(&base, &fresh, 20.0);
+        assert!(report.passed());
+        assert!(report.render().contains("+100.0%"));
+    }
+}

@@ -33,6 +33,10 @@
 //!     `Relaxed` must justify its acquire/release pairing.
 //!   * `workspace-dep-hygiene` — member `Cargo.toml`s must inherit
 //!     dependencies and opt into the shared `[workspace.lints]` table.
+//!   * `no-alloc-in-place-loop` — advisory (warning): Vec/String
+//!     construction inside a partitioner `fn place` body allocates per
+//!     streamed element; hoist a scratch buffer into the partitioner
+//!     struct (DESIGN.md §13) or carry a justified allow.
 //! * [`crossfile`] — the whole-workspace semantic rules:
 //!   `trace-key-registry` (every `TraceSink` key is a `sgp_trace::keys`
 //!   constant, every constant is used), `no-float-accounting` (integral
@@ -49,6 +53,10 @@
 //!   annotation.
 //! * [`trace_summary`] — the `sgp-xtask trace-summary` renderer for
 //!   trace dumps written by `experiments --trace <path>`.
+//! * [`bench_check`] — the `sgp-xtask bench-check` throughput gate:
+//!   compares a fresh `BENCH_ingest.json` against the committed copy at
+//!   the repo root and fails on a >20% `elements_per_sec` regression on
+//!   any `(algorithm, mode)` pair.
 //!
 //! ## Allow directives
 //!
@@ -70,6 +78,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_check;
 pub mod crossfile;
 pub mod lexer;
 pub mod manifest;

@@ -5,6 +5,7 @@
 //! cargo run -p sgp-xtask -- lint [--root DIR] [--format text|json|sarif] [--strict] [--diff REF]
 //! cargo run -p sgp-xtask -- rules
 //! cargo run -p sgp-xtask -- trace-summary <trace.json> [--top N]
+//! cargo run -p sgp-xtask -- bench-check [--baseline PATH] [--fresh PATH] [--threshold PCT]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings (warnings count only under
@@ -24,6 +25,7 @@ USAGE:
     sgp-xtask lint [--root DIR] [--format text|json|sarif] [--strict] [--diff REF]
     sgp-xtask rules
     sgp-xtask trace-summary <trace.json> [--top N]
+    sgp-xtask bench-check [--baseline PATH] [--fresh PATH] [--threshold PCT]
     sgp-xtask help
 
 COMMANDS:
@@ -32,6 +34,8 @@ COMMANDS:
     trace-summary  Render a trace dump (from `experiments --trace <path>`):
                    top spans by self cost, per-machine load, counters,
                    histogram quantiles
+    bench-check    Compare a fresh BENCH_ingest.json against the committed
+                   trajectory point and fail on a throughput regression
     help           Show this message
 
 LINT OPTIONS:
@@ -49,6 +53,14 @@ LINT OPTIONS:
 TRACE-SUMMARY OPTIONS:
     --top N             Span rows to show (default: 10)
 
+BENCH-CHECK OPTIONS:
+    --baseline PATH     Committed summary (default: <root>/BENCH_ingest.json)
+    --fresh PATH        Fresh bench output (default:
+                        <root>/crates/bench/BENCH_ingest.json, where
+                        `cargo bench -p sgp-bench --bench ingest` writes it)
+    --threshold PCT     Tolerated elements_per_sec slowdown per
+                        (algorithm, mode) pair (default: 20)
+
 EXIT CODES:
     0  no findings (warnings allowed unless --strict)
     1  findings reported
@@ -61,6 +73,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("rules") => cmd_rules(),
         Some("trace-summary") => cmd_trace_summary(&args[1..]),
+        Some("bench-check") => cmd_bench_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -216,6 +229,76 @@ fn cmd_rules() -> ExitCode {
          \x20   allows are unused-allow warnings."
     );
     ExitCode::SUCCESS
+}
+
+fn cmd_bench_check(args: &[String]) -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut threshold = 20.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline requires a file path"),
+            },
+            "--fresh" => match it.next() {
+                Some(p) => fresh = Some(PathBuf::from(p)),
+                None => return usage_error("--fresh requires a file path"),
+            },
+            "--threshold" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 && pct < 100.0 => threshold = pct,
+                _ => return usage_error("--threshold requires a percentage in (0, 100)"),
+            },
+            other => return usage_error(&format!("unknown bench-check option `{other}`")),
+        }
+    }
+    let (baseline, fresh) = match (baseline, fresh) {
+        (Some(b), Some(f)) => (b, f),
+        (b, f) => {
+            // Default both paths relative to the workspace root: the
+            // committed trajectory point at the root, the fresh file
+            // where the bench binary's package-rooted cwd leaves it.
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let root = match sgp_xtask::workspace::find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            (
+                b.unwrap_or_else(|| root.join("BENCH_ingest.json")),
+                f.unwrap_or_else(|| root.join("crates/bench/BENCH_ingest.json")),
+            )
+        }
+    };
+    let read = |path: &Path| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+    };
+    let report = read(&baseline)
+        .and_then(|b| read(&fresh).map(|f| (b, f)))
+        .and_then(|(b, f)| sgp_xtask::bench_check::check(&b, &f, threshold));
+    match report {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn cmd_trace_summary(args: &[String]) -> ExitCode {

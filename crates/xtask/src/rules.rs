@@ -10,6 +10,7 @@
 //! | `no-wallclock-in-sim` | the above + `sgp-graph` — all targets |
 //! | `thread-discipline`   | the `no-panic-in-lib` crates — library sources, test spans skipped; `sgp-partition`'s `src/exec.rs`/`src/exec/` is the single designated exemption |
 //! | `atomic-ordering-policy` | the `no-panic-in-lib` crates — library sources, test spans skipped, **no** exec exemption |
+//! | `no-alloc-in-place-loop` | `sgp-partition` — library sources, `fn place` bodies only, test spans skipped; **advisory** (warning, not error) |
 //! | `crate-attr-policy`   | every member |
 //! | `workspace-dep-hygiene` | every member manifest + the root manifest |
 //!
@@ -64,6 +65,8 @@ pub const TRACE_KEY_REGISTRY: &str = "trace-key-registry";
 pub const NO_FLOAT_ACCOUNTING: &str = "no-float-accounting";
 /// Rule: schema-version constants must match the pinned manifest.
 pub const SCHEMA_VERSION_SYNC: &str = "schema-version-sync";
+/// Rule: allocation in a partitioner's per-element `place` hot path.
+pub const NO_ALLOC_IN_PLACE_LOOP: &str = "no-alloc-in-place-loop";
 /// Meta rule: malformed or unjustified allow directives.
 pub const BAD_ALLOW_DIRECTIVE: &str = "bad-allow-directive";
 /// Meta rule: a line-scoped allow whose rule no longer fires there.
@@ -86,6 +89,7 @@ pub const ALL_RULES: &[&str] = &[
     TRACE_KEY_REGISTRY,
     NO_FLOAT_ACCOUNTING,
     SCHEMA_VERSION_SYNC,
+    NO_ALLOC_IN_PLACE_LOOP,
     BAD_ALLOW_DIRECTIVE,
     STALE_ALLOW,
     UNUSED_ALLOW,
@@ -143,6 +147,11 @@ pub fn describe(rule: &str) -> &'static str {
         SCHEMA_VERSION_SYNC => {
             "schema-version constants (sgp-trace JSON, sgp-fault FaultPlan) must agree with the \
              single source of truth in tests/goldens/SCHEMA_VERSIONS"
+        }
+        NO_ALLOC_IN_PLACE_LOOP => {
+            "advisory: Vec/String construction (vec!/Vec/String/to_vec/to_string/collect/to_owned) \
+             inside a partitioner `fn place` body allocates once per streamed element — hoist a \
+             scratch buffer into the partitioner struct (DESIGN.md §13) or justify with an allow"
         }
         BAD_ALLOW_DIRECTIVE => "sgp-lint allow directives must name a known rule and justify it",
         STALE_ALLOW => {
@@ -340,6 +349,72 @@ pub fn is_call_position(source: &str, tokens: &[Token], i: usize) -> bool {
         && punct_is(source, tokens, n3, '<')
 }
 
+/// Token-index spans `(open_brace, close_brace)` of every `fn place`
+/// *body* in the file. A trait method declaration (`fn place(…) -> …;`)
+/// has no body — a `;` before any `{` at bracket depth 0 — and yields
+/// no span. Only the exact identifier `place` counts; `place_hybrid_edges`
+/// and friends are ordinary functions outside the per-element hot path.
+pub fn place_body_spans(source: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_place_fn = tokens[i].kind == TokenKind::Ident
+            && tokens[i].text(source) == "place"
+            && prev_nontrivia(tokens, i).is_some_and(|p| {
+                tokens[p].kind == TokenKind::Ident && tokens[p].text(source) == "fn"
+            });
+        if !is_place_fn {
+            i += 1;
+            continue;
+        }
+        // Scan the signature for the body's opening brace, bailing on a
+        // bodiless declaration.
+        let mut open = None;
+        let mut depth = 0i64;
+        for (j, t) in tokens.iter().enumerate().skip(i + 1) {
+            if t.kind != TokenKind::Punct {
+                continue;
+            }
+            match t.text(source).chars().next() {
+                Some('(') | Some('[') => depth += 1,
+                Some(')') | Some(']') => depth -= 1,
+                Some('{') if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                Some(';') if depth == 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        // Brace-match to the end of the body.
+        let mut braces = 0i64;
+        let mut close = open;
+        for (j, t) in tokens.iter().enumerate().skip(open) {
+            if t.kind != TokenKind::Punct {
+                continue;
+            }
+            match t.text(source).chars().next() {
+                Some('{') => braces += 1,
+                Some('}') => {
+                    braces -= 1;
+                    if braces == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans.push((open, close));
+        i = close + 1;
+    }
+    spans
+}
+
 // ---------------------------------------------------------------------------
 // Source-file rules
 // ---------------------------------------------------------------------------
@@ -375,9 +450,11 @@ pub fn check_source_file(
         && file_kind == FileKind::LibSrc
         && !is_exec_backend(member, &scanned.rel);
     let ordering_applies = in_scope(member, THREAD_SCOPE) && file_kind == FileKind::LibSrc;
+    let alloc_applies = member.name == "sgp-partition" && file_kind == FileKind::LibSrc;
 
     let src = &scanned.source;
     let tokens = &scanned.tokens;
+    let place_spans = if alloc_applies { place_body_spans(src, tokens) } else { Vec::new() };
     // One finding per (rule, line), matching the old per-line reporting.
     let mut reported: std::collections::BTreeSet<(&'static str, usize)> =
         std::collections::BTreeSet::new();
@@ -486,6 +563,35 @@ pub fn check_source_file(
                         msg,
                     ));
                 }
+            }
+        }
+        if alloc_applies
+            && !scanned.is_test_line(line)
+            && place_spans.iter().any(|&(open, close)| open < i && i < close)
+        {
+            let ty = matches!(text, "Vec" | "String");
+            let mac = !ty && text == "vec" && is_macro_bang(src, tokens, i);
+            let method = !ty
+                && !mac
+                && matches!(text, "to_vec" | "to_string" | "collect" | "to_owned")
+                && is_method_call(src, tokens, i);
+            if (ty || mac || method)
+                && !reported.contains(&(NO_ALLOC_IN_PLACE_LOOP, line))
+                && !allows.allows(NO_ALLOC_IN_PLACE_LOOP, line)
+            {
+                reported.insert((NO_ALLOC_IN_PLACE_LOOP, line));
+                let what = if method { format!("`.{text}()`") } else { format!("`{text}`") };
+                findings.push(Finding::new(
+                    NO_ALLOC_IN_PLACE_LOOP,
+                    Severity::Warn,
+                    &scanned.rel,
+                    line,
+                    format!(
+                        "{what} in a `fn place` body allocates once per streamed element — hoist \
+                         a scratch buffer into the partitioner struct (DESIGN.md §13) or justify \
+                         with an allow directive"
+                    ),
+                ));
             }
         }
         if panic_applies && !scanned.is_test_line(line) {
@@ -824,6 +930,42 @@ mod tests {
         assert!(allowed.is_empty(), "justified strong ordering passes: {allowed:?}");
         // std::cmp::Ordering variants never collide with the policy.
         assert!(lint_tokens("fn f() -> Ordering { Ordering::Less }").is_empty());
+    }
+
+    #[test]
+    fn alloc_in_place_body_warns_in_partition_lib_only() {
+        let src = "impl P for X {\n    fn place(&mut self, e: Edge) -> u32 {\n        let h: Vec<usize> = Vec::new();\n        h.len() as u32\n    }\n}\n";
+        let found = lint_tokens_as("sgp-partition", "crates/partition/src/vertex_cut.rs", src);
+        assert_eq!(found, vec![("no-alloc-in-place-loop".into(), 3)]);
+        // Same tokens outside sgp-partition never fire.
+        assert!(lint_tokens_as("sgp-engine", "crates/engine/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_rule_matches_macro_and_method_forms() {
+        let mac = "fn place(&mut self) -> u32 { let v = vec![0; 4]; v[0] }\n";
+        let found = lint_tokens_as("sgp-partition", "crates/partition/src/x.rs", mac);
+        assert_eq!(found, vec![("no-alloc-in-place-loop".into(), 1)]);
+        let method = "fn place(&mut self, xs: &[u32]) -> u32 {\n    xs.iter().map(|x| x + 1).collect::<Vec<_>>()[0]\n}\n";
+        let found = lint_tokens_as("sgp-partition", "crates/partition/src/x.rs", method);
+        assert_eq!(found, vec![("no-alloc-in-place-loop".into(), 2)]);
+    }
+
+    #[test]
+    fn alloc_rule_skips_declarations_and_other_functions() {
+        // A bodiless trait declaration has no span to flag.
+        let decl = "trait P {\n    fn place(&mut self, e: Edge) -> u32;\n}\nfn helper() -> Vec<u32> { Vec::new() }\n";
+        assert!(lint_tokens_as("sgp-partition", "crates/partition/src/x.rs", decl).is_empty());
+        // `place_hybrid_edges` is not the hot-path method.
+        let other = "fn place_hybrid_edges() -> Vec<u32> { Vec::new() }\n";
+        assert!(lint_tokens_as("sgp-partition", "crates/partition/src/x.rs", other).is_empty());
+    }
+
+    #[test]
+    fn alloc_rule_respects_allow_directives() {
+        let src = "fn place(&mut self) -> u32 {\n    // sgp-lint: allow(no-alloc-in-place-loop): cold fallback path, hit once per graph\n    let v: Vec<u32> = Vec::new();\n    v.len() as u32\n}\n";
+        let found = lint_tokens_as("sgp-partition", "crates/partition/src/x.rs", src);
+        assert!(found.is_empty(), "{found:?}");
     }
 
     #[test]

@@ -123,6 +123,14 @@ fn fixture_findings_match_exactly() {
             PARTITION_LIB.into(),
             mark_line(PARTITION_LIB, "MARK-loader-merge-hash"),
         ),
+        // A per-element allocation inside a placement kernel — advisory
+        // only: the hot path wants a struct-owned scratch buffer, but a
+        // justified allow can keep a deliberate allocation.
+        (
+            "no-alloc-in-place-loop".into(),
+            PARTITION_LIB.into(),
+            mark_line(PARTITION_LIB, "MARK-place-alloc"),
+        ),
         // The windowed look-ahead buffer is determinism-scoped too: the
         // buffer must flush in arrival order, never hash-iteration
         // order, or `W = 1` stops degenerating to one-pass streaming.
@@ -193,7 +201,7 @@ fn fixture_findings_match_exactly() {
         actual, expected
     );
     assert_eq!(report.errors(), 36);
-    assert_eq!(report.warnings(), 1);
+    assert_eq!(report.warnings(), 2);
     assert_eq!(report.exit_code(), 1, "seeded fixture must fail the lint");
 }
 
@@ -205,7 +213,7 @@ fn fixture_warn_counts_only_under_strict() {
     let strict = run_lint(&cfg).expect("fixture lints");
     // Both fail here (errors exist), but strict counts the warning too.
     assert_eq!(lenient.errors(), strict.errors());
-    assert_eq!(strict.warnings(), 1);
+    assert_eq!(strict.warnings(), 2);
     assert_eq!(strict.exit_code(), 1);
 }
 
@@ -223,7 +231,8 @@ fn out_of_scope_fixture_crate_is_clean() {
 fn severities_are_as_catalogued() {
     let report = run_lint(&LintConfig::new(fixture_root())).expect("fixture lints");
     for f in &report.findings {
-        let want = if f.rule == "unused-allow" { Severity::Warn } else { Severity::Error };
+        let advisory = f.rule == "unused-allow" || f.rule == "no-alloc-in-place-loop";
+        let want = if advisory { Severity::Warn } else { Severity::Error };
         assert_eq!(f.severity, want, "{}: {}", f.rule, f.file);
     }
 }
@@ -236,7 +245,7 @@ fn json_output_is_stable_and_wellformed() {
     assert_eq!(a, b, "rendering is deterministic");
     assert!(a.starts_with("{\n  \"version\": 1,\n"));
     assert!(a.contains("\"errors\": 36"));
-    assert!(a.contains("\"warnings\": 1"));
+    assert!(a.contains("\"warnings\": 2"));
     assert!(a.contains("\"rule\": \"no-hash-iteration\""));
     // Findings arrive sorted by (file, line, rule): the manifest file
     // sorts before src/lib.rs, which sorts before tests/smoke.rs, and

@@ -4,8 +4,10 @@
 //! Iterating one at a synchronization barrier would make the merged
 //! global state depend on hash-iteration order, silently breaking the
 //! same-seed ⇒ byte-identical-partitioning contract. This file seeds
-//! exactly that violation; everything else in the crate is clean, so
-//! only the one finding may fire.
+//! exactly that violation, plus one advisory hot-path allocation inside
+//! a `fn place` body (the `no-alloc-in-place-loop` warning) and one
+//! hardcoded trace key; everything else in the crate is clean, so only
+//! those seeded findings may fire.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -33,6 +35,18 @@ pub fn merge_in_rotation(logs: &[Vec<u32>], start: usize) -> Vec<u32> {
         merged.extend(logs[(start + step) % logs.len()].iter().copied());
     }
     merged
+}
+
+/// A placement kernel that rebuilds its candidate-score buffer on every
+/// streamed element — exactly the per-element allocation the advisory
+/// `no-alloc-in-place-loop` rule exists to surface: the buffer belongs
+/// on the partitioner struct as a reusable scratch field.
+pub fn place(degrees: &[u32], k: usize) -> usize {
+    let mut scores: Vec<u32> = Vec::with_capacity(k); // MARK-place-alloc
+    for p in 0..k {
+        scores.push(degrees.get(p).copied().unwrap_or(0));
+    }
+    scores.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(p, _)| p).unwrap_or(0)
 }
 
 /// Emits the run span through the canonical registry constant — the

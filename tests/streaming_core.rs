@@ -127,6 +127,55 @@ proptest! {
         prop_assert_eq!(&a.vertex_owner, &b.vertex_owner);
     }
 
+    /// Snapshotting mid-stream is invisible: for every edge-stream
+    /// algorithm and k ∈ {3, 16, 64, 100}, pausing at an arbitrary
+    /// chunk boundary, serializing, restoring into a fresh machine, and
+    /// continuing the stream yields a placement byte-identical to the
+    /// uninterrupted run — and the restored machine re-serializes to
+    /// the exact snapshot bytes (`snapshot(restore(s)) == s`).
+    #[test]
+    fn snapshot_restore_mid_stream_is_byte_invisible(
+        g in arb_graph(),
+        order in arb_order(),
+        cut_seed in any::<u32>(),
+    ) {
+        const CHUNK: usize = 7;
+        for &alg in Algorithm::all() {
+            let probe = StreamingPartitioner::init(&g, alg, &PartitionerConfig::new(2));
+            if probe.input() != StreamInput::Edges {
+                continue;
+            }
+            for k in [3usize, 16, 64, 100] {
+                let cfg = PartitionerConfig::new(k);
+                let whole = partition_chunked(&g, alg, &cfg, order, CHUNK);
+
+                let mut sp = StreamingPartitioner::init(&g, alg, &cfg);
+                let total_chunks = sp.passes() * g.num_edges().div_ceil(CHUNK);
+                let cut = cut_seed as usize % total_chunks.max(1);
+                let mut source = EdgeStreamSource::new(&g, order);
+                let mut chunk = Vec::new();
+                let mut done = 0usize;
+                for _ in 0..sp.passes() {
+                    source.restart();
+                    while source.next_chunk(CHUNK, &mut chunk) > 0 {
+                        sp.ingest_edges(&chunk).expect("edge machine accepts edge chunks");
+                        done += 1;
+                        if done == cut + 1 {
+                            let bytes = sp.snapshot();
+                            sp = StreamingPartitioner::restore(&g, alg, &cfg, &bytes)
+                                .expect("mid-stream snapshot restores");
+                            prop_assert_eq!(&sp.snapshot(), &bytes, "{} k={}", alg, k);
+                        }
+                    }
+                    sp.flush_window();
+                }
+                let resumed = sp.seal();
+                prop_assert_eq!(&whole.edge_parts, &resumed.edge_parts, "{} k={}", alg, k);
+                prop_assert_eq!(&whole.vertex_owner, &resumed.vertex_owner, "{} k={}", alg, k);
+            }
+        }
+    }
+
     /// `BfsFrom`/`DfsFrom` at start 0 are exactly the legacy unit
     /// variants, all the way through a partitioning.
     #[test]
