@@ -1,0 +1,111 @@
+//! Linear span guards: `span_enter`/`span_exit` pairing by construction.
+//!
+//! The `span-guard-balance` lint statically checks that every
+//! `span_enter` in an fn body is matched by an exit on the fall-through
+//! path. The guard form makes the pairing structural instead: opening a
+//! span hands back a [`SpanGuard`] value that *is* the obligation to
+//! close it. The guard is `#[must_use]`, carries no sink borrow (the
+//! sink stays free for nested events), and is consumed by
+//! [`SpanGuard::exit`].
+//!
+//! There is deliberately **no `Drop` impl**: stamps are simulated time,
+//! so only the caller knows the exit stamp — an implicit drop would
+//! have to invent one, silently corrupting span durations. Dropping a
+//! guard without calling `exit` leaves the span open in the trace,
+//! which [`crate::SummarySink`] surfaces as an unbalanced-span error;
+//! the lint's requirement that `guard_span` results are let-bound keeps
+//! the obligation visible in source.
+
+use crate::sink::TraceSink;
+use crate::Stamp;
+
+/// An open trace span. Close it with [`SpanGuard::exit`] at the exit
+/// stamp; the value is the proof the span is still open.
+#[must_use = "an unclosed SpanGuard leaves its span open in the trace; call .exit(sink, stamp)"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    key: u64,
+}
+
+impl SpanGuard {
+    /// Closes the span at `stamp`, consuming the guard.
+    pub fn exit<S: TraceSink + ?Sized>(self, sink: &mut S, stamp: Stamp) {
+        sink.span_exit(self.name, self.key, stamp);
+    }
+
+    /// The static metric name this guard will close.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The key dimension this guard will close.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// Guard-returning span entry, blanket-implemented for every sink.
+pub trait SpanGuardExt: TraceSink {
+    /// Enters span `(name, key)` at `stamp` and returns the guard that
+    /// closes it. Event-for-event identical to calling
+    /// [`TraceSink::span_enter`] followed later by
+    /// [`TraceSink::span_exit`] with the same `(name, key)`.
+    fn guard_span(&mut self, name: &'static str, key: u64, stamp: Stamp) -> SpanGuard {
+        self.span_enter(name, key, stamp);
+        SpanGuard { name, key }
+    }
+}
+
+impl<S: TraceSink + ?Sized> SpanGuardExt for S {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectingSink, NullSink};
+
+    #[test]
+    fn guard_emits_the_same_events_as_a_manual_pair() {
+        let mut manual = CollectingSink::new();
+        manual.span_enter("run", 3, 10);
+        manual.counter_add("placed", 0, 7);
+        manual.span_exit("run", 3, 42);
+
+        let mut guarded = CollectingSink::new();
+        let span = guarded.guard_span("run", 3, 10);
+        guarded.counter_add("placed", 0, 7);
+        span.exit(&mut guarded, 42);
+
+        assert_eq!(manual.events(), guarded.events());
+    }
+
+    #[test]
+    fn guard_carries_name_and_key_not_a_sink_borrow() {
+        let mut sink = CollectingSink::new();
+        let a = sink.guard_span("outer", 1, 0);
+        let b = sink.guard_span("inner", 2, 1);
+        assert_eq!((a.name(), a.key()), ("outer", 1));
+        assert_eq!((b.name(), b.key()), ("inner", 2));
+        // Non-LIFO close is allowed by the type; sinks that require
+        // nesting (SummarySink) report it as data, not a panic.
+        b.exit(&mut sink, 5);
+        a.exit(&mut sink, 9);
+        assert_eq!(sink.len(), 4);
+    }
+
+    #[test]
+    fn null_sink_guard_is_free_of_events() {
+        let mut sink = NullSink;
+        let span = sink.guard_span("run", 0, 0);
+        span.exit(&mut sink, 1);
+    }
+
+    #[test]
+    fn works_through_dyn_sink() {
+        let mut sink = CollectingSink::new();
+        let dynsink: &mut dyn TraceSink = &mut sink;
+        let span = dynsink.guard_span("dyn", 9, 2);
+        span.exit(dynsink, 3);
+        assert_eq!(sink.len(), 2);
+    }
+}

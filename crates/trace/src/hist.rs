@@ -62,7 +62,9 @@ impl Log2Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, value: u64) {
-        self.buckets[bucket_index(value)] += 1;
+        if let Some(b) = self.buckets.get_mut(bucket_index(value)) {
+            *b += 1;
+        }
         self.count += 1;
         self.sum += value as u128;
         if value < self.min {
@@ -126,11 +128,7 @@ impl Log2Histogram {
 
     /// Occupancy of one bucket.
     pub fn bucket(&self, index: usize) -> u64 {
-        if index < NUM_BUCKETS {
-            self.buckets[index]
-        } else {
-            0
-        }
+        self.buckets.get(index).copied().unwrap_or(0)
     }
 
     /// Iterator over `(bucket_index, occupancy)` for non-empty buckets.

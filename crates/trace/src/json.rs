@@ -216,7 +216,7 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             return Err(format!("expected integer at byte {start}"));
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+        let s = std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or(&[]))
             .map_err(|_| "non-utf8 integer".to_string())?;
         s.parse::<u64>().map_err(|e| format!("bad integer {s:?}: {e}"))
     }

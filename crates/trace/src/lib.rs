@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod guard;
 pub mod hist;
 pub mod json;
 pub mod keys;
 pub mod sink;
 pub mod stats;
 
+pub use guard::{SpanGuard, SpanGuardExt};
 pub use hist::Log2Histogram;
 pub use json::{parse_trace, EventKind, ParsedEvent, ParsedTrace};
 pub use sink::{CollectingSink, NullSink, SpanStat, SummarySink, TraceSink};

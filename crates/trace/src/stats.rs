@@ -17,7 +17,7 @@ pub fn percentile_sorted_ns(sorted: &[u64], p: f64) -> f64 {
         return 0.0;
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)] as f64
+    sorted.get(idx.min(sorted.len() - 1)).copied().unwrap_or(0) as f64
 }
 
 /// Mean/p50/p99/max of a latency sample, in milliseconds.

@@ -1,32 +1,101 @@
-//! `sgp-xtask bench-check` — ingestion-throughput regression gate.
+//! `sgp-xtask bench-check` — throughput regression gate.
 //!
-//! The ingest bench (`cargo bench -p sgp-bench --bench ingest`) writes a
-//! `BENCH_ingest.json` summary of best-of-3 ingestion rates — sequential
-//! and `threads ∈ {1, 2, 4}` — for every Table 2 streaming algorithm.
-//! The copy at the repo root is the committed trajectory point for this
-//! machine; the bench run leaves a fresh copy in `crates/bench/`. This
-//! module compares the two: a fresh `elements_per_sec` more than the
-//! threshold (default 20%) below the committed number on any
-//! `(algorithm, mode)` pair is a regression, and a pair that vanished
-//! from the fresh run is a coverage loss. Both fail the check; new pairs
-//! in the fresh run are reported but never fail (coverage may grow).
+//! Two benches write committed trajectory points for this machine:
+//!
+//! * **ingest** (`cargo bench -p sgp-bench --bench ingest`) —
+//!   `BENCH_ingest.json`, best-of-3 ingestion rates (`elements_per_sec`)
+//!   per `(algorithm, mode)` pair, sequential and `threads ∈ {1, 2, 4}`.
+//! * **fault** (the elastic-recovery bench) — `BENCH_fault.json`,
+//!   degraded-mode query throughput (`queries_per_sec`) per replication
+//!   scheme; rows have no mode dimension.
+//!
+//! The committed copy lives at the repo root; a bench run leaves a
+//! fresh copy in `crates/bench/`. This module compares the two: a fresh
+//! rate more than the threshold below the committed number on any row
+//! key is a regression, and a key that vanished from the fresh run is a
+//! coverage loss. Both fail the check; new keys in the fresh run are
+//! reported but never fail (coverage may grow). The re-bless flow for
+//! the committed copies is documented in EXPERIMENTS.md.
 //!
 //! The parser is deliberately minimal: `sgp-xtask` is dependency-free,
-//! and the artifact shape is pinned by the bench's own hand-rendered
-//! emitter (one run object per line), so a line-oriented field extractor
-//! is exact, not approximate.
+//! and the artifact shapes are pinned by the benches' own hand-rendered
+//! emitters (one run object per line), so a line-oriented field
+//! extractor is exact, not approximate.
 
 use std::fmt::Write as _;
 
-/// One `(algorithm, mode)` throughput sample from a `BENCH_ingest.json`.
+/// Which bench artifact a check run compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchKind {
+    /// `BENCH_ingest.json`: `elements_per_sec` per `(algorithm, mode)`.
+    Ingest,
+    /// `BENCH_fault.json`: `queries_per_sec` per algorithm (no mode).
+    Fault,
+}
+
+impl BenchKind {
+    /// Parses the `--kind` CLI value.
+    pub fn from_name(name: &str) -> Option<BenchKind> {
+        match name {
+            "ingest" => Some(BenchKind::Ingest),
+            "fault" => Some(BenchKind::Fault),
+            _ => None,
+        }
+    }
+
+    /// The JSON field holding the gated rate.
+    pub fn metric(self) -> &'static str {
+        match self {
+            BenchKind::Ingest => "elements_per_sec",
+            BenchKind::Fault => "queries_per_sec",
+        }
+    }
+
+    /// Unit suffix for report lines.
+    pub fn unit(self) -> &'static str {
+        match self {
+            BenchKind::Ingest => "el/s",
+            BenchKind::Fault => "q/s",
+        }
+    }
+
+    /// Whether rows carry a `mode` dimension.
+    pub fn has_mode(self) -> bool {
+        matches!(self, BenchKind::Ingest)
+    }
+
+    /// Artifact file name (committed at the repo root, fresh under
+    /// `crates/bench/`).
+    pub fn file_name(self) -> &'static str {
+        match self {
+            BenchKind::Ingest => "BENCH_ingest.json",
+            BenchKind::Fault => "BENCH_fault.json",
+        }
+    }
+}
+
+/// One row sample from a bench summary document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
-    /// Algorithm short name (e.g. `hdrf`, `ldg`).
+    /// Algorithm short name (e.g. `hdrf`, `ldg`, `ECR`).
     pub algorithm: String,
-    /// Execution mode: `sequential` or `threads=N`.
+    /// Execution mode (`sequential` or `threads=N`) for kinds that
+    /// have one; empty for mode-less kinds.
     pub mode: String,
-    /// Best-of-3 ingestion rate for the pair.
+    /// The gated rate ([`BenchKind::metric`]) for the row.
     pub elements_per_sec: f64,
+}
+
+impl BenchRow {
+    /// The display/join key of the row: `algorithm/mode`, or just the
+    /// algorithm for mode-less kinds.
+    pub fn key(&self) -> String {
+        if self.mode.is_empty() {
+            self.algorithm.clone()
+        } else {
+            format!("{}/{}", self.algorithm, self.mode)
+        }
+    }
 }
 
 /// Extracts the quoted string value of `key` from one row line.
@@ -48,12 +117,12 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Parses the `runs` rows out of a `BENCH_ingest.json` document.
+/// Parses the `runs` rows out of a bench summary document of `kind`.
 ///
 /// Returns an error if the document carries no rows or a row line is
 /// missing a required field — either means the artifact shape drifted
 /// from the emitter this parser is pinned against.
-pub fn parse_rows(json: &str) -> Result<Vec<BenchRow>, String> {
+pub fn parse_rows(json: &str, kind: BenchKind) -> Result<Vec<BenchRow>, String> {
     let mut rows = Vec::new();
     for (i, line) in json.lines().enumerate() {
         if !line.contains("\"algorithm\"") {
@@ -62,8 +131,8 @@ pub fn parse_rows(json: &str) -> Result<Vec<BenchRow>, String> {
         let parse = || -> Option<BenchRow> {
             Some(BenchRow {
                 algorithm: str_field(line, "algorithm")?,
-                mode: str_field(line, "mode")?,
-                elements_per_sec: num_field(line, "elements_per_sec")?,
+                mode: if kind.has_mode() { str_field(line, "mode")? } else { String::new() },
+                elements_per_sec: num_field(line, kind.metric())?,
             })
         };
         match parse() {
@@ -120,18 +189,24 @@ impl BenchCheckReport {
 /// host motivates the wide margin — this gate exists to catch the
 /// protocol-level regressions (an accidental O(n) clone back in the
 /// barrier path), not scheduler jitter.
-pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], threshold_pct: f64) -> BenchCheckReport {
+pub fn compare(
+    baseline: &[BenchRow],
+    fresh: &[BenchRow],
+    threshold_pct: f64,
+    kind: BenchKind,
+) -> BenchCheckReport {
     let mut lines = Vec::new();
     let mut failures = Vec::new();
     let floor = 1.0 - threshold_pct / 100.0;
+    let unit = kind.unit();
     for b in baseline {
-        let pair = format!("{}/{}", b.algorithm, b.mode);
+        let pair = b.key();
         match fresh.iter().find(|f| f.algorithm == b.algorithm && f.mode == b.mode) {
             Some(f) => {
                 let ratio = f.elements_per_sec / b.elements_per_sec.max(1e-9);
                 let verdict = if ratio < floor { "REGRESSED" } else { "ok" };
                 let line = format!(
-                    "{pair}: {:.1} -> {:.1} el/s ({:+.1}%) {verdict}",
+                    "{pair}: {:.1} -> {:.1} {unit} ({:+.1}%) {verdict}",
                     b.elements_per_sec,
                     f.elements_per_sec,
                     (ratio - 1.0) * 100.0
@@ -151,8 +226,9 @@ pub fn compare(baseline: &[BenchRow], fresh: &[BenchRow], threshold_pct: f64) ->
     for f in fresh {
         if !baseline.iter().any(|b| b.algorithm == f.algorithm && b.mode == f.mode) {
             lines.push(format!(
-                "{}/{}: new pair ({:.1} el/s), not in baseline",
-                f.algorithm, f.mode, f.elements_per_sec
+                "{}: new pair ({:.1} {unit}), not in baseline",
+                f.key(),
+                f.elements_per_sec
             ));
         }
     }
@@ -164,10 +240,11 @@ pub fn check(
     baseline_json: &str,
     fresh_json: &str,
     threshold_pct: f64,
+    kind: BenchKind,
 ) -> Result<BenchCheckReport, String> {
-    let baseline = parse_rows(baseline_json).map_err(|e| format!("baseline: {e}"))?;
-    let fresh = parse_rows(fresh_json).map_err(|e| format!("fresh: {e}"))?;
-    Ok(compare(&baseline, &fresh, threshold_pct))
+    let baseline = parse_rows(baseline_json, kind).map_err(|e| format!("baseline: {e}"))?;
+    let fresh = parse_rows(fresh_json, kind).map_err(|e| format!("fresh: {e}"))?;
+    Ok(compare(&baseline, &fresh, threshold_pct, kind))
 }
 
 #[cfg(test)]
@@ -189,11 +266,28 @@ mod tests {
         )
     }
 
+    fn fault_doc(rows: &[(&str, f64)]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|(a, r)| {
+                format!(
+                    "    {{\"algorithm\": \"{a}\", \"queries\": 1280, \"secs\": 0.01, \"queries_per_sec\": {r:.1}, \"rto_ms\": 23.6, \"data_moved\": 6823, \"shed_queries\": 100}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"version\": 1,\n  \"dataset\": \"ldbc_snb\", \"scale\": \"tiny\",\n  \"k\": 8,\n  \"runs\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        )
+    }
+
     #[test]
     fn parses_emitter_shaped_documents() {
-        let rows =
-            parse_rows(&doc(&[("hdrf", "sequential", 1000.0), ("hdrf", "threads=2", 800.0)]))
-                .expect("parses");
+        let rows = parse_rows(
+            &doc(&[("hdrf", "sequential", 1000.0), ("hdrf", "threads=2", 800.0)]),
+            BenchKind::Ingest,
+        )
+        .expect("parses");
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].algorithm, "hdrf");
         assert_eq!(rows[1].mode, "threads=2");
@@ -202,20 +296,27 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_malformed_documents() {
-        assert!(parse_rows("{\n  \"runs\": []\n}\n").is_err());
-        assert!(parse_rows("{\"algorithm\": \"hdrf\"}").is_err());
+        assert!(parse_rows("{\n  \"runs\": []\n}\n", BenchKind::Ingest).is_err());
+        assert!(parse_rows("{\"algorithm\": \"hdrf\"}", BenchKind::Ingest).is_err());
+        // An ingest-shaped row is malformed under the fault kind: no
+        // queries_per_sec field.
+        assert!(parse_rows(&doc(&[("hdrf", "sequential", 1000.0)]), BenchKind::Fault).is_err());
     }
 
     #[test]
     fn within_threshold_passes_and_regression_fails() {
-        let base =
-            parse_rows(&doc(&[("hdrf", "sequential", 1000.0), ("ldg", "sequential", 1000.0)]))
-                .expect("base");
+        let base = parse_rows(
+            &doc(&[("hdrf", "sequential", 1000.0), ("ldg", "sequential", 1000.0)]),
+            BenchKind::Ingest,
+        )
+        .expect("base");
         // 15% down passes at the 20% threshold; 25% down fails.
-        let fresh =
-            parse_rows(&doc(&[("hdrf", "sequential", 850.0), ("ldg", "sequential", 750.0)]))
-                .expect("fresh");
-        let report = compare(&base, &fresh, 20.0);
+        let fresh = parse_rows(
+            &doc(&[("hdrf", "sequential", 850.0), ("ldg", "sequential", 750.0)]),
+            BenchKind::Ingest,
+        )
+        .expect("fresh");
+        let report = compare(&base, &fresh, 20.0, BenchKind::Ingest);
         assert!(!report.passed());
         assert_eq!(report.failures.len(), 1);
         assert!(report.failures[0].starts_with("ldg/sequential"), "{:?}", report.failures);
@@ -224,9 +325,11 @@ mod tests {
 
     #[test]
     fn missing_pair_fails_and_new_pair_does_not() {
-        let base = parse_rows(&doc(&[("hdrf", "sequential", 1000.0)])).expect("base");
-        let fresh = parse_rows(&doc(&[("ldg", "sequential", 1000.0)])).expect("fresh");
-        let report = compare(&base, &fresh, 20.0);
+        let base =
+            parse_rows(&doc(&[("hdrf", "sequential", 1000.0)]), BenchKind::Ingest).expect("base");
+        let fresh =
+            parse_rows(&doc(&[("ldg", "sequential", 1000.0)]), BenchKind::Ingest).expect("fresh");
+        let report = compare(&base, &fresh, 20.0, BenchKind::Ingest);
         assert!(!report.passed());
         assert!(report.failures[0].contains("missing from fresh run"));
         assert!(report.lines.iter().any(|l| l.contains("new pair")));
@@ -234,10 +337,38 @@ mod tests {
 
     #[test]
     fn faster_fresh_run_always_passes() {
-        let base = parse_rows(&doc(&[("hdrf", "threads=4", 1000.0)])).expect("base");
-        let fresh = parse_rows(&doc(&[("hdrf", "threads=4", 2000.0)])).expect("fresh");
-        let report = compare(&base, &fresh, 20.0);
+        let base =
+            parse_rows(&doc(&[("hdrf", "threads=4", 1000.0)]), BenchKind::Ingest).expect("base");
+        let fresh =
+            parse_rows(&doc(&[("hdrf", "threads=4", 2000.0)]), BenchKind::Ingest).expect("fresh");
+        let report = compare(&base, &fresh, 20.0, BenchKind::Ingest);
         assert!(report.passed());
         assert!(report.render().contains("+100.0%"));
+    }
+
+    #[test]
+    fn fault_kind_reads_queries_per_sec_and_keys_by_algorithm() {
+        let base =
+            parse_rows(&fault_doc(&[("ECR", 113518.0), ("VCR", 126090.9)]), BenchKind::Fault)
+                .expect("base");
+        assert_eq!(base[0].mode, "", "fault rows carry no mode");
+        assert_eq!(base[0].key(), "ECR");
+        // VCR down 40% at the 30% fault threshold fails; ECR holds.
+        let fresh =
+            parse_rows(&fault_doc(&[("ECR", 113000.0), ("VCR", 75000.0)]), BenchKind::Fault)
+                .expect("fresh");
+        let report = compare(&base, &fresh, 30.0, BenchKind::Fault);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].starts_with("VCR:"), "{:?}", report.failures);
+        assert!(report.lines[0].contains("q/s"), "{:?}", report.lines);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        assert_eq!(BenchKind::from_name("ingest"), Some(BenchKind::Ingest));
+        assert_eq!(BenchKind::from_name("fault"), Some(BenchKind::Fault));
+        assert_eq!(BenchKind::from_name("latency"), None);
+        assert_eq!(BenchKind::Fault.file_name(), "BENCH_fault.json");
     }
 }

@@ -1,0 +1,264 @@
+//! Conservative intra-workspace call graph over the symbol table.
+//!
+//! Edges are *name-resolved*: a call site `helper(…)` or `x.helper(…)`
+//! inside an fn body adds an edge to **every** workspace fn named
+//! `helper`. This over-approximates real dispatch (no type checking, no
+//! path resolution beyond the last segment), which is the sound
+//! direction for panic-reachability: the rule may surface a path the
+//! compiler would never take, but cannot miss one it would. Calls to
+//! names with no workspace definition (std, dependencies, locals that
+//! shadow fns) resolve to nothing and add no edge.
+
+use crate::lexer::{self, TokenKind};
+use crate::parser::is_keyword;
+use crate::rules::{is_call_position, is_method_call};
+use crate::symbols::SymbolTable;
+use std::collections::BTreeSet;
+
+/// The workspace call graph; node indices are indices into
+/// [`SymbolTable::fns`].
+pub struct CallGraph {
+    /// Outgoing edges per fn, sorted and deduplicated.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Scans every fn body for call sites and resolves them by name.
+    pub fn build(symbols: &SymbolTable, entries: &[crate::ScannedEntry]) -> CallGraph {
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); symbols.fns.len()];
+        for (fi, f) in symbols.fns.iter().enumerate() {
+            let Some((open, close)) = f.body else { continue };
+            let scanned = &entries[f.entry].scanned;
+            let src = &scanned.source;
+            let toks = &scanned.tokens;
+            let mut out = BTreeSet::new();
+            for i in open + 1..close {
+                if toks[i].kind != TokenKind::Ident {
+                    continue;
+                }
+                let name = toks[i].text(src);
+                if is_keyword(name) {
+                    continue;
+                }
+                let called = if is_method_call(src, toks, i) {
+                    true
+                } else if is_call_position(src, toks, i) {
+                    // `fn helper(` is a (nested) definition, not a call.
+                    !prev_is_fn_kw(src, toks, i)
+                } else {
+                    false
+                };
+                if !called {
+                    continue;
+                }
+                if let Some(defs) = symbols.by_name.get(name) {
+                    out.extend(defs.iter().copied().filter(|&d| d != fi));
+                }
+            }
+            edges[fi] = out.into_iter().collect();
+        }
+        CallGraph { edges }
+    }
+
+    /// Multi-source BFS from `sources`. Returns, per fn index, `None`
+    /// (unreached), or `Some(parent)` where a source's parent is
+    /// itself. Sources are visited in the given order, so paths are
+    /// deterministic.
+    pub fn reachable(&self, sources: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.edges.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in sources {
+            if parent[s].is_none() {
+                parent[s] = Some(s);
+                queue.push_back(s);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if parent[v].is_none() {
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call path from the BFS source down to `target` (inclusive),
+    /// as indices into [`SymbolTable::fns`]. Empty if unreached.
+    pub fn path_to(&self, parent: &[Option<usize>], target: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut at = target;
+        loop {
+            match parent[at] {
+                None => return Vec::new(),
+                Some(p) => {
+                    path.push(at);
+                    if p == at {
+                        break;
+                    }
+                    at = p;
+                }
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// Renders the subgraph reachable from `roots` as deterministic
+    /// Graphviz DOT (nodes sorted by qualified name; test fns excluded
+    /// from roots by the caller).
+    pub fn to_dot(&self, symbols: &SymbolTable, roots: &[usize]) -> String {
+        let parent = self.reachable(roots);
+        let mut nodes: Vec<usize> =
+            (0..self.edges.len()).filter(|&i| parent[i].is_some()).collect();
+        nodes.sort_by(|&a, &b| symbols.fns[a].qual.cmp(&symbols.fns[b].qual));
+        let root_set: BTreeSet<usize> = roots.iter().copied().collect();
+        let mut out = String::from(
+            "digraph callgraph {\n    rankdir=LR;\n    node [shape=box, fontsize=10];\n",
+        );
+        for &n in &nodes {
+            let f = &symbols.fns[n];
+            let shape = if root_set.contains(&n) { ", style=bold" } else { "" };
+            out.push_str(&format!(
+                "    \"{}\" [label=\"{}\\n{}:{}\"{}];\n",
+                f.qual, f.qual, f.rel, f.line, shape
+            ));
+        }
+        let mut edge_lines = Vec::new();
+        for &n in &nodes {
+            for &m in &self.edges[n] {
+                if parent[m].is_some() {
+                    edge_lines.push(format!(
+                        "    \"{}\" -> \"{}\";\n",
+                        symbols.fns[n].qual, symbols.fns[m].qual
+                    ));
+                }
+            }
+        }
+        edge_lines.sort();
+        edge_lines.dedup();
+        for l in edge_lines {
+            out.push_str(&l);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Is the previous non-trivia token before `i` the `fn` keyword?
+fn prev_is_fn_kw(src: &str, toks: &[crate::lexer::Token], i: usize) -> bool {
+    (0..i)
+        .rev()
+        .find(|&j| !lexer::is_trivia(toks[j].kind))
+        .is_some_and(|j| toks[j].kind == TokenKind::Ident && toks[j].text(src) == "fn")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::parse_manifest;
+    use crate::scan::scan_source;
+    use crate::workspace::{FileKind, Member, Workspace};
+    use crate::ScannedEntry;
+
+    fn ws(names: &[&str]) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::from("."),
+            root_manifest: parse_manifest("[workspace]\n", "Cargo.toml"),
+            members: names
+                .iter()
+                .map(|n| Member {
+                    name: n.to_string(),
+                    dir: std::path::PathBuf::from(format!("crates/{n}")),
+                    manifest: parse_manifest(
+                        &format!("[package]\nname = \"{n}\"\n"),
+                        "crates/x/Cargo.toml",
+                    ),
+                    manifest_rel: format!("crates/{n}/Cargo.toml"),
+                    files: Vec::new(),
+                    is_root_package: false,
+                })
+                .collect(),
+        }
+    }
+
+    fn entry(member: usize, rel: &str, src: &str) -> ScannedEntry {
+        ScannedEntry { member, kind: FileKind::LibSrc, scanned: scan_source(src, rel) }
+    }
+
+    fn idx(t: &SymbolTable, qual: &str) -> usize {
+        t.fns.iter().position(|f| f.qual == qual).unwrap_or_else(|| panic!("no fn {qual}"))
+    }
+
+    #[test]
+    fn direct_method_and_cross_crate_edges() {
+        let a = "pub fn entry() { helper(); }\nfn helper() { Widget::poke_all(); }\npub struct Widget;\nimpl Widget {\n    pub fn poke_all() { let w = Widget; w.poke(); }\n    fn poke(&self) { sgp_b::remote(); }\n}\n";
+        let b = "pub fn remote() {}\n";
+        let ws = ws(&["sgp-a", "sgp-b"]);
+        let entries = vec![entry(0, "crates/a/src/lib.rs", a), entry(1, "crates/b/src/lib.rs", b)];
+        let t = SymbolTable::build(&ws, &entries);
+        let g = CallGraph::build(&t, &entries);
+
+        let entry_fn = idx(&t, "sgp-a::entry");
+        let helper = idx(&t, "sgp-a::helper");
+        let poke_all = idx(&t, "sgp-a::Widget::poke_all");
+        let poke = idx(&t, "sgp-a::Widget::poke");
+        let remote = idx(&t, "sgp-b::remote");
+
+        assert_eq!(g.edges[entry_fn], vec![helper], "direct call");
+        assert!(g.edges[poke_all].contains(&poke), "method call resolves by name");
+        assert!(g.edges[poke].contains(&remote), "cross-crate path call");
+
+        let parent = g.reachable(&[entry_fn]);
+        assert!(parent[remote].is_some(), "entry -> helper -> poke_all -> poke -> remote");
+        let path = g.path_to(&parent, remote);
+        let quals: Vec<_> = path.iter().map(|&i| t.fns[i].qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "sgp-a::entry",
+                "sgp-a::helper",
+                "sgp-a::Widget::poke_all",
+                "sgp-a::Widget::poke",
+                "sgp-b::remote"
+            ]
+        );
+    }
+
+    #[test]
+    fn shadowed_name_without_call_syntax_is_not_an_edge() {
+        let src = "pub fn entry() -> u32 { let helper = 5; helper + 1 }\nfn helper() {}\n";
+        let ws = ws(&["sgp-a"]);
+        let entries = vec![entry(0, "crates/a/src/lib.rs", src)];
+        let t = SymbolTable::build(&ws, &entries);
+        let g = CallGraph::build(&t, &entries);
+        assert!(g.edges[idx(&t, "sgp-a::entry")].is_empty(), "no call syntax, no edge");
+    }
+
+    #[test]
+    fn nested_fn_definition_is_not_a_call() {
+        let src = "pub fn outer() { fn inner() {} inner(); }\nfn unrelated() {}\n";
+        let ws = ws(&["sgp-a"]);
+        let entries = vec![entry(0, "crates/a/src/lib.rs", src)];
+        let t = SymbolTable::build(&ws, &entries);
+        let g = CallGraph::build(&t, &entries);
+        // `inner` is not split into its own FnDef (nested fns stay in the
+        // parent body), so the call to it resolves to nothing; the `fn
+        // inner` keyword sequence itself must not create a self-edge.
+        assert!(g.edges[idx(&t, "sgp-a::outer")].is_empty());
+    }
+
+    #[test]
+    fn dot_output_is_deterministic_and_rooted() {
+        let src = "pub fn entry() { helper(); }\nfn helper() {}\nfn orphan() {}\n";
+        let ws = ws(&["sgp-a"]);
+        let entries = vec![entry(0, "crates/a/src/lib.rs", src)];
+        let t = SymbolTable::build(&ws, &entries);
+        let g = CallGraph::build(&t, &entries);
+        let dot = g.to_dot(&t, &[idx(&t, "sgp-a::entry")]);
+        assert!(dot.contains("\"sgp-a::entry\" -> \"sgp-a::helper\";"));
+        assert!(!dot.contains("orphan"), "unreached fns stay out of the artifact");
+        assert_eq!(dot, g.to_dot(&t, &[idx(&t, "sgp-a::entry")]));
+    }
+}

@@ -55,8 +55,10 @@ use crate::workspace::{FileKind, Workspace};
 use crate::ScannedEntry;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// The `TraceSink` methods whose first argument is a trace key.
-const SINK_METHODS: &[&str] = &["span_enter", "span_exit", "counter_add", "histogram_record"];
+/// The `TraceSink`/`SpanGuardExt` methods whose first argument is a
+/// trace key.
+const SINK_METHODS: &[&str] =
+    &["span_enter", "span_exit", "counter_add", "histogram_record", "guard_span"];
 
 /// Crates whose library code emits trace events (the registry's crate,
 /// `sgp-trace`, is exempt: its sink impls forward caller-supplied
@@ -87,6 +89,7 @@ const SCHEMA_SPECS: &[(&str, &str, &str)] = &[
     ("fault-plan", "sgp-fault", "FAULT_PLAN_SCHEMA_VERSION"),
     ("send-registry", "sgp-partition", "SEND_REGISTRY_SCHEMA_VERSION"),
     ("snapshot", "sgp-partition", "SNAPSHOT_SCHEMA_VERSION"),
+    ("algorithm-surfaces", "sgp-partition", "ALGORITHM_SURFACES_SCHEMA_VERSION"),
 ];
 
 /// Runs every cross-file rule.
@@ -497,7 +500,7 @@ fn check_schema_version_sync(
 /// workspace root. `#` comments and blank lines are skipped; malformed
 /// entries (no `=`, empty key or empty justification) become findings
 /// under `rule`. A missing file is an empty registry, not an error.
-fn parse_registry(
+pub(crate) fn parse_registry(
     ws: &Workspace,
     rel: &str,
     rule: &'static str,

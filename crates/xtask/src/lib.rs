@@ -78,13 +78,18 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
 pub mod bench_check;
+pub mod callgraph;
 pub mod crossfile;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod semantic;
+pub mod symbols;
 pub mod trace_summary;
 pub mod workspace;
 
@@ -106,14 +111,21 @@ pub struct LintConfig {
     /// reported (the `--diff <git-ref>` fast path). The whole workspace
     /// is still scanned — cross-file rules need it — so a finding in an
     /// unchanged file is *suppressed from the report*, not undetected;
-    /// the full-workspace strict run remains the merge gate.
+    /// the full-workspace strict run remains the merge gate. Findings of
+    /// the cross-file exhaustiveness rule are retained whenever any of
+    /// its input files (surfaces, registry module, fallback registry)
+    /// changed, since the finding anchors at the enum declaration, not
+    /// at the file that drifted.
     pub only_files: Option<Vec<String>>,
+    /// When set, the reachability call graph is written here as
+    /// Graphviz DOT after the run (`--emit-callgraph`).
+    pub emit_callgraph: Option<PathBuf>,
 }
 
 impl LintConfig {
     /// A config rooted at `root` with default settings.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        LintConfig { root: root.into(), strict: false, only_files: None }
+        LintConfig { root: root.into(), strict: false, only_files: None, emit_callgraph: None }
     }
 }
 
@@ -180,6 +192,19 @@ pub fn run_lint(cfg: &LintConfig) -> Result<LintReport, String> {
         );
     }
     crossfile::check_all(&ws, &entries, &mut allows, &mut findings);
+
+    // Semantic tier: parse every file into items, build the symbol
+    // table and call graph, then run the reachability/exhaustiveness/
+    // span-balance families (DESIGN.md §6).
+    let symbols = symbols::SymbolTable::build(&ws, &entries);
+    let graph = callgraph::CallGraph::build(&symbols, &entries);
+    semantic::check_all(&ws, &entries, &symbols, &graph, &mut allows, &mut findings);
+    if let Some(path) = &cfg.emit_callgraph {
+        let roots = semantic::entry_points(&ws, &entries, &symbols);
+        std::fs::write(path, graph.to_dot(&symbols, &roots))
+            .map_err(|e| format!("cannot write call graph to {}: {e}", path.display()))?;
+    }
+
     for table in allows {
         table.finish(&mut findings);
     }
@@ -189,7 +214,15 @@ pub fn run_lint(cfg: &LintConfig) -> Result<LintReport, String> {
     });
     if let Some(only) = &cfg.only_files {
         let keep: std::collections::BTreeSet<&str> = only.iter().map(String::as_str).collect();
-        findings.retain(|f| keep.contains(f.file.as_str()));
+        // The exhaustiveness rule is whole-workspace: a changed surface
+        // file produces findings anchored at the enum declaration, so
+        // those findings survive the diff filter whenever any of the
+        // rule's inputs changed.
+        let exhaustiveness_live = only.iter().any(|f| semantic::is_exhaustiveness_input(f));
+        findings.retain(|f| {
+            keep.contains(f.file.as_str())
+                || (exhaustiveness_live && f.rule == rules::ALGORITHM_SURFACE_EXHAUSTIVENESS)
+        });
     }
     Ok(LintReport { findings, files_scanned, manifests_scanned, strict: cfg.strict })
 }

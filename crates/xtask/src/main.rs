@@ -2,10 +2,10 @@
 //! partitioning repo.
 //!
 //! ```text
-//! cargo run -p sgp-xtask -- lint [--root DIR] [--format text|json|sarif] [--strict] [--diff REF]
+//! cargo run -p sgp-xtask -- lint [--root DIR] [--format text|json|sarif] [--strict] [--diff REF] [--emit-callgraph PATH]
 //! cargo run -p sgp-xtask -- rules
 //! cargo run -p sgp-xtask -- trace-summary <trace.json> [--top N]
-//! cargo run -p sgp-xtask -- bench-check [--baseline PATH] [--fresh PATH] [--threshold PCT]
+//! cargo run -p sgp-xtask -- bench-check [--kind ingest|fault] [--baseline PATH] [--fresh PATH] [--threshold PCT]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings (warnings count only under
@@ -22,10 +22,10 @@ const USAGE: &str = "\
 sgp-xtask — in-tree workspace automation
 
 USAGE:
-    sgp-xtask lint [--root DIR] [--format text|json|sarif] [--strict] [--diff REF]
+    sgp-xtask lint [--root DIR] [--format text|json|sarif] [--strict] [--diff REF] [--emit-callgraph PATH]
     sgp-xtask rules
     sgp-xtask trace-summary <trace.json> [--top N]
-    sgp-xtask bench-check [--baseline PATH] [--fresh PATH] [--threshold PCT]
+    sgp-xtask bench-check [--kind ingest|fault] [--baseline PATH] [--fresh PATH] [--threshold PCT]
     sgp-xtask help
 
 COMMANDS:
@@ -34,8 +34,9 @@ COMMANDS:
     trace-summary  Render a trace dump (from `experiments --trace <path>`):
                    top spans by self cost, per-machine load, counters,
                    histogram quantiles
-    bench-check    Compare a fresh BENCH_ingest.json against the committed
-                   trajectory point and fail on a throughput regression
+    bench-check    Compare a fresh bench summary (BENCH_ingest.json or
+                   BENCH_fault.json) against the committed trajectory
+                   point and fail on a throughput regression
     help           Show this message
 
 LINT OPTIONS:
@@ -49,17 +50,24 @@ LINT OPTIONS:
                         still scanned so cross-file rules stay sound; this
                         filters the *report*, so keep a full-workspace
                         strict run as the merge gate.
+    --emit-callgraph PATH
+                        Also write the reachability call graph (the
+                        subgraph reachable from the public entry points
+                        of the determinism-scope crates) as Graphviz DOT
 
 TRACE-SUMMARY OPTIONS:
     --top N             Span rows to show (default: 10)
 
 BENCH-CHECK OPTIONS:
-    --baseline PATH     Committed summary (default: <root>/BENCH_ingest.json)
+    --kind KIND         ingest (default): elements_per_sec per
+                        (algorithm, mode) from BENCH_ingest.json;
+                        fault: queries_per_sec per algorithm from
+                        BENCH_fault.json
+    --baseline PATH     Committed summary (default: <root>/BENCH_<kind>.json)
     --fresh PATH        Fresh bench output (default:
-                        <root>/crates/bench/BENCH_ingest.json, where
-                        `cargo bench -p sgp-bench --bench ingest` writes it)
-    --threshold PCT     Tolerated elements_per_sec slowdown per
-                        (algorithm, mode) pair (default: 20)
+                        <root>/crates/bench/BENCH_<kind>.json, where the
+                        bench binaries write it)
+    --threshold PCT     Tolerated rate slowdown per row key (default: 20)
 
 EXIT CODES:
     0  no findings (warnings allowed unless --strict)
@@ -100,6 +108,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     let mut format = Format::Text;
     let mut strict = false;
     let mut diff_ref: Option<String> = None;
+    let mut emit_callgraph: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -107,6 +116,10 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage_error("--root requires a directory"),
+            },
+            "--emit-callgraph" => match it.next() {
+                Some(p) => emit_callgraph = Some(PathBuf::from(p)),
+                None => return usage_error("--emit-callgraph requires an output path"),
             },
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
@@ -148,6 +161,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 
     let mut cfg = LintConfig::new(&root);
     cfg.strict = strict;
+    cfg.emit_callgraph = emit_callgraph;
     if let Some(r) = &diff_ref {
         match changed_files(&root, r) {
             Ok(files) => cfg.only_files = Some(files),
@@ -235,9 +249,16 @@ fn cmd_bench_check(args: &[String]) -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut fresh: Option<PathBuf> = None;
     let mut threshold = 20.0f64;
+    let mut kind = sgp_xtask::bench_check::BenchKind::Ingest;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--kind" => {
+                match it.next().and_then(|k| sgp_xtask::bench_check::BenchKind::from_name(k)) {
+                    Some(k) => kind = k,
+                    None => return usage_error("--kind requires ingest|fault"),
+                }
+            }
             "--baseline" => match it.next() {
                 Some(p) => baseline = Some(PathBuf::from(p)),
                 None => return usage_error("--baseline requires a file path"),
@@ -274,8 +295,8 @@ fn cmd_bench_check(args: &[String]) -> ExitCode {
                 }
             };
             (
-                b.unwrap_or_else(|| root.join("BENCH_ingest.json")),
-                f.unwrap_or_else(|| root.join("crates/bench/BENCH_ingest.json")),
+                b.unwrap_or_else(|| root.join(kind.file_name())),
+                f.unwrap_or_else(|| root.join("crates/bench").join(kind.file_name())),
             )
         }
     };
@@ -284,7 +305,7 @@ fn cmd_bench_check(args: &[String]) -> ExitCode {
     };
     let report = read(&baseline)
         .and_then(|b| read(&fresh).map(|f| (b, f)))
-        .and_then(|(b, f)| sgp_xtask::bench_check::check(&b, &f, threshold));
+        .and_then(|(b, f)| sgp_xtask::bench_check::check(&b, &f, threshold, kind));
     match report {
         Ok(report) => {
             print!("{}", report.render());

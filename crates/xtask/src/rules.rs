@@ -67,6 +67,12 @@ pub const NO_FLOAT_ACCOUNTING: &str = "no-float-accounting";
 pub const SCHEMA_VERSION_SYNC: &str = "schema-version-sync";
 /// Rule: allocation in a partitioner's per-element `place` hot path.
 pub const NO_ALLOC_IN_PLACE_LOOP: &str = "no-alloc-in-place-loop";
+/// Rule: panicking constructs reachable from a public entry point.
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
+/// Rule: every `Algorithm` variant must be handled on every surface.
+pub const ALGORITHM_SURFACE_EXHAUSTIVENESS: &str = "algorithm-surface-exhaustiveness";
+/// Rule: span_enter/span_exit must balance per function body.
+pub const SPAN_GUARD_BALANCE: &str = "span-guard-balance";
 /// Meta rule: malformed or unjustified allow directives.
 pub const BAD_ALLOW_DIRECTIVE: &str = "bad-allow-directive";
 /// Meta rule: a line-scoped allow whose rule no longer fires there.
@@ -90,6 +96,9 @@ pub const ALL_RULES: &[&str] = &[
     NO_FLOAT_ACCOUNTING,
     SCHEMA_VERSION_SYNC,
     NO_ALLOC_IN_PLACE_LOOP,
+    PANIC_REACHABILITY,
+    ALGORITHM_SURFACE_EXHAUSTIVENESS,
+    SPAN_GUARD_BALANCE,
     BAD_ALLOW_DIRECTIVE,
     STALE_ALLOW,
     UNUSED_ALLOW,
@@ -152,6 +161,23 @@ pub fn describe(rule: &str) -> &'static str {
             "advisory: Vec/String construction (vec!/Vec/String/to_vec/to_string/collect/to_owned) \
              inside a partitioner `fn place` body allocates once per streamed element — hoist a \
              scratch buffer into the partitioner struct (DESIGN.md §13) or justify with an allow"
+        }
+        PANIC_REACHABILITY => {
+            "unwrap/expect/panic!/todo!/unimplemented!/indexing in any fn transitively reachable \
+             from a public entry point of the determinism-scope crates is an error; the finding \
+             prints the call path, panics are suppressed by the no-panic-in-lib allow they already \
+             carry, and indexing is audited per file in tests/goldens/PANIC_AUDIT"
+        }
+        ALGORITHM_SURFACE_EXHAUSTIVENESS => {
+            "every Algorithm enum variant must be explicitly handled on every algorithm surface \
+             (streaming dispatch, snapshot round-trip, threaded-loader support, ingest bench \
+             table, churn/elastic suites) — matched, table-listed, or registered as a documented \
+             fallback in tests/goldens/ALGORITHM_SURFACES; stale registry entries are errors"
+        }
+        SPAN_GUARD_BALANCE => {
+            "every span_enter in a function body must be matched by a span_exit on the \
+             fall-through path of the same body, or replaced by a let-bound guard_span guard \
+             (guards the byte-exact trace goldens against orphaned spans)"
         }
         BAD_ALLOW_DIRECTIVE => "sgp-lint allow directives must name a known rule and justify it",
         STALE_ALLOW => {

@@ -1,0 +1,941 @@
+//! The semantic rule families: panic-reachability over the call graph,
+//! algorithm-surface exhaustiveness over the parsed `Algorithm` enum,
+//! and span-guard balance over fn bodies.
+//!
+//! All three consume the item trees in [`crate::symbols::SymbolTable`]
+//! and the conservative [`crate::callgraph::CallGraph`]; their
+//! soundness notes live in DESIGN.md §6.
+
+use crate::callgraph::CallGraph;
+use crate::crossfile::parse_registry;
+use crate::lexer::{self, Token, TokenKind};
+use crate::parser::{self, is_keyword};
+use crate::report::{Finding, Severity};
+use crate::rules::{
+    is_call_position, is_macro_bang, is_method_call, AllowTable, ALGORITHM_SURFACE_EXHAUSTIVENESS,
+    NO_PANIC_IN_LIB, PANIC_REACHABILITY, SPAN_GUARD_BALANCE,
+};
+use crate::symbols::SymbolTable;
+use crate::workspace::{FileKind, Workspace};
+use crate::ScannedEntry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Workspace-relative path of the indexing audit registry for the
+/// panic-reachability rule (keys are workspace-relative file paths).
+pub const PANIC_AUDIT_REL: &str = "tests/goldens/PANIC_AUDIT";
+/// Workspace-relative path of the algorithm-surface fallback registry
+/// (keys are `<surface>/<Variant>`).
+pub const ALGORITHM_SURFACES_REL: &str = "tests/goldens/ALGORITHM_SURFACES";
+
+/// Crates whose public entry points seed the reachability BFS. This is
+/// the determinism scope of the measurement pipeline; `sgp-core`
+/// orchestrates runs (its panics abort a run loudly rather than corrupt
+/// a measurement) and is deliberately outside it.
+const REACH_SCOPE: &[&str] =
+    &["sgp-partition", "sgp-engine", "sgp-db", "sgp-graph", "sgp-fault", "sgp-trace"];
+
+/// Crates whose fn bodies are checked for span balance — the same set
+/// whose sink call sites the trace-key rule polices.
+const SPAN_SCOPE: &[&str] = &["sgp-partition", "sgp-engine", "sgp-db", "sgp-core"];
+
+/// Methods that panic on the error/none path.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+/// Macros that panic unconditionally.
+const PANIC_MACRO_NAMES: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Runs the three semantic rule families.
+pub fn check_all(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    symbols: &SymbolTable,
+    graph: &CallGraph,
+    allows: &mut [AllowTable<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    check_panic_reachability(ws, entries, symbols, graph, allows, findings);
+    check_algorithm_surfaces(ws, entries, symbols, findings);
+    check_span_guard_balance(ws, entries, symbols, allows, findings);
+}
+
+/// The reach-scope public entry points, in deterministic table order.
+pub fn entry_points(ws: &Workspace, entries: &[ScannedEntry], symbols: &SymbolTable) -> Vec<usize> {
+    symbols
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.is_entry_point()
+                && entries[f.entry].kind == FileKind::LibSrc
+                && REACH_SCOPE.contains(&ws.members[f.member].name.as_str())
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Is `rel` an input to the cross-file exhaustiveness rule? The `--diff`
+/// fast path keeps whole-workspace exhaustiveness findings whenever any
+/// of these changed: a surface file, the enum-declaring registry module,
+/// or the fallback registry itself.
+pub fn is_exhaustiveness_input(rel: &str) -> bool {
+    rel == ALGORITHM_SURFACES_REL
+        || rel.ends_with("src/registry.rs")
+        || SURFACES.iter().any(|s| s.suffixes.iter().any(|suf| rel.ends_with(suf)))
+}
+
+// ---------------------------------------------------------------------------
+// panic-reachability
+// ---------------------------------------------------------------------------
+
+fn check_panic_reachability(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    symbols: &SymbolTable,
+    graph: &CallGraph,
+    allows: &mut [AllowTable<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    let roots = entry_points(ws, entries, symbols);
+    if roots.is_empty() {
+        return;
+    }
+    let parent = graph.reachable(&roots);
+
+    // The indexing audit: `<workspace-relative file> = <justification>`.
+    let registry = parse_registry(ws, PANIC_AUDIT_REL, PANIC_REACHABILITY, findings);
+    let known_rels: BTreeSet<&str> = entries.iter().map(|e| e.scanned.rel.as_str()).collect();
+    let mut registry_used = vec![false; registry.len()];
+    for (idx, (key, line)) in registry.iter().enumerate() {
+        if !known_rels.contains(key.as_str()) {
+            registry_used[idx] = true; // don't double-report as stale
+            findings.push(Finding::new(
+                PANIC_REACHABILITY,
+                Severity::Error,
+                PANIC_AUDIT_REL,
+                *line,
+                format!("registry entry `{key}` does not name a workspace source file"),
+            ));
+        }
+    }
+
+    // One finding per (file, line), across all reachable fns.
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+    for (fi, f) in symbols.fns.iter().enumerate() {
+        if parent[fi].is_none()
+            || entries[f.entry].kind != FileKind::LibSrc
+            || f.is_test
+            || !REACH_SCOPE.contains(&ws.members[f.member].name.as_str())
+        {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        let scanned = &entries[f.entry].scanned;
+        let src = &scanned.source;
+        let toks = &scanned.tokens;
+        let path: Vec<&str> =
+            graph.path_to(&parent, fi).into_iter().map(|i| symbols.fns[i].qual.as_str()).collect();
+        let path_str = path.join(" -> ");
+
+        for i in open + 1..close {
+            let t = &toks[i];
+            if scanned.is_test_line(t.line) {
+                continue;
+            }
+            let site = panic_site(src, toks, i);
+            let Some(site) = site else { continue };
+            if reported.contains(&(f.entry, t.line)) {
+                continue;
+            }
+            let suppressed = match site {
+                PanicSite::Method(_) | PanicSite::Macro(_) => {
+                    // A justified no-panic-in-lib allow documents the same
+                    // invariant, so it covers the reachability finding too.
+                    allows[f.entry].allows(PANIC_REACHABILITY, t.line)
+                        || allows[f.entry].allows(NO_PANIC_IN_LIB, t.line)
+                }
+                PanicSite::Indexing => {
+                    let audited = registry
+                        .iter()
+                        .position(|(key, _)| key == &scanned.rel)
+                        .map(|idx| {
+                            registry_used[idx] = true;
+                        })
+                        .is_some();
+                    audited || allows[f.entry].allows(PANIC_REACHABILITY, t.line)
+                }
+            };
+            if suppressed {
+                continue;
+            }
+            reported.insert((f.entry, t.line));
+            let what = match site {
+                PanicSite::Method(name) => format!("`.{name}()`"),
+                PanicSite::Macro(name) => format!("`{name}!`"),
+                PanicSite::Indexing => "unchecked indexing (`[…]`)".to_string(),
+            };
+            let fix = match site {
+                PanicSite::Indexing => format!(
+                    "use .get()/.get_mut() with a typed error, or audit the file in \
+                     {PANIC_AUDIT_REL} (`{} = <why every index is in bounds>`)",
+                    scanned.rel
+                ),
+                _ => "return a typed SgpError/StoreError instead, or justify with an allow \
+                      directive"
+                    .to_string(),
+            };
+            findings.push(Finding::new(
+                PANIC_REACHABILITY,
+                Severity::Error,
+                &scanned.rel,
+                t.line,
+                format!(
+                    "{what} is reachable from a public entry point via {path_str} — a panic here \
+                     aborts a measurement instead of failing it; {fix}"
+                ),
+            ));
+        }
+    }
+
+    // Stale audit entries: the named file no longer has any audited
+    // indexing in reachable code, so the entry must go.
+    for (idx, (key, line)) in registry.iter().enumerate() {
+        if !registry_used[idx] {
+            findings.push(Finding::new(
+                PANIC_REACHABILITY,
+                Severity::Error,
+                PANIC_AUDIT_REL,
+                *line,
+                format!(
+                    "stale audit entry `{key}` — no reachable indexing site in that file needs \
+                     it any more; delete the entry so the audit cannot rot"
+                ),
+            ));
+        }
+    }
+}
+
+enum PanicSite {
+    Method(&'static str),
+    Macro(&'static str),
+    Indexing,
+}
+
+/// Classifies token `i` as a panicking site, if it is one.
+fn panic_site(src: &str, toks: &[Token], i: usize) -> Option<PanicSite> {
+    match toks[i].kind {
+        TokenKind::Ident => {
+            let name = toks[i].text(src);
+            if let Some(m) = PANIC_METHODS.iter().find(|&&m| m == name) {
+                if is_method_call(src, toks, i) {
+                    return Some(PanicSite::Method(m));
+                }
+            }
+            if let Some(m) = PANIC_MACRO_NAMES.iter().find(|&&m| m == name) {
+                if is_macro_bang(src, toks, i) {
+                    return Some(PanicSite::Macro(m));
+                }
+            }
+            None
+        }
+        TokenKind::Punct if toks[i].text(src).starts_with('[') => {
+            // Indexing: `expr[…]` — the `[` directly follows a value
+            // (identifier, `)` or `]`). Attributes (`#[`), macro brackets
+            // (`vec![`), slice types (`&[u8]`) and array literals
+            // (`= [1, 2]`) all follow something else.
+            let p = (0..i).rev().find(|&j| !lexer::is_trivia(toks[j].kind))?;
+            let indexes = match toks[p].kind {
+                TokenKind::Ident => {
+                    let w = toks[p].text(src);
+                    w == "self" || !is_keyword(w)
+                }
+                TokenKind::Punct => {
+                    let c = toks[p].text(src).chars().next();
+                    matches!(c, Some(')') | Some(']'))
+                }
+                _ => false,
+            };
+            indexes.then_some(PanicSite::Indexing)
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// algorithm-surface-exhaustiveness
+// ---------------------------------------------------------------------------
+
+/// One algorithm surface: where in the workspace every `Algorithm`
+/// variant must be accounted for.
+struct SurfaceSpec {
+    /// Registry key prefix (`<key>/<Variant>`).
+    key: &'static str,
+    /// Human description for findings.
+    what: &'static str,
+    /// Package owning the surface files.
+    pkg: &'static str,
+    /// File-path suffixes (workspace-relative) belonging to the surface.
+    suffixes: &'static [&'static str],
+    /// Scan `#[cfg(test)]` spans and test targets too?
+    include_tests: bool,
+    /// Additionally scan the bodies of these fns in the enum-declaring
+    /// file (support predicates and suite tables live there).
+    fn_filter: &'static [&'static str],
+}
+
+const SURFACES: &[SurfaceSpec] = &[
+    SurfaceSpec {
+        key: "stream-dispatch",
+        what: "the streaming core dispatch",
+        pkg: "sgp-partition",
+        suffixes: &["src/streaming.rs"],
+        include_tests: false,
+        fn_filter: &[],
+    },
+    SurfaceSpec {
+        key: "snapshot-roundtrip",
+        what: "the snapshot record round-trip",
+        pkg: "sgp-partition",
+        suffixes: &["src/snapshot.rs"],
+        include_tests: true,
+        fn_filter: &[],
+    },
+    SurfaceSpec {
+        key: "threaded-loaders",
+        what: "threaded/multi-loader support (or documented fallback)",
+        pkg: "sgp-partition",
+        suffixes: &["src/loaders.rs", "src/exec.rs"],
+        include_tests: false,
+        fn_filter: &["supports_parallel_loaders"],
+    },
+    SurfaceSpec {
+        key: "bench-ingest",
+        what: "the ingest bench table",
+        pkg: "sgp-bench",
+        suffixes: &["benches/ingest.rs"],
+        include_tests: true,
+        fn_filter: &[],
+    },
+    SurfaceSpec {
+        key: "churn-elastic",
+        what: "the churn/elastic suites",
+        pkg: "sgp-core",
+        suffixes: &["src/runners.rs"],
+        include_tests: false,
+        fn_filter: &[],
+    },
+    SurfaceSpec {
+        key: "table-all",
+        what: "the canonical Algorithm::all() table",
+        pkg: "sgp-partition",
+        suffixes: &[],
+        include_tests: false,
+        fn_filter: &["all"],
+    },
+];
+
+/// The fns whose bodies define inheritable variant tables: calling one
+/// of these from a surface inherits every variant the table lists.
+const TABLE_FNS: &[&str] = &["all", "online_suite", "offline_suite"];
+
+fn check_algorithm_surfaces(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    symbols: &SymbolTable,
+    findings: &mut Vec<Finding>,
+) {
+    // The source of truth: the unique `Algorithm` enum in sgp-partition.
+    let Some(enum_def) = symbols.unique_enum("sgp-partition", "Algorithm") else {
+        return;
+    };
+    let variant_set: BTreeSet<&str> = enum_def.variants.iter().map(|(n, _)| n.as_str()).collect();
+    let enum_entry = enum_def.entry;
+
+    // Memoized variant sets of the table fns (defined in the enum file).
+    let mut tables: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for &tf in TABLE_FNS {
+        let Some(def) =
+            symbols.fns.iter().find(|f| f.entry == enum_entry && f.name == tf && f.body.is_some())
+        else {
+            continue;
+        };
+        let (open, close) = def.body.expect("filtered on body");
+        let scanned = &entries[enum_entry].scanned;
+        let mut listed = BTreeSet::new();
+        collect_variant_mentions(
+            &scanned.source,
+            &scanned.tokens,
+            open + 1,
+            close,
+            &variant_set,
+            true,
+            &mut listed,
+        );
+        tables.insert(tf, listed);
+    }
+
+    let registry =
+        parse_registry(ws, ALGORITHM_SURFACES_REL, ALGORITHM_SURFACE_EXHAUSTIVENESS, findings);
+
+    for spec in SURFACES {
+        // Collect the surface's token ranges: (entry index, lo, hi,
+        // bare-names-allowed).
+        let mut ranges: Vec<(usize, usize, usize, bool)> = Vec::new();
+        for (ei, e) in entries.iter().enumerate() {
+            if ws.members[e.member].name != spec.pkg {
+                continue;
+            }
+            if spec.suffixes.iter().any(|s| e.scanned.rel.ends_with(s)) {
+                ranges.push((ei, 0, e.scanned.tokens.len(), false));
+            }
+        }
+        for &ff in spec.fn_filter {
+            for f in symbols.fns.iter().filter(|f| f.entry == enum_entry && f.name == ff) {
+                if let Some((open, close)) = f.body {
+                    ranges.push((enum_entry, open + 1, close, true));
+                }
+            }
+        }
+        if ranges.is_empty() {
+            // Surface not present in this workspace (fixture trees);
+            // registry entries for it are validated leniently below.
+            continue;
+        }
+
+        let mut covered: BTreeSet<String> = BTreeSet::new();
+        for &(ei, lo, hi, bare) in &ranges {
+            let scanned = &entries[ei].scanned;
+            let src = &scanned.source;
+            let toks = &scanned.tokens;
+
+            // Mechanism 1+2: explicit `Algorithm::V` paths (and bare
+            // variant names inside filtered fn bodies).
+            for i in lo..hi {
+                if !spec.include_tests && scanned.is_test_line(toks[i].line) {
+                    continue;
+                }
+                collect_variant_mentions(src, toks, i, i + 1, &variant_set, bare, &mut covered);
+                // Mechanism 3: calling a table fn inherits its variants.
+                if toks[i].kind == TokenKind::Ident {
+                    let name = toks[i].text(src);
+                    if TABLE_FNS.contains(&name)
+                        && (is_call_position(src, toks, i) || is_method_call(src, toks, i))
+                    {
+                        if let Some(listed) = tables.get(name) {
+                            covered.extend(listed.iter().cloned());
+                        }
+                    }
+                }
+            }
+
+            // Mechanism 4: wildcard-free matches over the enum are
+            // compiler-exhaustive — every variant is covered; matches
+            // *with* a wildcard cover only the variants their arm heads
+            // name (already collected above as path mentions), so a new
+            // variant silently falling into `_ =>` is exactly what this
+            // rule reports.
+            for m in parser::match_exprs_in(src, toks, lo, hi) {
+                if !spec.include_tests && scanned.is_test_line(m.line) {
+                    continue;
+                }
+                let mut mentions = BTreeSet::new();
+                let mut irrefutable = false;
+                for &(alo, ahi) in &m.arms {
+                    collect_variant_mentions(
+                        src,
+                        toks,
+                        alo,
+                        ahi,
+                        &variant_set,
+                        true,
+                        &mut mentions,
+                    );
+                    irrefutable |= arm_is_irrefutable(src, toks, alo, ahi);
+                }
+                if mentions.is_empty() {
+                    continue; // a match about something else entirely
+                }
+                if irrefutable {
+                    covered.extend(mentions);
+                } else {
+                    covered.extend(variant_set.iter().map(|s| s.to_string()));
+                }
+            }
+        }
+
+        // Mechanism 5: registered fallbacks.
+        for (key, _) in &registry {
+            if let Some((surface, variant)) = key.split_once('/') {
+                if surface == spec.key
+                    && variant_set.contains(variant)
+                    && !covered.contains(variant)
+                {
+                    covered.insert(variant.to_string());
+                }
+            }
+        }
+
+        let surface_files: Vec<&str> =
+            ranges.iter().map(|&(ei, ..)| entries[ei].scanned.rel.as_str()).collect();
+        let enum_rel = entries[enum_entry].scanned.rel.clone();
+        for (variant, line) in &enum_def.variants {
+            if !covered.contains(variant) {
+                findings.push(Finding::new(
+                    ALGORITHM_SURFACE_EXHAUSTIVENESS,
+                    Severity::Error,
+                    &enum_rel,
+                    *line,
+                    format!(
+                        "variant `{variant}` is not handled on {what} ({files}) — match it, list \
+                         it in a table, or register `{key}/{variant} = <why it is excluded>` in \
+                         {ALGORITHM_SURFACES_REL}",
+                        what = spec.what,
+                        files = dedup_join(&surface_files),
+                        key = spec.key,
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Registry hygiene: every entry must name a known surface and
+    // variant, and must still be needed (not also covered in source).
+    validate_surface_registry(ws, entries, symbols, &registry, enum_entry, &variant_set, findings);
+}
+
+/// Validates ALGORITHM_SURFACES entries after coverage has been
+/// computed: unknown keys and stale (in-source-covered) entries are
+/// errors; entries for surfaces absent from this workspace pass.
+fn validate_surface_registry(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    symbols: &SymbolTable,
+    registry: &[(String, usize)],
+    enum_entry: usize,
+    variant_set: &BTreeSet<&str>,
+    findings: &mut Vec<Finding>,
+) {
+    for (key, line) in registry {
+        let Some((surface, variant)) = key.split_once('/') else {
+            findings.push(Finding::new(
+                ALGORITHM_SURFACE_EXHAUSTIVENESS,
+                Severity::Error,
+                ALGORITHM_SURFACES_REL,
+                *line,
+                format!("registry key `{key}` must be `<surface>/<Variant>`"),
+            ));
+            continue;
+        };
+        let Some(spec) = SURFACES.iter().find(|s| s.key == surface) else {
+            findings.push(Finding::new(
+                ALGORITHM_SURFACE_EXHAUSTIVENESS,
+                Severity::Error,
+                ALGORITHM_SURFACES_REL,
+                *line,
+                format!(
+                    "unknown surface `{surface}` — known surfaces: {}",
+                    SURFACES.iter().map(|s| s.key).collect::<Vec<_>>().join(", ")
+                ),
+            ));
+            continue;
+        };
+        if !variant_set.contains(variant) {
+            findings.push(Finding::new(
+                ALGORITHM_SURFACE_EXHAUSTIVENESS,
+                Severity::Error,
+                ALGORITHM_SURFACES_REL,
+                *line,
+                format!("`{variant}` is not a variant of the Algorithm enum"),
+            ));
+            continue;
+        }
+        // Stale check: recompute whether the surface covers the variant
+        // *without* the registry. Surfaces absent from this workspace
+        // are skipped (the entry is inert there, not stale).
+        let present = entries.iter().any(|e| {
+            ws.members[e.member].name == spec.pkg
+                && spec.suffixes.iter().any(|s| e.scanned.rel.ends_with(s))
+        }) || spec
+            .fn_filter
+            .iter()
+            .any(|ff| symbols.fns.iter().any(|f| f.entry == enum_entry && &f.name == ff));
+        if !present {
+            continue;
+        }
+        if surface_covers_in_source(ws, entries, symbols, spec, enum_entry, variant_set, variant) {
+            findings.push(Finding::new(
+                ALGORITHM_SURFACE_EXHAUSTIVENESS,
+                Severity::Error,
+                ALGORITHM_SURFACES_REL,
+                *line,
+                format!(
+                    "stale entry `{key}` — `{variant}` is already handled in source on \
+                     `{surface}`; delete the entry so the fallback list cannot rot"
+                ),
+            ));
+        }
+    }
+}
+
+/// Does `spec` cover `variant` in source alone (no registry)? Used for
+/// the stale-entry check; mirrors the coverage walk above.
+fn surface_covers_in_source(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    symbols: &SymbolTable,
+    spec: &SurfaceSpec,
+    enum_entry: usize,
+    variant_set: &BTreeSet<&str>,
+    variant: &str,
+) -> bool {
+    let mut ranges: Vec<(usize, usize, usize, bool)> = Vec::new();
+    for (ei, e) in entries.iter().enumerate() {
+        if ws.members[e.member].name == spec.pkg
+            && spec.suffixes.iter().any(|s| e.scanned.rel.ends_with(s))
+        {
+            ranges.push((ei, 0, e.scanned.tokens.len(), false));
+        }
+    }
+    for &ff in spec.fn_filter {
+        for f in symbols.fns.iter().filter(|f| f.entry == enum_entry && f.name == ff) {
+            if let Some((open, close)) = f.body {
+                ranges.push((enum_entry, open + 1, close, true));
+            }
+        }
+    }
+    for &(ei, lo, hi, bare) in &ranges {
+        let scanned = &entries[ei].scanned;
+        let src = &scanned.source;
+        let toks = &scanned.tokens;
+        let mut covered = BTreeSet::new();
+        for i in lo..hi {
+            if !spec.include_tests && scanned.is_test_line(toks[i].line) {
+                continue;
+            }
+            collect_variant_mentions(src, toks, i, i + 1, variant_set, bare, &mut covered);
+        }
+        if covered.contains(variant) {
+            return true;
+        }
+        for m in parser::match_exprs_in(src, toks, lo, hi) {
+            if !spec.include_tests && scanned.is_test_line(m.line) {
+                continue;
+            }
+            let mut mentions = BTreeSet::new();
+            let mut irrefutable = false;
+            for &(alo, ahi) in &m.arms {
+                collect_variant_mentions(src, toks, alo, ahi, variant_set, true, &mut mentions);
+                irrefutable |= arm_is_irrefutable(src, toks, alo, ahi);
+            }
+            if !mentions.is_empty() && (!irrefutable || mentions.contains(variant)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Adds to `out` every variant mentioned in `[lo, hi)`: `Algorithm::V`
+/// paths always; bare `V` identifiers only when `bare` is set (inside
+/// fn-filtered bodies and match-arm heads, where a CamelCase identifier
+/// naming a variant *is* the variant).
+fn collect_variant_mentions(
+    src: &str,
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    variant_set: &BTreeSet<&str>,
+    bare: bool,
+    out: &mut BTreeSet<String>,
+) {
+    for i in lo..hi.min(toks.len()) {
+        if toks[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = toks[i].text(src);
+        if !variant_set.contains(name) {
+            continue;
+        }
+        if bare || path_qualifier_is(src, toks, i, "Algorithm") {
+            out.insert(name.to_string());
+        }
+    }
+}
+
+/// Is token `i` the final segment of a `…::<qual>::<i>` path whose
+/// previous segment is `qual`?
+fn path_qualifier_is(src: &str, toks: &[Token], i: usize, qual: &str) -> bool {
+    let mut prevs = (0..i).rev().filter(|&j| !lexer::is_trivia(toks[j].kind));
+    let (Some(c2), Some(c1), Some(q)) = (prevs.next(), prevs.next(), prevs.next()) else {
+        return false;
+    };
+    let colon = |j: usize| {
+        toks[j].kind == TokenKind::Punct && src[toks[j].start..toks[j].end].starts_with(':')
+    };
+    colon(c2) && colon(c1) && toks[q].kind == TokenKind::Ident && toks[q].text(src) == qual
+}
+
+/// Is the arm head `[lo, hi)` an irrefutable pattern — `_` or a single
+/// lowercase binding, with no `if` guard?
+fn arm_is_irrefutable(src: &str, toks: &[Token], lo: usize, hi: usize) -> bool {
+    let head: Vec<usize> =
+        (lo..hi.min(toks.len())).filter(|&j| !lexer::is_trivia(toks[j].kind)).collect();
+    if head.iter().any(|&j| toks[j].kind == TokenKind::Ident && toks[j].text(src) == "if") {
+        return false;
+    }
+    match head.as_slice() {
+        [only] => match toks[*only].kind {
+            TokenKind::Ident => {
+                let w = toks[*only].text(src);
+                w == "_" || w.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn dedup_join(files: &[&str]) -> String {
+    let uniq: BTreeSet<&str> = files.iter().copied().collect();
+    uniq.into_iter().collect::<Vec<_>>().join(", ")
+}
+
+// ---------------------------------------------------------------------------
+// span-guard-balance
+// ---------------------------------------------------------------------------
+
+fn check_span_guard_balance(
+    ws: &Workspace,
+    entries: &[ScannedEntry],
+    symbols: &SymbolTable,
+    allows: &mut [AllowTable<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    for f in &symbols.fns {
+        if f.is_test
+            || entries[f.entry].kind != FileKind::LibSrc
+            || !SPAN_SCOPE.contains(&ws.members[f.member].name.as_str())
+        {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        let scanned = &entries[f.entry].scanned;
+        let src = &scanned.source;
+        let toks = &scanned.tokens;
+        // Per trace key: (enter lines, exit lines) within this body.
+        let mut spans: BTreeMap<String, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+        for i in open + 1..close {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident || scanned.is_test_line(t.line) {
+                continue;
+            }
+            let name = t.text(src);
+            if !matches!(name, "span_enter" | "span_exit" | "guard_span") {
+                continue;
+            }
+            if !is_method_call(src, toks, i) {
+                continue;
+            }
+            let key = first_arg_key(src, toks, i).unwrap_or_else(|| "<unknown>".to_string());
+            match name {
+                "span_enter" => spans.entry(key).or_default().0.push(t.line),
+                "span_exit" => spans.entry(key).or_default().1.push(t.line),
+                "guard_span" => {
+                    // A guard transfers the exit obligation to its
+                    // binding; an unbound guard is dropped immediately,
+                    // closing the span before the work it brackets.
+                    if !let_bound(src, toks, i, open)
+                        && !allows[f.entry].allows(SPAN_GUARD_BALANCE, t.line)
+                    {
+                        findings.push(Finding::new(
+                            SPAN_GUARD_BALANCE,
+                            Severity::Error,
+                            &scanned.rel,
+                            t.line,
+                            format!(
+                                "guard_span(`{key}`) result is dropped immediately — bind it \
+                                 (`let _guard = …`) so the span stays open across the work it \
+                                 brackets"
+                            ),
+                        ));
+                    }
+                }
+                _ => unreachable!("filtered above"),
+            }
+        }
+        for (key, (enters, exits)) in spans {
+            if enters.len() == exits.len() {
+                continue;
+            }
+            let line = *enters.first().or(exits.first()).expect("imbalance implies a site");
+            if allows[f.entry].allows(SPAN_GUARD_BALANCE, line) {
+                continue;
+            }
+            let msg = if enters.len() > exits.len() {
+                format!(
+                    "span_enter(`{key}`) ({}×) outnumbers span_exit ({}×) on the fall-through \
+                     path of `{}` — emit the exit on every path, or hold a let-bound guard_span \
+                     guard",
+                    enters.len(),
+                    exits.len(),
+                    f.qual
+                )
+            } else {
+                format!(
+                    "span_exit(`{key}`) ({}×) outnumbers span_enter ({}×) in `{}` — the trace \
+                     stack underflows and the goldens drift",
+                    exits.len(),
+                    enters.len(),
+                    f.qual
+                )
+            };
+            findings.push(Finding::new(
+                SPAN_GUARD_BALANCE,
+                Severity::Error,
+                &scanned.rel,
+                line,
+                msg,
+            ));
+        }
+    }
+}
+
+/// The trace key of sink call `i` (`.span_enter(keys::X, …)` →
+/// `X`; string literals yield their quoted text).
+fn first_arg_key(src: &str, toks: &[Token], i: usize) -> Option<String> {
+    let next = |j: usize| (j + 1..toks.len()).find(|&k| !lexer::is_trivia(toks[k].kind));
+    let open = next(i)?;
+    let mut arg = next(open);
+    // Skip reference sigils.
+    while let Some(a) = arg {
+        if toks[a].kind == TokenKind::Punct && src[toks[a].start..toks[a].end].starts_with('&') {
+            arg = next(a);
+        } else {
+            break;
+        }
+    }
+    let a = arg?;
+    match toks[a].kind {
+        TokenKind::Str { .. } => {
+            // Strip the literal syntax (`r#"…"#` / `"…"`) without eating
+            // content characters.
+            let t = toks[a].text(src);
+            let t = t.strip_prefix('r').unwrap_or(t);
+            let t = t.trim_matches('#');
+            let t = t.strip_prefix('"').unwrap_or(t);
+            let t = t.strip_suffix('"').unwrap_or(t);
+            Some(t.to_string())
+        }
+        TokenKind::Ident => {
+            // Resolve `keys::PARTITION_RUN` to its last segment.
+            let mut last = a;
+            loop {
+                let c1 = next(last);
+                let c2 = c1.and_then(next);
+                let seg = c2.and_then(next);
+                let colon = |j: usize| {
+                    toks[j].kind == TokenKind::Punct
+                        && src[toks[j].start..toks[j].end].starts_with(':')
+                };
+                match (c1, c2, seg) {
+                    (Some(x), Some(y), Some(s))
+                        if colon(x) && colon(y) && toks[s].kind == TokenKind::Ident =>
+                    {
+                        last = s;
+                    }
+                    _ => break,
+                }
+            }
+            Some(toks[last].text(src).to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Is the expression statement containing token `i` a `let` binding?
+/// Walks back to the start of the statement (a `;`, or the body/block
+/// opener) looking for the `let` keyword.
+fn let_bound(src: &str, toks: &[Token], i: usize, body_open: usize) -> bool {
+    for j in (body_open + 1..i).rev() {
+        match toks[j].kind {
+            TokenKind::Punct => match src[toks[j].start..toks[j].end].chars().next() {
+                Some(';') | Some('{') | Some('}') => return false,
+                _ => {}
+            },
+            TokenKind::Ident if toks[j].text(src) == "let" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    #[test]
+    fn panic_site_classifier() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] + x.unwrap() + panic!(\"no\") }";
+        let scanned = scan_source(src, "t.rs");
+        let toks = &scanned.tokens;
+        let mut kinds = Vec::new();
+        for i in 0..toks.len() {
+            if let Some(site) = panic_site(src, toks, i) {
+                kinds.push(match site {
+                    PanicSite::Method(m) => m.to_string(),
+                    PanicSite::Macro(m) => format!("{m}!"),
+                    PanicSite::Indexing => "[]".to_string(),
+                });
+            }
+        }
+        assert_eq!(kinds, vec!["[]", "unwrap", "panic!"]);
+    }
+
+    #[test]
+    fn indexing_heuristic_skips_types_attrs_and_literals() {
+        let src = "#[derive(Debug)]\nfn f(s: &[u8]) -> Vec<u32> { let a = [1, 2]; let [x, y] = a; vec![x] }\n";
+        let scanned = scan_source(src, "t.rs");
+        let toks = &scanned.tokens;
+        let sites: Vec<usize> =
+            (0..toks.len()).filter(|&i| panic_site(src, toks, i).is_some()).collect();
+        assert!(sites.is_empty(), "no value is being indexed here: {sites:?}");
+    }
+
+    #[test]
+    fn first_arg_key_resolves_paths_and_strings() {
+        let src = "fn f() { sink.span_enter(keys::RUN, 0, 1); sink.span_exit(\"raw\", 0, 1); }";
+        let scanned = scan_source(src, "t.rs");
+        let toks = &scanned.tokens;
+        let keys: Vec<String> = (0..toks.len())
+            .filter(|&i| {
+                toks[i].kind == TokenKind::Ident
+                    && matches!(toks[i].text(src), "span_enter" | "span_exit")
+            })
+            .filter_map(|i| first_arg_key(src, toks, i))
+            .collect();
+        assert_eq!(keys, vec!["RUN".to_string(), "raw".to_string()]);
+    }
+
+    #[test]
+    fn let_binding_detection() {
+        let src = "fn f() { let g = sink.guard_span(keys::RUN, 0, s); sink.guard_span(keys::RUN, 0, s); }";
+        let scanned = scan_source(src, "t.rs");
+        let toks = &scanned.tokens;
+        let sites: Vec<bool> = (0..toks.len())
+            .filter(|&i| toks[i].kind == TokenKind::Ident && toks[i].text(src) == "guard_span")
+            .map(|i| let_bound(src, toks, i, 0))
+            .collect();
+        assert_eq!(sites, vec![true, false]);
+    }
+
+    #[test]
+    fn irrefutable_arm_detection() {
+        let src = "match a { Alg::A => 1, other => 2, n if n > 3 => 3, _ => 4 }";
+        let scanned = scan_source(src, "t.rs");
+        let toks = &scanned.tokens;
+        let m = &parser::match_exprs_in(src, toks, 0, toks.len())[0];
+        let flags: Vec<bool> =
+            m.arms.iter().map(|&(lo, hi)| arm_is_irrefutable(src, toks, lo, hi)).collect();
+        assert_eq!(flags, vec![false, true, false, true]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Workspace symbol table: every function and enum definition, parsed
+//! once per file and indexed for the call graph and the semantic rules.
+//!
+//! Built from the [`crate::parser`] item trees over every scanned file.
+//! Resolution is *name-based and conservative*: the table maps a bare
+//! function name to every definition with that name anywhere in the
+//! workspace, and the call graph ([`crate::callgraph`]) adds an edge to
+//! all of them. That over-approximates real dispatch (two unrelated
+//! `fn len` definitions alias), which is the sound direction for the
+//! panic-reachability rule — it can report a path that the compiler
+//! would not take, but never misses one it would.
+
+use crate::ast::{File, Item, ItemKind};
+use crate::parser;
+use crate::workspace::Workspace;
+use crate::ScannedEntry;
+use std::collections::BTreeMap;
+
+/// One function definition found in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into the scanned-entry list (and into `SymbolTable::files`).
+    pub entry: usize,
+    /// Index into `ws.members`.
+    pub member: usize,
+    /// Package name of the owning member (e.g. `sgp-partition`).
+    pub package: String,
+    /// Workspace-relative file path.
+    pub rel: String,
+    /// Bare function name.
+    pub name: String,
+    /// Qualified display name: `<package>::<container path>::<name>`.
+    pub qual: String,
+    /// 1-based line of the `fn` name.
+    pub line: usize,
+    /// Inclusive `{`/`}` token indices of the body, if the fn has one.
+    pub body: Option<(usize, usize)>,
+    /// Unrestricted `pub`, as declared on the item (container
+    /// visibility is not chased; see [`FnDef::is_entry_point`]).
+    pub is_pub: bool,
+    /// True when the definition line falls inside a `#[cfg(test)]` span
+    /// or the file is a test/bench target.
+    pub is_test: bool,
+    /// True when the fn is an `impl`/`trait` member (callable as a
+    /// method).
+    pub in_impl: bool,
+}
+
+impl FnDef {
+    /// Is this fn a public entry point for reachability purposes?
+    /// Conservative: a `pub fn` at module top level or in an `impl` is
+    /// an entry even if an enclosing `mod` is private — the rule would
+    /// rather re-check an unreachable pub fn than miss an exported one.
+    pub fn is_entry_point(&self) -> bool {
+        self.is_pub && !self.is_test
+    }
+}
+
+/// One enum definition (name, variants) found in the workspace.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Index into the scanned-entry list.
+    pub entry: usize,
+    /// Package name of the owning member.
+    pub package: String,
+    /// Workspace-relative file path.
+    pub rel: String,
+    /// Enum name.
+    pub name: String,
+    /// Variant names with their declaration lines.
+    pub variants: Vec<(String, usize)>,
+}
+
+/// The workspace symbol table: parsed files plus fn/enum indexes.
+pub struct SymbolTable {
+    /// Parsed item tree per scanned entry, index-aligned with the
+    /// `entries` slice the table was built from.
+    pub files: Vec<File>,
+    /// Every fn definition, in deterministic (file, line) order.
+    pub fns: Vec<FnDef>,
+    /// Bare name → indices into `fns`.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Every enum definition.
+    pub enums: Vec<EnumDef>,
+}
+
+impl SymbolTable {
+    /// Parses every scanned file and collects fn/enum definitions.
+    pub fn build(ws: &Workspace, entries: &[ScannedEntry]) -> SymbolTable {
+        let mut files = Vec::with_capacity(entries.len());
+        let mut fns = Vec::new();
+        let mut enums = Vec::new();
+        for (ei, e) in entries.iter().enumerate() {
+            let src = &e.scanned.source;
+            let file = parser::parse(src, &e.scanned.tokens);
+            let package = ws.members[e.member].name.clone();
+            let mut path = vec![package.clone()];
+            for item in &file.items {
+                collect(item, ei, e, &package, &mut path, false, &mut fns, &mut enums);
+            }
+            files.push(file);
+        }
+        fns.sort_by(|a, b| {
+            (a.rel.as_str(), a.line, a.name.as_str()).cmp(&(
+                b.rel.as_str(),
+                b.line,
+                b.name.as_str(),
+            ))
+        });
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        SymbolTable { files, fns, by_name, enums }
+    }
+
+    /// The enum named `name` inside package `pkg`, if defined exactly
+    /// once there (the exhaustiveness rule requires a unique source of
+    /// truth).
+    pub fn unique_enum(&self, pkg: &str, name: &str) -> Option<&EnumDef> {
+        let mut found = None;
+        for e in &self.enums {
+            if e.package == pkg && e.name == name {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(e);
+            }
+        }
+        found
+    }
+}
+
+fn collect(
+    item: &Item,
+    entry: usize,
+    e: &ScannedEntry,
+    package: &str,
+    path: &mut Vec<String>,
+    in_impl: bool,
+    fns: &mut Vec<FnDef>,
+    enums: &mut Vec<EnumDef>,
+) {
+    match item.kind {
+        ItemKind::Fn => {
+            let name = match &item.name {
+                Some(n) => n.clone(),
+                None => return,
+            };
+            let qual = {
+                let mut q = path.join("::");
+                q.push_str("::");
+                q.push_str(&name);
+                q
+            };
+            let is_test = e.scanned.is_test_line(item.line)
+                || matches!(
+                    e.kind,
+                    crate::workspace::FileKind::TestFile
+                        | crate::workspace::FileKind::BenchFile
+                        | crate::workspace::FileKind::ExampleFile
+                );
+            fns.push(FnDef {
+                entry,
+                member: e.member,
+                package: package.to_string(),
+                rel: e.scanned.rel.clone(),
+                name,
+                qual,
+                line: item.line,
+                body: item.body,
+                is_pub: item.is_pub,
+                is_test,
+                in_impl,
+            });
+        }
+        ItemKind::Enum => {
+            if let Some(name) = &item.name {
+                enums.push(EnumDef {
+                    entry,
+                    package: package.to_string(),
+                    rel: e.scanned.rel.clone(),
+                    name: name.clone(),
+                    variants: item.variants.iter().map(|v| (v.name.clone(), v.line)).collect(),
+                });
+            }
+        }
+        ItemKind::Impl | ItemKind::Mod | ItemKind::Trait => {
+            let seg = item.name.clone().unwrap_or_else(|| "_".to_string());
+            let child_in_impl = matches!(item.kind, ItemKind::Impl | ItemKind::Trait);
+            path.push(seg);
+            for child in &item.children {
+                collect(child, entry, e, package, path, child_in_impl, fns, enums);
+            }
+            path.pop();
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+    use crate::workspace::FileKind;
+
+    fn entry_for(src: &str, rel: &str) -> ScannedEntry {
+        ScannedEntry { member: 0, kind: FileKind::LibSrc, scanned: scan_source(src, rel) }
+    }
+
+    fn table_for(src: &str) -> SymbolTable {
+        // A workspace with one synthetic member; only `name` is read.
+        let ws = fake_ws();
+        SymbolTable::build(&ws, &[entry_for(src, "crates/p/src/lib.rs")])
+    }
+
+    fn fake_ws() -> Workspace {
+        use crate::manifest::parse_manifest;
+        use crate::workspace::Member;
+        Workspace {
+            root: std::path::PathBuf::from("."),
+            root_manifest: parse_manifest("[workspace]\n", "Cargo.toml"),
+            members: vec![Member {
+                name: "sgp-test".to_string(),
+                dir: std::path::PathBuf::from("crates/p"),
+                manifest: parse_manifest("[package]\nname = \"sgp-test\"\n", "crates/p/Cargo.toml"),
+                manifest_rel: "crates/p/Cargo.toml".to_string(),
+                files: Vec::new(),
+                is_root_package: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn fns_in_impls_and_mods_get_qualified_names() {
+        let src = "pub fn top() {}\nimpl Widget {\n    pub fn poke(&self) {}\n}\nmod inner {\n    fn hidden() {}\n}\n";
+        let t = table_for(src);
+        let quals: Vec<_> = t.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            vec!["sgp-test::top", "sgp-test::Widget::poke", "sgp-test::inner::hidden"]
+        );
+        assert!(t.fns[0].is_entry_point());
+        assert!(t.fns[1].in_impl);
+        assert!(!t.fns[2].is_pub);
+    }
+
+    #[test]
+    fn test_code_is_not_an_entry_point() {
+        let src = "pub fn real() {}\n#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n";
+        let t = table_for(src);
+        let real = t.fns.iter().find(|f| f.name == "real").expect("real");
+        let helper = t.fns.iter().find(|f| f.name == "helper").expect("helper");
+        assert!(real.is_entry_point());
+        assert!(helper.is_test && !helper.is_entry_point());
+    }
+
+    #[test]
+    fn enums_are_indexed_with_variant_lines() {
+        let src = "pub enum Algorithm {\n    EcrHash,\n    Ldg,\n}\n";
+        let t = table_for(src);
+        let e = t.unique_enum("sgp-test", "Algorithm").expect("enum");
+        assert_eq!(e.variants, vec![("EcrHash".to_string(), 2), ("Ldg".to_string(), 3)]);
+    }
+}

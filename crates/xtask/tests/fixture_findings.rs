@@ -33,6 +33,11 @@ const ENGINE_LIB: &str = "crates/engine/src/lib.rs";
 const ENGINE_TOML: &str = "crates/engine/Cargo.toml";
 const ENGINE_SMOKE: &str = "crates/engine/tests/smoke.rs";
 const DB_SIM: &str = "crates/db/src/sim.rs";
+const GRAPH_PIPELINE: &str = "crates/graph/src/pipeline.rs";
+const ENGINE_SPANS: &str = "crates/engine/src/spans.rs";
+const PARTITION_REGISTRY: &str = "crates/partition/src/registry.rs";
+const SURFACES_REGISTRY: &str = "tests/goldens/ALGORITHM_SURFACES";
+const PANIC_AUDIT: &str = "tests/goldens/PANIC_AUDIT";
 const RECOVERY_LIB: &str = "crates/recovery/src/lib.rs";
 const FAULT_LIB: &str = "crates/fault/src/lib.rs";
 const PARTITION_LIB: &str = "crates/partition/src/lib.rs";
@@ -188,6 +193,131 @@ fn fixture_findings_match_exactly() {
             SEND_REGISTRY.into(),
             mark_line(SEND_REGISTRY, "MARK-stale-send"),
         ),
+        // panic-reachability: panic sites transitively reachable from a
+        // public entry point. The depth-1 engine sites fire both the
+        // per-file panic rule (above) and reachability; the pipeline
+        // seeds prove depth ≥ 2 chains and method-call edges, while the
+        // orphan fn's expect stays per-file only (unreached).
+        ("panic-reachability".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-unwrap")),
+        ("panic-reachability".into(), ENGINE_LIB.into(), mark_line(ENGINE_LIB, "MARK-panic")),
+        (
+            "panic-reachability".into(),
+            ENGINE_LIB.into(),
+            mark_line(ENGINE_LIB, "MARK-unsuppressed"),
+        ),
+        (
+            "panic-reachability".into(),
+            GRAPH_PIPELINE.into(),
+            mark_line(GRAPH_PIPELINE, "MARK-deep-unwrap"),
+        ),
+        (
+            "panic-reachability".into(),
+            GRAPH_PIPELINE.into(),
+            mark_line(GRAPH_PIPELINE, "MARK-deep-panic"),
+        ),
+        (
+            "panic-reachability".into(),
+            GRAPH_PIPELINE.into(),
+            mark_line(GRAPH_PIPELINE, "MARK-method-indexing"),
+        ),
+        // ...their per-file co-findings (the partition lib.rs indexing
+        // is suppressed by the used PANIC_AUDIT entry instead).
+        (
+            "no-panic-in-lib".into(),
+            GRAPH_PIPELINE.into(),
+            mark_line(GRAPH_PIPELINE, "MARK-deep-unwrap"),
+        ),
+        (
+            "no-panic-in-lib".into(),
+            GRAPH_PIPELINE.into(),
+            mark_line(GRAPH_PIPELINE, "MARK-deep-panic"),
+        ),
+        (
+            "no-panic-in-lib".into(),
+            GRAPH_PIPELINE.into(),
+            mark_line(GRAPH_PIPELINE, "MARK-orphan-expect"),
+        ),
+        // ...and the stale PANIC_AUDIT entry (db has no indexing).
+        (
+            "panic-reachability".into(),
+            PANIC_AUDIT.into(),
+            mark_line(PANIC_AUDIT, "MARK-stale-audit"),
+        ),
+        // algorithm-surface-exhaustiveness: gaps anchor at the missing
+        // variant's declaration line. Delta is missing on three
+        // surfaces (stream-dispatch, threaded-loaders, table-all);
+        // Alpha and Gamma only on threaded-loaders. Gamma's absence
+        // from stream-dispatch is excused by the used registry entry.
+        (
+            "algorithm-surface-exhaustiveness".into(),
+            PARTITION_REGISTRY.into(),
+            mark_line(PARTITION_REGISTRY, "MARK-alpha-variant"),
+        ),
+        (
+            "algorithm-surface-exhaustiveness".into(),
+            PARTITION_REGISTRY.into(),
+            mark_line(PARTITION_REGISTRY, "MARK-gamma-variant"),
+        ),
+        (
+            "algorithm-surface-exhaustiveness".into(),
+            PARTITION_REGISTRY.into(),
+            mark_line(PARTITION_REGISTRY, "MARK-delta-variant"),
+        ),
+        (
+            "algorithm-surface-exhaustiveness".into(),
+            PARTITION_REGISTRY.into(),
+            mark_line(PARTITION_REGISTRY, "MARK-delta-variant"),
+        ),
+        (
+            "algorithm-surface-exhaustiveness".into(),
+            PARTITION_REGISTRY.into(),
+            mark_line(PARTITION_REGISTRY, "MARK-delta-variant"),
+        ),
+        // ...and the registry's own rot: stale, unknown variant,
+        // unknown surface.
+        (
+            "algorithm-surface-exhaustiveness".into(),
+            SURFACES_REGISTRY.into(),
+            mark_line(SURFACES_REGISTRY, "MARK-stale-surface"),
+        ),
+        (
+            "algorithm-surface-exhaustiveness".into(),
+            SURFACES_REGISTRY.into(),
+            mark_line(SURFACES_REGISTRY, "MARK-unknown-variant"),
+        ),
+        (
+            "algorithm-surface-exhaustiveness".into(),
+            SURFACES_REGISTRY.into(),
+            mark_line(SURFACES_REGISTRY, "MARK-unknown-surface"),
+        ),
+        // span-guard-balance: double enter, stray exit, unbound guard,
+        // and a never-exited hardcoded key (which also fires the
+        // key-registry rule on the same line).
+        (
+            "span-guard-balance".into(),
+            ENGINE_SPANS.into(),
+            mark_line(ENGINE_SPANS, "MARK-span-double-enter"),
+        ),
+        (
+            "span-guard-balance".into(),
+            ENGINE_SPANS.into(),
+            mark_line(ENGINE_SPANS, "MARK-span-stray-exit"),
+        ),
+        (
+            "span-guard-balance".into(),
+            ENGINE_SPANS.into(),
+            mark_line(ENGINE_SPANS, "MARK-span-unbound-guard"),
+        ),
+        (
+            "span-guard-balance".into(),
+            ENGINE_SPANS.into(),
+            mark_line(ENGINE_SPANS, "MARK-span-adhoc"),
+        ),
+        (
+            "trace-key-registry".into(),
+            ENGINE_SPANS.into(),
+            mark_line(ENGINE_SPANS, "MARK-span-adhoc"),
+        ),
     ];
     expected.sort();
 
@@ -200,7 +330,7 @@ fn fixture_findings_match_exactly() {
         "finding set mismatch\nactual:\n{:#?}\nexpected:\n{:#?}",
         actual, expected
     );
-    assert_eq!(report.errors(), 36);
+    assert_eq!(report.errors(), 59);
     assert_eq!(report.warnings(), 2);
     assert_eq!(report.exit_code(), 1, "seeded fixture must fail the lint");
 }
@@ -244,7 +374,7 @@ fn json_output_is_stable_and_wellformed() {
     let b = sgp_xtask::render_json(&report);
     assert_eq!(a, b, "rendering is deterministic");
     assert!(a.starts_with("{\n  \"version\": 1,\n"));
-    assert!(a.contains("\"errors\": 36"));
+    assert!(a.contains("\"errors\": 59"));
     assert!(a.contains("\"warnings\": 2"));
     assert!(a.contains("\"rule\": \"no-hash-iteration\""));
     // Findings arrive sorted by (file, line, rule): the manifest file

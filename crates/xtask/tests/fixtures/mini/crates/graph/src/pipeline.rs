@@ -1,0 +1,51 @@
+//! Fixture: panic-reachability seeds. The public entry points are
+//! clean themselves; the panic sites live in private helpers only
+//! reachable through call chains, so the rule must print the path.
+//! `orphan` is called by nobody — its `expect` still fires the
+//! per-file panic rule but must stay out of the reachability report.
+
+/// Public pipeline entry: clean itself, everything below is reachable.
+pub fn run_pipeline(input: Option<u32>) -> u32 {
+    stage_one(input)
+}
+
+/// First private stage: still clean, forwards deeper.
+fn stage_one(input: Option<u32>) -> u32 {
+    guard(stage_two(input)) + 1
+}
+
+/// Second stage — the deep panic site: reachable only via
+/// `run_pipeline -> stage_one -> stage_two`.
+fn stage_two(input: Option<u32>) -> u32 {
+    input.unwrap() // MARK-deep-unwrap
+}
+
+/// Range guard — reachable via `run_pipeline -> stage_one -> guard`.
+fn guard(v: u32) -> u32 {
+    if v > 9 {
+        panic!("fixture guard"); // MARK-deep-panic
+    }
+    v
+}
+
+/// A picker whose indexing is reachable only through a *method* edge.
+pub struct Picker {
+    slots: Vec<u32>,
+}
+
+impl Picker {
+    /// Public entry: delegates to the private method below.
+    pub fn pick_first(&self) -> u32 {
+        self.poke(0)
+    }
+
+    fn poke(&self, at: usize) -> u32 {
+        self.slots[at] // MARK-method-indexing
+    }
+}
+
+/// Unreached negative: no entry point calls this, so its `expect`
+/// stays out of the reachability report.
+fn orphan(v: Option<u32>) -> u32 {
+    v.expect("unreached") // MARK-orphan-expect
+}

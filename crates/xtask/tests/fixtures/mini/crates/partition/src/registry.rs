@@ -1,0 +1,36 @@
+//! Fixture: the canonical `Algorithm` table and the two in-file
+//! surfaces the exhaustiveness rule reads from the enum's own file —
+//! the `all()` table and the `supports_parallel_loaders` predicate.
+//! `Delta` is deliberately absent from `all()`, and the predicate only
+//! names `Beta`, so the rule must report the gaps per surface at the
+//! missing variant's declaration line.
+
+/// The streaming algorithms of the mini study.
+pub enum Algorithm {
+    /// Greedy vertex placement.
+    Alpha, // MARK-alpha-variant
+    /// Hash-based edge placement.
+    Beta,
+    /// Windowed look-ahead placement.
+    Gamma, // MARK-gamma-variant
+    /// Restreamed placement — newest variant, not yet wired to every
+    /// surface.
+    Delta, // MARK-delta-variant
+}
+
+impl Algorithm {
+    /// The canonical table. `Delta` is missing, so the `table-all`
+    /// surface must flag it (and every surface that inherits coverage
+    /// by calling `all()` misses it too).
+    pub fn all() -> [Algorithm; 3] {
+        [Algorithm::Alpha, Algorithm::Beta, Algorithm::Gamma] // MARK-all-table
+    }
+
+    /// Threaded-loader support. Only `Beta` is named, so `Alpha`,
+    /// `Gamma` and `Delta` are unhandled on the `threaded-loaders`
+    /// surface — the `matches!` macro is not a `match` expression, so
+    /// the negation covers nothing the rule can see.
+    pub fn supports_parallel_loaders(&self) -> bool {
+        !matches!(self, Algorithm::Beta)
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture negative: the snapshot round-trip surface uses a
+//! wildcard-free match, which is compiler-exhaustive — adding a
+//! variant fails compilation here, so the exhaustiveness rule must
+//! treat every variant as covered and stay silent.
+
+use crate::registry::Algorithm;
+
+/// The on-disk tag of an algorithm, round-tripped by the snapshot
+/// header parser.
+pub fn tag(alg: &Algorithm) -> u8 {
+    match alg {
+        Algorithm::Alpha => 0,
+        Algorithm::Beta => 1,
+        Algorithm::Gamma => 2,
+        Algorithm::Delta => 3,
+    }
+}

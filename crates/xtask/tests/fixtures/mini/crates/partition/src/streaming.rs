@@ -1,0 +1,15 @@
+//! Fixture: the streaming dispatch surface. The match carries a
+//! wildcard arm, so only the variants its arm heads name are covered;
+//! `Gamma` is excused by a registry entry, and `Delta` silently falls
+//! into `_ =>` — exactly the drift the exhaustiveness rule reports.
+
+use crate::registry::Algorithm;
+
+/// Dispatches one streamed element to a placement kernel.
+pub fn dispatch(alg: &Algorithm) -> u32 {
+    match alg {
+        Algorithm::Alpha => 1,
+        Algorithm::Beta => 2,
+        _ => 0, // MARK-stream-wildcard
+    }
+}

@@ -5,5 +5,11 @@
 /// Root span for one partitioner run (referenced by sgp-partition).
 pub const PARTITION_RUN: &str = "partition.run";
 
+/// Root span for one engine run (referenced by sgp-engine).
+pub const ENGINE_RUN: &str = "engine.run";
+
+/// Per-pass span inside one engine run (referenced by sgp-engine).
+pub const ENGINE_PASS: &str = "engine.pass";
+
 /// An orphaned key no crate ever emits.
 pub const DB_ORPHANED: &str = "db.orphaned"; // MARK-registry-unused

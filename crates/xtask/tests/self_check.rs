@@ -30,3 +30,29 @@ fn real_workspace_is_lint_clean() {
     assert!(report.files_scanned > 50, "scanned {} files", report.files_scanned);
     assert!(report.manifests_scanned >= 8, "checked {} manifests", report.manifests_scanned);
 }
+
+#[test]
+fn every_rule_is_described_and_catalogued() {
+    use sgp_xtask::rules::{describe, ALL_RULES};
+
+    // The `rules` subcommand and the SARIF catalogue both promise a
+    // human explanation per rule id; an empty describe() would render
+    // as a blank row in one and an empty shortDescription in the other.
+    for rule in ALL_RULES {
+        assert!(!describe(rule).trim().is_empty(), "rule `{rule}` has no description");
+    }
+
+    // The SARIF driver catalogue must carry every rule id even when a
+    // run has zero findings — CI annotation resolves results against it.
+    let report = run_lint(&LintConfig::new(workspace_root())).expect("workspace lints");
+    let sarif = sgp_xtask::render_sarif(&report);
+    for rule in ALL_RULES {
+        assert!(
+            sarif.contains(&format!("\"id\": \"{rule}\"")),
+            "rule `{rule}` missing from the SARIF catalogue"
+        );
+    }
+    for rule in ["panic-reachability", "algorithm-surface-exhaustiveness", "span-guard-balance"] {
+        assert!(ALL_RULES.contains(&rule), "semantic-tier rule `{rule}` not registered");
+    }
+}
